@@ -1,0 +1,31 @@
+# Convenience targets mirroring the development loop.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments report clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+experiments:
+	$(PYTHON) -m repro.experiments all --size 50000
+
+report:
+	$(PYTHON) -m repro report --size 50000 -o reproduction_report.md
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis \
+		benchmarks/results reproduction_report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

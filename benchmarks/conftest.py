@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Corpus size is tunable via ``REPRO_BENCH_SIZE`` (default 20 000 symbols —
+large enough for every paper shape to show, small enough that the whole
+suite runs in a few minutes of pure Python). Every figure bench writes its
+regenerated table to ``benchmarks/results/`` so the artefacts survive the
+run even without ``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import CorpusContext
+
+BENCH_SIZE = int(os.environ.get("REPRO_BENCH_SIZE", "20000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_size() -> int:
+    return BENCH_SIZE
+
+
+@pytest.fixture(scope="session")
+def contexts() -> dict[str, CorpusContext]:
+    """One CorpusContext per paper corpus, shared across the session."""
+    from repro.datasets import dataset_names
+
+    return {name: CorpusContext(name, BENCH_SIZE, BENCH_SEED) for name in dataset_names()}
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a regenerated table under benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, content: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(content + "\n", encoding="utf-8")
+        return path
+
+    return _save

@@ -1,0 +1,24 @@
+"""X3a: threshold-halving ablation (paper: halving l costs 1.75–1.95x)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablation
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_halving_ratios(benchmark, save_report):
+    rows = benchmark.pedantic(
+        ablation.run_halving,
+        kwargs={"size": BENCH_SIZE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    report = ablation.format_halving(rows)
+    save_report("ablation_halving", report)
+    print("\n" + report)
+
+    ratios = [row.ratio for row in rows]
+    assert ratios, "expected at least one halving pair"
+    assert all(ratio >= 1.0 for ratio in ratios), "smaller l can never be smaller"
+    mean = sum(ratios) / len(ratios)
+    assert 1.5 <= mean <= 2.1, f"paper band is ~1.75-1.95, got mean {mean:.2f}"

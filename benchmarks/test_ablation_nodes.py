@@ -1,0 +1,28 @@
+"""X3b: kept nodes m vs the n/l heuristic (paper Section 1 / Figure 7).
+
+The CPST beats APX exactly when m = O(n/l); the paper observes that real
+corpora satisfy this. Verify our stand-ins do too.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablation
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_m_close_to_n_over_l(benchmark, save_report):
+    rows = benchmark.pedantic(
+        ablation.run_nodes,
+        kwargs={"size": BENCH_SIZE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    report = ablation.format_nodes(rows)
+    save_report("ablation_nodes", report)
+    print("\n" + report)
+
+    for row in rows:
+        assert row.m_ratio <= 2.5, (row.dataset, row.l, row.m_ratio)
+    # On most corpora m is actually *below* n/l (the paper's observation).
+    below = sum(1 for row in rows if row.m_ratio <= 1.0)
+    assert below >= len(rows) // 2

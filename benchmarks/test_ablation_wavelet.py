@@ -1,0 +1,28 @@
+"""X3c: wavelet shaping ablation for the FM-index baseline.
+
+The Huffman-shaped wavelet tree should sit near n*H0 and clearly below the
+balanced wavelet matrix on skewed corpora — the entropy-compression
+property Theorem 6's space bounds rely on.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablation
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_huffman_shaping_compresses(benchmark, save_report):
+    rows = benchmark.pedantic(
+        ablation.run_wavelet,
+        kwargs={"size": BENCH_SIZE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    report = ablation.format_wavelet(rows)
+    save_report("ablation_wavelet", report)
+    print("\n" + report)
+
+    for row in rows:
+        assert row.huffman_bits < row.balanced_bits, row.dataset
+        # Huffman payload within [H0-ish, H0 + 1 bit/symbol + slack].
+        assert row.huffman_bits <= 1.35 * row.h0_bits + 8 * 1024, row.dataset

@@ -1,0 +1,34 @@
+"""X8: space-budget trade-off benchmark.
+
+At any budget the CPST affords a (much) finer threshold than the APX —
+the practical consequence of Figure 8's ordering — and MOL error falls as
+the budget grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import budget
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_budget_tradeoff(benchmark, save_report):
+    rows = benchmark.pedantic(
+        budget.run,
+        kwargs={"size": min(BENCH_SIZE, 20_000), "seed": BENCH_SEED, "patterns": 50},
+        rounds=1,
+        iterations=1,
+    )
+    report = budget.format_results(rows)
+    save_report("budget", report)
+    print("\n" + report)
+
+    checks = budget.headline_checks(rows)
+    assert checks["thresholds_monotone_in_budget"], report
+    assert checks["cpst_affords_finer_threshold"], report
+    # More budget never makes MOL dramatically worse (monotone-ish).
+    by_dataset: dict[str, list] = {}
+    for row in rows:
+        by_dataset.setdefault(row.dataset, []).append(row)
+    for dataset, seq in by_dataset.items():
+        for a, b in zip(seq, seq[1:]):
+            assert b.mol_mean_error <= a.mol_mean_error * 1.5 + 0.5, (dataset, a, b)

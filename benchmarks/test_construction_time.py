@@ -1,0 +1,105 @@
+"""X2b: construction-time benchmarks.
+
+Times the shared substrate (suffix array, LCP, BWT) and each index build
+on the `english` corpus. Index builds reuse precomputed intermediates so
+the numbers isolate per-structure construction cost, matching how the
+experiment harness amortises work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sa import lcp_array, suffix_array, suffix_array_sais
+from repro.suffixtree.pruned import PrunedSuffixTreeStructure
+
+THRESHOLD = 32
+
+
+@pytest.fixture(scope="module")
+def english(contexts):
+    ctx = contexts["english"]
+    ctx.bwt  # warm every cached intermediate
+    ctx.structure(THRESHOLD)
+    return ctx
+
+
+def test_build_suffix_array_doubling(benchmark, english):
+    sa = benchmark(suffix_array, english.text.data)
+    assert sa.size == len(english.text) + 1
+
+
+def test_build_suffix_array_sais(benchmark, english):
+    import numpy as np
+
+    # Pure-python SA-IS: bench a smaller slice, re-terminated with the
+    # sentinel the algorithm requires.
+    data = np.concatenate([english.text.data[:5000], [0]])
+    sa = benchmark.pedantic(suffix_array_sais, args=(data,), rounds=2, iterations=1)
+    assert sa.size == data.size
+
+
+def test_build_lcp(benchmark, english):
+    lcp = benchmark(lcp_array, english.text.data, english.sa)
+    assert lcp.size == english.sa.size
+
+
+def test_build_structure(benchmark, english):
+    structure = benchmark.pedantic(
+        PrunedSuffixTreeStructure,
+        args=(english.text, THRESHOLD),
+        kwargs={"sa": english.sa, "lcp": english.lcp},
+        rounds=2,
+        iterations=1,
+    )
+    assert structure.num_nodes >= 1
+
+
+def test_build_fm(benchmark, english):
+    index = benchmark.pedantic(english.build_fm, rounds=2, iterations=1)
+    assert index.text_length == len(english.text)
+
+
+def test_build_apx(benchmark, english):
+    index = benchmark.pedantic(
+        english.build_apx, args=(THRESHOLD,), rounds=2, iterations=1
+    )
+    assert index.threshold == THRESHOLD
+
+
+def test_build_cpst(benchmark, english):
+    index = benchmark.pedantic(
+        english.build_cpst, args=(THRESHOLD,), rounds=2, iterations=1
+    )
+    assert index.threshold == THRESHOLD
+
+
+def test_build_pst(benchmark, english):
+    index = benchmark.pedantic(
+        english.build_pst, args=(THRESHOLD,), rounds=2, iterations=1
+    )
+    assert index.threshold == THRESHOLD
+
+
+def test_build_patricia(benchmark, english):
+    index = benchmark.pedantic(
+        english.build_patricia, args=(THRESHOLD,), rounds=2, iterations=1
+    )
+    assert index.threshold == THRESHOLD
+
+
+def test_build_suffix_array_dc3(benchmark, english):
+    import numpy as np
+
+    from repro.sa import suffix_array_dc3
+
+    data = np.concatenate([english.text.data[:5000], [0]])
+    sa = benchmark.pedantic(suffix_array_dc3, args=(data,), rounds=2, iterations=1)
+    assert sa.size == data.size
+
+
+def test_verify_suffix_array_linear(benchmark, english):
+    from repro.sa import verify_suffix_array
+
+    ok = benchmark(verify_suffix_array, english.text.data, english.sa)
+    assert ok

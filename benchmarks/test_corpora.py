@@ -1,0 +1,25 @@
+"""X0: corpus characterisation — DESIGN.md substitution claims, asserted."""
+
+from __future__ import annotations
+
+from repro.experiments import corpora
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_corpus_characterisation(benchmark, save_report):
+    rows = benchmark.pedantic(
+        corpora.run,
+        kwargs={"size": BENCH_SIZE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    report = corpora.format_results(rows)
+    save_report("corpora", report)
+    print("\n" + report)
+
+    checks = corpora.headline_checks(rows)
+    failing = [name for name, ok in checks.items() if not ok]
+    assert not failing, (failing, report)
+    # Every corpus keeps m under the n/l Figure 7 envelope at l = 64.
+    for row in rows:
+        assert row.m_at_64 <= 2 * row.size / 64, row.dataset

@@ -1,0 +1,31 @@
+"""X1: empirical validation of the error theorems, as a benchmark.
+
+Runs the full bound-validation workload (Theorem 7 for APX, Theorem 10 for
+CPST, the lower-sided contract for PST, the conditional Patricia bound) on
+every corpus and asserts zero violations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import errorbounds
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_error_bounds_hold_everywhere(benchmark, save_report):
+    size = min(BENCH_SIZE, 20_000)
+    rows = benchmark.pedantic(
+        errorbounds.run,
+        kwargs={"size": size, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    report = errorbounds.format_results(rows)
+    save_report("errorbounds", report)
+    print("\n" + report)
+
+    assert errorbounds.all_bounds_hold(rows), report
+    # APX mean signed error stays below l (and is non-negative on average).
+    for row in rows:
+        if row.index == "APPROX":
+            assert 0 <= row.mean_error < row.l
+            assert row.max_error <= row.l - 1

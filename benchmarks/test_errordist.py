@@ -1,0 +1,28 @@
+"""X6: APX error-distribution benchmark.
+
+Asserts the Theorem 7 ceiling over the whole workload and the empirical
+concentration: mean error well below the worst case (≈ l/2 or less), and
+p95 strictly inside the bound.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import errordist
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_error_distribution(benchmark, save_report):
+    rows = benchmark.pedantic(
+        errordist.run,
+        kwargs={"size": min(BENCH_SIZE, 30_000), "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    report = errordist.format_results(rows)
+    save_report("errordist", report)
+    print("\n" + report)
+
+    assert errordist.all_within_bound(rows), report
+    for row in rows:
+        assert row.mean <= 0.55 * row.l, (row.dataset, row.l, row.mean)
+        assert row.p95 <= row.l - 1, (row.dataset, row.l, row.p95)

@@ -1,0 +1,33 @@
+"""Figure 7 (dataset statistics table) — regeneration benchmark.
+
+Regenerates the paper's table: per corpus and l in {8, 64, 256} the
+expected node count n/l, the real |PST_l| and the summed edge-label
+length. Asserts the paper's qualitative findings and times the full
+table computation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure7
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_figure7_table(benchmark, save_report):
+    rows = benchmark.pedantic(
+        figure7.run,
+        kwargs={"size": BENCH_SIZE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    report = figure7.format_results(rows)
+    save_report("figure7", report)
+    print("\n" + report)
+
+    checks = figure7.headline_checks(rows)
+    assert checks["m_close_to_n_over_l"], "paper claim: m stays close to n/l"
+    assert checks["sources_label_blowup"], (
+        "paper claim: sources' label mass dwarfs its node count"
+    )
+    # Structural sanity: every corpus/threshold present.
+    assert len(rows) == 4 * 3
+    assert all(row.num_nodes >= 1 for row in rows)

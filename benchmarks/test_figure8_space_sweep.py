@@ -1,0 +1,74 @@
+"""Figure 8 (index space vs threshold) — regeneration benchmark.
+
+Regenerates the four space-vs-l series (FM-index, APPROX-l, PST-l, CPST-l)
+per corpus and asserts the paper's qualitative shape: PST dominated by its
+labels, CPST smallest, both contributions far below the FM-index, sizes
+roughly doubling when the threshold halves.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure8
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_figure8_space_series(benchmark, save_report):
+    rows = benchmark.pedantic(
+        figure8.run,
+        kwargs={"size": BENCH_SIZE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    report = figure8.format_results(rows)
+    save_report("figure8", report)
+    print("\n" + report)
+
+    checks = figure8.headline_checks(rows)
+    assert checks["pst_larger_than_cpst"], "paper: CPST < PST at every threshold"
+    assert checks["both_below_fm_at_large_l"], "paper: APX/CPST beat the FM-index"
+    assert checks["halving_ratio_reasonable"], "paper: halving l costs ~1.75-1.95x"
+
+    table = {(r.dataset, r.index, r.l): r.payload_bits for r in rows}
+    # The sources corpus shows the PST label blowup most dramatically.
+    assert table[("sources", "PST", 8)] > 5 * table[("sources", "CPST", 8)]
+    # CPST-256-style headline: large-l CPSTs are a tiny fraction of the text.
+    largest_l = max(r.l for r in rows if r.index == "CPST")
+    for dataset in ("dblp", "dna", "english", "sources"):
+        row = next(
+            r for r in rows
+            if r.dataset == dataset and r.index == "CPST" and r.l == largest_l
+        )
+        assert row.percent_of_text < 10.0, (dataset, row.percent_of_text)
+
+
+def test_figure8_extended_baselines(benchmark, save_report):
+    """Extended comparison including Patricia / RLFM / QGram.
+
+    The Patricia trie pays Theta(log n) bits per sample (paper Section
+    7.1: non-optimal against the Theorem 3 bound), so it must sit far
+    above the CPST at every threshold.
+    """
+    rows = benchmark.pedantic(
+        figure8.run,
+        kwargs={
+            "size": BENCH_SIZE,
+            "seed": BENCH_SEED,
+            "thresholds": (8, 32, 128),
+            "include_patricia": True,
+            "include_extras": True,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report = figure8.format_results(rows)
+    save_report("figure8_extended", report)
+    print("\n" + report)
+
+    table = {(r.dataset, r.index, r.l): r.payload_bits for r in rows}
+    datasets = sorted({r.dataset for r in rows})
+    for dataset in datasets:
+        for l in (8, 32, 128):
+            assert table[(dataset, "Patricia", l)] > 2 * table[(dataset, "CPST", l)]
+        # RLFM beats FM exactly on the repetitive corpora.
+        if dataset in ("sources", "dblp"):
+            assert table[(dataset, "RLFM", 1)] < table[(dataset, "FM-index", 1)]

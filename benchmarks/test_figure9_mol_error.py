@@ -1,0 +1,43 @@
+"""Figure 9 (MOL estimation error at matched space) — regeneration bench.
+
+Regenerates the paper's application-level table: per corpus, pick PST and
+CPST thresholds with similar sizes, estimate random in-text patterns of
+lengths 6/8/10/12 with MOL over each, and report mean ± std absolute error
+plus the CPST improvement factor.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure9
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_figure9_mol_comparison(benchmark, save_report):
+    size = min(BENCH_SIZE, 30_000)
+    rows = benchmark.pedantic(
+        figure9.run,
+        kwargs={"size": size, "seed": BENCH_SEED, "patterns_per_length": 60},
+        rounds=1,
+        iterations=1,
+    )
+    report = figure9.format_results(rows)
+    save_report("figure9", report)
+    print("\n" + report)
+
+    checks = figure9.headline_checks(rows)
+    assert checks["cpst_always_improves"], (
+        "paper: CPST-backed MOL beats PST-backed MOL on every corpus"
+    )
+    assert checks["sizes_actually_matched"], "thresholds must yield similar sizes"
+
+    by_dataset = {row.dataset: row for row in rows}
+    # The improvement is largest on the label-heavy corpus (sources), where
+    # equal space forces the PST threshold far higher (790x in the paper).
+    other_best = max(
+        row.improvement for name, row in by_dataset.items() if name != "sources"
+    )
+    assert by_dataset["sources"].improvement >= other_best, (
+        "paper: sources shows the largest improvement factor"
+    )
+    # Matched-space CPST always affords an equal or lower threshold.
+    assert all(row.cpst_l <= row.pst_l for row in rows)

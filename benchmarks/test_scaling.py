@@ -1,0 +1,26 @@
+"""X5: size-scaling benchmark — bits per symbol must stay flat in n."""
+
+from __future__ import annotations
+
+from repro.experiments import scaling
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_space_scales_linearly(benchmark, save_report):
+    sizes = tuple(sorted({max(5_000, BENCH_SIZE // 4), BENCH_SIZE // 2, BENCH_SIZE}))
+    rows = benchmark.pedantic(
+        scaling.run,
+        kwargs={"sizes": sizes, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    report = scaling.format_results(rows)
+    save_report("scaling", report)
+    print("\n" + report)
+
+    checks = scaling.headline_checks(rows)
+    assert checks["linear_scaling"], checks
+    # The exact index stays near the entropy; the estimators sit far below
+    # one bit per symbol at l = 32 on english-like text.
+    assert rows[-1].cpst_bits_per_symbol < 1.0
+    assert rows[-1].fm_bits_per_symbol > rows[-1].apx_bits_per_symbol

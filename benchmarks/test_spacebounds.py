@@ -1,0 +1,38 @@
+"""X3e: measured payloads vs the Theorem 3 information floor.
+
+Theorem 3: any index with additive error l needs Omega(n log(sigma)/l)
+bits. Theorem 5 says the APX matches it up to constants when
+log l = O(log sigma). The bench checks every measured payload sits above
+the floor and that the optimality gap stays within a constant band across
+thresholds (no asymptotic drift).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments import ablation
+from .conftest import BENCH_SEED, BENCH_SIZE
+
+
+def test_optimality_gaps(benchmark, save_report):
+    rows = benchmark.pedantic(
+        ablation.run_bounds,
+        kwargs={"size": BENCH_SIZE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    report = ablation.format_bounds(rows)
+    save_report("spacebounds", report)
+    print("\n" + report)
+
+    for row in rows:
+        assert row.gap >= 1.0, "no structure may beat the information floor"
+        assert row.gap <= 40.0, (row.dataset, row.index, row.l, row.gap)
+
+    # Constant-band check per (dataset, index) across thresholds.
+    bands = defaultdict(list)
+    for row in rows:
+        bands[(row.dataset, row.index)].append(row.gap)
+    for key, gaps in bands.items():
+        assert max(gaps) / min(gaps) <= 8.0, (key, gaps)

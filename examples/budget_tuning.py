@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fitting an index to a space budget, and threshold laddering.
+
+Operations question: "I can spare 64 KiB for the substring-count index of
+this corpus — what accuracy does that buy?" This example answers it with
+`fit_threshold` (binary-searches the smallest threshold whose index fits)
+and then shows `ThresholdLadder` resolving queries at the cheapest
+sufficient level.
+
+Run:  python examples/budget_tuning.py
+"""
+
+from repro import (
+    ApproxIndex,
+    CompactPrunedSuffixTree,
+    ThresholdLadder,
+    fit_threshold,
+    text_bits,
+)
+from repro.textutil import Text
+from repro.datasets import generate_sources
+
+CORPUS_SIZE = 60_000
+
+
+def main() -> None:
+    text = Text(generate_sources(CORPUS_SIZE, seed=4))
+    reference = text_bits(len(text), text.sigma)
+    print(f"corpus: {CORPUS_SIZE} chars of source code "
+          f"({reference // 8 // 1024} KiB packed)\n")
+
+    print(f"{'budget':>10} {'CPST l':>8} {'APX l':>8}   guarantee bought")
+    for percent in (2, 5, 10, 25):
+        budget = reference * percent // 100
+        cpst_l, _ = fit_threshold(text, budget, CompactPrunedSuffixTree)
+        apx_l, _ = fit_threshold(text, budget, ApproxIndex)
+        print(f"{percent:>9}% {cpst_l:>8} {apx_l:>8}   "
+              f"exact counts for patterns occurring >= {cpst_l} times")
+
+    print("\nthreshold ladder (CPSTs at 256/64/16), query routing:")
+    ladder = ThresholdLadder(text, [256, 64, 16])
+    report = ladder.space_report()
+    for level, bits in sorted(report.components.items()):
+        print(f"  {level:<10} {bits / 8 / 1024:7.1f} KiB")
+    print(f"  total      {report.payload_bits / 8 / 1024:7.1f} KiB\n")
+
+    queries = [
+        "self->items",          # boilerplate: resolved at the top level
+        "static int hashmap_c",  # rarer: resolved deeper
+        "goto fail",            # absent: falls through all levels
+    ]
+    for pattern in queries:
+        resolved = ladder.resolve(pattern)
+        if resolved is None:
+            print(f"  {pattern!r}: occurs fewer than {ladder.threshold} times")
+        else:
+            level, count = resolved
+            print(f"  {pattern!r}: {count} occurrences "
+                  f"(answered by the l={level} level)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Row-level LIKE selectivity with exact distinct-row counts.
+
+The optimiser question is "how many ROWS match LIKE '%P%'" — not how many
+occurrences the pattern has (one row can contain it many times). The
+RowSelectivityIndex extension answers exactly that: exact distinct-row
+counts for every pattern occurring at least l times, below-threshold
+detection otherwise, in O(m·log(#rows)) bits on top of the CPST.
+
+The script builds a synthetic orders table, compares occurrence counts vs
+row counts (they diverge precisely on repetitive columns), and shows the
+estimated vs true selectivities an optimiser would consume.
+
+Run:  python examples/database_rows.py
+"""
+
+import numpy as np
+
+from repro import RowSelectivityIndex
+
+CITIES = ["Pisa", "Athens", "Lisbon", "Kyoto", "Quito", "Oslo"]
+STATUSES = ["pending", "shipped", "delivered", "returned"]
+ITEMS = ["widget", "gadget", "sprocket", "gizmo"]
+
+
+def make_orders(count: int = 3_000, seed: int = 9) -> list[str]:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for order_id in range(count):
+        city = CITIES[int(rng.integers(0, len(CITIES)))]
+        status = STATUSES[int(rng.integers(0, len(STATUSES)))]
+        items = " ".join(
+            ITEMS[int(rng.integers(0, len(ITEMS)))]
+            for _ in range(int(rng.integers(1, 5)))
+        )
+        rows.append(f"order {order_id}: {items} -> {city} [{status}]")
+    return rows
+
+
+def main() -> None:
+    rows = make_orders()
+    index = RowSelectivityIndex(rows, l=16)
+    report = index.space_report()
+    print(f"{len(rows)} rows indexed; {report.payload_bits / 8 / 1024:.1f} KiB payload "
+          f"({report.components['row_counts'] / 8:.0f} B of that for row counts)\n")
+
+    predicates = ["widget", "Kyoto", "shipped", "widget widget", "gizmo ->", "Atlantis"]
+    print(f"{'LIKE pattern':<18} {'occurrences':>12} {'rows':>8} {'true rows':>10} "
+          f"{'selectivity':>12}")
+    for pattern in predicates:
+        occurrences = index.count_or_none(pattern)
+        row_count = index.count_rows_or_none(pattern)
+        true_rows = sum(1 for row in rows if pattern in row)
+        selectivity = index.selectivity_or_none(pattern)
+        print(
+            f"%{pattern}%".ljust(18)
+            + f" {occurrences if occurrences is not None else '<16':>12}"
+            + f" {row_count if row_count is not None else '<16':>8}"
+            + f" {true_rows:>10}"
+            + (f" {selectivity:>11.2%}" if selectivity is not None else f" {'—':>12}")
+        )
+
+    print("\nwhere occurrences > rows, a pattern repeats inside single rows —")
+    print("the occurrence count alone would mislead the optimiser there.")
+
+
+if __name__ == "__main__":
+    main()

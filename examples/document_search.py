@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Document search over a collection: which files mention this string?
+
+Scenario: a code-search box over a repository. The DocumentCollection
+keeps per-file identity while indexing everything once; queries return
+matching files, per-file hit counts, and context snippets — all served
+from the compressed index (the original files are never consulted).
+
+Run:  python examples/document_search.py
+"""
+
+from repro import DocumentCollection
+from repro.datasets import generate_sources
+
+
+def make_repository() -> dict[str, str]:
+    """A synthetic multi-file code base."""
+    return {
+        f"src/module_{i}.c": generate_sources(3_000, seed=100 + i)
+        for i in range(8)
+    }
+
+
+def main() -> None:
+    files = make_repository()
+    collection = DocumentCollection(files, sa_sample_rate=8, estimate_threshold=16)
+    report = collection.space_report()
+    total_chars = sum(len(body) for body in files.values())
+    print(f"indexed {len(collection)} files, {total_chars:,} chars "
+          f"({report.payload_bits / 8 / 1024:.0f} KiB index)\n")
+
+    queries = ["ENOMEM", "hashmap_init", "for (size_t i = 0;", "goto fail"]
+    for query in queries:
+        matches = collection.documents_containing(query)
+        total = collection.count(query)
+        print(f"search {query!r}: {total} hits in {len(matches)} files")
+        for name, hits in collection.top_documents(query, k=3):
+            print(f"    {name:<18} {hits:>3} hits")
+        occurrences = collection.occurrences(query)
+        if occurrences:
+            snippet = collection.snippet(occurrences[0], context=18)
+            print(f"    first match ({occurrences[0].document}"
+                  f"@{occurrences[0].offset}): …{snippet!r}…")
+        print()
+
+    # The cheap tier: collection-wide counts without any locate machinery.
+    print("threshold tier (l=16), no suffix-array samples needed:")
+    for query in ("self->items", "goto fail"):
+        certified = collection.count_estimated(query)
+        label = f"{certified} (exact)" if certified is not None else "< 16"
+        print(f"  {query!r}: {label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""An n-gram language model served straight from a compressed index.
+
+P(c | context) = Count(context+c) / Count(context) — so a substring-count
+index IS a character language model over its corpus. This example scores
+strings (in-domain vs gibberish), generates text, and shows the space
+knob: with an APX backend the model runs in a fraction of the corpus size
+at a bounded perturbation.
+
+Run:  python examples/index_backed_lm.py
+"""
+
+from repro import ApproxIndex, FMIndex, Text, text_bits
+from repro.applications import NGramModel
+from repro.datasets import generate_english
+
+CORPUS_SIZE = 40_000
+ORDER = 4
+
+
+def main() -> None:
+    text = Text(generate_english(CORPUS_SIZE, seed=21))
+    reference = text_bits(len(text), text.sigma)
+    exact_model = NGramModel(FMIndex(text), order=ORDER)
+    tiny_backend = ApproxIndex(text, 32)
+    tiny_model = NGramModel(tiny_backend, order=ORDER)
+    tiny_bits = tiny_backend.space_report().payload_bits
+    print(f"corpus: {CORPUS_SIZE} chars; APX-32 backend = "
+          f"{100 * tiny_bits / reference:.1f}% of the packed text\n")
+
+    probes = [
+        ("in-domain", "the people said there was water"),
+        ("shuffled", "eht elpoep dias ereht saw retaw"),
+        ("gibberish", "zq xv jj qqq kxw zzz pqz"),
+    ]
+    print(f"{'string kind':<12} {'exact ppl':>10} {'APX ppl':>9}")
+    for kind, probe in probes:
+        print(f"{kind:<12} {exact_model.perplexity(probe):>10.2f} "
+              f"{tiny_model.perplexity(probe):>9.2f}")
+
+    print("\nnext-character distribution after 'the ':")
+    dist = exact_model.distribution("the ")
+    for ch, p in sorted(dist.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"  {ch!r}: {p:.3f}")
+
+    print("\nindex-generated text (exact backend):")
+    print("  " + repr(exact_model.generate(120, seed=7, prompt="the ")))
+    print("index-generated text (APX backend, ~1/8 of the space):")
+    print("  " + repr(tiny_model.generate(120, seed=7, prompt="the ")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Frequent-substring mining over service logs on a memory budget.
+
+Operations scenario: a service emits millions of log lines; we want to
+answer "how often does this error signature appear?" for *ad-hoc* substring
+queries (not pre-aggregated counters), but shipping the full log to the
+analysis box is not an option.
+
+The CPST is a perfect fit: any signature occurring at least ``l`` times is
+counted *exactly*; rarer ones are certified as "below threshold", which for
+triage means "not your outage". We also demo threshold laddering: a stack
+of CPSTs at decreasing ``l`` lets the analyst zoom in only when needed.
+
+Run:  python examples/log_mining.py
+"""
+
+import numpy as np
+
+from repro import CompactPrunedSuffixTree, Text, text_bits
+
+SERVICES = ["auth", "billing", "search", "cart", "gateway"]
+ERRORS = [
+    ("timeout connecting to upstream", 40),
+    ("connection reset by peer", 25),
+    ("TLS handshake failed", 12),
+    ("out of file descriptors", 4),
+    ("checksum mismatch on shard", 2),
+]
+INFO = ["request served", "cache hit", "cache miss", "healthcheck ok"]
+
+
+def make_log(lines: int = 3_000, seed: int = 3) -> str:
+    rng = np.random.default_rng(seed)
+    error_names = [name for name, _ in ERRORS]
+    error_weights = np.array([w for _, w in ERRORS], dtype=float)
+    error_weights /= error_weights.sum()
+    rows = []
+    for i in range(lines):
+        service = SERVICES[int(rng.integers(0, len(SERVICES)))]
+        if rng.random() < 0.2:
+            message = error_names[int(rng.choice(len(ERRORS), p=error_weights))]
+            level = "ERROR"
+        else:
+            message = INFO[int(rng.integers(0, len(INFO)))]
+            level = "INFO"
+        rows.append(f"2026-07-04T10:{i % 60:02d}:{i % 59:02d} {level} [{service}] {message}")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    log = make_log()
+    text = Text(log)
+    raw = text_bits(len(text), text.sigma)
+    print(f"log: {len(log):,} chars, {log.count(chr(10)) + 1:,} lines\n")
+
+    ladder = [256, 64, 16]
+    indexes = {l: CompactPrunedSuffixTree(text, l) for l in ladder}
+    for l in ladder:
+        bits = indexes[l].space_report().payload_bits
+        print(f"CPST-{l:<4} {bits / 8 / 1024:7.1f} KiB  "
+              f"({100 * bits / raw:5.2f}% of the packed log)")
+
+    signatures = [
+        "ERROR [auth]",
+        "timeout connecting",
+        "TLS handshake failed",
+        "checksum mismatch",
+        "kernel panic",
+    ]
+    print(f"\n{'signature':<26} " + " ".join(f"{'CPST-' + str(l):>10}" for l in ladder)
+          + f" {'true':>7}")
+    for signature in signatures:
+        answers = []
+        for l in ladder:
+            got = indexes[l].count_or_none(signature)
+            answers.append("<" + str(l) if got is None else str(got))
+        true = text.count_naive(signature)
+        print(f"{signature:<26} " + " ".join(f"{a:>10}" for a in answers)
+              + f" {true:>7}")
+
+    print("\nthreshold laddering: read left to right — the cheapest index that")
+    print("certifies a count answers the query; '<l' means 'fewer than l hits'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: build every index over one text and compare their answers.
+
+Walks through the library's core promise — approximate counting with
+guaranteed error in a fraction of the text's space:
+
+* the exact FM-index baseline,
+* APX_l      (uniform error: answer in [true, true + l - 1]),
+* CPST_l     (lower-sided error: exact when the count is >= l),
+* the classical PST and Patricia baselines for contrast.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ApproxIndex,
+    CompactPrunedSuffixTree,
+    FMIndex,
+    PrunedPatriciaTrie,
+    PrunedSuffixTree,
+    Text,
+    text_bits,
+)
+from repro.datasets import generate_english
+
+ERROR_THRESHOLD = 32
+CORPUS_SIZE = 40_000
+
+
+def main() -> None:
+    text = Text(generate_english(CORPUS_SIZE, seed=42))
+    reference_bits = text_bits(len(text), text.sigma)
+    print(f"corpus: {len(text)} chars, sigma = {text.sigma}, "
+          f"packed size = {reference_bits // 8} bytes\n")
+
+    print("building indexes ...")
+    fm = FMIndex(text)
+    apx = ApproxIndex(text, ERROR_THRESHOLD)
+    cpst = CompactPrunedSuffixTree(text, ERROR_THRESHOLD)
+    pst = PrunedSuffixTree(text, ERROR_THRESHOLD)
+    patricia = PrunedPatriciaTrie(text, ERROR_THRESHOLD)
+
+    print(f"\n{'index':<14} {'payload bits':>14} {'% of text':>10}")
+    for index in (fm, apx, cpst, pst, patricia):
+        report = index.space_report()
+        print(f"{report.name:<14} {report.payload_bits:>14,} "
+              f"{100 * report.payload_bits / reference_bits:>9.2f}%")
+
+    patterns = ["the", "and ", "the cat", "of the", "zqzqzq"]
+    print(f"\n{'pattern':<10} {'true':>6} {'FM':>6} {'APX':>6} "
+          f"{'CPST':>6} {'PST':>6} {'Patricia':>9}")
+    for pattern in patterns:
+        true = text.count_naive(pattern)
+        row = [
+            fm.count(pattern),
+            apx.count(pattern),
+            cpst.count(pattern),
+            pst.count(pattern),
+            patricia.count(pattern),
+        ]
+        print(f"{pattern!r:<10} {true:>6} " + " ".join(f"{v:>6}" for v in row[:-1])
+              + f" {row[-1]:>9}")
+
+    print(f"\nguarantees at l = {ERROR_THRESHOLD}:")
+    print("  APX : true <= estimate <= true + l - 1 for EVERY pattern")
+    print("  CPST: estimate == true whenever true >= l; below-threshold "
+          "patterns are detected:")
+    for pattern in ("the cat", "the"):
+        verdict = cpst.count_or_none(pattern)
+        print(f"    cpst.count_or_none({pattern!r}) = {verdict}")
+
+
+if __name__ == "__main__":
+    main()

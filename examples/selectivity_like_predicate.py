@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Selectivity estimation for SQL LIKE '%P%' predicates — the paper's
+motivating application.
+
+Scenario: a database has a textual column (here: synthetic bibliographic
+records). The query optimiser must estimate, for an arbitrary pattern P,
+how many rows satisfy ``title LIKE '%P%'`` — *without* scanning the table
+and within a tiny memory budget.
+
+Pipeline (paper Sections 1 and 7.2):
+
+1. concatenate the rows into ``T(R) = ▷R1▷R2▷…▷Rn▷``;
+2. build a CPST over T(R) — exact counts for frequent substrings,
+   below-threshold detection otherwise;
+3. run the MOL estimator on top for infrequent patterns.
+
+Run:  python examples/selectivity_like_predicate.py
+"""
+
+import numpy as np
+
+from repro import CompactPrunedSuffixTree, MOLEstimator, Text, text_bits
+from repro.datasets.xml_dblp import _GIVEN, _SURNAMES, _TITLE_WORDS
+
+NUM_ROWS = 4_000
+ERROR_THRESHOLD = 16
+
+
+def make_rows(seed: int = 7) -> list[str]:
+    """Synthetic 'title' column rows."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(NUM_ROWS):
+        words = [
+            _TITLE_WORDS[int(i)]
+            for i in rng.choice(len(_TITLE_WORDS), size=int(rng.integers(3, 8)))
+        ]
+        author = (
+            _GIVEN[int(rng.integers(0, len(_GIVEN)))]
+            + " "
+            + _SURNAMES[int(rng.integers(0, len(_SURNAMES)))]
+        )
+        rows.append(" ".join(words) + " by " + author)
+    return rows
+
+
+def rows_matching(rows: list[str], pattern: str) -> int:
+    return sum(1 for row in rows if pattern in row)
+
+
+def main() -> None:
+    rows = make_rows()
+    text = Text.from_rows(rows)
+    index = CompactPrunedSuffixTree(text, ERROR_THRESHOLD)
+    estimator = MOLEstimator(index)
+
+    budget = index.space_report().payload_bits
+    raw = text_bits(len(text), text.sigma)
+    print(f"{len(rows)} rows, {len(text)} chars concatenated")
+    print(f"index budget: {budget / 8 / 1024:.1f} KiB "
+          f"({100 * budget / raw:.1f}% of the packed column)\n")
+
+    predicates = [
+        "index",          # frequent word
+        "suffix tree",    # frequent phrase
+        "optimal substring",  # rarer combination
+        "by Alessio",     # author lookup
+        "quantum blockchain",  # absent
+    ]
+    print(f"{'LIKE pattern':<24} {'occurrences':>12} {'estimate':>10} {'certified?':>11}")
+    for pattern in predicates:
+        true = text.count_naive(pattern)
+        estimate = estimator.estimate(pattern)
+        certified = index.count_or_none(pattern) is not None
+        print(f"%{pattern}%".ljust(24)
+              + f" {true:>12} {estimate:>10.1f} {str(certified):>11}")
+
+    print("\nnote: occurrence counts on T(R) upper-bound matching rows; the")
+    print("row separator ▷ guarantees patterns never straddle two rows.")
+    sample = "suffix tree"
+    print(f"rows actually containing {sample!r}: {rows_matching(rows, sample)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""repro — Space-efficient Substring Occurrence Estimation (PODS 2011).
+
+A complete reproduction of Orlandi & Venturini's paper: approximate
+substring counting indexes with guaranteed additive error in space far
+below the text size.
+
+Quick start::
+
+    from repro import ApproxIndex, CompactPrunedSuffixTree, FMIndex
+
+    text = open("corpus.txt").read()
+    apx = ApproxIndex(text, l=64)               # uniform error < 64
+    cpst = CompactPrunedSuffixTree(text, l=64)  # exact when count >= 64
+
+    apx.count("pattern")           # in [true, true + 63]
+    cpst.count_or_none("pattern")  # exact count, or None below threshold
+
+Main entry points:
+
+* :class:`ApproxIndex` — paper Section 4, uniform additive error.
+* :class:`CompactPrunedSuffixTree` — paper Section 5, lower-sided error.
+* :class:`FMIndex`, :class:`PrunedSuffixTree`, :class:`PrunedPatriciaTrie`
+  — the baselines the paper compares against.
+* :mod:`repro.selectivity` — KVI / MO / MOL LIKE-predicate estimators.
+* :mod:`repro.datasets` — synthetic Pizza&Chili stand-in corpora.
+* :mod:`repro.experiments` — regenerate every table/figure of the paper.
+"""
+
+from .batch import SuffixSharingCounter
+from .collections import DocumentCollection, Occurrence
+from .baselines import (
+    FMIndex,
+    PrunedPatriciaTrie,
+    PrunedSuffixTree,
+    QGramIndex,
+    RLFMIndex,
+)
+from .core import (
+    ApproxIndex,
+    ApproxIndexEF,
+    CombinedIndex,
+    CompactPrunedSuffixTree,
+    ErrorModel,
+    MultiplicativeIndex,
+    OccurrenceEstimator,
+    RowSelectivityIndex,
+    ThresholdLadder,
+    fit_threshold,
+)
+from .selectivity import (
+    KVIEstimator,
+    MOCEstimator,
+    MOEstimator,
+    MOLCEstimator,
+    MOLEstimator,
+)
+from .space import SpaceReport, text_bits
+from .validation import ValidationReport, validate_all, validate_index
+from .textutil import Alphabet, Text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproxIndex",
+    "ApproxIndexEF",
+    "CombinedIndex",
+    "MultiplicativeIndex",
+    "RowSelectivityIndex",
+    "CompactPrunedSuffixTree",
+    "FMIndex",
+    "PrunedSuffixTree",
+    "PrunedPatriciaTrie",
+    "QGramIndex",
+    "RLFMIndex",
+    "ErrorModel",
+    "OccurrenceEstimator",
+    "KVIEstimator",
+    "MOEstimator",
+    "MOLEstimator",
+    "MOCEstimator",
+    "MOLCEstimator",
+    "SpaceReport",
+    "text_bits",
+    "Alphabet",
+    "Text",
+    "ValidationReport",
+    "validate_all",
+    "validate_index",
+    "ThresholdLadder",
+    "fit_threshold",
+    "SuffixSharingCounter",
+    "DocumentCollection",
+    "Occurrence",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Analytical tools: executable lower bounds and space-bound sheets."""
+
+from .lowerbound import (
+    membership_oracle,
+    reconstruct_from_exact,
+    reconstruct_text,
+    repeat_text,
+)
+from .spacebounds import BoundSheet, evaluate_bounds, optimality_gap
+
+__all__ = [
+    "membership_oracle",
+    "reconstruct_from_exact",
+    "reconstruct_text",
+    "repeat_text",
+    "BoundSheet",
+    "evaluate_bounds",
+    "optimality_gap",
+]

@@ -1,0 +1,12 @@
+"""Applications of substring counting: language models, similarity."""
+
+from .ngram_lm import NGramModel
+from .similarity import cosine_similarity, kmer_profile, profile_similarity, top_kmers
+
+__all__ = [
+    "NGramModel",
+    "cosine_similarity",
+    "kmer_profile",
+    "profile_similarity",
+    "top_kmers",
+]

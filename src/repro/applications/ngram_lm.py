@@ -1,0 +1,128 @@
+"""Character n-gram language models backed by count indexes.
+
+A direct application of substring counting: the conditional distribution
+``P(c | context)`` is a ratio of two substring counts,
+
+    P(c | w) = Count(w + c) / Count(w),
+
+so any index in this library *is* an n-gram model over its text — exact
+with the FM-index, and within the paper's additive guarantees with the
+APX/CPST at a fraction of the space. The model backs scoring
+(log-likelihood / perplexity of new strings) and sampling (index-driven
+text generation), with stupid-backoff to shorter contexts when a context
+drops below the index's reliability horizon.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.interface import OccurrenceEstimator
+from ..errors import InvalidParameterError, PatternError
+from ..textutil import Alphabet
+
+
+class NGramModel:
+    """Order-``k`` character model over an occurrence index."""
+
+    def __init__(
+        self,
+        index: OccurrenceEstimator,
+        order: int = 3,
+        backoff: float = 0.4,
+        smoothing: float = 0.5,
+    ):
+        if order < 1:
+            raise InvalidParameterError(f"order must be >= 1, got {order}")
+        if not 0 < backoff <= 1:
+            raise InvalidParameterError(f"backoff must be in (0, 1], got {backoff}")
+        if smoothing <= 0:
+            raise InvalidParameterError(f"smoothing must be > 0, got {smoothing}")
+        self._index = index
+        self._order = order
+        self._backoff = backoff
+        self._smoothing = smoothing
+        self._alphabet: Alphabet = index.alphabet
+        self._sigma = self._alphabet.sigma - 1  # real characters only
+
+    @property
+    def order(self) -> int:
+        """Context length ``k`` (the model conditions on up to k chars)."""
+        return self._order
+
+    def _count(self, fragment: str) -> int:
+        return self._index.count(fragment)
+
+    def probability(self, char: str, context: str = "") -> float:
+        """``P(char | context)`` with stupid backoff and add-λ smoothing."""
+        if len(char) != 1:
+            raise PatternError("char must be a single character")
+        if char not in self._alphabet:
+            # Unseen character: smoothed floor only.
+            return self._smoothing / (self._smoothing * (self._sigma + 1) + 1)
+        context = context[-self._order :]
+        weight = 1.0
+        while True:
+            if context:
+                denominator = self._count(context)
+            else:
+                denominator = self._index.text_length
+            if denominator > 0:
+                numerator = self._count(context + char)
+                return weight * (
+                    (numerator + self._smoothing)
+                    / (denominator + self._smoothing * (self._sigma + 1))
+                )
+            if not context:
+                return weight * self._smoothing / (
+                    self._smoothing * (self._sigma + 1) + 1
+                )
+            context = context[1:]
+            weight *= self._backoff
+
+    def distribution(self, context: str = "") -> Dict[str, float]:
+        """Normalised next-character distribution for a context."""
+        raw = {
+            ch: self.probability(ch, context) for ch in self._alphabet.characters
+        }
+        total = sum(raw.values())
+        return {ch: p / total for ch, p in raw.items()}
+
+    def log_likelihood(self, text: str) -> float:
+        """Natural-log likelihood of a string under the model."""
+        if not text:
+            raise PatternError("text must be non-empty")
+        total = 0.0
+        for i, ch in enumerate(text):
+            total += math.log(self.probability(ch, text[max(0, i - self._order) : i]))
+        return total
+
+    def perplexity(self, text: str) -> float:
+        """``exp(-log_likelihood / len)`` — lower is a better fit."""
+        return math.exp(-self.log_likelihood(text) / len(text))
+
+    def generate(
+        self, length: int, seed: int = 0, prompt: str = ""
+    ) -> str:
+        """Sample ``length`` characters from the model (after ``prompt``)."""
+        if length < 0:
+            raise InvalidParameterError("length must be >= 0")
+        rng = np.random.default_rng(seed)
+        out = list(prompt)
+        for _ in range(length):
+            context = "".join(out[-self._order :])
+            dist = self.distribution(context)
+            characters = list(dist)
+            weights = np.asarray([dist[c] for c in characters])
+            choice = characters[int(rng.choice(len(characters), p=weights))]
+            out.append(choice)
+        return "".join(out[len(prompt) :])
+
+    def __repr__(self) -> str:
+        return (
+            f"NGramModel(order={self._order}, "
+            f"backend={type(self._index).__name__})"
+        )

@@ -1,0 +1,15 @@
+"""Baseline indexes the paper compares against."""
+
+from .fm import FMIndex
+from .patricia import PrunedPatriciaTrie
+from .pst import PrunedSuffixTree
+from .qgram import QGramIndex
+from .rlfm import RLFMIndex
+
+__all__ = [
+    "FMIndex",
+    "PrunedPatriciaTrie",
+    "PrunedSuffixTree",
+    "QGramIndex",
+    "RLFMIndex",
+]

@@ -1,0 +1,246 @@
+"""FM-index: exact counting via backward search (paper Sections 4.1–4.2).
+
+This is the paper's `FM-index` baseline — the compressed full-text index
+that "achieves the best compression ratio" and establishes the minimum
+space known solutions need for *error-free* counting. The BWT of the text
+is stored in a Huffman-shaped wavelet tree (~``n*H0`` payload bits), and
+``Count(P)`` runs the backward search of Figure 2: ``2|P|`` rank queries.
+
+Intervals are handled 0-based and half-open internally; ``count_range``
+returns ``(first, last)`` with ``last - first`` occurrences.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..bits import HuffmanWaveletTree, WaveletMatrix, bits_needed
+from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..errors import InvalidParameterError
+from ..sa import bwt_from_sa, counts_array, suffix_array
+from ..space import SpaceReport
+from ..textutil import Alphabet, Text
+
+
+class FMIndex(OccurrenceEstimator):
+    """Exact substring counting over a compressed text representation."""
+
+    error_model = ErrorModel.EXACT
+
+    def __init__(
+        self,
+        text: Text | str,
+        wavelet: str = "huffman",  # huffman | matrix | huffman-rrr | matrix-rrr
+        sa_sample_rate: int | None = None,
+    ):
+        if isinstance(text, str):
+            text = Text(text)
+        data = text.data
+        sa = suffix_array(data)
+        bwt = bwt_from_sa(data, sa)
+        self._init_from_bwt(bwt, text.alphabet, wavelet)
+        if sa_sample_rate is not None:
+            self._attach_samples(sa, sa_sample_rate)
+
+    @classmethod
+    def from_bwt(
+        cls,
+        bwt: np.ndarray,
+        alphabet: Alphabet,
+        wavelet: str = "huffman",  # huffman | matrix | huffman-rrr | matrix-rrr
+    ) -> "FMIndex":
+        """Build from a precomputed BWT of the sentinel-terminated text."""
+        instance = cls.__new__(cls)
+        instance._init_from_bwt(np.asarray(bwt, dtype=np.int64), alphabet, wavelet)
+        return instance
+
+    def _init_from_bwt(
+        self, bwt: np.ndarray, alphabet: Alphabet, wavelet: str
+    ) -> None:
+        self._text_length = int(bwt.size) - 1
+        self._alphabet = alphabet
+        self._sigma = alphabet.sigma
+        # locate/extract support is attached on demand (see _attach_samples).
+        self._sample_rate: int | None = None
+        self._marked = None
+        self._sa_samples = None
+        self._isa_samples = None
+        self._c = counts_array(bwt, self._sigma)
+        base, _, variant = wavelet.partition("-")
+        compressed = variant == "rrr"
+        if variant and not compressed:
+            raise InvalidParameterError(f"unknown wavelet kind {wavelet!r}")
+        if base == "huffman":
+            self._occ: HuffmanWaveletTree | WaveletMatrix = HuffmanWaveletTree(
+                bwt, self._sigma, compressed=compressed
+            )
+        elif base == "matrix":
+            self._occ = WaveletMatrix(bwt, self._sigma, compressed=compressed)
+        else:
+            raise InvalidParameterError(f"unknown wavelet kind {wavelet!r}")
+
+    # -- interface ----------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._alphabet
+
+    @property
+    def text_length(self) -> int:
+        return self._text_length
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size including the sentinel."""
+        return self._sigma
+
+    def count(self, pattern: str) -> int:
+        """Exact number of occurrences of ``pattern`` in the text."""
+        first, last = self.count_range(pattern)
+        return last - first
+
+    def count_range(self, pattern: str) -> Tuple[int, int]:
+        """Backward search: 0-based half-open row range prefixed by pattern.
+
+        Returns ``(0, 0)`` when the pattern does not occur.
+        """
+        encoded = self._encode_pattern(pattern)
+        if encoded is None:
+            return 0, 0
+        return self._search(encoded)
+
+    def _search(self, symbols: np.ndarray) -> Tuple[int, int]:
+        state = self._start_state(int(symbols[-1]))
+        for i in range(len(symbols) - 2, -1, -1):
+            if state is None:
+                return 0, 0
+            state = self._step_state(state, int(symbols[i]))
+        return state if state is not None else (0, 0)
+
+    # Backward-search automaton over reversed patterns (half-open rows);
+    # the protocol consumed by repro.batch.SuffixSharingCounter.
+
+    def _start_state(self, c: int) -> Tuple[int, int] | None:
+        first, last = int(self._c[c]), int(self._c[c + 1])
+        return (first, last) if first < last else None
+
+    def _step_state(self, state: Tuple[int, int], c: int) -> Tuple[int, int] | None:
+        first, last = state
+        first = int(self._c[c]) + self._occ.rank(c, first)
+        last = int(self._c[c]) + self._occ.rank(c, last)
+        return (first, last) if first < last else None
+
+    def _automaton_start(self, ch: str) -> Tuple[int, int] | None:
+        encoded = self._alphabet.encode_pattern(ch)
+        return None if encoded is None else self._start_state(int(encoded[0]))
+
+    def _automaton_step(
+        self, state: Tuple[int, int], ch: str
+    ) -> Tuple[int, int] | None:
+        encoded = self._alphabet.encode_pattern(ch)
+        return None if encoded is None else self._step_state(state, int(encoded[0]))
+
+    def _automaton_count(self, state: Tuple[int, int] | None) -> int:
+        return 0 if state is None else state[1] - state[0]
+
+    # -- locate / extract (SA sampling) ---------------------------------------
+
+    def _attach_samples(self, sa: np.ndarray, rate: int) -> None:
+        """Mark every row whose suffix position is a multiple of ``rate``
+        and store the sampled SA and ISA values, enabling locate/extract."""
+        from ..bits import BitVector, IntVector
+
+        if rate < 1:
+            raise InvalidParameterError(f"sa_sample_rate must be >= 1, got {rate}")
+        self._sample_rate = rate
+        n_rows = int(sa.size)
+        marked_positions = np.flatnonzero(sa % rate == 0)
+        self._marked = BitVector.from_positions(marked_positions, n_rows)
+        width = bits_needed(n_rows)
+        self._sa_samples = IntVector.from_array(sa[marked_positions], width)
+        isa = np.empty(n_rows, dtype=np.int64)
+        isa[sa] = np.arange(n_rows, dtype=np.int64)
+        self._isa_samples = IntVector.from_array(isa[::rate], width)
+
+    def _require_samples(self) -> None:
+        if self._sample_rate is None:
+            raise InvalidParameterError(
+                "locate/extract need SA samples: pass sa_sample_rate to FMIndex"
+            )
+
+    def _lf_step(self, row: int) -> Tuple[int, int]:
+        """One backward step: ``(symbol at L[row], LF(row))``."""
+        c = self._occ.access(row)
+        return c, int(self._c[c]) + self._occ.rank(c, row)
+
+    def locate(self, pattern: str) -> list[int]:
+        """All 0-based starting positions of ``pattern``, sorted.
+
+        O(occ * sample_rate) LF-steps after the backward search.
+        """
+        self._require_samples()
+        first, last = self.count_range(pattern)
+        positions = []
+        for row in range(first, last):
+            steps = 0
+            current = row
+            while not self._marked[current]:
+                _, current = self._lf_step(current)
+                steps += 1
+            sample_index = self._marked.rank1(current)
+            positions.append(self._sa_samples[sample_index] + steps)
+        return sorted(positions)
+
+    def extract(self, start: int, length: int) -> str:
+        """Decompress ``T[start : start + length]`` from the index alone."""
+        self._require_samples()
+        if start < 0 or length < 0 or start + length > self._text_length:
+            raise InvalidParameterError(
+                f"extract range [{start}, {start + length}) outside text "
+                f"of length {self._text_length}"
+            )
+        if length == 0:
+            return ""
+        rate = self._sample_rate
+        assert rate is not None and self._isa_samples is not None
+        # Anchor at the first sampled position at or after the range end
+        # (position n, the sentinel suffix, is always row 0).
+        end = start + length
+        anchor = ((end + rate - 1) // rate) * rate
+        if anchor > self._text_length:
+            # No sample beyond the end: anchor on the sentinel suffix,
+            # whose row is always 0 (it is the lexicographic minimum).
+            anchor = self._text_length
+            row = 0
+        else:
+            row = self._isa_samples[anchor // rate]
+        symbols = []
+        for _ in range(anchor - start):
+            c, row = self._lf_step(row)
+            symbols.append(c)  # this is T[position - 1] walking leftwards
+        symbols.reverse()
+        return self._alphabet.decode(np.asarray(symbols[:length], dtype=np.int64))
+
+    # -- space ---------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        n_rows = self._text_length + 1
+        c_bits = (self._sigma + 1) * bits_needed(n_rows)
+        components = {
+            "bwt_wavelet": self._occ.size_in_bits(),
+            "C_array": c_bits,
+        }
+        overhead = {"wavelet_directories": self._occ.overhead_in_bits()}
+        if self._sample_rate is not None:
+            assert self._sa_samples is not None and self._isa_samples is not None
+            assert self._marked is not None
+            components["sa_samples"] = self._sa_samples.size_in_bits()
+            components["isa_samples"] = self._isa_samples.size_in_bits()
+            components["sample_marks"] = self._marked.size_in_bits()
+            overhead["sample_mark_directories"] = self._marked.overhead_in_bits()
+        return SpaceReport(name="FMIndex", components=components, overhead=overhead)
+
+    def __repr__(self) -> str:
+        return f"FMIndex(n={self._text_length}, sigma={self._sigma})"

@@ -1,0 +1,93 @@
+"""Q-gram count table: the classical selectivity-estimation backend.
+
+Before pruned suffix trees, selectivity estimators kept a table of *all*
+substrings up to a fixed length ``q`` with their exact counts. This module
+provides that baseline so the estimator layer (KVI/MO/MOL) can be compared
+across backends: the reliability boundary is *pattern length* (``<= q`` is
+exact, longer is unknown) rather than the paper's *frequency* threshold.
+
+The table stores every distinct k-gram for ``k = 1..q``; ``count_or_none``
+answers exactly for short patterns (including exact 0 for absent ones) and
+``None`` beyond ``q``. Space is the honest tabulation cost:
+``sum_k (#distinct k-grams) * (k*ceil(log sigma) + ceil(log n))`` bits —
+the blow-up with ``q`` is precisely why the pruned-tree line of work wins.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from ..bits import bits_needed
+from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..errors import InvalidParameterError
+from ..space import SpaceReport
+from ..textutil import Alphabet, Text
+
+
+class QGramIndex(OccurrenceEstimator):
+    """Exact counts for patterns of length <= q; unknown beyond."""
+
+    error_model = ErrorModel.LOWER_SIDED  # "reliable or detected", by length
+
+    def __init__(self, text: Text | str, q: int):
+        if q < 1:
+            raise InvalidParameterError(f"q must be >= 1, got {q}")
+        if isinstance(text, str):
+            text = Text(text)
+        self._q = q
+        self._alphabet = text.alphabet
+        self._sigma = text.sigma
+        self._text_length = len(text)
+        raw = text.raw
+        self._tables: Dict[int, Counter] = {}
+        for k in range(1, q + 1):
+            self._tables[k] = Counter(
+                raw[i : i + k] for i in range(len(raw) - k + 1)
+            )
+
+    # -- interface ----------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._alphabet
+
+    @property
+    def text_length(self) -> int:
+        return self._text_length
+
+    @property
+    def q(self) -> int:
+        """Maximum pattern length answered exactly."""
+        return self._q
+
+    def count(self, pattern: str) -> int:
+        """Exact for ``len(pattern) <= q``; 0 (unknown) beyond."""
+        result = self.count_or_none(pattern)
+        return 0 if result is None else result
+
+    def count_or_none(self, pattern: str) -> Optional[int]:
+        """Exact count for short patterns; ``None`` when ``len > q``."""
+        encoded = self._encode_pattern(pattern)
+        if encoded is None:
+            return 0 if len(pattern) <= self._q else None
+        if len(pattern) > self._q:
+            return None
+        return self._tables[len(pattern)].get(pattern, 0)
+
+    def is_reliable(self, pattern: str) -> bool:
+        return len(pattern) <= self._q
+
+    # -- space ---------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        symbol_bits = bits_needed(max(1, self._sigma - 1))
+        count_bits = bits_needed(self._text_length)
+        components = {}
+        for k, table in self._tables.items():
+            components[f"{k}-grams"] = len(table) * (k * symbol_bits + count_bits)
+        return SpaceReport(name=f"QGram-{self._q}", components=components)
+
+    def __repr__(self) -> str:
+        grams = sum(len(t) for t in self._tables.values())
+        return f"QGramIndex(n={self._text_length}, q={self._q}, grams={grams})"

@@ -1,0 +1,124 @@
+"""Batched counting with shared backward-search work.
+
+Every backward-search-style index in this library is a deterministic
+automaton over the *reversed* pattern: the search state after consuming
+``P[i:]`` depends only on that suffix. Batches of patterns therefore share
+work through common suffixes — e.g. the Figure 9 workload (many patterns
+sampled from one text) repeats suffixes constantly, and the MOL lattice
+probes all ``O(p^2)`` substrings of one pattern, whose suffix sets overlap
+heavily.
+
+:class:`SuffixSharingCounter` wraps an index exposing the internal
+automaton protocol (``_automaton_start/_automaton_step/_automaton_count``)
+and memoises states by pattern suffix. Indexes without the protocol fall
+back to memoising whole patterns only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from .core.interface import OccurrenceEstimator
+from .errors import PatternError
+
+
+class SuffixSharingCounter:
+    """Memoising batch counter over one index.
+
+    The wrapper is unbounded-cache by design (batch scope); create a fresh
+    one per workload, or call :meth:`clear`.
+    """
+
+    def __init__(self, index: OccurrenceEstimator, max_states: int | None = None):
+        if max_states is not None and max_states < 1:
+            raise PatternError("max_states must be positive")
+        self._index = index
+        self._max_states = max_states
+        self._has_automaton = all(
+            hasattr(index, name)
+            for name in ("_automaton_start", "_automaton_step", "_automaton_count")
+        )
+        self._states: Dict[str, Optional[Hashable]] = {}
+        self._results: Dict[str, int] = {}
+
+    @property
+    def index(self) -> OccurrenceEstimator:
+        """The wrapped index."""
+        return self._index
+
+    def clear(self) -> None:
+        """Drop all memoised state."""
+        self._states.clear()
+        self._results.clear()
+
+    def count(self, pattern: str) -> int:
+        """Same result as ``index.count(pattern)``, with suffix sharing."""
+        if not isinstance(pattern, str) or not pattern:
+            raise PatternError("pattern must be a non-empty string")
+        cached = self._results.get(pattern)
+        if cached is not None:
+            return cached
+        # Epoch eviction: batch-scoped caches reset wholesale when the
+        # configured ceiling is reached (keeps memory bounded on streams).
+        if self._max_states is not None and len(self._states) > self._max_states:
+            self._states.clear()
+        if not self._has_automaton:
+            result = self._index.count(pattern)
+        else:
+            state = self._state_of(pattern)
+            result = self._index._automaton_count(state)  # type: ignore[attr-defined]
+        self._results[pattern] = result
+        return result
+
+    def count_many(self, patterns: Sequence[str]) -> List[int]:
+        """Batch variant; processing longer patterns first maximises reuse."""
+        for pattern in sorted(set(patterns), key=len, reverse=True):
+            self.count(pattern)
+        return [self._results[p] for p in patterns]
+
+    def count_or_none(self, pattern: str) -> Optional[int]:
+        """Lower-sided view with sharing: ``None`` exactly when the wrapped
+        index's ``count_or_none`` would return ``None``.
+
+        Requires the wrapped index to be lower-sided (``count_or_none``)
+        *and* expose the automaton protocol (a dead/None state is precisely
+        the below-threshold outcome for the CPST family).
+        """
+        if not hasattr(self._index, "count_or_none"):
+            raise PatternError(
+                f"{type(self._index).__name__} has no lower-sided interface"
+            )
+        if not isinstance(pattern, str) or not pattern:
+            raise PatternError("pattern must be a non-empty string")
+        if not self._has_automaton:
+            return self._index.count_or_none(pattern)  # type: ignore[attr-defined]
+        state = self._state_of(pattern)
+        if state is None:
+            return None
+        return self._index._automaton_count(state)  # type: ignore[attr-defined]
+
+    def _state_of(self, suffix: str) -> Optional[Hashable]:
+        """Automaton state after consuming ``suffix`` right-to-left,
+        computed iteratively with memoisation on every suffix."""
+        if suffix in self._states:
+            return self._states[suffix]
+        # Find the longest already-known proper suffix.
+        start = len(suffix) - 1
+        while start > 0 and suffix[start:] not in self._states:
+            start -= 1
+        if start == len(suffix) - 1 and suffix[start:] not in self._states:
+            # Not even the last character is known yet.
+            state = self._index._automaton_start(suffix[-1])  # type: ignore[attr-defined]
+            self._states[suffix[-1:]] = state
+        elif suffix[start:] in self._states:
+            state = self._states[suffix[start:]]
+        else:  # pragma: no cover - defensive
+            state = self._index._automaton_start(suffix[-1])  # type: ignore[attr-defined]
+            self._states[suffix[-1:]] = state
+            start = len(suffix) - 1
+        # Extend leftwards, memoising every intermediate suffix.
+        for i in range(start - 1, -1, -1):
+            if state is not None:
+                state = self._index._automaton_step(state, suffix[i])  # type: ignore[attr-defined]
+            self._states[suffix[i:]] = state
+        return self._states[suffix]

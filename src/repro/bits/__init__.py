@@ -1,0 +1,23 @@
+"""Succinct bit-level building blocks: packed arrays, bitvectors with
+rank/select, Elias–Fano sequences and wavelet trees."""
+
+from .bitvector import BitVector
+from .eliasfano import EliasFano, SparseBitVector
+from .huffman import HuffmanCode, canonical_code, code_lengths
+from .intvector import IntVector, bits_needed
+from .rrr import RRRBitVector
+from .wavelet import HuffmanWaveletTree, WaveletMatrix
+
+__all__ = [
+    "BitVector",
+    "EliasFano",
+    "SparseBitVector",
+    "HuffmanCode",
+    "canonical_code",
+    "code_lengths",
+    "IntVector",
+    "bits_needed",
+    "RRRBitVector",
+    "HuffmanWaveletTree",
+    "WaveletMatrix",
+]

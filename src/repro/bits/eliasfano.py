@@ -1,0 +1,256 @@
+"""Elias–Fano encoding of monotone sequences (paper Theorem 1).
+
+The paper relies on the Okanohara–Sadakane "SDarray" representation: a
+bitvector of length ``u`` with ``m`` ones stored in ``m*log(u/m) + O(m)``
+bits supporting ``select1`` in O(1) and rank/predecessor in
+``O(log(min(u/m, m)))``. :class:`EliasFano` is the underlying monotone
+sequence codec; :class:`SparseBitVector` wraps it with the bitvector
+interface used by the `G` string of the compact pruned suffix tree.
+
+Values are split into ``lw`` low bits (stored verbatim in an
+:class:`~repro.bits.intvector.IntVector`) and high bits (stored as unary
+gaps in a plain :class:`~repro.bits.bitvector.BitVector`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .bitvector import BitVector
+from .intvector import IntVector
+
+
+class EliasFano(Sequence[int]):
+    """A non-decreasing sequence of ``m`` integers in ``[0, universe)``.
+
+    Supports O(1)-ish random access (:meth:`__getitem__`), counting values
+    below a threshold (:meth:`num_less`), and predecessor/successor queries,
+    all without decompressing the sequence.
+    """
+
+    __slots__ = ("_m", "_universe", "_low_width", "_low", "_high")
+
+    def __init__(self, values: np.ndarray | Sequence[int] | Iterable[int], universe: int | None = None):
+        arr = np.asarray(
+            values if isinstance(values, np.ndarray) else np.fromiter(values, dtype=np.int64),
+            dtype=np.int64,
+        )
+        if arr.ndim != 1:
+            raise InvalidParameterError("EliasFano requires a 1-d sequence")
+        m = int(arr.size)
+        if m and int(arr.min()) < 0:
+            raise InvalidParameterError("EliasFano stores non-negative values")
+        if m and np.any(np.diff(arr) < 0):
+            raise InvalidParameterError("EliasFano requires a non-decreasing sequence")
+        if universe is None:
+            universe = int(arr[-1]) + 1 if m else 1
+        if m and int(arr[-1]) >= universe:
+            raise InvalidParameterError(
+                f"max value {int(arr[-1])} outside universe [0, {universe})"
+            )
+        self._m = m
+        self._universe = universe
+        if m:
+            ratio = max(1, universe // m)
+            self._low_width = max(0, int(ratio).bit_length() - 1)
+        else:
+            self._low_width = 0
+        lw = self._low_width
+        if lw:
+            self._low: IntVector | None = IntVector.from_array(arr & ((1 << lw) - 1), lw)
+        else:
+            self._low = None
+        highs = arr >> lw
+        high_len = m + (universe >> lw) + 1
+        bit_positions = highs + np.arange(m, dtype=np.int64)
+        bits = np.zeros(high_len, dtype=np.uint8)
+        bits[bit_positions] = 1
+        self._high = BitVector(bits)
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._m
+
+    @property
+    def universe(self) -> int:
+        """Exclusive upper bound on stored values."""
+        return self._universe
+
+    def __getitem__(self, i: int):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(self._m))]
+        if i < 0:
+            i += self._m
+        if not 0 <= i < self._m:
+            raise IndexError(f"index {i} out of range for EliasFano of length {self._m}")
+        pos = self._high.select1(i + 1)
+        high = pos - i
+        low = self._low[i] if self._low is not None else 0
+        return (high << self._low_width) | low
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._m):
+            yield self[i]
+
+    def to_array(self) -> np.ndarray:
+        """Decode the whole sequence into an int64 numpy array."""
+        return np.fromiter(self, dtype=np.int64, count=self._m)
+
+    # -- order queries -------------------------------------------------------
+
+    def num_less(self, x: int) -> int:
+        """Number of stored values strictly smaller than ``x``."""
+        if self._m == 0 or x <= self[0]:
+            return 0
+        if x > self[self._m - 1]:
+            return self._m
+        # Narrow to the bucket of x's high bits, then binary search inside.
+        lo, hi = self._bucket_bounds(x)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def num_less_or_equal(self, x: int) -> int:
+        """Number of stored values <= ``x``."""
+        return self.num_less(x + 1)
+
+    def predecessor(self, x: int) -> Optional[Tuple[int, int]]:
+        """Largest value <= ``x`` as ``(index, value)``, or ``None``.
+
+        With duplicates, the *last* index holding the value is returned.
+        """
+        k = self.num_less_or_equal(x)
+        if k == 0:
+            return None
+        return k - 1, self[k - 1]
+
+    def successor(self, x: int) -> Optional[Tuple[int, int]]:
+        """Smallest value >= ``x`` as ``(index, value)``, or ``None``.
+
+        With duplicates, the *first* index holding the value is returned.
+        """
+        k = self.num_less(x)
+        if k == self._m:
+            return None
+        return k, self[k]
+
+    def _bucket_bounds(self, x: int) -> Tuple[int, int]:
+        """Index range of elements whose high bits could make them ``< x``."""
+        h = x >> self._low_width
+        # Elements with high part < h all precede the h-th zero of the high
+        # bitvector; elements with high part <= h precede the (h+1)-th zero.
+        # The k-th zero sits at position count(high <= k-1) + (k-1).
+        if h == 0:
+            lo = 0
+        else:
+            z = self._high.select0(h)
+            lo = self._m if z < 0 else z - h + 1
+        z2 = self._high.select0(h + 1)
+        hi = self._m if z2 < 0 else z2 - h
+        return max(0, min(lo, self._m)), max(0, min(hi, self._m))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EliasFano):
+            return NotImplemented
+        return self._m == other._m and bool(
+            np.array_equal(self.to_array(), other.to_array())
+        )
+
+    def __repr__(self) -> str:
+        return f"EliasFano(m={self._m}, universe={self._universe})"
+
+    # -- space accounting ------------------------------------------------------
+
+    def size_in_bits(self) -> int:
+        """Payload: ``m * lw`` low bits plus the unary high bitvector."""
+        low_bits = self._low.size_in_bits() if self._low is not None else 0
+        return low_bits + self._high.size_in_bits()
+
+    def overhead_in_bits(self) -> int:
+        """Rank/select directory overhead of the high bitvector."""
+        return self._high.overhead_in_bits()
+
+
+class SparseBitVector:
+    """A long bitvector with few ones, stored as Elias–Fano positions.
+
+    This is the paper's Theorem 1 structure: ``select1`` via Elias–Fano
+    access, ``rank1``/``rank0``/``select0`` via the order queries. Used for
+    the unary correction-factor string `G` of the compact pruned suffix tree.
+    """
+
+    __slots__ = ("_ef", "_n")
+
+    def __init__(self, positions: np.ndarray | Sequence[int] | Iterable[int], length: int):
+        pos = np.asarray(
+            positions if isinstance(positions, np.ndarray) else np.fromiter(positions, dtype=np.int64),
+            dtype=np.int64,
+        )
+        if pos.size and (np.any(np.diff(pos) <= 0)):
+            raise InvalidParameterError("positions must be strictly increasing")
+        if pos.size and (pos[0] < 0 or int(pos[-1]) >= length):
+            raise InvalidParameterError("position out of range")
+        self._ef = EliasFano(pos, universe=max(1, length))
+        self._n = length
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def num_ones(self) -> int:
+        """Number of set bits."""
+        return len(self._ef)
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self._n:
+            raise IndexError(f"bit index {i} out of range (n={self._n})")
+        k = self._ef.num_less_or_equal(i)
+        return 1 if k and self._ef[k - 1] == i else 0
+
+    def rank1(self, i: int) -> int:
+        """Number of 1s in positions ``[0, i)``."""
+        if not 0 <= i <= self._n:
+            raise IndexError(f"rank position {i} out of range (n={self._n})")
+        return self._ef.num_less(i)
+
+    def rank0(self, i: int) -> int:
+        """Number of 0s in positions ``[0, i)``."""
+        return i - self.rank1(i)
+
+    def select1(self, k: int) -> int:
+        """Position of the k-th (1-based) set bit, or -1."""
+        if k < 1 or k > len(self._ef):
+            return -1
+        return self._ef[k - 1]
+
+    def select0(self, k: int) -> int:
+        """Position of the k-th (1-based) clear bit, or -1 (binary search)."""
+        if k < 1 or k > self._n - len(self._ef):
+            return -1
+        lo, hi = 0, self._n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.rank0(mid + 1) < k:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def size_in_bits(self) -> int:
+        """Elias–Fano payload bits."""
+        return self._ef.size_in_bits()
+
+    def overhead_in_bits(self) -> int:
+        """Directory overhead bits."""
+        return self._ef.overhead_in_bits()
+
+    def __repr__(self) -> str:
+        return f"SparseBitVector(n={self._n}, ones={self.num_ones})"

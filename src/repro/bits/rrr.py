@@ -1,0 +1,244 @@
+"""RRR-style H0-compressed bitvectors (Raman, Raman & Rao, 2002).
+
+This is the structure class behind the paper's Theorem 2 space rows
+(``nH0 + o(n)``-bit rank/select): the bit string is split into blocks of
+``b = 15`` bits; each block is stored as its *class* (popcount, 4 bits)
+plus an *offset* — the block's index within the enumeration of all
+``binomial(15, k)`` blocks of its class — which costs
+``ceil(log2 binomial(15, k))`` bits. Dense and sparse regions therefore
+compress towards the empirical entropy.
+
+Directories: per superblock (32 blocks) the cumulative rank and the bit
+position of the superblock's first offset, so ``rank`` decodes at most 31
+class nibbles plus one offset, and ``select`` binary-searches the rank
+directory. Not O(1) like the theoretical version — but genuinely
+entropy-compressed, which is what the space experiments need.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .intvector import IntVector, bits_needed
+
+BLOCK = 15
+SUPERBLOCK = 32  # blocks per superblock
+
+# Enumerative coding tables for 15-bit blocks.
+_OFFSET_WIDTH = [max(0, (comb(BLOCK, k) - 1).bit_length()) for k in range(BLOCK + 1)]
+# _NCK[n][k] = binomial(n, k) for n <= 15.
+_NCK = [[comb(n, k) for k in range(BLOCK + 1)] for n in range(BLOCK + 1)]
+
+
+def _encode_block(bits: int) -> tuple[int, int]:
+    """(class, offset) of a 15-bit block via enumerative coding.
+
+    The offset counts, among all 15-bit words with the same popcount, how
+    many are lexicographically smaller when read LSB-first: scanning
+    positions 0..14, a set bit at position ``i`` with ``r`` ones remaining
+    adds ``binomial(14 - i, r)`` (the words with a clear bit there).
+    """
+    k = bits.bit_count()
+    offset = 0
+    remaining = k
+    for i in range(BLOCK):
+        if remaining == 0:
+            break
+        if (bits >> i) & 1:
+            offset += _NCK[BLOCK - 1 - i][remaining]
+            remaining -= 1
+    return k, offset
+
+
+def _decode_block(k: int, offset: int) -> int:
+    """Inverse of :func:`_encode_block`."""
+    bits = 0
+    remaining = k
+    for i in range(BLOCK):
+        if remaining == 0:
+            break
+        skip = _NCK[BLOCK - 1 - i][remaining]
+        if offset >= skip:
+            bits |= 1 << i
+            offset -= skip
+            remaining -= 1
+    return bits
+
+
+class RRRBitVector:
+    """Immutable H0-compressed bitvector with rank/select.
+
+    Interface matches :class:`~repro.bits.bitvector.BitVector`.
+    """
+
+    __slots__ = (
+        "_n", "_ones", "_classes", "_offsets", "_offset_words",
+        "_sb_rank", "_sb_offset_pos",
+    )
+
+    def __init__(self, bits: np.ndarray | Sequence[int] | Iterable[int]):
+        arr = np.asarray(
+            bits if isinstance(bits, np.ndarray) else np.fromiter(bits, dtype=np.uint8),
+            dtype=np.uint8,
+        )
+        if arr.ndim != 1:
+            raise InvalidParameterError("RRRBitVector requires a 1-d bit array")
+        if arr.size and int(arr.max()) > 1:
+            raise InvalidParameterError("RRRBitVector entries must be 0 or 1")
+        self._n = int(arr.size)
+        num_blocks = (self._n + BLOCK - 1) // BLOCK
+        # Pack each block into an int (LSB-first), vectorised via padding.
+        padded = np.zeros(num_blocks * BLOCK, dtype=np.int64)
+        padded[: self._n] = arr
+        weights = (1 << np.arange(BLOCK, dtype=np.int64))
+        block_values = padded.reshape(num_blocks, BLOCK) @ weights
+        classes = np.zeros(num_blocks, dtype=np.int64)
+        offset_stream: list[tuple[int, int]] = []
+        for b in range(num_blocks):
+            k, offset = _encode_block(int(block_values[b]))
+            classes[b] = k
+            offset_stream.append((offset, _OFFSET_WIDTH[k]))
+        self._classes = IntVector.from_array(classes, width=4)
+        # Pack the variable-width offsets into one contiguous bitstream.
+        total_bits = sum(width for _, width in offset_stream)
+        words = np.zeros(total_bits // 64 + 2, dtype=np.uint64)
+        position = 0
+        sb_offset_pos = []
+        sb_rank = []
+        running_rank = 0
+        for b, (offset, width) in enumerate(offset_stream):
+            if b % SUPERBLOCK == 0:
+                sb_offset_pos.append(position)
+                sb_rank.append(running_rank)
+            if width:
+                widx, off = position >> 6, position & 63
+                words[widx] |= np.uint64((offset << off) & 0xFFFFFFFFFFFFFFFF)
+                if off + width > 64:
+                    words[widx + 1] |= np.uint64(offset >> (64 - off))
+                position += width
+            running_rank += int(classes[b])
+        self._ones = running_rank
+        self._offset_words = words
+        self._offsets = position  # total offset bits (for space accounting)
+        self._sb_rank = np.asarray(sb_rank + [running_rank], dtype=np.int64)
+        self._sb_offset_pos = np.asarray(sb_offset_pos + [position], dtype=np.int64)
+
+    # -- internals ----------------------------------------------------------
+
+    def _read_offset(self, position: int, width: int) -> int:
+        if width == 0:
+            return 0
+        widx, off = position >> 6, position & 63
+        value = int(self._offset_words[widx]) >> off
+        if off + width > 64:
+            value |= int(self._offset_words[widx + 1]) << (64 - off)
+        return value & ((1 << width) - 1)
+
+    def _block_bits(self, block: int) -> int:
+        """Decode one block back to its 15 raw bits."""
+        sb, first = divmod(block, SUPERBLOCK)
+        position = int(self._sb_offset_pos[sb])
+        base = sb * SUPERBLOCK
+        for b in range(base, base + first):
+            position += _OFFSET_WIDTH[self._classes[b]]
+        k = self._classes[block]
+        return _decode_block(k, self._read_offset(position, _OFFSET_WIDTH[k]))
+
+    # -- interface ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def num_ones(self) -> int:
+        return self._ones
+
+    @property
+    def num_zeros(self) -> int:
+        return self._n - self._ones
+
+    def __getitem__(self, i: int) -> int:
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError(f"bit index {i} out of range (n={self._n})")
+        return (self._block_bits(i // BLOCK) >> (i % BLOCK)) & 1
+
+    def rank1(self, i: int) -> int:
+        """Number of 1s in positions ``[0, i)``."""
+        if not 0 <= i <= self._n:
+            raise IndexError(f"rank position {i} out of range (n={self._n})")
+        if i == 0:
+            return 0
+        block, within = divmod(i, BLOCK)
+        sb, first = divmod(block, SUPERBLOCK)
+        rank = int(self._sb_rank[sb])
+        position = int(self._sb_offset_pos[sb])
+        base = sb * SUPERBLOCK
+        for b in range(base, base + first):
+            k = self._classes[b]
+            rank += k
+            position += _OFFSET_WIDTH[k]
+        if within:
+            k = self._classes[block]
+            bits = _decode_block(k, self._read_offset(position, _OFFSET_WIDTH[k]))
+            rank += (bits & ((1 << within) - 1)).bit_count()
+        return rank
+
+    def rank0(self, i: int) -> int:
+        return i - self.rank1(i)
+
+    def rank(self, bit: int, i: int) -> int:
+        return self.rank1(i) if bit else self.rank0(i)
+
+    def select1(self, k: int) -> int:
+        if k < 1 or k > self._ones:
+            return -1
+        return self._select(k, ones=True)
+
+    def select0(self, k: int) -> int:
+        if k < 1 or k > self.num_zeros:
+            return -1
+        return self._select(k, ones=False)
+
+    def select(self, bit: int, k: int) -> int:
+        return self.select1(k) if bit else self.select0(k)
+
+    def _select(self, k: int, ones: bool) -> int:
+        # Binary search positions by rank (log n rank calls of log cost).
+        lo, hi = 0, self._n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            r = self.rank1(mid + 1) if ones else self.rank0(mid + 1)
+            if r < k:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def to_array(self) -> np.ndarray:
+        """Decode all bits (test helper)."""
+        out = np.zeros(self._n, dtype=np.uint8)
+        for block in range((self._n + BLOCK - 1) // BLOCK):
+            bits = self._block_bits(block)
+            start = block * BLOCK
+            for i in range(min(BLOCK, self._n - start)):
+                out[start + i] = (bits >> i) & 1
+        return out
+
+    # -- space ---------------------------------------------------------------
+
+    def size_in_bits(self) -> int:
+        """Payload: 4-bit classes plus the variable-width offset stream."""
+        return self._classes.size_in_bits() + self._offsets
+
+    def overhead_in_bits(self) -> int:
+        """Superblock rank and offset-position directories."""
+        return (self._sb_rank.size + self._sb_offset_pos.size) * 64
+
+    def __repr__(self) -> str:
+        return f"RRRBitVector(n={self._n}, ones={self._ones})"

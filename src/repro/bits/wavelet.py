@@ -1,0 +1,341 @@
+"""Rank/select over arbitrary alphabets (paper Theorem 2 stand-ins).
+
+Two structures are provided:
+
+* :class:`WaveletMatrix` — a balanced, levelwise wavelet tree (Claude–Navarro
+  "wavelet matrix" layout): ``ceil(log2 sigma)`` bitvectors of ``n`` bits,
+  rank/select/access in ``O(log sigma)`` bitvector operations. Used wherever
+  the paper asks for rank/select on a plain string (e.g. the block string
+  ``B`` of the APX index and the link string ``S`` of the CPST).
+* :class:`HuffmanWaveletTree` — a pointer-shaped wavelet tree whose depth per
+  symbol equals the symbol's Huffman code length, so total payload is
+  ``sum_c n_c * len(code_c) <= n*(H0+1)`` bits. Used by the FM-index baseline
+  to emulate the entropy-compressed indexes of the paper's Theorem 6.
+
+Both expose the query conventions used throughout the library:
+``rank(c, i)`` counts symbol ``c`` in positions ``[0, i)``; ``select(c, k)``
+returns the position of the k-th (1-based) occurrence or ``-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .bitvector import BitVector
+from .huffman import canonical_code
+from .rrr import RRRBitVector
+
+
+def _bitvector_factory(compressed: bool):
+    """Plain or RRR-compressed per-level/per-node bitvectors."""
+    return RRRBitVector if compressed else BitVector
+
+
+class WaveletMatrix:
+    """Balanced wavelet matrix over an integer alphabet ``[0, sigma)``.
+
+    With ``compressed=True`` the per-level bitvectors are RRR-compressed
+    (``~H0`` bits per level instead of 1), trading query constant factors
+    for space — the Theorem 2 entropy-compressed rows.
+    """
+
+    __slots__ = ("_n", "_sigma", "_nbits", "_levels", "_zeros")
+
+    def __init__(
+        self, data: np.ndarray, sigma: int | None = None, compressed: bool = False
+    ):
+        arr = np.asarray(data, dtype=np.int64)
+        if arr.ndim != 1:
+            raise InvalidParameterError("WaveletMatrix requires a 1-d symbol array")
+        if arr.size and int(arr.min()) < 0:
+            raise InvalidParameterError("symbols must be non-negative")
+        if sigma is None:
+            sigma = int(arr.max()) + 1 if arr.size else 1
+        if arr.size and int(arr.max()) >= sigma:
+            raise InvalidParameterError(
+                f"symbol {int(arr.max())} outside alphabet [0, {sigma})"
+            )
+        self._n = int(arr.size)
+        self._sigma = sigma
+        self._nbits = max(1, (sigma - 1).bit_length()) if sigma > 1 else 1
+        self._levels = []
+        self._zeros: List[int] = []
+        factory = _bitvector_factory(compressed)
+        cur = arr
+        for lvl in range(self._nbits):
+            shift = self._nbits - 1 - lvl
+            bits = ((cur >> shift) & 1).astype(np.uint8)
+            bv = factory(bits)
+            self._levels.append(bv)
+            self._zeros.append(bv.num_zeros)
+            # Stable partition: zero-bit symbols first, preserving order.
+            cur = np.concatenate([cur[bits == 0], cur[bits == 1]])
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size the matrix was built for."""
+        return self._sigma
+
+    def access(self, i: int) -> int:
+        """Symbol at position ``i`` of the original sequence."""
+        if not 0 <= i < self._n:
+            raise IndexError(f"position {i} out of range (n={self._n})")
+        value = 0
+        p = i
+        for lvl, bv in enumerate(self._levels):
+            bit = bv[p]
+            value = (value << 1) | bit
+            p = self._zeros[lvl] + bv.rank1(p) if bit else bv.rank0(p)
+        return value
+
+    def __getitem__(self, i: int) -> int:
+        return self.access(i)
+
+    def rank(self, c: int, i: int) -> int:
+        """Occurrences of symbol ``c`` in positions ``[0, i)``."""
+        if not 0 <= i <= self._n:
+            raise IndexError(f"rank position {i} out of range (n={self._n})")
+        if c < 0 or c >= (1 << self._nbits):
+            return 0
+        p, s = i, 0
+        for lvl, bv in enumerate(self._levels):
+            bit = (c >> (self._nbits - 1 - lvl)) & 1
+            if bit:
+                z = self._zeros[lvl]
+                p = z + bv.rank1(p)
+                s = z + bv.rank1(s)
+            else:
+                p = bv.rank0(p)
+                s = bv.rank0(s)
+        return p - s
+
+    def select(self, c: int, k: int) -> int:
+        """Position of the k-th (1-based) ``c``, or ``-1`` if absent."""
+        if k < 1 or c < 0 or c >= (1 << self._nbits):
+            return -1
+        if self.rank(c, self._n) < k:
+            return -1
+        # Start offset of c's bucket at the bottom level.
+        s = 0
+        for lvl, bv in enumerate(self._levels):
+            bit = (c >> (self._nbits - 1 - lvl)) & 1
+            s = self._zeros[lvl] + bv.rank1(s) if bit else bv.rank0(s)
+        pos = s + k - 1
+        for lvl in range(self._nbits - 1, -1, -1):
+            bv = self._levels[lvl]
+            bit = (c >> (self._nbits - 1 - lvl)) & 1
+            if bit:
+                pos = bv.select1(pos - self._zeros[lvl] + 1)
+            else:
+                pos = bv.select0(pos + 1)
+        return pos
+
+    def to_array(self) -> np.ndarray:
+        """Decode the full sequence (test helper; O(n log sigma))."""
+        return np.fromiter(
+            (self.access(i) for i in range(self._n)), dtype=np.int64, count=self._n
+        )
+
+    # -- space accounting ------------------------------------------------------
+
+    def size_in_bits(self) -> int:
+        """Payload: ``n`` bits per level."""
+        return sum(bv.size_in_bits() for bv in self._levels)
+
+    def overhead_in_bits(self) -> int:
+        """Rank-directory overhead across levels."""
+        return sum(bv.overhead_in_bits() for bv in self._levels)
+
+    def __repr__(self) -> str:
+        return f"WaveletMatrix(n={self._n}, sigma={self._sigma}, levels={self._nbits})"
+
+
+class _HWTNode:
+    """Internal node of a Huffman wavelet tree."""
+
+    __slots__ = ("bv", "left", "right", "symbol")
+
+    def __init__(self) -> None:
+        self.bv: Optional[BitVector] = None
+        self.left: Optional["_HWTNode"] = None
+        self.right: Optional["_HWTNode"] = None
+        self.symbol: Optional[int] = None  # set on leaves
+
+
+class HuffmanWaveletTree:
+    """Huffman-shaped wavelet tree: payload ~ ``n*H0`` bits.
+
+    Symbols absent from the input have no code; their rank is 0 everywhere
+    and their select is always ``-1``.
+    """
+
+    __slots__ = ("_n", "_sigma", "_root", "_code", "_freqs", "_factory")
+
+    def __init__(
+        self, data: np.ndarray, sigma: int | None = None, compressed: bool = False
+    ):
+        self._factory = _bitvector_factory(compressed)
+        arr = np.asarray(data, dtype=np.int64)
+        if arr.ndim != 1:
+            raise InvalidParameterError("HuffmanWaveletTree requires a 1-d array")
+        if arr.size == 0:
+            raise InvalidParameterError("cannot build a wavelet tree over empty data")
+        if int(arr.min()) < 0:
+            raise InvalidParameterError("symbols must be non-negative")
+        if sigma is None:
+            sigma = int(arr.max()) + 1
+        if int(arr.max()) >= sigma:
+            raise InvalidParameterError(
+                f"symbol {int(arr.max())} outside alphabet [0, {sigma})"
+            )
+        self._n = int(arr.size)
+        self._sigma = sigma
+        self._freqs = np.bincount(arr, minlength=sigma)
+        self._code = canonical_code(self._freqs)
+        # Dense lookup arrays for vectorised bit extraction during the build.
+        code_arr = np.zeros(sigma, dtype=np.int64)
+        len_arr = np.zeros(sigma, dtype=np.int64)
+        for sym, code in self._code.codes.items():
+            code_arr[sym] = code
+            len_arr[sym] = self._code.lengths[sym]
+        self._root = self._build(arr, 0, code_arr, len_arr)
+
+    def _build(
+        self, seq: np.ndarray, depth: int, code_arr: np.ndarray, len_arr: np.ndarray
+    ) -> _HWTNode:
+        node = _HWTNode()
+        if seq.size == 0:
+            # Only reachable for the degenerate single-symbol code, whose
+            # 1-bit tree has an unused sibling; queries never descend here.
+            node.symbol = -1
+            return node
+        lengths = len_arr[seq]
+        if int(lengths.min()) == depth:
+            # All codes sharing this prefix are this exact code: pure leaf.
+            node.symbol = int(seq[0])
+            return node
+        bits = ((code_arr[seq] >> (lengths - depth - 1)) & 1).astype(np.uint8)
+        node.bv = self._factory(bits)
+        left_seq = seq[bits == 0]
+        right_seq = seq[bits == 1]
+        node.left = self._build(left_seq, depth + 1, code_arr, len_arr)
+        node.right = self._build(right_seq, depth + 1, code_arr, len_arr)
+        return node
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size the tree was built for."""
+        return self._sigma
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Per-symbol occurrence counts of the indexed sequence."""
+        return self._freqs
+
+    def access(self, i: int) -> int:
+        """Symbol at position ``i``."""
+        if not 0 <= i < self._n:
+            raise IndexError(f"position {i} out of range (n={self._n})")
+        node = self._root
+        p = i
+        while node.symbol is None:
+            assert node.bv is not None
+            bit = node.bv[p]
+            if bit:
+                p = node.bv.rank1(p)
+                node = node.right
+            else:
+                p = node.bv.rank0(p)
+                node = node.left
+            assert node is not None
+        return node.symbol
+
+    def __getitem__(self, i: int) -> int:
+        return self.access(i)
+
+    def rank(self, c: int, i: int) -> int:
+        """Occurrences of ``c`` in positions ``[0, i)``."""
+        if not 0 <= i <= self._n:
+            raise IndexError(f"rank position {i} out of range (n={self._n})")
+        if c not in self._code.codes:
+            return 0
+        code = self._code.codes[c]
+        length = self._code.lengths[c]
+        node = self._root
+        p = i
+        for d in range(length):
+            if node.symbol is not None:
+                break
+            assert node.bv is not None
+            bit = (code >> (length - d - 1)) & 1
+            if bit:
+                p = node.bv.rank1(p)
+                node = node.right
+            else:
+                p = node.bv.rank0(p)
+                node = node.left
+            assert node is not None
+        return p
+
+    def select(self, c: int, k: int) -> int:
+        """Position of the k-th (1-based) ``c``, or ``-1``."""
+        if k < 1 or c not in self._code.codes:
+            return -1
+        if k > int(self._freqs[c]):
+            return -1
+        code = self._code.codes[c]
+        length = self._code.lengths[c]
+        # Record the root-to-leaf path, then invert it with selects.
+        path: List[tuple[_HWTNode, int]] = []
+        node = self._root
+        for d in range(length):
+            if node.symbol is not None:
+                break
+            bit = (code >> (length - d - 1)) & 1
+            path.append((node, bit))
+            node = node.right if bit else node.left
+            assert node is not None
+        idx = k - 1
+        for parent, bit in reversed(path):
+            assert parent.bv is not None
+            idx = parent.bv.select1(idx + 1) if bit else parent.bv.select0(idx + 1)
+        return idx
+
+    def to_array(self) -> np.ndarray:
+        """Decode the full sequence (test helper)."""
+        return np.fromiter(
+            (self.access(i) for i in range(self._n)), dtype=np.int64, count=self._n
+        )
+
+    # -- space accounting ------------------------------------------------------
+
+    def size_in_bits(self) -> int:
+        """Payload: total bits across node bitvectors (= sum of code lengths)."""
+        return self._walk_bits(self._root, payload=True)
+
+    def overhead_in_bits(self) -> int:
+        """Rank-directory overhead across node bitvectors."""
+        return self._walk_bits(self._root, payload=False)
+
+    def _walk_bits(self, node: _HWTNode, payload: bool) -> int:
+        if node.symbol is not None or node.bv is None:
+            return 0
+        own = node.bv.size_in_bits() if payload else node.bv.overhead_in_bits()
+        assert node.left is not None and node.right is not None
+        return own + self._walk_bits(node.left, payload) + self._walk_bits(node.right, payload)
+
+    def __repr__(self) -> str:
+        return f"HuffmanWaveletTree(n={self._n}, sigma={self._sigma})"

@@ -1,0 +1,271 @@
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
+
+Commands
+--------
+``count``        build an index over a text file (or builtin corpus) and
+                 count one or more patterns (``--json`` for machine output).
+``build``        build an index and save it (versioned format, repro.io)
+                 with a space report.
+``query``        load a saved index and count patterns.
+``stats``        text statistics: sigma, entropy profile, PST sizes.
+``selectivity``  LIKE-predicate estimation (CPST + KVI/MO/MOC/MOL/MOLC).
+``validate``     check every index's error contract on a text.
+``dataset``      generate a builtin synthetic corpus to a file.
+``experiment``   regenerate a paper table/figure (see repro.experiments).
+``report``       run every experiment into one markdown document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict
+
+from .baselines import (
+    FMIndex,
+    PrunedPatriciaTrie,
+    PrunedSuffixTree,
+    QGramIndex,
+    RLFMIndex,
+)
+from .core import ApproxIndex, CompactPrunedSuffixTree
+from .datasets import GENERATORS, generate
+from .errors import ReproError
+from .experiments.runner import EXPERIMENTS, run as run_experiment
+from .space import text_bits
+from .suffixtree import PrunedSuffixTreeStructure
+from .textutil import Text, entropy_profile
+
+INDEX_BUILDERS: Dict[str, Callable] = {
+    "apx": lambda text, l: ApproxIndex(text, l),
+    "cpst": lambda text, l: CompactPrunedSuffixTree(text, l),
+    "pst": lambda text, l: PrunedSuffixTree(text, l),
+    "patricia": lambda text, l: PrunedPatriciaTrie(text, l),
+    "fm": lambda text, l: FMIndex(text),
+    "rlfm": lambda text, l: RLFMIndex(text),
+    "qgram": lambda text, l: QGramIndex(text, q=max(2, min(l, 8))),
+}
+
+
+def _load_text(source: str, size: int, seed: int) -> Text:
+    """A builtin corpus name or a path to a text file."""
+    if source in GENERATORS:
+        return Text(generate(source, size, seed))
+    path = Path(source)
+    if not path.exists():
+        raise ReproError(
+            f"{source!r} is neither a builtin corpus ({sorted(GENERATORS)}) "
+            "nor an existing file"
+        )
+    return Text(path.read_text(encoding="utf-8", errors="replace"))
+
+
+def _build_index(args: argparse.Namespace):
+    text = _load_text(args.text, args.size, args.seed)
+    return text, INDEX_BUILDERS[args.index](text, args.l)
+
+
+def cmd_count(args: argparse.Namespace) -> int:
+    _, index = _build_index(args)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {pattern: index.count(pattern) for pattern in args.patterns},
+            ensure_ascii=False,
+        ))
+        return 0
+    for pattern in args.patterns:
+        print(f"{pattern!r}: {index.count(pattern)}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    from .io import save_index
+
+    text, index = _build_index(args)
+    save_index(index, args.output)
+    report = index.space_report()
+    print(report.format(reference_bits=text_bits(len(text), text.sigma)))
+    print(f"saved to {args.output}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from .io import load_index
+
+    index = load_index(args.index_file)
+    for pattern in args.patterns:
+        print(f"{pattern!r}: {index.count(pattern)}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    text = _load_text(args.text, args.size, args.seed)
+    print(f"length: {len(text)}  sigma: {text.sigma} (incl. sentinel)")
+    for k, h in entropy_profile(text.raw, max_k=3).items():
+        print(f"H{k}: {h:.3f} bits/symbol")
+    for l in args.l:
+        structure = PrunedSuffixTreeStructure(text, l)
+        print(
+            f"l={l}: |PST_l| = {structure.num_nodes} nodes, "
+            f"sum|edge| = {structure.total_label_length()} symbols "
+            f"(n/l = {len(text) // l})"
+        )
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    corpus = generate(args.name, args.size, args.seed)
+    Path(args.output).write_text(corpus, encoding="utf-8")
+    print(f"wrote {len(corpus)} characters of {args.name!r} to {args.output}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    print(run_experiment(args.name, size=args.size, seed=args.seed))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import generate
+
+    document = generate(size=args.size, seed=args.seed)
+    Path(args.output).write_text(document, encoding="utf-8")
+    verdict = document.splitlines()[-1]
+    print(f"wrote {args.output} — {verdict}")
+    return 0 if "PASS" in verdict else 1
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .validation import validate_all
+
+    text = _load_text(args.text, args.size, args.seed)
+    reports = validate_all(text, l=args.l)
+    failed = 0
+    for report in reports:
+        print(report.summary())
+        failed += 0 if report.ok else 1
+    print("all contracts hold" if not failed else f"{failed} indexes FAILED")
+    return 1 if failed else 0
+
+
+def cmd_selectivity(args: argparse.Namespace) -> int:
+    from .selectivity import (
+        KVIEstimator,
+        MOCEstimator,
+        MOEstimator,
+        MOLCEstimator,
+        MOLEstimator,
+    )
+
+    estimator_classes = {
+        "kvi": KVIEstimator,
+        "mo": MOEstimator,
+        "moc": MOCEstimator,
+        "mol": MOLEstimator,
+        "molc": MOLCEstimator,
+    }
+    text = _load_text(args.text, args.size, args.seed)
+    index = CompactPrunedSuffixTree(text, args.l)
+    estimator = estimator_classes[args.estimator](index)
+    for pattern in args.patterns:
+        estimate = estimator.estimate(pattern)
+        certified = index.count_or_none(pattern) is not None
+        tag = "exact" if certified else "estimated"
+        print(f"{pattern!r}: {estimate:.2f} occurrences "
+              f"({estimator.selectivity(pattern):.4%} selectivity, {tag})")
+    return 0
+
+
+def _add_text_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("text", help="builtin corpus name or path to a text file")
+    parser.add_argument("--size", type=int, default=50_000,
+                        help="size when generating a builtin corpus")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_index_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--index", choices=sorted(INDEX_BUILDERS), default="cpst")
+    parser.add_argument("--l", type=int, default=64, help="error threshold")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Space-efficient substring occurrence estimation (PODS 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("count", help="build an index and count patterns")
+    _add_text_arguments(p)
+    _add_index_arguments(p)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("patterns", nargs="+")
+    p.set_defaults(func=cmd_count)
+
+    p = sub.add_parser("build", help="build an index and save it")
+    _add_text_arguments(p)
+    _add_index_arguments(p)
+    p.add_argument("--output", "-o", required=True)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("query", help="query a saved index")
+    p.add_argument("index_file")
+    p.add_argument("patterns", nargs="+")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("stats", help="text statistics and PST sizes")
+    _add_text_arguments(p)
+    p.add_argument("--l", type=int, nargs="+", default=[8, 64, 256])
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("dataset", help="generate a synthetic corpus")
+    p.add_argument("name", choices=sorted(GENERATORS))
+    p.add_argument("--size", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", "-o", required=True)
+    p.set_defaults(func=cmd_dataset)
+
+    p = sub.add_parser("report", help="run every experiment, write a markdown report")
+    p.add_argument("--size", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", "-o", default="reproduction_report.md")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("validate", help="check every index's error contract on a text")
+    _add_text_arguments(p)
+    p.add_argument("--l", type=int, default=16)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("selectivity", help="LIKE-predicate estimation (CPST + estimator)")
+    _add_text_arguments(p)
+    p.add_argument("--l", type=int, default=64, help="CPST threshold")
+    p.add_argument(
+        "--estimator", choices=["kvi", "mo", "moc", "mol", "molc"], default="mol"
+    )
+    p.add_argument("patterns", nargs="+")
+    p.set_defaults(func=cmd_selectivity)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    p.add_argument("--size", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

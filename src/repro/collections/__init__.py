@@ -1,0 +1,5 @@
+"""Document collections: named texts behind one index, per-document queries."""
+
+from .collection import DocumentCollection, Occurrence
+
+__all__ = ["DocumentCollection", "Occurrence"]

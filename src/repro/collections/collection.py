@@ -1,0 +1,164 @@
+"""Indexed document collections: named texts behind one index.
+
+The paper reduces collections to one concatenated text (Section 1); this
+module completes the round trip for applications: documents keep their
+names, occurrence positions map back to ``(document, offset)`` pairs, and
+pattern queries can be answered *per document* — counting, listing the
+matching documents, or ranking them.
+
+Two query tiers:
+
+* **exact tier** (always available) — an FM-index with SA samples over
+  the concatenation answers ``count``, ``documents_containing`` and
+  ``top_documents`` exactly via locate + document mapping;
+* **estimated tier** (optional, space-bounded) — a CPST at threshold
+  ``l`` answers collection-wide counts exactly above the threshold
+  without any locate machinery, for deployments that cannot afford the
+  sampled suffix array.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.fm import FMIndex
+from ..core.cpst import CompactPrunedSuffixTree
+from ..errors import InvalidParameterError
+from ..space import SpaceReport
+from ..textutil import ROW_SEPARATOR, Text
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One pattern occurrence, located in its document."""
+
+    document: str
+    offset: int
+
+
+class DocumentCollection:
+    """Named documents, one concatenated index, per-document queries."""
+
+    def __init__(
+        self,
+        documents: Dict[str, str] | Sequence[Tuple[str, str]],
+        sa_sample_rate: int = 16,
+        estimate_threshold: Optional[int] = None,
+        separator: str = ROW_SEPARATOR,
+    ):
+        items = list(documents.items()) if isinstance(documents, dict) else list(documents)
+        if not items:
+            raise InvalidParameterError("collection must contain documents")
+        names = [name for name, _ in items]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError("document names must be unique")
+        if any(not body for _, body in items):
+            raise InvalidParameterError("documents must be non-empty")
+        self._names = names
+        self._text = Text.from_rows([body for _, body in items], separator=separator)
+        # Document boundaries in the concatenation ▷D1▷D2▷…▷:
+        # document k occupies [starts[k], starts[k] + len(Dk)).
+        self._starts: List[int] = []
+        cursor = 1
+        for _, body in items:
+            self._starts.append(cursor)
+            cursor += len(body) + 1
+        self._lengths = [len(body) for _, body in items]
+        self._fm = FMIndex(self._text, sa_sample_rate=sa_sample_rate)
+        self._cpst = (
+            CompactPrunedSuffixTree(self._text, estimate_threshold)
+            if estimate_threshold is not None
+            else None
+        )
+
+    # -- document mapping -----------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        """Document names in insertion order."""
+        return list(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def document_of(self, position: int) -> Tuple[str, int]:
+        """Map a concatenation position to ``(document name, offset)``."""
+        index = bisect.bisect_right(self._starts, position) - 1
+        if index < 0:
+            raise InvalidParameterError(f"position {position} is a separator")
+        offset = position - self._starts[index]
+        if offset >= self._lengths[index]:
+            raise InvalidParameterError(f"position {position} is a separator")
+        return self._names[index], offset
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self, pattern: str) -> int:
+        """Total occurrences across all documents (exact)."""
+        return self._fm.count(pattern)
+
+    def count_estimated(self, pattern: str) -> Optional[int]:
+        """Threshold-tier count: exact when >= l, None below (or when the
+        collection was built without an estimate tier)."""
+        if self._cpst is None:
+            return None
+        return self._cpst.count_or_none(pattern)
+
+    def occurrences(self, pattern: str) -> List[Occurrence]:
+        """Every occurrence with its document and in-document offset."""
+        return [
+            Occurrence(*self.document_of(position))
+            for position in self._fm.locate(pattern)
+        ]
+
+    def documents_containing(self, pattern: str) -> List[str]:
+        """Names of documents containing the pattern, in insertion order."""
+        seen = {occ.document for occ in self.occurrences(pattern)}
+        return [name for name in self._names if name in seen]
+
+    def count_in_document(self, pattern: str, name: str) -> int:
+        """Occurrences of the pattern inside one document."""
+        if name not in set(self._names):
+            raise InvalidParameterError(f"unknown document {name!r}")
+        return sum(1 for occ in self.occurrences(pattern) if occ.document == name)
+
+    def top_documents(self, pattern: str, k: int = 5) -> List[Tuple[str, int]]:
+        """The ``k`` documents with the most occurrences, descending."""
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        tally = Counter(occ.document for occ in self.occurrences(pattern))
+        order = {name: i for i, name in enumerate(self._names)}
+        ranked = sorted(tally.items(), key=lambda kv: (-kv[1], order[kv[0]]))
+        return ranked[:k]
+
+    def snippet(self, occurrence: Occurrence, context: int = 20) -> str:
+        """Text around one occurrence, extracted from the index alone."""
+        name_index = self._names.index(occurrence.document)
+        start_in_text = self._starts[name_index] + occurrence.offset
+        lo = max(self._starts[name_index], start_in_text - context)
+        hi = min(
+            self._starts[name_index] + self._lengths[name_index],
+            start_in_text + context,
+        )
+        return self._fm.extract(lo, hi - lo)
+
+    # -- space ---------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        report = self._fm.space_report()
+        components = {f"fm.{k}": v for k, v in report.components.items()}
+        overhead = {f"fm.{k}": v for k, v in report.overhead.items()}
+        if self._cpst is not None:
+            estimate = self._cpst.space_report()
+            components.update({f"cpst.{k}": v for k, v in estimate.components.items()})
+            overhead.update({f"cpst.{k}": v for k, v in estimate.overhead.items()})
+        return SpaceReport("DocumentCollection", components, overhead)
+
+    def __repr__(self) -> str:
+        return (
+            f"DocumentCollection(documents={len(self._names)}, "
+            f"chars={len(self._text)})"
+        )

@@ -1,0 +1,23 @@
+"""The paper's two contributions and their shared interface."""
+
+from .approx import ApproxIndex
+from .approx_ef import ApproxIndexEF
+from .combined import CombinedIndex
+from .cpst import CompactPrunedSuffixTree
+from .interface import ErrorModel, OccurrenceEstimator
+from .ladder import ThresholdLadder, fit_threshold
+from .multiplicative import MultiplicativeIndex
+from .rows import RowSelectivityIndex
+
+__all__ = [
+    "ApproxIndex",
+    "ApproxIndexEF",
+    "CombinedIndex",
+    "CompactPrunedSuffixTree",
+    "ErrorModel",
+    "MultiplicativeIndex",
+    "OccurrenceEstimator",
+    "RowSelectivityIndex",
+    "ThresholdLadder",
+    "fit_threshold",
+]

@@ -1,0 +1,294 @@
+"""The APX_l index: uniform-error counting in O(n log(sigma*l)/l) bits.
+
+Reproduction of paper Section 4 (`APPROX-l` in the experiments). The BWT of
+the text is *sparsified*: for each symbol ``c`` only the set ``D_c`` of
+**discriminant positions** is retained —
+
+* occurrences of ``c`` whose 0-based occurrence rank is ``0 (mod h)`` where
+  ``h = l/2`` (this includes the first occurrence), and
+* the last occurrence of ``c``.
+
+Queries run a backward search that replaces exact rank computations with
+predecessor/successor queries on ``D_c`` plus the correction of the paper's
+Lemma 1, maintaining (0-based, inclusive intervals)::
+
+    first_i - (h-1) <= first~_i <= first_i
+    last_i          <= last~_i  <= last_i + (h-1)
+
+so the reported count lies in ``[Count(P), Count(P) + l - 2]``.
+
+The ``D_c`` sets are not stored as plain arrays: following the paper's
+Lemma 2 they are encoded as the *block string* ``B`` (for each of the
+``ceil(N/h)`` blocks of the BWT, the symbols having a discriminant in that
+block, ``#``-terminated) plus the offset array ``V`` (``d mod h`` for each
+discriminant, in B-order), with rank/select on ``B`` driving both the
+predecessor/successor queries and — via the paper's Fact 1 — the LF-steps::
+
+    LF(d) = C[c] + min((p-1)*h, n_c - 1)      (p = rank of d within D_c)
+
+Departures from the paper's text are deliberate and documented in DESIGN.md:
+0-based discriminant ranks (making Fact 1 exact), multiset blocks (the last
+occurrence may share a block with the preceding sample), block index
+``d // h``, and clamping of the approximate interval to ``[C[c], C[c+1])``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..bits import IntVector, WaveletMatrix, bits_needed
+from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..errors import InvalidParameterError
+from ..sa import bwt_from_sa, counts_array, suffix_array
+from ..space import SpaceReport
+from ..textutil import Alphabet, Text
+
+_EMPTY = (0, -1)  # canonical empty inclusive interval
+
+
+class ApproxIndex(OccurrenceEstimator):
+    """Uniform additive-error index (paper Theorem 5 / Section 4.3).
+
+    ``count(P)`` returns a value in ``[Count(P), Count(P) + l - 1]`` using
+    ``O(|P|)`` rank/select operations, without storing the text or the BWT.
+    """
+
+    error_model = ErrorModel.UNIFORM
+
+    def __init__(self, text: Text | str, l: int):
+        if isinstance(text, str):
+            text = Text(text)
+        data = text.data
+        bwt = bwt_from_sa(data, suffix_array(data))
+        self._init_from_bwt(bwt, text.alphabet, l)
+
+    @classmethod
+    def from_bwt(cls, bwt: np.ndarray, alphabet: Alphabet, l: int) -> "ApproxIndex":
+        """Build from a precomputed BWT of the sentinel-terminated text.
+
+        Lets callers sweeping thresholds (or holding an externally computed
+        transform) skip the suffix sorting; ``bwt`` must be the transform of
+        ``T$`` under this library's conventions (sentinel symbol 0).
+        """
+        instance = cls.__new__(cls)
+        instance._init_from_bwt(np.asarray(bwt, dtype=np.int64), alphabet, l)
+        return instance
+
+    def _init_from_bwt(self, bwt: np.ndarray, alphabet: Alphabet, l: int) -> None:
+        if l < 2 or l % 2:
+            raise InvalidParameterError(
+                f"APX threshold l must be an even integer >= 2, got {l}"
+            )
+        self._l = l
+        self._h = l // 2
+        self._alphabet = alphabet
+        self._sigma = alphabet.sigma
+        self._text_length = int(bwt.size) - 1
+        self._c = counts_array(bwt, self._sigma)
+        self._n_rows = int(bwt.size)
+        self._build_discriminant_encoding(bwt)
+
+    def _discriminant_sets(self, bwt: np.ndarray) -> dict[int, list[int]]:
+        """``D_c`` per symbol: sampled occurrence positions plus the last."""
+        h = self._h
+        sets: dict[int, list[int]] = {}
+        for c in range(1, self._sigma):
+            positions = np.flatnonzero(bwt == c)
+            n_c = int(positions.size)
+            if n_c == 0:
+                continue
+            ranks = list(range(0, n_c, h))
+            if (n_c - 1) % h:
+                ranks.append(n_c - 1)
+            sets[c] = [int(positions[r]) for r in ranks]
+        return sets
+
+    def _build_discriminant_encoding(self, bwt: np.ndarray) -> None:
+        """Construct the block string B and the offset array V."""
+        h = self._h
+        hash_sym = self._sigma  # '#' terminator, one past the alphabet
+        entries = [
+            (position, c)
+            for c, positions in self._discriminant_sets(bwt).items()
+            for position in positions
+        ]
+        entries.sort()
+        num_blocks = (self._n_rows + h - 1) // h
+        b_symbols: list[int] = []
+        v_offsets: list[int] = []
+        cursor = 0
+        for block in range(num_blocks):
+            end = (block + 1) * h
+            while cursor < len(entries) and entries[cursor][0] < end:
+                position, symbol = entries[cursor]
+                b_symbols.append(symbol)
+                v_offsets.append(position % h)
+                cursor += 1
+            b_symbols.append(hash_sym)
+        self._num_discriminants = len(entries)
+        self._b = WaveletMatrix(
+            np.asarray(b_symbols, dtype=np.int64), sigma=self._sigma + 1
+        )
+        self._v = IntVector.from_array(
+            np.asarray(v_offsets, dtype=np.int64),
+            width=bits_needed(max(0, h - 1)),
+        )
+        self._hash_sym = hash_sym
+
+    # -- interface ----------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._alphabet
+
+    @property
+    def text_length(self) -> int:
+        return self._text_length
+
+    @property
+    def threshold(self) -> int:
+        return self._l
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size including the sentinel."""
+        return self._sigma
+
+    @property
+    def num_discriminants(self) -> int:
+        """Total number of sampled BWT positions (at most ``2N/h + sigma``)."""
+        return self._num_discriminants
+
+    def count(self, pattern: str) -> int:
+        """Estimated occurrences, in ``[Count(P), Count(P) + l - 1]``."""
+        first, last = self.count_range(pattern)
+        return max(0, last - first + 1)
+
+    def count_range(self, pattern: str) -> Tuple[int, int]:
+        """Approximate inclusive row range; ``(0, -1)`` when empty.
+
+        All rows in the range are prefixed by the pattern except possibly
+        the first and last ``l/2 - 1`` ones (paper, discussion of Lemma 1).
+        """
+        encoded = self._encode_pattern(pattern)
+        if encoded is None:
+            return _EMPTY
+        state = self._start_state(int(encoded[-1]))
+        for i in range(len(encoded) - 2, -1, -1):
+            if state is None:
+                return _EMPTY
+            state = self._step_state(state, int(encoded[i]))
+        return state if state is not None else _EMPTY
+
+    # Backward-search automaton over reversed patterns (inclusive rows);
+    # the protocol consumed by repro.batch.SuffixSharingCounter.
+
+    def _start_state(self, c: int) -> Optional[Tuple[int, int]]:
+        first = int(self._c[c])
+        last = int(self._c[c + 1]) - 1
+        return (first, last) if first <= last else None
+
+    def _step_state(self, state: Tuple[int, int], c: int) -> Optional[Tuple[int, int]]:
+        first, last = state
+        h = self._h
+        lo, hi = int(self._c[c]), int(self._c[c + 1]) - 1
+        if hi < lo:
+            return None  # symbol absent from the text
+        succ = self._successor(c, first)
+        if succ is None:
+            return None
+        p_first, d_first = succ
+        rl = min(d_first - first, h - 1)
+        first = self._lf_discriminant(c, p_first) - rl
+        pred = self._predecessor(c, last)
+        if pred is None:
+            return None
+        p_last, d_last = pred
+        rr = min(last - d_last, h - 1)
+        last = self._lf_discriminant(c, p_last) + rr
+        # Exact values lie in [C[c], C[c+1]); clamping only helps.
+        first = max(first, lo)
+        last = min(last, hi)
+        return (first, last) if first <= last else None
+
+    def _automaton_start(self, ch: str) -> Optional[Tuple[int, int]]:
+        encoded = self._alphabet.encode_pattern(ch)
+        return None if encoded is None else self._start_state(int(encoded[0]))
+
+    def _automaton_step(
+        self, state: Tuple[int, int], ch: str
+    ) -> Optional[Tuple[int, int]]:
+        encoded = self._alphabet.encode_pattern(ch)
+        return None if encoded is None else self._step_state(state, int(encoded[0]))
+
+    def _automaton_count(self, state: Optional[Tuple[int, int]]) -> int:
+        return 0 if state is None else state[1] - state[0] + 1
+
+    # -- D_c machinery (paper Lemma 2 / Fact 1) ------------------------------
+
+    def _hash_position(self, k: int) -> int:
+        """End position (exclusive) of block ``k-1``'s encoding in B."""
+        if k == 0:
+            return 0
+        return self._b.select(self._hash_sym, k)
+
+    def _discriminant_position(self, c: int, p: int) -> int:
+        """BWT position of the p-th (1-based) discriminant of symbol ``c``."""
+        j = self._b.select(c, p)
+        block = self._b.rank(self._hash_sym, j)
+        v_index = j - block  # strip the '#' separators preceding j
+        return block * self._h + self._v[v_index]
+
+    def _successor(self, c: int, x: int) -> Optional[Tuple[int, int]]:
+        """Smallest discriminant of ``c`` at position >= x, with its rank."""
+        total = self._b.rank(c, len(self._b))
+        if total == 0:
+            return None
+        block = x // self._h
+        p = self._b.rank(c, self._hash_position(block)) + 1
+        # At most two discriminants of one symbol share a block (a sample
+        # plus the appended last occurrence), so this loop is O(1).
+        while p <= total:
+            d = self._discriminant_position(c, p)
+            if d >= x:
+                return p, d
+            p += 1
+        return None
+
+    def _predecessor(self, c: int, x: int) -> Optional[Tuple[int, int]]:
+        """Largest discriminant of ``c`` at position <= x, with its rank."""
+        block = x // self._h
+        p = self._b.rank(c, self._hash_position(block + 1))
+        while p >= 1:
+            d = self._discriminant_position(c, p)
+            if d <= x:
+                return p, d
+            p -= 1
+        return None
+
+    def _lf_discriminant(self, c: int, p: int) -> int:
+        """Fact 1: LF of the p-th discriminant of ``c`` (0-based rows)."""
+        n_c = int(self._c[c + 1] - self._c[c])
+        return int(self._c[c]) + min((p - 1) * self._h, n_c - 1)
+
+    # -- space ---------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        c_bits = (self._sigma + 1) * bits_needed(self._n_rows)
+        return SpaceReport(
+            name=f"APX-{self._l}",
+            components={
+                "B_block_string": self._b.size_in_bits(),
+                "V_offsets": self._v.size_in_bits(),
+                "C_array": c_bits,
+            },
+            overhead={"B_directories": self._b.overhead_in_bits()},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproxIndex(n={self._text_length}, sigma={self._sigma}, "
+            f"l={self._l}, discriminants={self._num_discriminants})"
+        )

@@ -1,0 +1,101 @@
+"""Combined index: CPST certification + APX uniform bounds.
+
+The paper's experimental section concludes that the CPST "should be
+indubitably preferred" in practice while the APX "remains interesting due
+to its better theoretical guarantees". This module combines them into the
+index a practitioner actually wants:
+
+* patterns occurring at least ``l`` times → **exact** count (CPST path);
+* all other patterns → a uniform-error estimate in
+  ``[Count(P), Count(P) + l - 1]`` (APX path), *plus* the certified fact
+  that ``Count(P) < l``, which lets the estimate be clamped to
+  ``[0, l - 1]``.
+
+The result is strictly stronger than either component: exactness above the
+threshold, uniform additive error below it, and an explicit reliability
+flag — at the cost of storing both structures (still ``O(n log(sigma*l)/l)``
+bits overall, since the two components share the same asymptotics).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.approx import ApproxIndex
+from ..core.cpst import CompactPrunedSuffixTree
+from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..space import SpaceReport
+from ..textutil import Alphabet, Text
+
+
+class CombinedIndex(OccurrenceEstimator):
+    """Exact-above-threshold, uniform-error-below-threshold estimator."""
+
+    error_model = ErrorModel.UNIFORM  # worst-case contract; often exact
+
+    def __init__(self, text: Text | str, l: int):
+        if isinstance(text, str):
+            text = Text(text)
+        self._cpst = CompactPrunedSuffixTree(text, l)
+        self._apx = ApproxIndex(text, l if l % 2 == 0 else l + 1)
+        self._l = l
+
+    # -- interface ----------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._cpst.alphabet
+
+    @property
+    def text_length(self) -> int:
+        return self._cpst.text_length
+
+    @property
+    def threshold(self) -> int:
+        return self._l
+
+    def count(self, pattern: str) -> int:
+        """Exact when ``Count >= l``; else a clamped uniform-error estimate."""
+        exact = self._cpst.count_or_none(pattern)
+        if exact is not None:
+            return exact
+        # Below threshold: the APX estimate is in [Count, Count + l - 1];
+        # the CPST certifies Count <= l - 1, so clamping loses nothing.
+        return min(self._apx.count(pattern), self._l - 1)
+
+    def count_with_certainty(self, pattern: str) -> Tuple[int, bool]:
+        """``(estimate, is_exact)`` in one call."""
+        exact = self._cpst.count_or_none(pattern)
+        if exact is not None:
+            return exact, True
+        return min(self._apx.count(pattern), self._l - 1), False
+
+    def count_bounds(self, pattern: str) -> Tuple[int, int]:
+        """A certified interval ``[lo, hi]`` containing the true count.
+
+        Frequent patterns get a point interval; infrequent ones get the
+        intersection of the APX window with ``[0, l - 1]``.
+        """
+        exact = self._cpst.count_or_none(pattern)
+        if exact is not None:
+            return exact, exact
+        estimate = min(self._apx.count(pattern), self._l - 1)
+        lo = max(0, estimate - (self._apx.threshold - 2))
+        return lo, estimate
+
+    def is_reliable(self, pattern: str) -> bool:
+        return self._cpst.count_or_none(pattern) is not None
+
+    def count_or_none(self, pattern: str) -> Optional[int]:
+        """Lower-sided view (lets the combined index back the estimators)."""
+        return self._cpst.count_or_none(pattern)
+
+    # -- space ---------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        return self._cpst.space_report().merged_with(
+            self._apx.space_report(), name=f"Combined-{self._l}"
+        )
+
+    def __repr__(self) -> str:
+        return f"CombinedIndex(n={self.text_length}, l={self._l})"

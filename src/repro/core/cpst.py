@@ -1,0 +1,203 @@
+"""The CPST_l index: a compact pruned suffix tree (paper Section 5).
+
+Stores ``PST_l(T)`` in ``O(m log(sigma*l) + sigma*log n)`` bits — *without*
+edge labels — and answers ``Count>=_l(P)`` exactly whenever
+``Count(P) >= l``, detecting (not merely erring on) the below-threshold
+case otherwise.
+
+Three components survive from the construction-time tree (paper Theorem 8):
+
+* ``C[c]`` — the number of kept nodes whose path label starts with a symbol
+  smaller than ``c``. With the preorder numbering (root = 0, children in
+  lexicographic order) the nodes whose path label starts with ``c`` are
+  exactly the contiguous ids ``[C[c]+1, C[c+1]]``.
+* ``S`` — the inverse-suffix-link string: for each node ``u`` in preorder,
+  the symbols ``c`` for which ``ISL(u, c)`` exists, terminated by ``#``.
+  Theorem 9 turns two rank/select queries on ``S`` into the *virtual*
+  inverse suffix link evaluation that drives backward search (Figure 6).
+* ``G`` — the correction factors ``g(u)`` in preorder, conceptually the
+  unary string ``0^g(0) 1 0^g(1) 1 …`` with binary select (paper Lemma 3/4).
+  We store the equivalent Elias–Fano encoding of the prefix sums — the same
+  Theorem 1 structure on the same bitvector — giving O(1) subtree counts
+  ``CNT(u, z)``.
+
+Navigation never touches the text: the search of Figure 6 walks virtual
+inverse suffix links right-to-left through the pattern, maintaining the
+highest node ``u`` whose path label is prefixed by the current suffix and
+the rightmost pruned-tree leaf ``z`` of ``u``'s subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..bits import EliasFano, WaveletMatrix, bits_needed
+from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..errors import InvalidParameterError
+from ..space import SpaceReport
+from ..suffixtree.pruned import PrunedSuffixTreeStructure
+from ..textutil import Alphabet, Text
+
+
+class CompactPrunedSuffixTree(OccurrenceEstimator):
+    """Lower-sided-error index (paper Theorem 8 / Figure 6)."""
+
+    error_model = ErrorModel.LOWER_SIDED
+
+    def __init__(self, text: Text | str, l: int):
+        structure = PrunedSuffixTreeStructure(text, l)
+        self._init_from_structure(structure)
+
+    @classmethod
+    def from_structure(cls, structure: PrunedSuffixTreeStructure) -> "CompactPrunedSuffixTree":
+        """Build from an existing pruned-tree structure (shared with the
+        PST baseline in experiments to amortise suffix sorting)."""
+        instance = cls.__new__(cls)
+        instance._init_from_structure(structure)
+        return instance
+
+    def _init_from_structure(self, structure: PrunedSuffixTreeStructure) -> None:
+        text = structure.text
+        self._l = structure.threshold
+        self._alphabet = text.alphabet
+        self._sigma = text.sigma
+        self._text_length = len(text)
+        self._m = structure.num_nodes
+        self._c = structure.symbol_counts  # length sigma+1
+        hash_sym = self._sigma
+        s_symbols: list[int] = []
+        for node in structure.nodes:
+            s_symbols.extend(node.isl_symbols)
+            s_symbols.append(hash_sym)
+        self._s = WaveletMatrix(
+            np.asarray(s_symbols, dtype=np.int64), sigma=self._sigma + 1
+        )
+        self._hash_sym = hash_sym
+        g = structure.correction_factors()
+        cumulative = np.cumsum(g)
+        self._g_prefix = EliasFano(cumulative, universe=int(cumulative[-1]) + 1)
+
+    # -- interface ----------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._alphabet
+
+    @property
+    def text_length(self) -> int:
+        return self._text_length
+
+    @property
+    def threshold(self) -> int:
+        return self._l
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size including the sentinel."""
+        return self._sigma
+
+    @property
+    def num_nodes(self) -> int:
+        """``m``: kept nodes including the root."""
+        return self._m
+
+    def count(self, pattern: str) -> int:
+        """``Count>=_l``: exact when the pattern occurs >= l times, else 0."""
+        result = self.count_or_none(pattern)
+        return 0 if result is None else result
+
+    def count_or_none(self, pattern: str) -> Optional[int]:
+        """Exact count when ``Count(P) >= l``; ``None`` below threshold.
+
+        The CPST *detects* the below-threshold case (the property the KVI /
+        MO selectivity estimators rely on), it never reports a wrong count.
+        """
+        node_range = self._search(pattern)
+        if node_range is None:
+            return None
+        u, z = node_range
+        return self._cnt(u, z)
+
+    def is_reliable(self, pattern: str) -> bool:
+        return self._search(pattern) is not None
+
+    def _search(self, pattern: str) -> Optional[Tuple[int, int]]:
+        """Figure 6: find ``(u, z)`` = highest node prefixed by the pattern
+        and the rightmost leaf of its subtree, or ``None``."""
+        encoded = self._encode_pattern(pattern)
+        if encoded is None:
+            return None
+        state = self._start_state(int(encoded[-1]))
+        for i in range(len(encoded) - 2, -1, -1):
+            if state is None:
+                return None
+            state = self._step_state(state, int(encoded[i]))
+        return state
+
+    # Backward-search automaton over reversed patterns (node id ranges);
+    # the protocol consumed by repro.batch.SuffixSharingCounter.
+
+    def _start_state(self, c: int) -> Optional[Tuple[int, int]]:
+        u = int(self._c[c]) + 1
+        z = int(self._c[c + 1])
+        return (u, z) if u <= z else None  # else: no kept node starts with c
+
+    def _step_state(self, state: Tuple[int, int], c: int) -> Optional[Tuple[int, int]]:
+        u, z = state
+        c_u = self._links_before(c, u)
+        c_z = self._links_before(c, z + 1)
+        if c_u == c_z:
+            return None  # VISL undefined: Count(P[i..]) < l
+        return int(self._c[c]) + c_u + 1, int(self._c[c]) + c_z
+
+    def _automaton_start(self, ch: str) -> Optional[Tuple[int, int]]:
+        encoded = self._alphabet.encode_pattern(ch)
+        return None if encoded is None else self._start_state(int(encoded[0]))
+
+    def _automaton_step(
+        self, state: Tuple[int, int], ch: str
+    ) -> Optional[Tuple[int, int]]:
+        encoded = self._alphabet.encode_pattern(ch)
+        return None if encoded is None else self._step_state(state, int(encoded[0]))
+
+    def _automaton_count(self, state: Optional[Tuple[int, int]]) -> int:
+        return 0 if state is None else self._cnt(state[0], state[1])
+
+    def _links_before(self, c: int, k: int) -> int:
+        """Number of inverse suffix links for ``c`` in nodes ``[0, k)``
+        (Theorem 9's ``rank_c(S, select_#(S, k))``)."""
+        if k == 0:
+            return 0
+        end = self._s.select(self._hash_sym, k)
+        return self._s.rank(c, end)
+
+    def _cnt(self, u: int, z: int) -> int:
+        """Paper Lemma 3: total correction factors over node ids [u, z]."""
+        high = int(self._g_prefix[z])
+        low = int(self._g_prefix[u - 1]) if u > 0 else 0
+        return high - low
+
+    # -- space ---------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        c_bits = (self._sigma + 1) * bits_needed(max(1, self._m))
+        return SpaceReport(
+            name=f"CPST-{self._l}",
+            components={
+                "S_link_string": self._s.size_in_bits(),
+                "G_corrections": self._g_prefix.size_in_bits(),
+                "C_array": c_bits,
+            },
+            overhead={
+                "S_directories": self._s.overhead_in_bits(),
+                "G_directories": self._g_prefix.overhead_in_bits(),
+            },
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactPrunedSuffixTree(n={self._text_length}, "
+            f"sigma={self._sigma}, l={self._l}, m={self._m})"
+        )

@@ -1,0 +1,146 @@
+"""Row-level selectivity: distinct-row counts for LIKE '%P%' predicates.
+
+The paper's indexes count *occurrences* of ``P`` in the concatenated text
+``T(R) = ▷R1▷R2▷…▷Rn▷``; a query optimiser, however, wants the number of
+*rows* containing ``P`` (a pattern occurring five times in one row is one
+matching row). This module extends the CPST with exact per-node
+distinct-row counts, preserving the lower-sided contract:
+
+* ``Count(P) >= l``  →  the exact number of rows containing ``P``;
+* otherwise          →  below-threshold (and the number of matching rows
+  is also ``< l``, since rows <= occurrences).
+
+Construction uses the classic duplicate-elimination trick: with ``doc[i]``
+the row of the suffix at SA position ``i`` and ``prev[i]`` the previous SA
+position holding the same row, the distinct rows in an interval
+``[lb, rb]`` are exactly the positions with ``prev[i] < lb``. Each kept
+node stores that count in ``log(#rows)`` bits, so the addition costs
+``O(m log n_rows)`` bits on top of the CPST. Counting scans each kept
+node's interval once at build time (``O(sum of kept interval lengths)``,
+fine at library scale — noted as the simple alternative to Sadakane-style
+document counting).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..bits import IntVector, bits_needed
+from ..core.cpst import CompactPrunedSuffixTree
+from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..errors import InvalidParameterError
+from ..space import SpaceReport
+from ..suffixtree.pruned import PrunedSuffixTreeStructure
+from ..textutil import ROW_SEPARATOR, Alphabet, Text
+
+
+class RowSelectivityIndex(OccurrenceEstimator):
+    """Exact distinct-row counting above the threshold, detection below."""
+
+    error_model = ErrorModel.LOWER_SIDED
+
+    def __init__(self, rows: Sequence[str], l: int, separator: str = ROW_SEPARATOR):
+        if not rows:
+            raise InvalidParameterError("row collection must be non-empty")
+        text = Text.from_rows(rows, separator=separator)
+        structure = PrunedSuffixTreeStructure(text, l)
+        self._cpst = CompactPrunedSuffixTree.from_structure(structure)
+        self._num_rows = len(rows)
+        self._l = l
+        self._build_row_counts(structure, rows, text)
+
+    def _build_row_counts(
+        self,
+        structure: PrunedSuffixTreeStructure,
+        rows: Sequence[str],
+        text: Text,
+    ) -> None:
+        # doc[position in T(R)] = row index, or -1 on separators/sentinel.
+        n_rows_text = len(text) + 1
+        doc_of_position = np.full(n_rows_text, -1, dtype=np.int64)
+        cursor = 1  # position 0 is the leading separator
+        for row_index, row in enumerate(rows):
+            doc_of_position[cursor : cursor + len(row)] = row_index
+            cursor += len(row) + 1  # skip the trailing separator
+        sa = structure._sa
+        doc = doc_of_position[sa]
+        # prev[i] = latest SA position j < i with the same document.
+        prev = np.full(n_rows_text, -1, dtype=np.int64)
+        last_seen: dict[int, int] = {}
+        doc_list = doc.tolist()
+        for i, d in enumerate(doc_list):
+            if d >= 0:
+                prev[i] = last_seen.get(d, -1)
+                last_seen[d] = i
+        counts = np.zeros(structure.num_nodes, dtype=np.int64)
+        for node in structure.nodes:
+            window_prev = prev[node.lb : node.rb + 1]
+            window_doc = doc[node.lb : node.rb + 1]
+            counts[node.preorder_id] = int(
+                np.count_nonzero((window_prev < node.lb) & (window_doc >= 0))
+            )
+        self._row_counts = IntVector.from_array(
+            counts, width=bits_needed(self._num_rows)
+        )
+
+    # -- interface ----------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._cpst.alphabet
+
+    @property
+    def text_length(self) -> int:
+        return self._cpst.text_length
+
+    @property
+    def threshold(self) -> int:
+        return self._l
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the indexed collection."""
+        return self._num_rows
+
+    def count(self, pattern: str) -> int:
+        """Occurrences of the pattern across all rows (CPST semantics)."""
+        return self._cpst.count(pattern)
+
+    def count_or_none(self, pattern: str) -> Optional[int]:
+        """Occurrence count, or ``None`` below threshold."""
+        return self._cpst.count_or_none(pattern)
+
+    def count_rows_or_none(self, pattern: str) -> Optional[int]:
+        """Exact number of rows containing ``pattern`` when its occurrence
+        count is >= l; ``None`` below threshold (then also rows < l)."""
+        located = self._cpst._search(pattern)
+        if located is None:
+            return None
+        node, _ = located
+        return self._row_counts[node]
+
+    def selectivity_or_none(self, pattern: str) -> Optional[float]:
+        """Fraction of rows matching ``LIKE '%pattern%'`` when certified."""
+        rows = self.count_rows_or_none(pattern)
+        if rows is None:
+            return None
+        return rows / self._num_rows
+
+    def is_reliable(self, pattern: str) -> bool:
+        return self._cpst.is_reliable(pattern)
+
+    # -- space ---------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        base = self._cpst.space_report()
+        components = dict(base.components)
+        components["row_counts"] = self._row_counts.size_in_bits()
+        return SpaceReport(f"RowSelectivity-{self._l}", components, dict(base.overhead))
+
+    def __repr__(self) -> str:
+        return (
+            f"RowSelectivityIndex(rows={self._num_rows}, l={self._l}, "
+            f"m={self._cpst.num_nodes})"
+        )

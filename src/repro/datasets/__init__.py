@@ -1,0 +1,19 @@
+"""Synthetic stand-ins for the Pizza&Chili evaluation corpora."""
+
+from .dna import generate_dna
+from .english import generate_english
+from .registry import DEFAULT_SIZE, GENERATORS, dataset_names, generate, load
+from .sources import generate_sources
+from .xml_dblp import generate_dblp
+
+__all__ = [
+    "DEFAULT_SIZE",
+    "GENERATORS",
+    "dataset_names",
+    "generate",
+    "load",
+    "generate_dna",
+    "generate_english",
+    "generate_dblp",
+    "generate_sources",
+]

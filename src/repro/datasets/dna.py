@@ -1,0 +1,71 @@
+"""Synthetic DNA corpus (Pizza&Chili `dna` stand-in).
+
+Reproduces the statistical shape the experiments depend on: a tiny core
+alphabet (A/C/G/T) with short-range correlations, occasional ambiguity
+codes and line breaks pushing sigma to ~15 as in the real corpus, and
+genomic-style repeats (duplicated segments) so the pruned suffix tree keeps
+non-trivial deep nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+_BASES = "ACGT"
+_AMBIGUITY = "NRYKMSWBDHV"  # IUPAC codes, rare in real data
+_REPEAT_FRACTION = 0.25
+_AMBIGUITY_RATE = 0.002
+_NEWLINE_EVERY = 70  # FASTA-style line width
+
+
+def generate_dna(size: int, seed: int = 0) -> str:
+    """A DNA-like string of exactly ``size`` characters."""
+    if size < 1:
+        raise InvalidParameterError(f"size must be >= 1, got {size}")
+    rng = np.random.default_rng(seed)
+    # Order-1 Markov over ACGT with mild CpG suppression, the dominant
+    # short-range structure of genomic sequence.
+    transition = np.array(
+        [
+            [0.32, 0.18, 0.26, 0.24],  # from A
+            [0.30, 0.28, 0.06, 0.36],  # from C (low C->G)
+            [0.26, 0.24, 0.26, 0.24],  # from G
+            [0.22, 0.22, 0.30, 0.26],  # from T
+        ]
+    )
+    chunks: list[str] = []
+    produced = 0
+    state = int(rng.integers(0, 4))
+    while produced < size:
+        remaining = size - produced
+        if chunks and rng.random() < _REPEAT_FRACTION and produced > 200:
+            # Genomic repeat: re-emit a recent segment (possibly mutated).
+            source = chunks[int(rng.integers(max(0, len(chunks) - 8), len(chunks)))]
+            segment = list(source[: remaining])
+            for i in range(len(segment)):
+                if rng.random() < 0.02:  # point mutations
+                    segment[i] = _BASES[int(rng.integers(0, 4))]
+            chunk = "".join(segment)
+        else:
+            length = min(remaining, int(rng.integers(80, 400)))
+            uniforms = rng.random(length)
+            cumulative = np.cumsum(transition, axis=1)
+            out = []
+            for i in range(length):
+                state = int(np.searchsorted(cumulative[state], uniforms[i]))
+                state = min(state, 3)
+                out.append(_BASES[state])
+            chunk = "".join(out)
+        chunks.append(chunk)
+        produced += len(chunk)
+    text = "".join(chunks)[:size]
+    # Sprinkle ambiguity codes and FASTA newlines for realistic sigma.
+    chars = list(text)
+    for i in range(len(chars)):
+        if rng.random() < _AMBIGUITY_RATE:
+            chars[i] = _AMBIGUITY[int(rng.integers(0, len(_AMBIGUITY)))]
+    for i in range(_NEWLINE_EVERY, len(chars), _NEWLINE_EVERY):
+        chars[i] = "\n"
+    return "".join(chars)

@@ -1,0 +1,72 @@
+"""Synthetic English corpus (Pizza&Chili `english` stand-in).
+
+Word-level order-1 Markov text over a Zipf-weighted vocabulary with
+sentence structure (capitalisation, punctuation, paragraph breaks). The
+shape that matters for the experiments: natural-language repetitiveness
+(common words/phrases recur heavily, so the pruned suffix tree has
+``m`` close to ``n/l``) and an alphabet of several dozen characters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+_VOCABULARY = (
+    "the of and to a in that it is was he for on are as with his they at be "
+    "this have from or one had by word but not what all were we when your can "
+    "said there use an each which she do how their if will up other about out "
+    "many then them these so some her would make like him into time has look "
+    "two more write go see number no way could people my than first water been "
+    "called who oil sit now find long down day did get come made may part over "
+    "new sound take only little work know place year live me back give most "
+    "very after thing our just name good sentence man think say great where "
+    "help through much before line right too mean old any same tell boy follow "
+    "came want show also around form three small set put end does another well "
+    "large must big even such because turn here why ask went men read need land "
+    "different home us move try kind hand picture again change off play spell "
+    "air away animal house point page letter mother answer found study still "
+    "learn should america world"
+).split()
+
+
+def generate_english(size: int, seed: int = 0) -> str:
+    """An English-like string of exactly ``size`` characters."""
+    if size < 1:
+        raise InvalidParameterError(f"size must be >= 1, got {size}")
+    rng = np.random.default_rng(seed)
+    vocab_size = len(_VOCABULARY)
+    # Zipf weights give the heavy-tailed word distribution of real text.
+    weights = 1.0 / np.arange(1, vocab_size + 1)
+    weights /= weights.sum()
+    # Order-1 Markov at the word level: deterministic per-word successor
+    # biases derived from the seed make common bigrams recur.
+    successor_bias = rng.integers(0, vocab_size, size=(vocab_size, 4))
+    pieces: list[str] = []
+    produced = 0
+    word_index = int(rng.integers(0, vocab_size))
+    words_in_sentence = 0
+    sentence_start = True
+    while produced < size + 40:
+        if rng.random() < 0.6:
+            word_index = int(successor_bias[word_index][int(rng.integers(0, 4))])
+        else:
+            word_index = int(rng.choice(vocab_size, p=weights))
+        word = _VOCABULARY[word_index]
+        if sentence_start:
+            word = word.capitalize()
+            sentence_start = False
+        words_in_sentence += 1
+        terminator = ""
+        if words_in_sentence >= int(rng.integers(5, 16)):
+            terminator = "." if rng.random() < 0.85 else ("?" if rng.random() < 0.5 else "!")
+            words_in_sentence = 0
+            sentence_start = True
+        elif rng.random() < 0.06:
+            terminator = ","
+        separator = "\n" if (terminator == "." and rng.random() < 0.1) else " "
+        piece = word + terminator + separator
+        pieces.append(piece)
+        produced += len(piece)
+    return "".join(pieces)[:size]

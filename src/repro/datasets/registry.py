@@ -1,0 +1,50 @@
+"""Dataset registry: the four Pizza&Chili stand-in corpora by name.
+
+The paper evaluates on dblp (structured XML), dna, english and sources;
+:func:`load` returns a ready-to-index :class:`~repro.textutil.Text` for any
+of them at any size, deterministically per seed. See DESIGN.md for why the
+synthetic substitution preserves the experiments' behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import InvalidParameterError
+from ..textutil import Text
+from .dna import generate_dna
+from .english import generate_english
+from .sources import generate_sources
+from .xml_dblp import generate_dblp
+
+GENERATORS: Dict[str, Callable[[int, int], str]] = {
+    "dblp": generate_dblp,
+    "dna": generate_dna,
+    "english": generate_english,
+    "sources": generate_sources,
+}
+
+DEFAULT_SIZE = 100_000
+"""Default corpus size used by the experiment harness (scaled down from the
+paper's 194–501 MB; see DESIGN.md substitutions)."""
+
+
+def dataset_names() -> List[str]:
+    """The corpus names in the paper's presentation order."""
+    return ["dblp", "dna", "english", "sources"]
+
+
+def generate(name: str, size: int = DEFAULT_SIZE, seed: int = 0) -> str:
+    """Raw corpus string for ``name`` at exactly ``size`` characters."""
+    try:
+        generator = GENERATORS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; available: {sorted(GENERATORS)}"
+        ) from None
+    return generator(size, seed)
+
+
+def load(name: str, size: int = DEFAULT_SIZE, seed: int = 0) -> Text:
+    """A :class:`Text` ready for indexing."""
+    return Text(generate(name, size, seed))

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError` so that callers
+can catch one base class. Input-validation problems raise the more specific
+subclasses below (which also derive from :class:`ValueError` where a plain
+Python idiom would have raised one).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or query parameter is out of its documented domain."""
+
+
+class AlphabetError(ReproError, ValueError):
+    """A symbol or text is incompatible with the alphabet of an index."""
+
+
+class PatternError(ReproError, ValueError):
+    """A query pattern is malformed (e.g. empty, or wrong type)."""
+
+
+class ConstructionError(ReproError, RuntimeError):
+    """An index could not be built from the given text."""

@@ -1,0 +1,23 @@
+"""``python -m repro.experiments <name> [--size N] [--seed S]``."""
+
+from __future__ import annotations
+
+import argparse
+
+from .runner import EXPERIMENTS, run
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument("--size", type=int, default=50_000, help="corpus size in symbols")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(run(args.name, size=args.size, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

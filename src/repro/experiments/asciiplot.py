@@ -1,0 +1,86 @@
+"""Terminal line plots for the Figure 8 reproduction.
+
+The paper's Figure 8 is four log-scale plots of index size vs threshold.
+The regenerable artefact of this library is primarily the numeric series
+(:mod:`repro.experiments.figure8`), but a picture communicates the shape —
+so this module renders the same series as ASCII charts: log2-spaced x
+(threshold), log-scaled y (payload bits), one glyph per index.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from .figure8 import Figure8Row
+
+GLYPHS = {"FM-index": "F", "APPROX": "A", "PST": "P", "CPST": "C", "Patricia": "T"}
+
+
+def render_figure8(
+    rows: Sequence[Figure8Row],
+    dataset: str,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """One ASCII chart: payload bits (log y) vs threshold (log x)."""
+    series: Dict[str, List[tuple[int, int]]] = {}
+    fm_bits = None
+    for row in rows:
+        if row.dataset != dataset:
+            continue
+        if row.index == "FM-index":
+            fm_bits = row.payload_bits
+            continue
+        series.setdefault(row.index, []).append((row.l, row.payload_bits))
+    if not series:
+        raise ValueError(f"no rows for dataset {dataset!r}")
+    thresholds = sorted({l for points in series.values() for l, _ in points})
+    all_bits = [bits for points in series.values() for _, bits in points]
+    if fm_bits is not None:
+        all_bits.append(fm_bits)
+    lo = math.log10(max(1, min(all_bits)))
+    hi = math.log10(max(all_bits))
+    span = max(1e-9, hi - lo)
+
+    def y_of(bits: int) -> int:
+        frac = (math.log10(max(1, bits)) - lo) / span
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    def x_of(l: int) -> int:
+        position = thresholds.index(l)
+        return round(position * (width - 1) / max(1, len(thresholds) - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    if fm_bits is not None:
+        fm_row = height - 1 - y_of(fm_bits)
+        for x in range(width):
+            if grid[fm_row][x] == " ":
+                grid[fm_row][x] = "·"
+    for index_name, points in series.items():
+        glyph = GLYPHS.get(index_name, index_name[0])
+        for l, bits in points:
+            grid[height - 1 - y_of(bits)][x_of(l)] = glyph
+
+    lines = [f"{dataset}: payload bits (log scale) vs threshold l"]
+    for row_cells in grid:
+        lines.append("|" + "".join(row_cells))
+    lines.append("+" + "-" * width)
+    axis = [" "] * width
+    for l in thresholds:
+        label = str(l)
+        x = x_of(l)
+        for k, ch in enumerate(label):
+            if x + k < width:
+                axis[x + k] = ch
+    lines.append(" " + "".join(axis))
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in GLYPHS.items()
+                       if name in series or (name == "FM-index" and fm_bits))
+    lines.append("legend: " + legend + "  ·=FM-index level")
+    return "\n".join(lines)
+
+
+def render_all(rows: Sequence[Figure8Row], **kwargs) -> str:
+    """Charts for every dataset in the rows, stacked."""
+    datasets = sorted({row.dataset for row in rows})
+    return "\n\n".join(render_figure8(rows, dataset, **kwargs) for dataset in datasets)

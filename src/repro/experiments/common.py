@@ -1,0 +1,119 @@
+"""Shared infrastructure for the experiment harness.
+
+:class:`CorpusContext` loads one synthetic corpus and caches the expensive
+shared intermediates (suffix array, LCP array, BWT) so that a threshold
+sweep builds each index without re-sorting suffixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..baselines.fm import FMIndex
+from ..baselines.patricia import PrunedPatriciaTrie
+from ..baselines.pst import PrunedSuffixTree
+from ..core.approx import ApproxIndex
+from ..core.cpst import CompactPrunedSuffixTree
+from ..datasets import generate
+from ..sa import bwt_from_sa, lcp_array, suffix_array
+from ..suffixtree.pruned import PrunedSuffixTreeStructure
+from ..textutil import Text
+
+
+@dataclass
+class CorpusContext:
+    """One corpus plus memoised intermediates and index builders."""
+
+    name: str
+    size: int
+    seed: int = 0
+    text: Text = field(init=False)
+    _sa: np.ndarray | None = field(init=False, default=None)
+    _lcp: np.ndarray | None = field(init=False, default=None)
+    _bwt: np.ndarray | None = field(init=False, default=None)
+    _structures: Dict[int, PrunedSuffixTreeStructure] = field(
+        init=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self.text = Text(generate(self.name, self.size, self.seed))
+
+    @classmethod
+    def from_text(cls, text: Text | str, name: str = "custom") -> "CorpusContext":
+        """Wrap a user-provided text (file contents, etc.) so the whole
+        experiment harness runs on it instead of a builtin corpus."""
+        if isinstance(text, str):
+            text = Text(text)
+        instance = cls.__new__(cls)
+        instance.name = name
+        instance.size = len(text)
+        instance.seed = 0
+        instance.text = text
+        instance._sa = None
+        instance._lcp = None
+        instance._bwt = None
+        instance._structures = {}
+        return instance
+
+    # -- cached intermediates -------------------------------------------------
+
+    @property
+    def sa(self) -> np.ndarray:
+        if self._sa is None:
+            self._sa = suffix_array(self.text.data)
+        return self._sa
+
+    @property
+    def lcp(self) -> np.ndarray:
+        if self._lcp is None:
+            self._lcp = lcp_array(self.text.data, self.sa)
+        return self._lcp
+
+    @property
+    def bwt(self) -> np.ndarray:
+        if self._bwt is None:
+            self._bwt = bwt_from_sa(self.text.data, self.sa)
+        return self._bwt
+
+    def structure(self, l: int) -> PrunedSuffixTreeStructure:
+        """The pruned-tree structure for threshold ``l`` (memoised)."""
+        if l not in self._structures:
+            self._structures[l] = PrunedSuffixTreeStructure(
+                self.text, l, sa=self.sa, lcp=self.lcp
+            )
+        return self._structures[l]
+
+    # -- index builders --------------------------------------------------------
+
+    def build_fm(self, wavelet: str = "huffman") -> FMIndex:
+        return FMIndex.from_bwt(self.bwt, self.text.alphabet, wavelet)  # type: ignore[arg-type]
+
+    def build_apx(self, l: int) -> ApproxIndex:
+        return ApproxIndex.from_bwt(self.bwt, self.text.alphabet, l)
+
+    def build_cpst(self, l: int) -> CompactPrunedSuffixTree:
+        return CompactPrunedSuffixTree.from_structure(self.structure(l))
+
+    def build_pst(self, l: int) -> PrunedSuffixTree:
+        return PrunedSuffixTree.from_structure(self.structure(l))
+
+    def build_patricia(self, l: int) -> PrunedPatriciaTrie:
+        return PrunedPatriciaTrie(self.text, l)
+
+    # -- workload -----------------------------------------------------------------
+
+    def sample_patterns(
+        self, length: int, count: int, seed: int = 1
+    ) -> list[str]:
+        """Patterns of a given length randomly extracted from the text
+        (the paper's Figure 9 workload)."""
+        rng = np.random.default_rng((self.seed, seed, length))
+        raw = self.text.raw
+        limit = max(1, len(raw) - length)
+        return [
+            raw[start : start + length]
+            for start in rng.integers(0, limit, size=count)
+        ]

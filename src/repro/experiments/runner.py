@@ -1,0 +1,131 @@
+"""Experiment runner: regenerate any paper table/figure by name.
+
+``python -m repro.experiments <name>`` or ``repro experiment <name>`` with
+names ``figure7``, ``figure8``, ``figure9``, ``errorbounds``, ``ablation``,
+or ``all``. Sizes are scaled-down defaults (see DESIGN.md); pass ``--size``
+to push them up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from . import (
+    ablation,
+    budget,
+    corpora,
+    errorbounds,
+    errordist,
+    estimators,
+    figure7,
+    figure8,
+    figure9,
+    scaling,
+)
+
+
+def run_corpora(size: int, seed: int) -> str:
+    rows = corpora.run(size=size, seed=seed)
+    checks = corpora.headline_checks(rows)
+    return corpora.format_results(rows) + "\n" + _render_checks(checks)
+
+
+def run_figure7(size: int, seed: int) -> str:
+    rows = figure7.run(size=size, seed=seed)
+    checks = figure7.headline_checks(rows)
+    return figure7.format_results(rows) + "\n" + _render_checks(checks)
+
+
+def run_figure8(size: int, seed: int) -> str:
+    from .asciiplot import render_all
+
+    rows = figure8.run(size=size, seed=seed)
+    checks = figure8.headline_checks(rows)
+    return (
+        figure8.format_results(rows)
+        + "\n"
+        + _render_checks(checks)
+        + "\n\n"
+        + render_all(rows)
+    )
+
+
+def run_figure9(size: int, seed: int) -> str:
+    rows = figure9.run(size=min(size, 30_000), seed=seed)
+    checks = figure9.headline_checks(rows)
+    return figure9.format_results(rows) + "\n" + _render_checks(checks)
+
+
+def run_errorbounds(size: int, seed: int) -> str:
+    rows = errorbounds.run(size=min(size, 20_000), seed=seed)
+    status = "PASS" if errorbounds.all_bounds_hold(rows) else "FAIL"
+    return errorbounds.format_results(rows) + f"\nall bounds hold: {status}"
+
+
+def run_ablation(size: int, seed: int) -> str:
+    parts = [
+        ablation.format_halving(ablation.run_halving(size=size, seed=seed)),
+        ablation.format_nodes(ablation.run_nodes(size=size, seed=seed)),
+        ablation.format_wavelet(ablation.run_wavelet(size=size, seed=seed)),
+        ablation.format_encoding(ablation.run_encoding(size=size, seed=seed)),
+        ablation.format_bounds(ablation.run_bounds(size=size, seed=seed)),
+    ]
+    return "\n\n".join(parts)
+
+
+def run_scaling(size: int, seed: int) -> str:
+    sizes = tuple(sorted({max(5_000, size // 4), max(10_000, size // 2), size}))
+    rows = scaling.run(sizes=sizes, seed=seed)
+    checks = scaling.headline_checks(rows)
+    return scaling.format_results(rows) + "\n" + _render_checks(checks)
+
+
+def run_estimators(size: int, seed: int) -> str:
+    rows = estimators.run(size=min(size, 30_000), seed=seed)
+    checks = estimators.headline_checks(rows)
+    return estimators.format_results(rows) + "\n" + _render_checks(checks)
+
+
+def run_budget(size: int, seed: int) -> str:
+    rows = budget.run(size=min(size, 30_000), seed=seed)
+    checks = budget.headline_checks(rows)
+    return budget.format_results(rows) + "\n" + _render_checks(checks)
+
+
+def run_errordist(size: int, seed: int) -> str:
+    rows = errordist.run(size=min(size, 30_000), seed=seed)
+    status = "PASS" if errordist.all_within_bound(rows) else "FAIL"
+    return errordist.format_results(rows) + f"\nall errors within l-1: {status}"
+
+
+EXPERIMENTS: Dict[str, Callable[[int, int], str]] = {
+    "corpora": run_corpora,
+    "figure7": run_figure7,
+    "figure8": run_figure8,
+    "figure9": run_figure9,
+    "errorbounds": run_errorbounds,
+    "ablation": run_ablation,
+    "scaling": run_scaling,
+    "errordist": run_errordist,
+    "estimators": run_estimators,
+    "budget": run_budget,
+}
+
+
+def run(name: str, size: int = 50_000, seed: int = 0) -> str:
+    """Run one experiment (or ``all``) and return its report text."""
+    if name == "all":
+        return "\n\n".join(
+            EXPERIMENTS[key](size, seed) for key in sorted(EXPERIMENTS)
+        )
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)} or 'all'"
+        )
+    return EXPERIMENTS[name](size, seed)
+
+
+def _render_checks(checks: Dict[str, bool]) -> str:
+    return "\n".join(
+        f"  check {name}: {'PASS' if ok else 'FAIL'}" for name, ok in checks.items()
+    )

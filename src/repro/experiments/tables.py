@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper's figures are plots/tables; our regenerable artefact is the
+underlying rows, printed as aligned monospace tables so runs can be diffed
+against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    materialised: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "")
+    stripped = stripped.replace("%", "").replace("x", "").replace("±", "")
+    return stripped.isdigit() if stripped else False
+
+
+def bits_to_kib(bits: int) -> float:
+    """Bits → KiB (the unit experiment tables report sizes in).
+
+    >>> bits_to_kib(8192)
+    1.0
+    """
+    return bits / 8 / 1024

@@ -1,0 +1,84 @@
+"""Safe persistence for indexes: versioned save/load with a class whitelist.
+
+Raw pickles execute arbitrary code on load; :func:`save_index` /
+:func:`load_index` wrap pickling with a magic header, a format version,
+the declaring class name, and — on load — a whitelist restricting
+unpickling to this library's index classes (everything else in the stream
+is rejected before instantiation).
+"""
+
+from __future__ import annotations
+
+import io as _io
+import pickle
+from pathlib import Path
+from typing import Set
+
+from .core.interface import OccurrenceEstimator
+from .errors import InvalidParameterError, ReproError
+
+MAGIC = b"REPROIDX"
+FORMAT_VERSION = 1
+
+#: Module prefixes a persisted index may pull classes from.
+_ALLOWED_MODULE_PREFIXES = ("repro.", "numpy", "collections", "builtins")
+_FORBIDDEN_NAMES: Set[str] = {"eval", "exec", "compile", "open", "__import__", "system"}
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler that only resolves whitelisted globals."""
+
+    def find_class(self, module: str, name: str):  # noqa: D102 - pickle API
+        if name in _FORBIDDEN_NAMES:
+            raise ReproError(f"refusing to unpickle forbidden global {name!r}")
+        if not module.startswith(_ALLOWED_MODULE_PREFIXES) and module != "repro":
+            raise ReproError(
+                f"refusing to unpickle global from module {module!r}"
+            )
+        return super().find_class(module, name)
+
+
+def save_index(index: OccurrenceEstimator, path: str | Path) -> Path:
+    """Persist an index with header and version; returns the path."""
+    if not isinstance(index, OccurrenceEstimator):
+        raise InvalidParameterError(
+            f"save_index expects an OccurrenceEstimator, got {type(index).__name__}"
+        )
+    target = Path(path)
+    class_name = type(index).__name__.encode("ascii")
+    with open(target, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(FORMAT_VERSION.to_bytes(2, "big"))
+        handle.write(len(class_name).to_bytes(2, "big"))
+        handle.write(class_name)
+        pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return target
+
+
+def load_index(path: str | Path) -> OccurrenceEstimator:
+    """Load an index saved by :func:`save_index`, validating the header."""
+    source = Path(path)
+    with open(source, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ReproError(
+                f"{source} is not a repro index file (bad magic {magic!r})"
+            )
+        version = int.from_bytes(handle.read(2), "big")
+        if version != FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported index format version {version} "
+                f"(this library reads version {FORMAT_VERSION})"
+            )
+        name_length = int.from_bytes(handle.read(2), "big")
+        declared = handle.read(name_length).decode("ascii")
+        payload = handle.read()
+    index = _RestrictedUnpickler(_io.BytesIO(payload)).load()
+    if type(index).__name__ != declared:
+        raise ReproError(
+            f"header declares {declared!r} but stream held "
+            f"{type(index).__name__!r}"
+        )
+    if not isinstance(index, OccurrenceEstimator):
+        raise ReproError("persisted object is not an OccurrenceEstimator")
+    return index

@@ -1,0 +1,28 @@
+"""Suffix arrays, LCP arrays and the Burrows–Wheeler transform."""
+
+from .bwt import bwt, bwt_from_sa, counts_array, inverse_bwt, lf_mapping
+from .dc3 import suffix_array_dc3
+from .doubling import inverse_suffix_array, suffix_array_doubling
+from .lcp import lcp_array
+from .naive import suffix_array_naive
+from .sais import suffix_array_sais
+from .verify import verify_suffix_array
+
+suffix_array = suffix_array_doubling
+"""Default suffix-array builder (numpy prefix doubling)."""
+
+__all__ = [
+    "bwt",
+    "bwt_from_sa",
+    "counts_array",
+    "inverse_bwt",
+    "lf_mapping",
+    "inverse_suffix_array",
+    "suffix_array",
+    "suffix_array_dc3",
+    "suffix_array_doubling",
+    "suffix_array_naive",
+    "suffix_array_sais",
+    "lcp_array",
+    "verify_suffix_array",
+]

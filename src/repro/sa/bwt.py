@@ -1,0 +1,87 @@
+"""Burrows–Wheeler transform utilities (paper Section 4.1).
+
+The library's convention matches the paper: a sentinel ``$`` (encoded as
+symbol 0, strictly smaller than every text symbol) terminates the text, so
+sorting the cyclic rotations of ``T$`` is the same as sorting the suffixes
+of ``T$`` and the BWT can be read off the suffix array:
+
+    ``L[i] = T$[sa[i] - 1]``   (with wrap-around for ``sa[i] = 0``).
+
+Also provided: the counts array ``C`` (``C[c]`` = number of symbols smaller
+than ``c``), the LF mapping, and the inverse transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .doubling import suffix_array_doubling
+
+
+def bwt_from_sa(text: np.ndarray, sa: np.ndarray) -> np.ndarray:
+    """BWT of a sentinel-terminated integer text given its suffix array."""
+    arr = np.asarray(text, dtype=np.int64)
+    sa = np.asarray(sa, dtype=np.int64)
+    if arr.size != sa.size:
+        raise InvalidParameterError("suffix array length must match text length")
+    return arr[(sa - 1) % max(1, arr.size)]
+
+
+def bwt(text: np.ndarray) -> np.ndarray:
+    """BWT of a sentinel-terminated integer text (builds the SA internally)."""
+    return bwt_from_sa(text, suffix_array_doubling(text))
+
+
+def counts_array(bwt_text: np.ndarray, sigma: int) -> np.ndarray:
+    """The ``C`` array over alphabet ``[0, sigma)``: ``C[c]`` counts symbols
+    of the BWT strictly smaller than ``c``. Length ``sigma + 1`` so that
+    ``C[c+1] - C[c]`` is the frequency of ``c`` and ``C[sigma] = n``."""
+    arr = np.asarray(bwt_text, dtype=np.int64)
+    if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= sigma):
+        raise InvalidParameterError("BWT symbol outside alphabet")
+    freqs = np.bincount(arr, minlength=sigma)
+    c = np.zeros(sigma + 1, dtype=np.int64)
+    np.cumsum(freqs, out=c[1:])
+    return c
+
+
+def lf_mapping(bwt_text: np.ndarray, sigma: int) -> np.ndarray:
+    """Full LF mapping as an array: ``lf[i] = C[L[i]] + rank_{L[i]}(L, i+1)``.
+
+    Positions are 0-based; ``lf[i]`` is the row of the matrix whose first
+    column holds the symbol ``L[i]`` occurrence corresponding to row ``i``.
+    """
+    arr = np.asarray(bwt_text, dtype=np.int64)
+    c = counts_array(arr, sigma)
+    # Occurrence rank (1-based) of each symbol at its position, vectorised:
+    # stable argsort groups equal symbols in position order.
+    n = int(arr.size)
+    lf = np.empty(n, dtype=np.int64)
+    order = np.argsort(arr, kind="stable")
+    # order lists positions grouped by symbol; within a group, the k-th entry
+    # (0-based) is the (k+1)-th occurrence, landing at C[sym] + k.
+    lf[order] = np.arange(n, dtype=np.int64)
+    return lf
+
+
+def inverse_bwt(bwt_text: np.ndarray, sigma: int) -> np.ndarray:
+    """Recover the sentinel-terminated text from its BWT via LF walking."""
+    arr = np.asarray(bwt_text, dtype=np.int64)
+    n = int(arr.size)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    sentinel_rows = np.flatnonzero(arr == int(arr.min()))
+    if sentinel_rows.size != 1:
+        raise InvalidParameterError("BWT must contain exactly one sentinel")
+    lf = lf_mapping(arr, sigma)
+    out = np.empty(n, dtype=np.int64)
+    # Row 0 of the sorted matrix is the rotation starting with the sentinel,
+    # so L[0] is the last text symbol. Each LF step moves one symbol left;
+    # emit right to left, with the sentinel fixed in the final position.
+    out[n - 1] = int(arr.min())
+    row = 0
+    for pos in range(n - 2, -1, -1):
+        out[pos] = arr[row]
+        row = int(lf[row])
+    return out

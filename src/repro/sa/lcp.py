@@ -1,0 +1,43 @@
+"""LCP array construction (Kasai et al., 2001).
+
+``lcp[i]`` is the length of the longest common prefix of the suffixes at
+``sa[i-1]`` and ``sa[i]``; ``lcp[0] = 0`` by convention. The LCP array
+drives the lcp-interval enumeration that replaces an explicit suffix tree
+(see :mod:`repro.suffixtree.intervals`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .doubling import inverse_suffix_array
+
+
+def lcp_array(text: np.ndarray, sa: np.ndarray) -> np.ndarray:
+    """Kasai's O(n) LCP construction from a text and its suffix array."""
+    arr = np.asarray(text, dtype=np.int64)
+    sa = np.asarray(sa, dtype=np.int64)
+    n = int(arr.size)
+    if sa.size != n:
+        raise InvalidParameterError("suffix array length must match text length")
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    isa = inverse_suffix_array(sa)
+    lcp = np.zeros(n, dtype=np.int64)
+    h = 0
+    text_list = arr.tolist()  # plain-list access is ~3x faster in the hot loop
+    sa_list = sa.tolist()
+    isa_list = isa.tolist()
+    for i in range(n):
+        r = isa_list[i]
+        if r > 0:
+            j = sa_list[r - 1]
+            while i + h < n and j + h < n and text_list[i + h] == text_list[j + h]:
+                h += 1
+            lcp[r] = h
+            if h:
+                h -= 1
+        else:
+            h = 0
+    return lcp

@@ -1,0 +1,28 @@
+"""Reference suffix-array construction by direct suffix sorting.
+
+O(n^2 log n) worst case; used as the ground truth in tests and for tiny
+inputs. The faster builders in :mod:`repro.sa.doubling` and
+:mod:`repro.sa.sais` are cross-checked against this one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+
+def suffix_array_naive(text: np.ndarray) -> np.ndarray:
+    """Suffix array of an integer text by sorting suffix slices.
+
+    ``text`` must already include its unique, smallest terminator (the
+    library convention: callers append sentinel 0 before building).
+    """
+    arr = np.asarray(text, dtype=np.int64)
+    if arr.ndim != 1:
+        raise InvalidParameterError("text must be a 1-d integer array")
+    n = int(arr.size)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    suffixes = sorted(range(n), key=lambda i: arr[i:].tolist())
+    return np.asarray(suffixes, dtype=np.int64)

@@ -1,0 +1,44 @@
+"""Sparse-table range-minimum queries (O(n log n) space, O(1) query).
+
+Used to derive the LCP of two arbitrary suffixes from the LCP array
+(``lcp(suffix_i, suffix_j) = min lcp[i+1 .. j]`` in suffix-array order),
+which the pruned Patricia trie needs to compute the LCPs of its *sampled*
+suffixes without rescanning the text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+
+class RangeMinimum:
+    """Immutable sparse table over an int64 array."""
+
+    __slots__ = ("_table", "_n")
+
+    def __init__(self, values: np.ndarray):
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise InvalidParameterError("RangeMinimum requires a 1-d array")
+        self._n = int(arr.size)
+        levels = max(1, self._n.bit_length())
+        table = [arr]
+        span = 1
+        for _ in range(1, levels):
+            prev = table[-1]
+            if prev.size <= span:
+                break
+            table.append(np.minimum(prev[:-span], prev[span:]))
+            span <<= 1
+        self._table = table
+
+    def query(self, lo: int, hi: int) -> int:
+        """Minimum of ``values[lo:hi]`` (half-open, non-empty)."""
+        if not 0 <= lo < hi <= self._n:
+            raise InvalidParameterError(f"bad RMQ range [{lo}, {hi}) for n={self._n}")
+        k = (hi - lo).bit_length() - 1
+        span = 1 << k
+        row = self._table[k]
+        return int(min(row[lo], row[hi - span]))

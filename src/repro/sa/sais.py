@@ -1,0 +1,159 @@
+"""SA-IS: linear-time suffix array construction (Nong, Zhang & Chan, 2009).
+
+A pure-Python implementation of induced sorting. Asymptotically optimal
+(O(n)), but the interpreter constant makes :mod:`repro.sa.doubling` faster
+for the text sizes this library targets; SA-IS is provided as an independent
+second implementation (cross-checked in tests) and for alphabets/datasets
+where doubling's ``O(n log n)`` becomes noticeable.
+
+Convention: the input must end with a unique smallest sentinel (symbol value
+strictly smaller than every other symbol), which the library's text model
+guarantees by appending 0.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+_S_TYPE = False
+_L_TYPE = True
+
+
+def suffix_array_sais(text: np.ndarray) -> np.ndarray:
+    """Suffix array via SA-IS induced sorting."""
+    arr = np.asarray(text, dtype=np.int64)
+    if arr.ndim != 1:
+        raise InvalidParameterError("text must be a 1-d integer array")
+    n = int(arr.size)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+    if int(np.count_nonzero(arr == arr.min())) != 1 or int(arr.argmin()) != n - 1:
+        raise InvalidParameterError(
+            "SA-IS requires a unique smallest sentinel in the last position"
+        )
+    sigma = int(arr.max()) + 1
+    return np.asarray(_sais(arr.tolist(), sigma), dtype=np.int64)
+
+
+def _classify(s: List[int]) -> List[bool]:
+    """L/S types: s[i] is L iff suffix i > suffix i+1."""
+    n = len(s)
+    types = [_S_TYPE] * n
+    for i in range(n - 2, -1, -1):
+        if s[i] > s[i + 1] or (s[i] == s[i + 1] and types[i + 1] == _L_TYPE):
+            types[i] = _L_TYPE
+    return types
+
+
+def _is_lms(types: List[bool], i: int) -> bool:
+    return i > 0 and types[i] == _S_TYPE and types[i - 1] == _L_TYPE
+
+
+def _bucket_sizes(s: List[int], sigma: int) -> List[int]:
+    sizes = [0] * sigma
+    for c in s:
+        sizes[c] += 1
+    return sizes
+
+
+def _bucket_heads(sizes: List[int]) -> List[int]:
+    heads = [0] * len(sizes)
+    total = 0
+    for c, size in enumerate(sizes):
+        heads[c] = total
+        total += size
+    return heads
+
+
+def _bucket_tails(sizes: List[int]) -> List[int]:
+    tails = [0] * len(sizes)
+    total = 0
+    for c, size in enumerate(sizes):
+        total += size
+        tails[c] = total - 1
+    return tails
+
+
+def _induce(s: List[int], sa: List[int], types: List[bool], sizes: List[int]) -> None:
+    """Induce L-type then S-type suffixes from placed LMS positions."""
+    n = len(s)
+    heads = _bucket_heads(sizes)
+    for i in range(n):
+        j = sa[i] - 1
+        if sa[i] > 0 and types[j] == _L_TYPE:
+            sa[heads[s[j]]] = j
+            heads[s[j]] += 1
+    tails = _bucket_tails(sizes)
+    for i in range(n - 1, -1, -1):
+        j = sa[i] - 1
+        if sa[i] > 0 and types[j] == _S_TYPE:
+            sa[tails[s[j]]] = j
+            tails[s[j]] -= 1
+
+
+def _sais(s: List[int], sigma: int) -> List[int]:
+    n = len(s)
+    types = _classify(s)
+    sizes = _bucket_sizes(s, sigma)
+
+    # Step 1: place LMS suffixes at bucket tails (arbitrary order), induce.
+    sa = [-1] * n
+    tails = _bucket_tails(sizes)
+    lms = [i for i in range(1, n) if _is_lms(types, i)]
+    for i in reversed(lms):
+        sa[tails[s[i]]] = i
+        tails[s[i]] -= 1
+    _induce(s, sa, types, sizes)
+
+    # Step 2: name LMS substrings in their induced order.
+    sorted_lms = [i for i in sa if i != -1 and _is_lms(types, i)]
+    names = [-1] * n
+    current = 0
+    names[sorted_lms[0]] = 0
+    for prev, cur in zip(sorted_lms, sorted_lms[1:]):
+        if not _lms_substrings_equal(s, types, prev, cur):
+            current += 1
+        names[cur] = current
+    reduced = [names[i] for i in lms]
+
+    # Step 3: sort the reduced string (recurse if names are not unique).
+    if current + 1 == len(lms):
+        order = [0] * len(lms)
+        for rank_pos, name in enumerate(reduced):
+            order[name] = rank_pos
+    else:
+        order = _sais(reduced, current + 1)
+
+    # Step 4: place LMS suffixes in their true order, induce again.
+    sa = [-1] * n
+    tails = _bucket_tails(sizes)
+    for k in range(len(lms) - 1, -1, -1):
+        i = lms[order[k]]
+        sa[tails[s[i]]] = i
+        tails[s[i]] -= 1
+    _induce(s, sa, types, sizes)
+    return sa
+
+
+def _lms_substrings_equal(s: List[int], types: List[bool], a: int, b: int) -> bool:
+    """Compare the LMS substrings starting at ``a`` and ``b``."""
+    n = len(s)
+    if a == n - 1 or b == n - 1:
+        return a == b
+    offset = 0
+    while True:
+        a_end = _is_lms(types, a + offset)
+        b_end = _is_lms(types, b + offset)
+        if offset > 0 and a_end and b_end:
+            return True
+        if a_end != b_end:
+            return False
+        if s[a + offset] != s[b + offset] or types[a + offset] != types[b + offset]:
+            return False
+        offset += 1

@@ -1,0 +1,17 @@
+"""Substring selectivity estimation (LIKE '%P%') on top of the indexes."""
+
+from .base import CountOracle, SelectivityEstimator
+from .constrained import MOCEstimator, MOLCEstimator
+from .kvi import KVIEstimator
+from .mo import MOEstimator
+from .mol import MOLEstimator
+
+__all__ = [
+    "CountOracle",
+    "SelectivityEstimator",
+    "KVIEstimator",
+    "MOEstimator",
+    "MOLEstimator",
+    "MOCEstimator",
+    "MOLCEstimator",
+]

@@ -1,0 +1,166 @@
+"""Shared infrastructure for substring selectivity estimators.
+
+The estimators (KVI, MO, MOL) assume an underlying *lower-sided* occurrence
+index that (a) answers exactly for patterns occurring at least ``l`` times
+and (b) detects the below-threshold case — both provided by
+:class:`~repro.core.cpst.CompactPrunedSuffixTree` and the classical
+:class:`~repro.baselines.pst.PrunedSuffixTree` via ``count_or_none``.
+An exact index (FM-index) also works: every count is "known".
+
+Counts are normalised to probabilities by ``N = n`` (substring positions);
+below-threshold fragments fall back to an expected count of ``(l-1)/2``
+(uniform prior over the admissible range ``[0, l-1]``), a documented
+modelling choice the paper leaves to the estimation layer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Protocol, runtime_checkable
+
+from ..errors import InvalidParameterError, PatternError
+
+
+@runtime_checkable
+class LowerSidedIndex(Protocol):
+    """Structural type of the indexes the estimators accept."""
+
+    threshold: int
+
+    def count_or_none(self, pattern: str) -> Optional[int]: ...
+
+    @property
+    def text_length(self) -> int: ...
+
+
+class _ExactAdapter:
+    """Wrap an exact index (e.g. FM-index) as a lower-sided oracle."""
+
+    def __init__(self, index):
+        self._index = index
+
+    @property
+    def threshold(self) -> int:
+        return 1
+
+    @property
+    def text_length(self) -> int:
+        return self._index.text_length
+
+    def count_or_none(self, pattern: str) -> Optional[int]:
+        return self._index.count(pattern)
+
+
+class CountOracle:
+    """Memoising facade over a lower-sided index.
+
+    ``known(s)`` returns the exact count of ``s`` or ``None`` when the
+    index cannot certify it; ``longest_known(pattern, start)`` exploits the
+    monotonicity of counts under extension (``Count(xs) <= Count(x)``, so
+    "known" is prefix-closed) with a binary search over lengths.
+    """
+
+    def __init__(self, index):
+        if not hasattr(index, "count_or_none"):
+            if hasattr(index, "count"):
+                index = _ExactAdapter(index)
+            else:
+                raise InvalidParameterError(
+                    "selectivity estimation requires an index with "
+                    "count_or_none (CPST / PST) or count (exact)"
+                )
+        self._index = index
+        self._cache: dict[str, Optional[int]] = {}
+        # When the index exposes the backward-search automaton protocol
+        # (CPST family), probe through a suffix-sharing counter: estimator
+        # workloads hammer overlapping substrings of each pattern.
+        self._shared = None
+        if all(
+            hasattr(index, name)
+            for name in ("_automaton_start", "_automaton_step", "_automaton_count")
+        ):
+            from ..batch import SuffixSharingCounter
+
+            self._shared = SuffixSharingCounter(index)
+
+    @property
+    def threshold(self) -> int:
+        return self._index.threshold
+
+    @property
+    def text_length(self) -> int:
+        return self._index.text_length
+
+    def known(self, fragment: str) -> Optional[int]:
+        """Exact count of ``fragment`` when certified, else ``None``."""
+        cached = self._cache.get(fragment)
+        if fragment in self._cache:
+            return cached
+        if self._shared is not None:
+            result = self._shared.count_or_none(fragment)
+        else:
+            result = self._index.count_or_none(fragment)
+        self._cache[fragment] = result
+        return result
+
+    def longest_known(self, pattern: str, start: int) -> int:
+        """Length of the longest known fragment ``pattern[start:start+len]``
+        (0 when even the single character is below threshold)."""
+        lo, hi = 0, len(pattern) - start
+        # "known" is prefix-closed: binary search the frontier.
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.known(pattern[start : start + mid]) is not None:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+
+class SelectivityEstimator(abc.ABC):
+    """Base class: estimate occurrence counts for arbitrary patterns."""
+
+    def __init__(self, index, default_count: float | None = None):
+        self._oracle = CountOracle(index)
+        if default_count is None:
+            default_count = max(0.5, (self._oracle.threshold - 1) / 2)
+        if default_count <= 0:
+            raise InvalidParameterError("default_count must be positive")
+        self._default_count = float(default_count)
+
+    @property
+    def normalizer(self) -> float:
+        """``N``: number of substring positions used for probabilities."""
+        return float(max(1, self._oracle.text_length))
+
+    @property
+    def oracle(self) -> CountOracle:
+        """The memoising count oracle (shared by sub-estimates)."""
+        return self._oracle
+
+    def _probability_of_known(self, fragment: str) -> Optional[float]:
+        count = self._oracle.known(fragment)
+        if count is None:
+            return None
+        return count / self.normalizer
+
+    def _default_probability(self) -> float:
+        return self._default_count / self.normalizer
+
+    def estimate(self, pattern: str) -> float:
+        """Estimated number of occurrences of ``pattern`` (>= 0)."""
+        if not isinstance(pattern, str) or not pattern:
+            raise PatternError("pattern must be a non-empty string")
+        known = self._oracle.known(pattern)
+        if known is not None:
+            return float(known)
+        probability = self._estimate_probability(pattern)
+        return max(0.0, min(self.normalizer, probability * self.normalizer))
+
+    def selectivity(self, pattern: str) -> float:
+        """Estimated fraction of substring positions matching ``pattern``."""
+        return self.estimate(pattern) / self.normalizer
+
+    @abc.abstractmethod
+    def _estimate_probability(self, pattern: str) -> float:
+        """Model-specific probability for a pattern that is *not* known."""

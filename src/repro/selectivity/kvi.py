@@ -1,0 +1,48 @@
+"""The KVI estimator (Krishnan, Vitter & Iyer, SIGMOD 1996).
+
+Greedy independence parse (paper Section 7.2): split the pattern into the
+longest *known* prefix, then reiterate on the remaining suffix; the pieces
+are assumed independent, so
+
+    Pr(P) = Pr(s1) * Pr(s2) * … * Pr(sk).
+
+A position where even the single character is below threshold contributes
+the default (below-threshold prior) probability and advances by one symbol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import SelectivityEstimator
+
+
+class KVIEstimator(SelectivityEstimator):
+    """Independence-based greedy estimator."""
+
+    def _estimate_probability(self, pattern: str) -> float:
+        probability = 1.0
+        for fragment, fragment_probability in self._parse(pattern):
+            probability *= fragment_probability
+        return probability
+
+    def _parse(self, pattern: str) -> List[Tuple[str, float]]:
+        """Greedy decomposition into (fragment, probability) pieces."""
+        pieces: List[Tuple[str, float]] = []
+        start = 0
+        while start < len(pattern):
+            length = self.oracle.longest_known(pattern, start)
+            if length == 0:
+                pieces.append((pattern[start], self._default_probability()))
+                start += 1
+                continue
+            fragment = pattern[start : start + length]
+            probability = self._probability_of_known(fragment)
+            assert probability is not None
+            pieces.append((fragment, probability))
+            start += length
+        return pieces
+
+    def explain(self, pattern: str) -> List[Tuple[str, float]]:
+        """The greedy parse used for a pattern (diagnostics/examples)."""
+        return self._parse(pattern)

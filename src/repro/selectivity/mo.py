@@ -1,0 +1,75 @@
+"""The MO estimator (Jagadish, Ng & Srivastava, PODS 1999).
+
+Maximal-overlap parse: instead of disjoint pieces, consecutive fragments
+overlap maximally and the estimate conditions each fragment on the overlap
+(the empirically justified "Markovian" property the paper cites):
+
+    Pr(P) = Pr(nu_1) * prod_i Pr(nu_i) / Pr(nu_{i-1} (+) nu_i)
+
+where ``nu_{i-1} (+) nu_i`` is the maximal overlap — the longest suffix of
+``nu_{i-1}`` that is a prefix of ``nu_i`` (positionally, the characters the
+two fragments share in the pattern).
+
+Greedy fragment choice: ``nu_1`` is the longest known prefix; each next
+fragment is the longest known substring starting at the leftmost position
+that lets the parse extend past the covered end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import SelectivityEstimator
+
+Fragment = Tuple[int, str]  # (start position in the pattern, fragment text)
+
+
+class MOEstimator(SelectivityEstimator):
+    """Maximal-overlap conditional estimator."""
+
+    def _estimate_probability(self, pattern: str) -> float:
+        fragments = self._parse(pattern)
+        probability = 1.0
+        prev_end = None
+        for start, fragment in fragments:
+            fragment_probability = self._fragment_probability(fragment)
+            probability *= fragment_probability
+            if prev_end is not None and start < prev_end:
+                overlap = pattern[start:prev_end]
+                overlap_probability = self._fragment_probability(overlap)
+                if overlap_probability <= 0:
+                    return 0.0
+                probability /= overlap_probability
+            prev_end = start + len(fragment)
+        return probability
+
+    def _fragment_probability(self, fragment: str) -> float:
+        probability = self._probability_of_known(fragment)
+        if probability is not None:
+            return probability
+        # Unknown fragments only arise as single sub-threshold characters
+        # or as overlaps of known fragments (which are then known too); the
+        # default prior covers the former.
+        return self._default_probability()
+
+    def _parse(self, pattern: str) -> List[Fragment]:
+        """Greedy maximal-overlap decomposition covering the pattern."""
+        fragments: List[Fragment] = []
+        end = 0  # first position not yet covered
+        while end < len(pattern):
+            best: Fragment | None = None
+            search_from = fragments[-1][0] + 1 if fragments else 0
+            for start in range(search_from, end + 1):
+                length = self.oracle.longest_known(pattern, start)
+                if start + length > end and length > 0:
+                    best = (start, pattern[start : start + length])
+                    break
+            if best is None:
+                best = (end, pattern[end])  # sub-threshold single character
+            fragments.append(best)
+            end = best[0] + len(best[1])
+        return fragments
+
+    def explain(self, pattern: str) -> List[Fragment]:
+        """The maximal-overlap parse of a pattern (diagnostics/examples)."""
+        return self._parse(pattern)

@@ -1,0 +1,18 @@
+"""Suffix-tree machinery: lcp-interval enumeration and pruned trees."""
+
+from .intervals import count_internal_nodes, lcp_intervals, lcp_intervals_pruned
+from .pruned import PrunedNode, PrunedSuffixTreeStructure
+from .render import figure5_report, render_pst
+from .view import SuffixTreeView, TreeNode
+
+__all__ = [
+    "count_internal_nodes",
+    "lcp_intervals",
+    "lcp_intervals_pruned",
+    "PrunedNode",
+    "PrunedSuffixTreeStructure",
+    "figure5_report",
+    "render_pst",
+    "SuffixTreeView",
+    "TreeNode",
+]

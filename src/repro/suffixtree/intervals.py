@@ -1,0 +1,78 @@
+"""Suffix-tree internal nodes as lcp-intervals (Abouelhoda et al., 2004).
+
+An explicit suffix tree over megabyte texts is prohibitive in Python; the
+classical equivalence with *lcp-intervals* gives us exactly what the paper's
+structures need: every internal node of the suffix tree of ``T$``
+corresponds to one triple ``(depth, lb, rb)`` where ``[lb, rb]`` is the
+(inclusive) suffix-array interval of suffixes prefixed by the node's path
+label and ``depth`` is the string depth. Leaves are the singleton SA
+positions and never survive pruning (the library requires ``l >= 2``).
+
+:func:`lcp_intervals` enumerates all internal nodes with the standard stack
+sweep over the LCP array; :func:`lcp_intervals_pruned` filters to intervals
+of at least ``min_size`` suffixes during the sweep (the pruning step of the
+paper's Section 5, fused into enumeration so the full node set is never
+materialised).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+Interval = Tuple[int, int, int]
+"""(string_depth, lb, rb) — inclusive suffix-array interval of one node."""
+
+
+def lcp_intervals(lcp: np.ndarray) -> Iterator[Interval]:
+    """Yield every internal suffix-tree node as ``(depth, lb, rb)``.
+
+    The order of emission is by right boundary (post-order-ish); callers
+    needing preorder should sort by ``(lb, -rb)``.
+    """
+    arr = np.asarray(lcp, dtype=np.int64)
+    n = int(arr.size)
+    if n == 0:
+        return
+    lcp_list = arr.tolist()
+    # Stack of (depth, lb) of currently open intervals.
+    stack: List[List[int]] = [[0, 0]]
+    for i in range(1, n):
+        lb = i - 1
+        current = lcp_list[i]
+        while stack[-1][0] > current:
+            depth, left = stack.pop()
+            yield depth, left, i - 1
+            lb = left
+        if stack[-1][0] < current:
+            stack.append([current, lb])
+    while stack:
+        depth, left = stack.pop()
+        yield depth, left, n - 1
+
+
+def lcp_intervals_pruned(lcp: np.ndarray, min_size: int) -> List[Interval]:
+    """Internal nodes with at least ``min_size`` suffixes, in preorder.
+
+    Preorder here means sorted by ``(lb, -rb)``: since children subintervals
+    are ordered by suffix-array position (= lexicographic order of branching
+    symbols), this is exactly the preorder traversal the paper's Section 5.2
+    numbering requires.
+    """
+    if min_size < 1:
+        raise InvalidParameterError(f"min_size must be >= 1, got {min_size}")
+    kept = [
+        (depth, lb, rb)
+        for depth, lb, rb in lcp_intervals(lcp)
+        if rb - lb + 1 >= min_size
+    ]
+    kept.sort(key=lambda node: (node[1], -node[2]))
+    return kept
+
+
+def count_internal_nodes(lcp: np.ndarray) -> int:
+    """Number of internal suffix-tree nodes (test/statistics helper)."""
+    return sum(1 for _ in lcp_intervals(lcp))

@@ -1,0 +1,250 @@
+"""The pruned suffix tree structure ``PST_l(T)`` (paper Sections 1 and 5).
+
+``PST_l(T)`` keeps exactly the suffix-tree nodes whose subtree holds at
+least ``l`` leaves. Because subtree leaf counts are monotone along root
+paths, pruning removes a downward-closed set: every kept node's suffix-tree
+parent is kept, so kept nodes inherit the original tree shape and edge
+labels.
+
+This module builds the *structure* shared by the classical ``PST`` baseline
+and our compact ``CPST``:
+
+* kept nodes in **preorder** with lexicographically ordered children
+  (the numbering scheme of paper Section 5.2),
+* subtree counts ``C(u)`` (leaves below ``u`` in the original tree),
+* correction factors ``g(u) = C(u) - sum_kept_children C(v)``
+  (paper Observation 1: ``g(u) < sigma * l``),
+* suffix links ``SL(u)`` and the incoming inverse-suffix-link symbol sets
+  ``D_u`` (paper Section 5.3),
+* first symbols of path labels and the per-symbol node counts ``C[c]``
+  (the CPST navigation array),
+* edge-label statistics for the Figure 7/8 reproduction.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..sa import inverse_suffix_array, lcp_array, suffix_array
+from ..textutil import Text
+from .intervals import lcp_intervals_pruned
+
+
+@dataclass
+class PrunedNode:
+    """One kept node of ``PST_l(T)``, identified by its preorder id."""
+
+    preorder_id: int
+    depth: int  # string depth |pathlabel|
+    lb: int  # inclusive suffix-array interval
+    rb: int
+    parent: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+    g: int = 0  # correction factor
+    first_symbol: Optional[int] = None  # pathlabel[0]; None for the root
+    suffix_link: Optional[int] = None  # SL(u); None for the root
+    isl_symbols: List[int] = field(default_factory=list)  # sorted D_u
+
+    @property
+    def count(self) -> int:
+        """``C(u)``: leaves below this node in the *original* suffix tree."""
+        return self.rb - self.lb + 1
+
+    @property
+    def is_leaf(self) -> bool:
+        """Leaf of the *pruned* tree (all original children were pruned)."""
+        return not self.children
+
+
+class PrunedSuffixTreeStructure:
+    """Kept-node tree of ``PST_l(T)`` with all derived annotations."""
+
+    def __init__(
+        self,
+        text: Text | str,
+        l: int,
+        sa: np.ndarray | None = None,
+        lcp: np.ndarray | None = None,
+    ):
+        if isinstance(text, str):
+            text = Text(text)
+        if l < 2:
+            raise InvalidParameterError(
+                f"pruning threshold l must be >= 2, got {l} "
+                "(l=1 keeps every suffix-tree leaf: use the FM-index instead)"
+            )
+        self._text = text
+        self._l = l
+        data = text.data
+        # Callers sweeping over thresholds may pass precomputed arrays to
+        # amortise suffix sorting across builds.
+        self._sa = suffix_array(data) if sa is None else np.asarray(sa, dtype=np.int64)
+        self._lcp = (
+            lcp_array(data, self._sa) if lcp is None else np.asarray(lcp, dtype=np.int64)
+        )
+        if self._sa.size != data.size or self._lcp.size != data.size:
+            raise InvalidParameterError("precomputed sa/lcp length mismatch")
+        self._isa = inverse_suffix_array(self._sa)
+        self._data = data
+        self._build_nodes()
+        self._compute_corrections()
+        self._compute_suffix_links()
+        self._compute_symbol_counts()
+
+    # -- construction --------------------------------------------------------
+
+    def _build_nodes(self) -> None:
+        intervals = lcp_intervals_pruned(self._lcp, self._l)
+        if not intervals:
+            # Text shorter than l: only the root survives (any kept interval
+            # would imply the maximal root interval is kept too).
+            intervals = [(0, 0, len(self._sa) - 1)]
+        self.nodes: List[PrunedNode] = []
+        sa = self._sa
+        data = self._data
+        stack: List[int] = []  # preorder ids of open ancestors
+        for depth, lb, rb in intervals:
+            node_id = len(self.nodes)
+            node = PrunedNode(node_id, depth, lb, rb)
+            while stack and not self._contains(self.nodes[stack[-1]], lb, rb):
+                stack.pop()
+            if stack:
+                parent = self.nodes[stack[-1]]
+                node.parent = parent.preorder_id
+                parent.children.append(node_id)
+            if depth > 0:
+                node.first_symbol = int(data[sa[lb]])
+            self.nodes.append(node)
+            stack.append(node_id)
+
+    @staticmethod
+    def _contains(outer: PrunedNode, lb: int, rb: int) -> bool:
+        return outer.lb <= lb and rb <= outer.rb
+
+    def _compute_corrections(self) -> None:
+        for node in self.nodes:
+            kept = sum(self.nodes[ch].count for ch in node.children)
+            node.g = node.count - kept
+
+    def _compute_suffix_links(self) -> None:
+        """Suffix links of kept nodes (always kept, paper Section 5.3).
+
+        For node ``v`` with path label ``c·alpha`` the target is the unique
+        node of depth ``|alpha|`` whose interval contains the suffix-array
+        position of ``sa[v.lb] + 1``.
+        """
+        isa = self._isa
+        sa = self._sa
+        for node in self.nodes:
+            if node.depth == 0:
+                continue
+            # sa[lb] is a suffix of length >= depth >= 1 starting with a real
+            # symbol, so sa[lb] + 1 is always a valid suffix start.
+            q = int(isa[int(sa[node.lb]) + 1])
+            target = self._locate(q, node.depth - 1)
+            node.suffix_link = target.preorder_id
+            bisect.insort(target.isl_symbols, node.first_symbol)
+
+    def _locate(self, q: int, depth: int) -> PrunedNode:
+        """Descend from the root to the kept node of ``depth`` containing
+        suffix-array position ``q`` (exists whenever called: see Lemma 7
+        discussion — suffix-link targets of kept nodes are kept)."""
+        node = self.nodes[0]
+        while node.depth != depth:
+            idx = bisect.bisect_right([self.nodes[ch].lb for ch in node.children], q) - 1
+            if idx < 0:
+                raise InvalidParameterError(
+                    "internal error: suffix-link target missing from PST"
+                )
+            child = self.nodes[node.children[idx]]
+            if not (child.lb <= q <= child.rb) or child.depth > depth:
+                raise InvalidParameterError(
+                    "internal error: suffix-link target missing from PST"
+                )
+            node = child
+        return node
+
+    def _compute_symbol_counts(self) -> None:
+        """``C[c]`` = number of kept nodes whose path label starts with a
+        symbol smaller than ``c`` (length sigma+1; excludes the root)."""
+        sigma = self._text.sigma
+        counts = np.zeros(sigma + 1, dtype=np.int64)
+        for node in self.nodes:
+            if node.first_symbol is not None:
+                counts[node.first_symbol + 1] += 1
+        self.symbol_counts = np.cumsum(counts)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def text(self) -> Text:
+        """The indexed text."""
+        return self._text
+
+    @property
+    def threshold(self) -> int:
+        """The pruning threshold ``l``."""
+        return self._l
+
+    @property
+    def num_nodes(self) -> int:
+        """``m``: number of kept nodes (including the root)."""
+        return len(self.nodes)
+
+    @property
+    def root(self) -> PrunedNode:
+        return self.nodes[0]
+
+    def edge_length(self, node: PrunedNode) -> int:
+        """Length of the edge label into ``node`` (0 for the root)."""
+        if node.parent is None:
+            return 0
+        return node.depth - self.nodes[node.parent].depth
+
+    def edge_label(self, node: PrunedNode) -> str:
+        """The edge label into ``node`` as a string (PST baseline storage)."""
+        if node.parent is None:
+            return ""
+        start = int(self._sa[node.lb]) + self.nodes[node.parent].depth
+        symbols = self._data[start : start + self.edge_length(node)]
+        return self._text.alphabet.decode(symbols)
+
+    def path_label(self, node: PrunedNode) -> str:
+        """The full path label of ``node``."""
+        start = int(self._sa[node.lb])
+        return self._text.alphabet.decode(self._data[start : start + node.depth])
+
+    def total_label_length(self) -> int:
+        """``sum_i |edge(i)|`` over all kept edges (Figure 7 statistic)."""
+        return sum(self.edge_length(node) for node in self.nodes)
+
+    def rightmost_leaf(self, node: PrunedNode) -> PrunedNode:
+        """Rightmost *pruned-tree* leaf in the subtree of ``node``.
+
+        By the preorder numbering this is simply the kept node with the
+        largest preorder id in the subtree, i.e. the last node whose
+        interval nests in ``node``'s.
+        """
+        current = node
+        while current.children:
+            current = self.nodes[current.children[-1]]
+        return current
+
+    def subtree_last_id(self, node: PrunedNode) -> int:
+        """Largest preorder id in ``node``'s subtree (== rightmost leaf id)."""
+        return self.rightmost_leaf(node).preorder_id
+
+    def correction_factors(self) -> np.ndarray:
+        """``g(u)`` in preorder (drives the CPST's unary string ``G``)."""
+        return np.asarray([node.g for node in self.nodes], dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"PrunedSuffixTreeStructure(n={len(self._text)}, l={self._l}, "
+            f"m={self.num_nodes})"
+        )

@@ -1,0 +1,83 @@
+"""ASCII rendering of pruned suffix trees (paper Figure 5).
+
+The paper's Figure 5 illustrates the whole CPST construction on
+``banabananab`` with threshold 2: each node with its preorder id and
+correction factor, the inverse suffix links, the unary string ``G`` and
+the link string ``S``. :func:`render_pst` reproduces that picture for any
+text/threshold, and :func:`figure5_report` emits the companion strings —
+used by the documentation example and the Figure-5 regression test.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..textutil import Text
+from .pruned import PrunedNode, PrunedSuffixTreeStructure
+
+
+def render_pst(structure: PrunedSuffixTreeStructure, max_label: int = 12) -> str:
+    """Draw the pruned tree: one line per node, indentation by depth.
+
+    Format per node: ``<preorder id> [g=<correction>] '<edge label>'
+    (count=<C(u)>, depth=<|pathlabel|>) SL-><target>``.
+    """
+    lines: List[str] = []
+
+    def visit(node: PrunedNode, indent: int) -> None:
+        label = structure.edge_label(node)
+        if len(label) > max_label:
+            label = label[: max_label - 1] + "…"
+        suffix_link = (
+            f" SL->{node.suffix_link}" if node.suffix_link is not None else ""
+        )
+        isl = (
+            " ISL{" + ",".join(
+                structure.text.alphabet.decode([c]) for c in node.isl_symbols
+            ) + "}"
+            if node.isl_symbols
+            else ""
+        )
+        lines.append(
+            "  " * indent
+            + f"{node.preorder_id} [g={node.g}] {label!r} "
+            + f"(count={node.count}, depth={node.depth})"
+            + suffix_link
+            + isl
+        )
+        for child in node.children:
+            visit(structure.nodes[child], indent + 1)
+
+    visit(structure.root, 0)
+    return "\n".join(lines)
+
+
+def unary_g_string(structure: PrunedSuffixTreeStructure) -> str:
+    """The literal ``G = 0^g(0) 1 0^g(1) 1 …`` of paper Lemma 3."""
+    return "".join("0" * node.g + "1" for node in structure.nodes)
+
+
+def link_s_string(structure: PrunedSuffixTreeStructure) -> str:
+    """The literal ``S = Enc(D_0)#Enc(D_1)#…`` of paper Section 5.3."""
+    alphabet = structure.text.alphabet
+    pieces = []
+    for node in structure.nodes:
+        pieces.append(
+            "".join(alphabet.decode([c]) for c in node.isl_symbols) + "#"
+        )
+    return "".join(pieces)
+
+
+def figure5_report(text: str = "banabananab", l: int = 2) -> str:
+    """The full Figure-5 style report: tree + G + S."""
+    structure = PrunedSuffixTreeStructure(Text(text), l)
+    return "\n".join(
+        [
+            f"PST of {text!r} with threshold {l} "
+            f"({structure.num_nodes} nodes):",
+            render_pst(structure),
+            "",
+            f"G = {unary_g_string(structure)}",
+            f"S = {link_s_string(structure)}",
+        ]
+    )

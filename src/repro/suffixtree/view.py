@@ -1,0 +1,265 @@
+"""A navigable suffix-tree view over (text, SA, LCP) — no node objects.
+
+The classical "suffix tree without the suffix tree": every node is an
+lcp-interval ``(depth, lb, rb)`` materialised on demand, so the view costs
+three arrays (text, SA, LCP + an RMQ table) regardless of how much of the
+tree a traversal touches. This is the substrate interface the paper's
+Section 5.1 reviews; the pruned structures use a specialised bulk
+construction instead, and this view exists for interactive exploration,
+debugging and downstream users of the ``sa`` package.
+
+Supported operations: root, locus of a pattern (exact SA interval via
+binary search on the text), children enumeration (RMQ on LCP), suffix
+links, path labels, subtree counts, and depth-first traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import InvalidParameterError, PatternError
+from ..sa import inverse_suffix_array, lcp_array, suffix_array
+from ..sa.rmq import RangeMinimum
+from ..textutil import Text
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """One suffix-tree node as an lcp-interval (depth, inclusive range)."""
+
+    depth: int
+    lb: int
+    rb: int
+
+    @property
+    def count(self) -> int:
+        """Number of leaves (suffixes) below this node."""
+        return self.rb - self.lb + 1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.lb == self.rb
+
+
+class SuffixTreeView:
+    """Lazy suffix-tree navigation over one text."""
+
+    def __init__(self, text: Text | str):
+        if isinstance(text, str):
+            text = Text(text)
+        self._text = text
+        self._data = text.data
+        self._sa = suffix_array(self._data)
+        self._lcp = lcp_array(self._data, self._sa)
+        self._isa = inverse_suffix_array(self._sa)
+        self._rmq = RangeMinimum(self._lcp)
+        self._n = int(self._data.size)
+
+    # -- basics ---------------------------------------------------------------
+
+    @property
+    def text(self) -> Text:
+        return self._text
+
+    @property
+    def root(self) -> TreeNode:
+        return TreeNode(0, 0, self._n - 1)
+
+    def interval_depth(self, lb: int, rb: int) -> int:
+        """String depth of the node with SA interval ``[lb, rb]``."""
+        if lb == rb:
+            return self._n - int(self._sa[lb])  # leaf: full suffix length
+        return self._rmq.query(lb + 1, rb + 1)
+
+    def path_label(self, node: TreeNode) -> str:
+        """The node's path label as a string."""
+        start = int(self._sa[node.lb])
+        return self._text.alphabet.decode(
+            self._data[start : start + node.depth]
+        )
+
+    # -- pattern navigation -----------------------------------------------------
+
+    def locus(self, pattern: str) -> Optional[TreeNode]:
+        """The highest node whose path label is prefixed by the pattern,
+        or ``None`` when the pattern does not occur."""
+        if not isinstance(pattern, str) or not pattern:
+            raise PatternError("pattern must be a non-empty string")
+        encoded = self._text.alphabet.encode_pattern(pattern)
+        if encoded is None:
+            return None
+        lb = self._lower_bound(encoded)
+        rb = self._upper_bound(encoded)
+        if lb > rb:
+            return None
+        return TreeNode(self.interval_depth(lb, rb), lb, rb)
+
+    def count(self, pattern: str) -> int:
+        """Exact number of occurrences of the pattern."""
+        node = self.locus(pattern)
+        return 0 if node is None else node.count
+
+    def _compare(self, suffix_start: int, pattern: np.ndarray) -> int:
+        """-1/0/+1: suffix vs pattern as a prefix comparison."""
+        n = self._n
+        for offset, symbol in enumerate(pattern):
+            position = suffix_start + offset
+            if position >= n or self._data[position] < symbol:
+                return -1
+            if self._data[position] > symbol:
+                return 1
+        return 0
+
+    def _lower_bound(self, pattern: np.ndarray) -> int:
+        lo, hi = 0, self._n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._compare(int(self._sa[mid]), pattern) < 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _upper_bound(self, pattern: np.ndarray) -> int:
+        lo, hi = 0, self._n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._compare(int(self._sa[mid]), pattern) <= 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo - 1
+
+    # -- tree navigation ---------------------------------------------------------
+
+    def children(self, node: TreeNode) -> List[TreeNode]:
+        """Child nodes, in lexicographic (SA) order."""
+        if node.is_leaf:
+            return []
+        boundaries = [node.lb]
+        # Positions inside (lb, rb] where lcp equals the node depth split
+        # the interval into child subintervals.
+        position = node.lb + 1
+        while position <= node.rb:
+            # Find the next index in [position, rb] with lcp == node.depth.
+            nxt = self._next_split(position, node.rb, node.depth)
+            if nxt is None:
+                break
+            boundaries.append(nxt)
+            position = nxt + 1
+        boundaries.append(node.rb + 1)
+        children = []
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            rb = hi - 1
+            children.append(TreeNode(self.interval_depth(lo, rb), lo, rb))
+        return children
+
+    def _next_split(self, lo: int, rb: int, depth: int) -> Optional[int]:
+        """Smallest index in [lo, rb] with lcp value == depth (binary search
+        over the RMQ: the minimum of any prefix range reveals whether a
+        split lies inside it)."""
+        if self._rmq.query(lo, rb + 1) > depth:
+            return None
+        hi = rb
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._rmq.query(lo, mid + 1) <= depth:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def child_by_symbol(self, node: TreeNode, char: str) -> Optional[TreeNode]:
+        """The child whose edge starts with ``char``, if any."""
+        if len(char) != 1:
+            raise PatternError("char must be a single character")
+        encoded = self._text.alphabet.encode_pattern(char)
+        if encoded is None:
+            return None
+        target = int(encoded[0])
+        for child in self.children(node):
+            start = int(self._sa[child.lb]) + node.depth
+            if start < self._n and int(self._data[start]) == target:
+                return child
+        return None
+
+    def suffix_link(self, node: TreeNode) -> Optional[TreeNode]:
+        """The node for ``path_label[1:]`` (None for the root)."""
+        if node.depth == 0:
+            return None
+        start = int(self._sa[node.lb]) + 1
+        if start >= self._n:
+            return self.root  # the sentinel leaf links to the root
+        q = int(self._isa[start])
+        # Walk outward to the interval of depth node.depth - 1 containing q.
+        lb, rb = q, q
+        target = node.depth - 1
+        while self.interval_depth(lb, rb) > target:
+            lb, rb = self._parent_interval(lb, rb)
+        return TreeNode(target, lb, rb) if self.interval_depth(lb, rb) == target else None
+
+    def _parent_interval(self, lb: int, rb: int) -> tuple[int, int]:
+        """The smallest enclosing lcp-interval."""
+        depth = self.interval_depth(lb, rb)
+        left = self._lcp[lb] if lb > 0 else -1
+        right = self._lcp[rb + 1] if rb + 1 < self._n else -1
+        parent_depth = max(int(left), int(right))
+        if parent_depth < 0:
+            return 0, self._n - 1
+        new_lb, new_rb = lb, rb
+        while new_lb > 0 and int(self._lcp[new_lb]) >= parent_depth:
+            new_lb -= 1
+        while new_rb + 1 < self._n and int(self._lcp[new_rb + 1]) >= parent_depth:
+            new_rb += 1
+        return new_lb, new_rb
+
+    def matching_statistics(self, query: str) -> List[tuple[int, int]]:
+        """Per position ``i`` of ``query``: ``(length, count)`` of the
+        longest prefix of ``query[i:]`` occurring in the indexed text.
+
+        The classic similarity primitive (plagiarism detection, MUM
+        anchoring). Implementation: per-position longest-match by extending
+        through locus lookups — O(|query| * match * log n); fine for the
+        interactive uses this view targets.
+        """
+        if not isinstance(query, str) or not query:
+            raise PatternError("query must be a non-empty string")
+        stats: List[tuple[int, int]] = []
+        previous_length = 0
+        for i in range(len(query)):
+            # Matching statistics shrink by at most 1 per step: start from
+            # the previous match length minus one and extend.
+            length = max(0, previous_length - 1)
+            node = self.locus(query[i : i + length]) if length else self.root
+            if node is None:
+                length = 0
+                node = self.root
+            while i + length < len(query):
+                candidate = self.locus(query[i : i + length + 1])
+                if candidate is None:
+                    break
+                length += 1
+                node = candidate
+            count = node.count if length else 0
+            stats.append((length, count))
+            previous_length = length
+        return stats
+
+    def walk(self, max_depth: int | None = None) -> Iterator[TreeNode]:
+        """Depth-first preorder traversal of internal+leaf nodes."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.is_leaf:
+                continue
+            if max_depth is not None and node.depth >= max_depth:
+                continue
+            for child in reversed(self.children(node)):
+                stack.append(child)
+
+    def __repr__(self) -> str:
+        return f"SuffixTreeView(n={len(self._text)})"

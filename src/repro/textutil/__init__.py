@@ -1,0 +1,29 @@
+"""Text model: alphabets, sentinel-terminated texts, empirical entropy."""
+
+from .alphabet import SENTINEL, Alphabet
+from .entropy import entropy_profile, kth_order_entropy, zeroth_order_entropy
+from .patterns import (
+    absent_patterns,
+    adversarial_patterns,
+    mixed_workload,
+    random_patterns,
+    sample_from_text,
+    zipf_workload,
+)
+from .text import ROW_SEPARATOR, Text
+
+__all__ = [
+    "SENTINEL",
+    "Alphabet",
+    "ROW_SEPARATOR",
+    "Text",
+    "entropy_profile",
+    "kth_order_entropy",
+    "zeroth_order_entropy",
+    "absent_patterns",
+    "adversarial_patterns",
+    "mixed_workload",
+    "random_patterns",
+    "sample_from_text",
+    "zipf_workload",
+]

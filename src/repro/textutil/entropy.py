@@ -1,0 +1,73 @@
+"""Empirical entropy of texts (paper Section 2).
+
+``H0(T) = (1/n) * sum_c n_c * log2(n / n_c)`` lower-bounds any symbolwise
+fixed-code compressor; ``Hk`` conditions each symbol on its k preceding
+symbols: ``Hk(T) = (1/n) * sum_{w in Sigma^k} |w_T| * H0(w_T)`` where
+``w_T`` collects the symbols following occurrences of ``w``.
+
+Space reports use ``n*H0``/``n*Hk`` as the information-theoretic yardstick
+the paper compares compressed indexes against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+
+def zeroth_order_entropy(text: str | np.ndarray) -> float:
+    """``H0(T)`` in bits per symbol.
+
+    >>> zeroth_order_entropy("abab")
+    1.0
+    >>> zeroth_order_entropy("aaaa")
+    0.0
+    """
+    counts = _symbol_counts(text)
+    n = sum(counts.values())
+    if n == 0:
+        raise InvalidParameterError("entropy of an empty text is undefined")
+    return float(sum(c * np.log2(n / c) for c in counts.values()) / n)
+
+
+def kth_order_entropy(text: str | np.ndarray, k: int) -> float:
+    """``Hk(T)`` in bits per symbol (``k = 0`` matches :func:`zeroth_order_entropy`)."""
+    if k < 0:
+        raise InvalidParameterError(f"k must be >= 0, got {k}")
+    if k == 0:
+        return zeroth_order_entropy(text)
+    seq = _as_tuple(text)
+    n = len(seq)
+    if n == 0:
+        raise InvalidParameterError("entropy of an empty text is undefined")
+    contexts: Dict[tuple, Counter] = defaultdict(Counter)
+    for i in range(n - k):
+        contexts[seq[i : i + k]][seq[i + k]] += 1
+    total_bits = 0.0
+    for followers in contexts.values():
+        m = sum(followers.values())
+        total_bits += sum(c * np.log2(m / c) for c in followers.values())
+    return float(total_bits / n)
+
+
+def entropy_profile(text: str | np.ndarray, max_k: int = 4) -> Dict[int, float]:
+    """``{k: Hk(T)}`` for ``k = 0 .. max_k`` (monotone non-increasing)."""
+    return {k: kth_order_entropy(text, k) for k in range(max_k + 1)}
+
+
+def _symbol_counts(text: str | np.ndarray) -> Counter:
+    if isinstance(text, str):
+        return Counter(text)
+    arr = np.asarray(text)
+    values, counts = np.unique(arr, return_counts=True)
+    return Counter(dict(zip(values.tolist(), counts.tolist())))
+
+
+def _as_tuple(text: str | np.ndarray) -> tuple:
+    if isinstance(text, str):
+        return tuple(text)
+    return tuple(np.asarray(text).tolist())

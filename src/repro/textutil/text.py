@@ -1,0 +1,104 @@
+"""The text model shared by every index.
+
+:class:`Text` owns the alphabet mapping and the sentinel-terminated integer
+sequence that the suffix-array / BWT machinery consumes. It also implements
+the paper's reduction from *collections of strings* (rows of a database
+column) to a single text:
+
+    "given the content of strings R1, R2, … Rn we introduce a new special
+    symbol ▷ and create the text T(R) = ▷R1▷R2▷…▷Rn▷. A substring query is
+    then performed directly on T(R)."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AlphabetError, InvalidParameterError
+from .alphabet import SENTINEL, Alphabet
+
+ROW_SEPARATOR = "\x1e"
+"""Default ▷ symbol for row collections (ASCII record separator)."""
+
+
+class Text:
+    """A text prepared for indexing: alphabet + sentinel-terminated ids."""
+
+    __slots__ = ("_alphabet", "_data", "_raw")
+
+    def __init__(self, raw: str, alphabet: Alphabet | None = None):
+        if not isinstance(raw, str):
+            raise InvalidParameterError("Text requires a str (use from_bytes for bytes)")
+        if len(raw) == 0:
+            raise InvalidParameterError("cannot index an empty text")
+        self._raw = raw
+        self._alphabet = alphabet if alphabet is not None else Alphabet.from_text(raw)
+        body = self._alphabet.encode(raw)
+        self._data = np.concatenate(
+            [body, np.array([SENTINEL], dtype=np.int64)]
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Text":
+        """Index a byte string (mapped via latin-1, preserving byte order)."""
+        return cls(raw.decode("latin-1"))
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[str], separator: str = ROW_SEPARATOR) -> "Text":
+        """Build ``T(R) = ▷R1▷R2▷…▷Rn▷`` from database rows.
+
+        The separator must not occur inside any row. Counting a pattern on
+        the resulting text counts its occurrences across all rows (patterns
+        never straddle rows because the separator interrupts them).
+        """
+        if not rows:
+            raise InvalidParameterError("row collection must be non-empty")
+        if len(separator) != 1:
+            raise InvalidParameterError("separator must be a single character")
+        if any(separator in row for row in rows):
+            raise AlphabetError(
+                f"separator {separator!r} occurs inside a row; choose another"
+            )
+        return cls(separator + separator.join(rows) + separator)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The character-to-id mapping of this text."""
+        return self._alphabet
+
+    @property
+    def raw(self) -> str:
+        """The original string (without the sentinel)."""
+        return self._raw
+
+    @property
+    def data(self) -> np.ndarray:
+        """Sentinel-terminated int64 symbol sequence (length ``len(raw)+1``)."""
+        return self._data
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size including the sentinel."""
+        return self._alphabet.sigma
+
+    def __len__(self) -> int:
+        """Length of the *original* text (sentinel excluded)."""
+        return len(self._raw)
+
+    def count_naive(self, pattern: str) -> int:
+        """Reference overlapping-occurrence count by direct scanning."""
+        if not pattern:
+            raise InvalidParameterError("pattern must be non-empty")
+        count = 0
+        start = self._raw.find(pattern)
+        while start >= 0:
+            count += 1
+            start = self._raw.find(pattern, start + 1)
+        return count
+
+    def __repr__(self) -> str:
+        return f"Text(n={len(self)}, sigma={self.sigma})"

@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests that sample random inputs."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def naive_count(text: str, pattern: str) -> int:
+    """Reference substring counter (overlapping occurrences)."""
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    count = 0
+    start = 0
+    while True:
+        idx = text.find(pattern, start)
+        if idx < 0:
+            return count
+        count += 1
+        start = idx + 1

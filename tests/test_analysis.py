@@ -1,0 +1,134 @@
+"""Tests for the executable lower bounds and space-bound sheets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ApproxIndex, CompactPrunedSuffixTree, FMIndex
+from repro.analysis import (
+    evaluate_bounds,
+    membership_oracle,
+    optimality_gap,
+    reconstruct_from_exact,
+    reconstruct_text,
+    repeat_text,
+)
+from repro.errors import InvalidParameterError
+from repro.textutil import Text
+
+
+class TestRepeatText:
+    def test_construction(self):
+        assert repeat_text("ab", 2, "#") == "ab#ab#ab#"
+
+    def test_separator_conflict(self):
+        with pytest.raises(InvalidParameterError):
+            repeat_text("a#b", 2, "#")
+
+    def test_l_validation(self):
+        with pytest.raises(InvalidParameterError):
+            repeat_text("ab", 0)
+
+
+class TestTheorem3Reconstruction:
+    """An additive-l index on (T#)^(l+1) contains T in full."""
+
+    @pytest.mark.parametrize("l", [2, 4, 8])
+    def test_reconstruct_via_apx(self, l):
+        original = "abracadabra"
+        prime = repeat_text(original, l, "#")
+        text = Text(prime)
+        index = ApproxIndex(text, l)
+        recovered = reconstruct_text(index, len(original), text.alphabet, l, "#")
+        assert recovered == original
+
+    def test_reconstruct_random_texts(self, rng):
+        for _ in range(3):
+            original = "".join(rng.choice(list("abcd"), size=30))
+            l = 4
+            text = Text(repeat_text(original, l, "#"))
+            index = ApproxIndex(text, l)
+            assert reconstruct_text(index, 30, text.alphabet, l, "#") == original
+
+    def test_membership_oracle_separates(self):
+        original = "banana"
+        l = 4
+        text = Text(repeat_text(original, l, "#"))
+        oracle = membership_oracle(ApproxIndex(text, l), l)
+        assert oracle("ana")
+        assert oracle("banana")
+        assert not oracle("nab")
+        assert not oracle("bananan")
+
+
+class TestTheorem4Reconstruction:
+    """A membership-capable (multiplicative-style) index on one copy of T
+    already contains T: the Omega(n log sigma) bound."""
+
+    def test_reconstruct_via_fm(self):
+        original = "mississippi"
+        text = Text(original + "#")
+        recovered = reconstruct_from_exact(
+            FMIndex(text), len(original), text.alphabet, "#"
+        )
+        assert recovered == original
+
+    def test_ambiguity_detected(self):
+        # A CPST that hides everything below threshold cannot reconstruct;
+        # the helper must fail loudly rather than return garbage.
+        original = "abcd"
+        text = Text(original + "#")
+        hidden = CompactPrunedSuffixTree(text, 4)
+        with pytest.raises(InvalidParameterError):
+            reconstruct_from_exact(hidden, len(original), text.alphabet, "#")
+
+
+class TestBoundSheets:
+    def test_expressions_positive_and_ordered(self):
+        text = Text("the quick brown fox " * 50)
+        sheet = evaluate_bounds(text, l=32, m=40)
+        assert sheet.theorem3_floor_bits > 0
+        # The APX expression always dominates the floor.
+        assert sheet.theorem5_apx_expression_bits > sheet.theorem3_floor_bits
+
+    def test_measured_index_above_floor(self):
+        text = Text("the quick brown fox " * 50)
+        l = 32
+        index = ApproxIndex(text, l)
+        sheet = evaluate_bounds(text, l)
+        gap = optimality_gap(index.space_report().payload_bits, sheet)
+        assert gap >= 1.0  # nobody beats the information-theoretic floor
+
+    def test_gap_shrinks_with_l_bounded(self):
+        text = Text("abcdefgh" * 300)
+        gaps = []
+        for l in (8, 32, 128):
+            index = ApproxIndex(text, l)
+            sheet = evaluate_bounds(text, l)
+            gaps.append(optimality_gap(index.space_report().payload_bits, sheet))
+        # The gap stays within a constant-ish band across thresholds
+        # (Theorem 5's optimality for log l = O(log sigma)).
+        assert max(gaps) / min(gaps) < 30
+
+    def test_degenerate_sheet_rejected(self):
+        text = Text("ab")
+        sheet = evaluate_bounds(text, l=2)
+        with pytest.raises(ValueError):
+            optimality_gap(100, type(sheet)(
+                n=0, sigma=1, l=2, m=0,
+                theorem3_floor_bits=0.0,
+                theorem5_apx_expression_bits=0.0,
+                theorem8_cpst_expression_bits=0.0,
+                fm_h0_reference_bits=0.0,
+            ))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.text(alphabet="ab", min_size=3, max_size=20))
+def test_property_reconstruction_roundtrip(original):
+    l = 2
+    text = Text(repeat_text(original, l, "#"))
+    index = ApproxIndex(text, l)
+    assert reconstruct_text(index, len(original), text.alphabet, l, "#") == original

@@ -1,0 +1,157 @@
+"""Tests for the application layer: n-gram models and k-mer similarity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import ApproxIndex, CompactPrunedSuffixTree, FMIndex
+from repro.applications import (
+    NGramModel,
+    cosine_similarity,
+    kmer_profile,
+    profile_similarity,
+    top_kmers,
+)
+from repro.errors import InvalidParameterError, PatternError
+from repro.textutil import Text
+
+
+@pytest.fixture(scope="module")
+def english_index():
+    text = Text("the cat sat on the mat and the rat sat too " * 30)
+    return text, FMIndex(text)
+
+
+class TestNGramModel:
+    def test_probabilities_form_distribution(self, english_index):
+        _, index = english_index
+        model = NGramModel(index, order=2)
+        for context in ("", "th", "q"):
+            dist = model.distribution(context)
+            assert sum(dist.values()) == pytest.approx(1.0)
+            assert all(p > 0 for p in dist.values())
+
+    def test_conditioning_matches_counts(self, english_index):
+        text, index = english_index
+        model = NGramModel(index, order=2, smoothing=1e-9)
+        # P('e' | 'th') ~ Count('the')/Count('th') with tiny smoothing.
+        expected = text.count_naive("the") / text.count_naive("th")
+        assert model.probability("e", "th") == pytest.approx(expected, rel=1e-3)
+
+    def test_likelihood_prefers_in_domain_text(self, english_index):
+        _, index = english_index
+        model = NGramModel(index, order=3)
+        good = model.perplexity("the cat sat on the mat")
+        bad = model.perplexity("zqxj wvk qqq zzz")
+        assert good < bad
+
+    def test_backoff_on_unseen_context(self, english_index):
+        _, index = english_index
+        model = NGramModel(index, order=3)
+        # Context never occurring: probability still positive via backoff.
+        assert model.probability("t", "qqq") > 0
+
+    def test_unseen_character(self, english_index):
+        _, index = english_index
+        model = NGramModel(index, order=2)
+        assert 0 < model.probability("Z", "th") < 0.5
+
+    def test_generation_is_deterministic_and_plausible(self, english_index):
+        _, index = english_index
+        model = NGramModel(index, order=3)
+        a = model.generate(60, seed=5)
+        b = model.generate(60, seed=5)
+        assert a == b and len(a) == 60
+        # Generated text reuses the corpus alphabet and spaces words out.
+        assert set(a) <= set(index.alphabet.characters)
+        assert " " in a
+
+    def test_generate_with_prompt(self, english_index):
+        _, index = english_index
+        model = NGramModel(index, order=3)
+        out = model.generate(10, seed=1, prompt="the ")
+        assert len(out) == 10
+
+    def test_approximate_backend(self, english_index):
+        text, _ = english_index
+        model = NGramModel(ApproxIndex(text, 8), order=2)
+        dist = model.distribution("th")
+        assert max(dist, key=dist.get) == "e"
+
+    def test_validation(self, english_index):
+        _, index = english_index
+        with pytest.raises(InvalidParameterError):
+            NGramModel(index, order=0)
+        with pytest.raises(InvalidParameterError):
+            NGramModel(index, backoff=0)
+        with pytest.raises(InvalidParameterError):
+            NGramModel(index, smoothing=0)
+        model = NGramModel(index)
+        with pytest.raises(PatternError):
+            model.probability("ab", "c")
+        with pytest.raises(PatternError):
+            model.log_likelihood("")
+        with pytest.raises(InvalidParameterError):
+            model.generate(-1)
+
+
+class TestSimilarity:
+    KMERS = ["the", "cat", "dog", "at ", " sa"]
+
+    def test_profile_counts(self, english_index):
+        text, index = english_index
+        profile = kmer_profile(index, self.KMERS)
+        assert profile["the"] == text.count_naive("the")
+
+    def test_self_similarity_is_one(self, english_index):
+        _, index = english_index
+        assert profile_similarity(index, index, self.KMERS) == pytest.approx(1.0)
+
+    def test_related_texts_more_similar(self):
+        a = FMIndex(Text("the cat sat on the mat " * 20))
+        b = FMIndex(Text("the cat sat near the mat " * 20))
+        c = FMIndex(Text("GATTACA GATTACA CCGGTTAA " * 20))
+        kmers = ["the", "cat", "mat", "GAT", "CCG", " sa"]
+        assert profile_similarity(a, b, kmers) > profile_similarity(a, c, kmers)
+
+    def test_apx_backend_perturbation_bounded(self):
+        text = Text("the cat sat on the mat and more words here " * 40)
+        exact = FMIndex(text)
+        l = 8
+        approx = ApproxIndex(text, l)
+        kmers = ["the", " ca", "at ", "mat", "wor"]
+        exact_profile = kmer_profile(exact, kmers)
+        approx_profile = kmer_profile(approx, kmers)
+        for kmer in kmers:
+            assert 0 <= approx_profile[kmer] - exact_profile[kmer] <= l - 1
+        sim = cosine_similarity(exact_profile, approx_profile)
+        assert sim > 0.99  # small additive noise barely moves the angle
+
+    def test_mismatched_profiles_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cosine_similarity({"a": 1}, {"b": 1})
+
+    def test_zero_profile(self):
+        assert cosine_similarity({"a": 0}, {"a": 0}) == 0.0
+
+    def test_top_kmers(self, english_index):
+        _, index = english_index
+        ranked = top_kmers(index, self.KMERS, k=2)
+        assert len(ranked) == 2
+        assert ranked[0][1] >= ranked[1][1]
+        with pytest.raises(InvalidParameterError):
+            top_kmers(index, self.KMERS, k=0)
+
+    def test_empty_kmers_rejected(self, english_index):
+        _, index = english_index
+        with pytest.raises(InvalidParameterError):
+            kmer_profile(index, [])
+
+    def test_lower_sided_backend(self):
+        text = Text("abcabcabc" * 10)
+        cpst = CompactPrunedSuffixTree(text, 4)
+        profile = kmer_profile(cpst, ["abc", "bca", "zzz"])
+        assert profile["abc"] == text.count_naive("abc")
+        assert profile["zzz"] == 0

@@ -1,0 +1,216 @@
+"""Tests for the APX_l uniform-error index (paper Section 4).
+
+The central property (paper Theorem 7): for every pattern P,
+
+    Count(P) <= ApproxIndex(T, l).count(P) <= Count(P) + l - 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import ApproxIndex
+from repro.core.interface import ErrorModel
+from repro.errors import InvalidParameterError, PatternError
+from repro.sa import bwt, counts_array
+from repro.textutil import Text
+
+
+def all_substrings(text: str, max_len: int):
+    seen = set()
+    for length in range(1, max_len + 1):
+        for start in range(len(text) - length + 1):
+            seen.add(text[start : start + length])
+    return sorted(seen)
+
+
+def assert_uniform_bound(text: str, l: int, patterns):
+    t = Text(text)
+    apx = ApproxIndex(t, l)
+    for pattern in patterns:
+        true = t.count_naive(pattern)
+        est = apx.count(pattern)
+        assert true <= est <= true + l - 1, (
+            f"pattern {pattern!r} on text {text!r} with l={l}: "
+            f"true={true}, estimate={est}"
+        )
+
+
+class TestApproxValidation:
+    def test_l_must_be_even(self):
+        with pytest.raises(InvalidParameterError):
+            ApproxIndex("abc", 3)
+
+    def test_l_must_be_at_least_two(self):
+        with pytest.raises(InvalidParameterError):
+            ApproxIndex("abc", 0)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            ApproxIndex("abc", 2).count("")
+
+    def test_metadata(self):
+        apx = ApproxIndex("banana", 4)
+        assert apx.error_model is ErrorModel.UNIFORM
+        assert apx.threshold == 4
+        assert apx.text_length == 6
+        assert apx.sigma == 4  # $, a, b, n
+
+
+class TestApproxSmallTexts:
+    def test_l2_is_exact(self):
+        # h = 1: every occurrence is a discriminant, so counts are exact.
+        text = "abracadabra"
+        t = Text(text)
+        apx = ApproxIndex(t, 2)
+        for pattern in all_substrings(text, 5):
+            assert apx.count(pattern) == t.count_naive(pattern), pattern
+
+    @pytest.mark.parametrize("l", [2, 4, 8, 16])
+    def test_exhaustive_abracadabra(self, l):
+        text = "abracadabra" * 3
+        assert_uniform_bound(text, l, all_substrings(text, 6))
+
+    @pytest.mark.parametrize("l", [2, 4, 8])
+    def test_exhaustive_banana_runs(self, l):
+        assert_uniform_bound("banabananab", l, all_substrings("banabananab", 6))
+
+    @pytest.mark.parametrize("l", [2, 4, 8, 32])
+    def test_unary_text(self, l):
+        # T = a^n, the paper's worst case for the pruned suffix tree.
+        n = 60
+        text = "a" * n
+        t = Text(text)
+        apx = ApproxIndex(t, l)
+        for k in range(1, n + 1):
+            true = n - k + 1
+            est = apx.count("a" * k)
+            assert true <= est <= true + l - 1, k
+
+    def test_absent_characters(self):
+        apx = ApproxIndex("aabb", 4)
+        assert apx.count("z") == 0
+        assert apx.count("az") == 0
+
+    def test_absent_patterns_bounded(self):
+        text = "abcabcabc"
+        t = Text(text)
+        apx = ApproxIndex(t, 4)
+        for pattern in ("ca", "cb", "aa", "bb", "acb", "cab"):
+            true = t.count_naive(pattern)
+            assert true <= apx.count(pattern) <= true + 3, pattern
+
+
+class TestApproxRandomTexts:
+    @pytest.mark.parametrize("sigma,l", [(2, 4), (2, 16), (4, 8), (8, 8), (26, 64)])
+    def test_random_patterns(self, sigma, l, rng):
+        chars = [chr(ord("a") + i) for i in range(sigma)]
+        text = "".join(rng.choice(chars, size=500))
+        patterns = set()
+        for length in (1, 2, 3, 4, 6, 10):
+            for _ in range(15):
+                start = int(rng.integers(0, 500 - length))
+                patterns.add(text[start : start + length])
+            patterns.add("".join(rng.choice(chars, size=length)))
+        assert_uniform_bound(text, l, sorted(patterns))
+
+    def test_highly_repetitive(self, rng):
+        text = "abcab" * 100
+        assert_uniform_bound(text, 16, all_substrings("abcab" * 3, 8))
+
+
+class TestApproxInternals:
+    def test_discriminant_positions_match_definition(self):
+        text = "abracadabra" * 5
+        t = Text(text)
+        l = 8
+        h = l // 2
+        apx = ApproxIndex(t, l)
+        bwt_arr = bwt(t.data)
+        for c in range(1, t.sigma):
+            positions = np.flatnonzero(bwt_arr == c)
+            n_c = positions.size
+            expected = [int(positions[r]) for r in range(0, n_c, h)]
+            if n_c and (n_c - 1) % h:
+                expected.append(int(positions[-1]))
+            total = apx._b.rank(c, len(apx._b))
+            got = [apx._discriminant_position(c, p) for p in range(1, total + 1)]
+            assert got == expected, c
+
+    def test_fact1_lf_matches_true_lf(self):
+        # Fact 1: LF(d) = C[c] + (p-1)*h for sampled discriminants (0-based),
+        # and C[c+1]-1 for the last occurrence.
+        text = "mississippi" * 8
+        t = Text(text)
+        l = 4
+        apx = ApproxIndex(t, l)
+        bwt_arr = bwt(t.data)
+        c_arr = counts_array(bwt_arr, t.sigma)
+        lst = bwt_arr.tolist()
+        for c in range(1, t.sigma):
+            total = apx._b.rank(c, len(apx._b))
+            for p in range(1, total + 1):
+                d = apx._discriminant_position(c, p)
+                true_lf = int(c_arr[c]) + sum(1 for x in lst[:d] if x == c)
+                assert apx._lf_discriminant(c, p) == true_lf, (c, p)
+
+    def test_num_discriminants_bound(self):
+        text = "abcd" * 250
+        t = Text(text)
+        for l in (4, 8, 32, 128):
+            apx = ApproxIndex(t, l)
+            n_rows = len(text) + 1
+            bound = 2 * n_rows // (l // 2) + 2 * t.sigma
+            assert apx.num_discriminants <= bound
+
+    def test_successor_predecessor_against_naive(self):
+        text = "banana" * 20
+        t = Text(text)
+        l = 6  # odd h = 3
+        apx = ApproxIndex(t, l)
+        bwt_arr = bwt(t.data)
+        h = l // 2
+        for c in range(1, t.sigma):
+            positions = np.flatnonzero(bwt_arr == c)
+            n_c = positions.size
+            discs = [int(positions[r]) for r in range(0, n_c, h)]
+            if n_c and (n_c - 1) % h:
+                discs.append(int(positions[-1]))
+            for x in range(0, len(bwt_arr), 7):
+                succ = apx._successor(c, x)
+                expected_succ = next((d for d in discs if d >= x), None)
+                assert (succ[1] if succ else None) == expected_succ, (c, x)
+                pred = apx._predecessor(c, x)
+                expected_pred = next((d for d in reversed(discs) if d <= x), None)
+                assert (pred[1] if pred else None) == expected_pred, (c, x)
+
+
+class TestApproxSpace:
+    def test_space_shrinks_with_l(self):
+        text = "the quick brown fox jumps over the lazy dog " * 40
+        sizes = [
+            ApproxIndex(text, l).space_report().payload_bits for l in (4, 16, 64, 256)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] < sizes[0] / 4
+
+    def test_components_present(self):
+        rep = ApproxIndex("banana" * 10, 8).space_report()
+        assert set(rep.components) == {"B_block_string", "V_offsets", "C_array"}
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.text(alphabet="abc", min_size=1, max_size=150),
+    st.text(alphabet="abc", min_size=1, max_size=5),
+    st.sampled_from([2, 4, 6, 8, 16]),
+)
+def test_property_uniform_error_bound(text, pattern, l):
+    t = Text(text)
+    apx = ApproxIndex(t, l)
+    true = t.count_naive(pattern)
+    est = apx.count(pattern)
+    assert true <= est <= true + l - 1

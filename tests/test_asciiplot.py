@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart rendering of Figure 8."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure8
+from repro.experiments.asciiplot import render_all, render_figure8
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return figure8.run(size=5000, thresholds=(8, 32, 128), datasets=["dna", "english"])
+
+
+class TestRenderFigure8:
+    def test_contains_all_glyphs(self, rows):
+        chart = render_figure8(rows, "dna")
+        assert "A" in chart and "P" in chart and "C" in chart
+        assert "·" in chart  # FM reference line
+        assert "legend:" in chart
+
+    def test_axis_labels(self, rows):
+        chart = render_figure8(rows, "dna")
+        assert "8" in chart and "32" in chart
+
+    def test_unknown_dataset_rejected(self, rows):
+        with pytest.raises(ValueError):
+            render_figure8(rows, "proteins")
+
+    def test_dimensions_respected(self, rows):
+        height = 10
+        width = 40
+        chart = render_figure8(rows, "dna", width=width, height=height)
+        body = [line for line in chart.splitlines() if line.startswith("|")]
+        assert len(body) == height
+        assert all(len(line) == width + 1 for line in body)
+
+    def test_render_all_covers_datasets(self, rows):
+        combined = render_all(rows)
+        assert "dna:" in combined and "english:" in combined
+
+    def test_cpst_is_lowest_curve(self, rows):
+        """The CPST glyph must appear on the lowest populated row of the
+        chart (smallest index everywhere)."""
+        chart = render_figure8(rows, "english")
+        body = [line for line in chart.splitlines() if line.startswith("|")]
+        lowest_glyph_row = max(
+            i for i, line in enumerate(body) if set(line) & set("APC")
+        )
+        assert "C" in body[lowest_glyph_row]

@@ -1,0 +1,133 @@
+"""Unit and property tests for BitVector rank/select."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import BitVector
+from repro.errors import InvalidParameterError
+
+
+def naive_rank(bits, b, i):
+    return sum(1 for x in bits[:i] if x == b)
+
+
+def naive_select(bits, b, k):
+    seen = 0
+    for pos, x in enumerate(bits):
+        if x == b:
+            seen += 1
+            if seen == k:
+                return pos
+    return -1
+
+
+class TestBitVectorBasics:
+    def test_empty(self):
+        bv = BitVector([])
+        assert len(bv) == 0
+        assert bv.num_ones == 0
+        assert bv.rank1(0) == 0
+        assert bv.select1(1) == -1
+
+    def test_access(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        bv = BitVector(bits)
+        assert [bv[i] for i in range(7)] == bits
+        assert bv[-1] == 1
+
+    def test_counts(self):
+        bv = BitVector([1, 0, 1, 1, 0])
+        assert bv.num_ones == 3
+        assert bv.num_zeros == 2
+
+    def test_invalid_entries(self):
+        with pytest.raises(InvalidParameterError):
+            BitVector([0, 2])
+
+    def test_from_positions(self):
+        bv = BitVector.from_positions([1, 4, 5], 8)
+        assert bv.to_array().tolist() == [0, 1, 0, 0, 1, 1, 0, 0]
+
+    def test_from_positions_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            BitVector.from_positions([8], 8)
+
+    def test_rank_bounds(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(IndexError):
+            bv.rank1(3)
+        assert bv.rank1(2) == 1
+
+    def test_size_accounting(self):
+        bv = BitVector([1] * 1000)
+        assert bv.size_in_bits() == 1000
+        assert bv.overhead_in_bits() > 0
+
+
+class TestRankSelectAgainstNaive:
+    @pytest.mark.parametrize("n,p", [(1, 0.5), (64, 0.1), (65, 0.9), (500, 0.5), (1000, 0.02)])
+    def test_dense_patterns(self, n, p, rng):
+        bits = (rng.random(n) < p).astype(np.uint8)
+        ref = bits.tolist()
+        bv = BitVector(bits)
+        for i in range(0, n + 1, max(1, n // 37)):
+            assert bv.rank1(i) == naive_rank(ref, 1, i)
+            assert bv.rank0(i) == naive_rank(ref, 0, i)
+        ones = int(bits.sum())
+        zeros = n - ones
+        for k in range(1, ones + 1, max(1, ones // 29) if ones else 1):
+            assert bv.select1(k) == naive_select(ref, 1, k)
+        for k in range(1, zeros + 1, max(1, zeros // 29) if zeros else 1):
+            assert bv.select0(k) == naive_select(ref, 0, k)
+
+    def test_word_boundaries(self):
+        # All ones at multiples of 64 exercises word-boundary arithmetic.
+        n = 64 * 5 + 3
+        bits = [1 if i % 64 == 0 else 0 for i in range(n)]
+        bv = BitVector(bits)
+        for k in range(1, 7):
+            assert bv.select1(k) == naive_select(bits, 1, k)
+        for i in (0, 63, 64, 65, 127, 128, n):
+            assert bv.rank1(i) == naive_rank(bits, 1, i)
+
+    def test_rank_select_inverse(self, rng):
+        bits = (rng.random(777) < 0.3).astype(np.uint8)
+        bv = BitVector(bits)
+        for k in range(1, bv.num_ones + 1):
+            pos = bv.select1(k)
+            assert bv.rank1(pos) == k - 1
+            assert bv[pos] == 1
+        for k in range(1, bv.num_zeros + 1, 7):
+            pos = bv.select0(k)
+            assert bv.rank0(pos) == k - 1
+            assert bv[pos] == 0
+
+    def test_dispatching_rank_select(self):
+        bits = [1, 0, 0, 1, 1]
+        bv = BitVector(bits)
+        assert bv.rank(1, 4) == bv.rank1(4)
+        assert bv.rank(0, 4) == bv.rank0(4)
+        assert bv.select(1, 2) == bv.select1(2)
+        assert bv.select(0, 1) == bv.select0(1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), max_size=400))
+def test_property_rank_select_consistency(bits):
+    bv = BitVector(bits)
+    n = len(bits)
+    # rank at n equals total counts
+    assert bv.rank1(n) == sum(bits)
+    assert bv.rank0(n) == n - sum(bits)
+    # select inverts rank for every one
+    for k in range(1, sum(bits) + 1):
+        pos = bv.select1(k)
+        assert bits[pos] == 1
+        assert bv.rank1(pos + 1) == k
+    # out-of-range selects return -1
+    assert bv.select1(sum(bits) + 1) == -1
+    assert bv.select0(n - sum(bits) + 1) == -1

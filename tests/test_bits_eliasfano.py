@@ -1,0 +1,157 @@
+"""Tests for Elias–Fano sequences and the sparse bitvector wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import EliasFano, SparseBitVector
+from repro.errors import InvalidParameterError
+
+monotone_lists = st.lists(
+    st.integers(min_value=0, max_value=5000), min_size=0, max_size=300
+).map(sorted)
+
+
+class TestEliasFanoBasics:
+    def test_empty(self):
+        ef = EliasFano([])
+        assert len(ef) == 0
+        assert ef.num_less(10) == 0
+        assert ef.predecessor(5) is None
+        assert ef.successor(5) is None
+
+    def test_roundtrip(self):
+        values = [0, 0, 3, 7, 7, 7, 100, 1000]
+        ef = EliasFano(values)
+        assert list(ef) == values
+        assert ef.to_array().tolist() == values
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            EliasFano([3, 2])
+
+    def test_universe_too_small_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            EliasFano([5], universe=5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            EliasFano([-1, 0])
+
+    def test_explicit_universe(self):
+        ef = EliasFano([1, 2], universe=10**6)
+        assert ef.universe == 10**6
+        assert list(ef) == [1, 2]
+
+    def test_space_is_sublinear_for_sparse(self):
+        # 100 values in a universe of a million: ~ m*log(u/m) + 2m bits.
+        values = np.arange(100) * 9973
+        ef = EliasFano(values, universe=10**6)
+        assert ef.size_in_bits() < 100 * 20 + 300
+
+    def test_dense_sequence(self):
+        values = list(range(256))
+        ef = EliasFano(values)
+        assert list(ef) == values
+
+
+class TestEliasFanoOrderQueries:
+    @pytest.fixture
+    def ef(self):
+        return EliasFano([2, 2, 5, 9, 9, 9, 14, 21])
+
+    def test_num_less(self, ef):
+        assert ef.num_less(0) == 0
+        assert ef.num_less(2) == 0
+        assert ef.num_less(3) == 2
+        assert ef.num_less(9) == 3
+        assert ef.num_less(10) == 6
+        assert ef.num_less(22) == 8
+        assert ef.num_less(1000) == 8
+
+    def test_predecessor(self, ef):
+        assert ef.predecessor(1) is None
+        assert ef.predecessor(2) == (1, 2)
+        assert ef.predecessor(8) == (2, 5)
+        assert ef.predecessor(9) == (5, 9)
+        assert ef.predecessor(100) == (7, 21)
+
+    def test_successor(self, ef):
+        assert ef.successor(0) == (0, 2)
+        assert ef.successor(2) == (0, 2)
+        assert ef.successor(3) == (2, 5)
+        assert ef.successor(10) == (6, 14)
+        assert ef.successor(21) == (7, 21)
+        assert ef.successor(22) is None
+
+
+@settings(max_examples=80, deadline=None)
+@given(monotone_lists, st.integers(min_value=0, max_value=5200))
+def test_property_order_queries_match_naive(values, x):
+    ef = EliasFano(values)
+    arr = np.asarray(values, dtype=np.int64)
+    assert ef.num_less(x) == int((arr < x).sum())
+    assert ef.num_less_or_equal(x) == int((arr <= x).sum())
+    pred = ef.predecessor(x)
+    below = [v for v in values if v <= x]
+    if below:
+        assert pred is not None and pred[1] == below[-1]
+    else:
+        assert pred is None
+    succ = ef.successor(x)
+    above = [v for v in values if v >= x]
+    if above:
+        assert succ is not None and succ[1] == above[0]
+    else:
+        assert succ is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(monotone_lists)
+def test_property_roundtrip(values):
+    ef = EliasFano(values)
+    assert list(ef) == values
+
+
+class TestSparseBitVector:
+    def test_basic(self):
+        sbv = SparseBitVector([2, 5, 11], 16)
+        assert len(sbv) == 16
+        assert sbv.num_ones == 3
+        assert [sbv[i] for i in range(16)] == [
+            0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0,
+        ]
+
+    def test_rank_select(self):
+        positions = [3, 7, 8, 20, 63, 64, 100]
+        n = 128
+        sbv = SparseBitVector(positions, n)
+        bits = [1 if i in set(positions) else 0 for i in range(n)]
+        for i in range(0, n + 1, 5):
+            assert sbv.rank1(i) == sum(bits[:i])
+            assert sbv.rank0(i) == i - sum(bits[:i])
+        for k in range(1, len(positions) + 1):
+            assert sbv.select1(k) == positions[k - 1]
+        assert sbv.select1(len(positions) + 1) == -1
+        # select0 spot checks
+        zeros = [i for i in range(n) if not bits[i]]
+        for k in (1, 2, 10, len(zeros)):
+            assert sbv.select0(k) == zeros[k - 1]
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SparseBitVector([5, 5], 10)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SparseBitVector([10], 10)
+
+    def test_empty(self):
+        sbv = SparseBitVector([], 10)
+        assert sbv.num_ones == 0
+        assert sbv.rank1(10) == 0
+        assert sbv.select1(1) == -1
+        assert sbv.select0(10) == 9

@@ -1,0 +1,123 @@
+"""Unit and property tests for the bit-packed IntVector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import IntVector, bits_needed
+from repro.errors import InvalidParameterError
+
+
+class TestBitsNeeded:
+    def test_zero_needs_one_bit(self):
+        assert bits_needed(0) == 1
+
+    def test_powers_of_two(self):
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 2
+        assert bits_needed(3) == 2
+        assert bits_needed(4) == 3
+        assert bits_needed(255) == 8
+        assert bits_needed(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bits_needed(-1)
+
+
+class TestIntVectorBasics:
+    def test_roundtrip_small(self):
+        values = [5, 0, 7, 3, 1, 6, 2, 4]
+        iv = IntVector.from_array(values, width=3)
+        assert list(iv) == values
+        assert len(iv) == 8
+        assert iv.width == 3
+
+    def test_width_inferred(self):
+        iv = IntVector.from_array([0, 1, 1000])
+        assert iv.width == 10
+        assert iv[2] == 1000
+
+    def test_empty(self):
+        iv = IntVector.from_array([])
+        assert len(iv) == 0
+        assert iv.to_array().size == 0
+        assert iv.size_in_bits() == 0
+
+    def test_negative_index(self):
+        iv = IntVector.from_array([10, 20, 30])
+        assert iv[-1] == 30
+        assert iv[-3] == 10
+
+    def test_out_of_range_index(self):
+        iv = IntVector.from_array([1, 2])
+        with pytest.raises(IndexError):
+            iv[2]
+        with pytest.raises(IndexError):
+            iv[-3]
+
+    def test_slice_access(self):
+        iv = IntVector.from_array(list(range(10)))
+        assert iv[2:5] == [2, 3, 4]
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IntVector.from_array([8], width=3)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IntVector.from_array([-1])
+
+    def test_size_in_bits(self):
+        iv = IntVector.from_array([1] * 100, width=7)
+        assert iv.size_in_bits() == 700
+
+    def test_straddling_word_boundary(self):
+        # Width 13 guarantees many elements straddle 64-bit word boundaries.
+        values = [(i * 2654435761) % (1 << 13) for i in range(200)]
+        iv = IntVector.from_array(values, width=13)
+        assert list(iv) == values
+
+    def test_width_62(self):
+        values = [0, (1 << 62) - 1, 1234567890123456789]
+        iv = IntVector.from_array(values, width=62)
+        assert [iv[i] for i in range(3)] == values
+
+    def test_equality(self):
+        a = IntVector.from_array([1, 2, 3], width=5)
+        b = IntVector.from_array([1, 2, 3], width=5)
+        c = IntVector.from_array([1, 2, 4], width=5)
+        assert a == b
+        assert a != c
+
+
+class TestIntVectorVectorised:
+    def test_get_many_matches_scalar(self, rng):
+        values = rng.integers(0, 1 << 17, size=500)
+        iv = IntVector.from_array(values, width=17)
+        idx = rng.integers(0, 500, size=200)
+        np.testing.assert_array_equal(iv.get_many(idx), values[idx])
+
+    def test_get_many_out_of_range(self):
+        iv = IntVector.from_array([1, 2, 3])
+        with pytest.raises(IndexError):
+            iv.get_many(np.array([3]))
+
+    def test_to_array_roundtrip(self, rng):
+        values = rng.integers(0, 1 << 11, size=1000)
+        iv = IntVector.from_array(values, width=11)
+        np.testing.assert_array_equal(iv.to_array(), values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1), max_size=300),
+    st.integers(min_value=20, max_value=40),
+)
+def test_property_roundtrip_any_width(values, width):
+    iv = IntVector.from_array(values, width=width)
+    assert list(iv) == values
+    assert iv.size_in_bits() == len(values) * width

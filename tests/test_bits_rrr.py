@@ -1,0 +1,144 @@
+"""Tests for the RRR-compressed bitvector and its wavelet integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import BitVector, RRRBitVector, WaveletMatrix
+from repro.bits.rrr import BLOCK, _decode_block, _encode_block
+from repro.errors import InvalidParameterError
+
+
+class TestEnumerativeCoding:
+    def test_roundtrip_all_small_blocks(self):
+        for value in range(1 << 12):  # 12-bit exhaustive slice of the space
+            k, offset = _encode_block(value)
+            assert k == bin(value).count("1")
+            assert _decode_block(k, offset) == value
+
+    def test_roundtrip_random_full_blocks(self, rng):
+        for value in rng.integers(0, 1 << BLOCK, size=500):
+            k, offset = _encode_block(int(value))
+            assert _decode_block(k, offset) == int(value)
+
+    def test_extremes(self):
+        assert _encode_block(0) == (0, 0)
+        full = (1 << BLOCK) - 1
+        k, offset = _encode_block(full)
+        assert k == BLOCK and offset == 0
+        assert _decode_block(BLOCK, 0) == full
+
+
+class TestRRRAgainstPlain:
+    @pytest.mark.parametrize("n,p", [(1, 0.5), (15, 0.2), (16, 0.8), (480, 0.5),
+                                     (481, 0.03), (1000, 0.97), (2000, 0.5)])
+    def test_rank_select_access_match(self, n, p, rng):
+        bits = (rng.random(n) < p).astype(np.uint8)
+        plain = BitVector(bits)
+        rrr = RRRBitVector(bits)
+        assert len(rrr) == n
+        assert rrr.num_ones == plain.num_ones
+        step = max(1, n // 41)
+        for i in range(0, n + 1, step):
+            assert rrr.rank1(i) == plain.rank1(i), i
+            assert rrr.rank0(i) == plain.rank0(i), i
+        for i in range(0, n, step):
+            assert rrr[i] == plain[i], i
+        for k in range(1, plain.num_ones + 1, max(1, plain.num_ones // 23) or 1):
+            assert rrr.select1(k) == plain.select1(k), k
+        for k in range(1, plain.num_zeros + 1, max(1, plain.num_zeros // 23) or 1):
+            assert rrr.select0(k) == plain.select0(k), k
+
+    def test_to_array_roundtrip(self, rng):
+        bits = (rng.random(333) < 0.4).astype(np.uint8)
+        assert np.array_equal(RRRBitVector(bits).to_array(), bits)
+
+    def test_empty(self):
+        rrr = RRRBitVector([])
+        assert len(rrr) == 0
+        assert rrr.rank1(0) == 0
+        assert rrr.select1(1) == -1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RRRBitVector([0, 2])
+        rrr = RRRBitVector([1, 0])
+        with pytest.raises(IndexError):
+            rrr.rank1(3)
+        with pytest.raises(IndexError):
+            rrr[2]
+
+
+class TestRRRCompression:
+    def test_sparse_compresses(self, rng):
+        n = 6000
+        bits = np.zeros(n, dtype=np.uint8)
+        bits[rng.integers(0, n, size=60)] = 1
+        rrr = RRRBitVector(bits)
+        plain = BitVector(bits)
+        assert rrr.size_in_bits() < 0.6 * plain.size_in_bits()
+
+    def test_dense_compresses(self):
+        bits = np.ones(6000, dtype=np.uint8)
+        assert RRRBitVector(bits).size_in_bits() < 0.5 * 6000
+
+    def test_incompressible_stays_bounded(self, rng):
+        bits = (rng.random(6000) < 0.5).astype(np.uint8)
+        # Balanced random bits: payload <= n * (H0 + 4/15) + slack.
+        assert RRRBitVector(bits).size_in_bits() < 1.35 * 6000
+
+    def test_dispatch_rank_select(self):
+        rrr = RRRBitVector([1, 0, 1, 1, 0])
+        assert rrr.rank(1, 4) == 3
+        assert rrr.select(0, 2) == 4
+
+
+class TestCompressedWavelet:
+    def test_matches_plain_wavelet(self, rng):
+        data = rng.integers(0, 11, size=400)
+        plain = WaveletMatrix(data)
+        packed = WaveletMatrix(data, compressed=True)
+        for c in range(11):
+            for i in range(0, 401, 37):
+                assert packed.rank(c, i) == plain.rank(c, i)
+        np.testing.assert_array_equal(packed.to_array(), data)
+
+    def test_skewed_data_compresses(self, rng):
+        data = np.zeros(4000, dtype=np.int64)
+        data[rng.integers(0, 4000, size=200)] = rng.integers(1, 16, size=200)
+        plain = WaveletMatrix(data, sigma=16)
+        packed = WaveletMatrix(data, sigma=16, compressed=True)
+        assert packed.size_in_bits() < 0.5 * plain.size_in_bits()
+
+    def test_fm_index_rrr_variant(self):
+        from repro.baselines.fm import FMIndex
+        from repro.textutil import Text
+
+        t = Text("abracadabra" * 30)
+        exact = FMIndex(t, wavelet="huffman")
+        packed = FMIndex(t, wavelet="huffman-rrr")
+        for pattern in ("abra", "cad", "zz", "a"):
+            assert packed.count(pattern) == exact.count(pattern)
+
+    def test_fm_rejects_unknown_kind(self):
+        from repro.baselines.fm import FMIndex
+
+        with pytest.raises(InvalidParameterError):
+            FMIndex("abc", wavelet="huffman-zstd")
+        with pytest.raises(InvalidParameterError):
+            FMIndex("abc", wavelet="balanced")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+def test_property_rrr_equals_plain(bits):
+    plain = BitVector(bits)
+    rrr = RRRBitVector(bits)
+    n = len(bits)
+    for i in range(n + 1):
+        assert rrr.rank1(i) == plain.rank1(i)
+    for k in range(1, sum(bits) + 1):
+        assert rrr.select1(k) == plain.select1(k)

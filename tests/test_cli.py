@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestCount:
+    def test_count_on_builtin_corpus(self, capsys):
+        out = run_cli(
+            capsys, "count", "english", "--size", "3000",
+            "--index", "cpst", "--l", "8", "the",
+        )
+        assert "'the':" in out
+
+    def test_count_multiple_patterns(self, capsys):
+        out = run_cli(
+            capsys, "count", "dna", "--size", "2000",
+            "--index", "apx", "--l", "16", "AC", "GT",
+        )
+        assert out.count(":") == 2
+
+    def test_count_on_file(self, capsys, tmp_path):
+        path = tmp_path / "text.txt"
+        path.write_text("banana banana banana")
+        out = run_cli(capsys, "count", str(path), "--index", "fm", "banana")
+        assert "'banana': 3" in out
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["count", "/no/such/file", "x"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBuildAndQuery:
+    def test_roundtrip(self, capsys, tmp_path):
+        index_file = tmp_path / "index.pkl"
+        out = run_cli(
+            capsys, "build", "english", "--size", "3000",
+            "--index", "cpst", "--l", "16", "-o", str(index_file),
+        )
+        assert "payload bits" in out
+        assert index_file.exists()
+        out = run_cli(capsys, "query", str(index_file), "the")
+        assert "'the':" in out
+
+    @pytest.mark.parametrize("index_kind", ["apx", "cpst", "pst", "patricia", "fm", "rlfm", "qgram"])
+    def test_every_index_kind_builds(self, capsys, tmp_path, index_kind):
+        index_file = tmp_path / f"{index_kind}.pkl"
+        run_cli(
+            capsys, "build", "dna", "--size", "1500",
+            "--index", index_kind, "--l", "8", "-o", str(index_file),
+        )
+        out = run_cli(capsys, "query", str(index_file), "AC")
+        assert "'AC':" in out
+
+
+class TestOtherCommands:
+    def test_stats(self, capsys):
+        out = run_cli(capsys, "stats", "english", "--size", "2000", "--l", "8")
+        assert "H0:" in out
+        assert "|PST_l|" in out
+
+    def test_dataset_generation(self, capsys, tmp_path):
+        out_file = tmp_path / "corpus.txt"
+        run_cli(capsys, "dataset", "sources", "--size", "1000", "-o", str(out_file))
+        assert len(out_file.read_text()) == 1000
+
+    def test_experiment_figure7(self, capsys):
+        out = run_cli(capsys, "experiment", "figure7", "--size", "4000")
+        assert "Figure 7" in out
+        assert "PASS" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])
+
+
+class TestSelectivityCommand:
+    def test_selectivity_output(self, capsys):
+        out = run_cli(
+            capsys, "selectivity", "english", "--size", "3000",
+            "--l", "16", "--estimator", "mol", "the",
+        )
+        assert "occurrences" in out and "selectivity" in out
+
+    @pytest.mark.parametrize("estimator", ["kvi", "mo", "moc", "mol", "molc"])
+    def test_every_estimator_kind(self, capsys, estimator):
+        out = run_cli(
+            capsys, "selectivity", "dna", "--size", "2000",
+            "--l", "8", "--estimator", estimator, "ACG",
+        )
+        assert "'ACG':" in out
+
+
+class TestValidateCommand:
+    def test_all_contracts_hold(self, capsys):
+        out = run_cli(capsys, "validate", "dna", "--size", "2000", "--l", "8")
+        assert "all contracts hold" in out
+        assert "FMIndex" in out
+
+
+class TestJsonOutput:
+    def test_count_json(self, capsys):
+        import json
+
+        out = run_cli(
+            capsys, "count", "dna", "--size", "2000", "--index", "fm",
+            "--json", "AC", "GT",
+        )
+        payload = json.loads(out)
+        assert set(payload) == {"AC", "GT"}
+        assert all(isinstance(v, int) for v in payload.values())

@@ -1,0 +1,136 @@
+"""Tests for indexed document collections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collections import DocumentCollection, Occurrence
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def library():
+    documents = {
+        "fruit": "banana apple banana cherry",
+        "veg": "carrot potato carrot",
+        "mixed": "banana carrot banana banana",
+        "empty-ish": "x",
+    }
+    return documents, DocumentCollection(documents, estimate_threshold=2)
+
+
+class TestConstruction:
+    def test_requires_documents(self):
+        with pytest.raises(InvalidParameterError):
+            DocumentCollection({})
+
+    def test_unique_names(self):
+        with pytest.raises(InvalidParameterError):
+            DocumentCollection([("a", "x"), ("a", "y")])
+
+    def test_nonempty_documents(self):
+        with pytest.raises(InvalidParameterError):
+            DocumentCollection({"a": ""})
+
+    def test_len_and_names(self, library):
+        docs, coll = library
+        assert len(coll) == 4
+        assert coll.names == list(docs)
+
+
+class TestCounting:
+    def test_total_counts(self, library):
+        docs, coll = library
+        for pattern in ("banana", "carrot", "an", "zzz"):
+            expected = sum(
+                body.count(pattern) + _extra_overlaps(body, pattern)
+                for body in docs.values()
+            )
+            assert coll.count(pattern) == _true_total(docs, pattern), pattern
+
+    def test_count_never_straddles_documents(self, library):
+        _, coll = library
+        # 'cherrycarrot' spans fruit->veg in concatenation order.
+        assert coll.count("cherrycarrot") == 0
+
+    def test_count_in_document(self, library):
+        docs, coll = library
+        assert coll.count_in_document("banana", "fruit") == 2
+        assert coll.count_in_document("banana", "mixed") == 3
+        assert coll.count_in_document("banana", "veg") == 0
+
+    def test_count_in_unknown_document(self, library):
+        _, coll = library
+        with pytest.raises(InvalidParameterError):
+            coll.count_in_document("x", "nope")
+
+    def test_estimated_tier(self, library):
+        _, coll = library
+        assert coll.count_estimated("banana") == 5
+        assert coll.count_estimated("cherry") is None  # occurs once < 2
+
+    def test_estimated_tier_absent(self):
+        coll = DocumentCollection({"a": "xyz"})
+        assert coll.count_estimated("x") is None
+
+
+class TestLocation:
+    def test_occurrences_have_correct_offsets(self, library):
+        docs, coll = library
+        for occ in coll.occurrences("banana"):
+            body = docs[occ.document]
+            assert body[occ.offset : occ.offset + 6] == "banana"
+
+    def test_documents_containing(self, library):
+        _, coll = library
+        assert coll.documents_containing("banana") == ["fruit", "mixed"]
+        assert coll.documents_containing("carrot") == ["veg", "mixed"]
+        assert coll.documents_containing("zzz") == []
+
+    def test_top_documents(self, library):
+        _, coll = library
+        assert coll.top_documents("banana", k=1) == [("mixed", 3)]
+        assert coll.top_documents("banana", k=5) == [("mixed", 3), ("fruit", 2)]
+
+    def test_top_documents_validation(self, library):
+        _, coll = library
+        with pytest.raises(InvalidParameterError):
+            coll.top_documents("banana", k=0)
+
+    def test_snippet(self, library):
+        docs, coll = library
+        occ = coll.occurrences("cherry")[0]
+        snippet = coll.snippet(occ, context=7)
+        assert "cherry" in snippet
+        assert snippet in docs["fruit"]
+
+    def test_document_of_rejects_separator_positions(self, library):
+        _, coll = library
+        with pytest.raises(InvalidParameterError):
+            coll.document_of(0)  # leading separator
+
+
+class TestSpace:
+    def test_report_includes_both_tiers(self, library):
+        _, coll = library
+        report = coll.space_report()
+        assert any(key.startswith("fm.") for key in report.components)
+        assert any(key.startswith("cpst.") for key in report.components)
+
+
+def _extra_overlaps(body: str, pattern: str) -> int:
+    # str.count is non-overlapping; compute the difference to true count.
+    return _true_count(body, pattern) - body.count(pattern)
+
+
+def _true_count(body: str, pattern: str) -> int:
+    count = 0
+    start = body.find(pattern)
+    while start >= 0:
+        count += 1
+        start = body.find(pattern, start + 1)
+    return count
+
+
+def _true_total(docs, pattern: str) -> int:
+    return sum(_true_count(body, pattern) for body in docs.values())

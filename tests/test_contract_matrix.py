@@ -1,0 +1,40 @@
+"""Systematic contract matrix: every corpus x a threshold ladder.
+
+Sweeps the validation harness over all four corpus shapes and thresholds
+from the minimum (2) to beyond-corpus scale, for both core indexes. This
+is the coarse net under the fine-grained per-module tests: any regression
+that breaks a contract anywhere in the (corpus, l) plane trips here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ApproxIndex, CompactPrunedSuffixTree
+from repro.datasets import dataset_names, generate
+from repro.textutil import Text, mixed_workload
+from repro.validation import validate_index
+
+SIZE = 2_500
+THRESHOLDS = [2, 4, 16, 64, 256]
+
+
+@pytest.fixture(scope="module", params=dataset_names())
+def corpus(request):
+    text = Text(generate(request.param, SIZE, seed=3))
+    workload = mixed_workload(text, lengths=(1, 2, 4, 8), per_length=8, seed=4)
+    return request.param, text, workload
+
+
+@pytest.mark.parametrize("l", THRESHOLDS)
+def test_apx_contract(corpus, l):
+    name, text, workload = corpus
+    report = validate_index(ApproxIndex(text, l), text, patterns=workload)
+    assert report.ok, (name, l, [v for v in report.violations][:3])
+
+
+@pytest.mark.parametrize("l", THRESHOLDS)
+def test_cpst_contract(corpus, l):
+    name, text, workload = corpus
+    report = validate_index(CompactPrunedSuffixTree(text, l), text, patterns=workload)
+    assert report.ok, (name, l, [v for v in report.violations][:3])

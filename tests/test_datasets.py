@@ -1,0 +1,100 @@
+"""Tests for the synthetic corpus generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    dataset_names,
+    generate,
+    generate_dblp,
+    generate_dna,
+    generate_english,
+    generate_sources,
+    load,
+)
+from repro.errors import InvalidParameterError
+from repro.suffixtree.pruned import PrunedSuffixTreeStructure
+from repro.textutil import zeroth_order_entropy
+
+GENERATOR_FUNCS = [generate_dna, generate_english, generate_dblp, generate_sources]
+
+
+@pytest.mark.parametrize("gen", GENERATOR_FUNCS)
+class TestGeneratorContracts:
+    def test_exact_size(self, gen):
+        for size in (1, 100, 5000):
+            assert len(gen(size, seed=1)) == size
+
+    def test_deterministic(self, gen):
+        assert gen(2000, seed=7) == gen(2000, seed=7)
+
+    def test_seed_changes_output(self, gen):
+        assert gen(2000, seed=1) != gen(2000, seed=2)
+
+    def test_rejects_empty(self, gen):
+        with pytest.raises(InvalidParameterError):
+            gen(0)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ["dblp", "dna", "english", "sources"]
+
+    def test_generate_dispatch(self):
+        assert generate("dna", 500) == generate_dna(500, 0)
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            generate("proteins", 100)
+
+    def test_load_returns_text(self):
+        t = load("english", 3000)
+        assert len(t) == 3000
+        assert t.sigma > 2
+
+
+class TestCorpusShapes:
+    """The statistical properties DESIGN.md promises the stand-ins have."""
+
+    def test_dna_alphabet_small(self):
+        text = generate_dna(20000, seed=3)
+        sigma = len(set(text))
+        assert 4 <= sigma <= 18
+        core = sum(text.count(b) for b in "ACGT")
+        assert core > 0.9 * len(text)
+
+    def test_english_alphabet_moderate(self):
+        text = generate_english(20000, seed=3)
+        assert 25 <= len(set(text)) <= 70
+        assert " the " in text.lower()
+
+    def test_dblp_is_structured(self):
+        text = generate_dblp(20000, seed=3)
+        assert text.count("<author>") > 10
+        assert text.count("</year>") > 10
+
+    def test_sources_have_long_repeats(self):
+        # Whole template bodies repeat: the long-label regime.
+        text = generate_sources(30000, seed=3)
+        marker = "if (self->items == NULL) {"
+        assert text.count(marker) >= 2
+
+    def test_entropy_ordering(self):
+        # dna (4-ish symbols) has lower H0 than english.
+        dna_h = zeroth_order_entropy(generate_dna(20000, seed=1))
+        english_h = zeroth_order_entropy(generate_english(20000, seed=1))
+        assert dna_h < english_h
+
+    def test_sources_label_mass_dominates(self):
+        """On sources the summed PST edge-label length should dwarf the node
+        count (paper Figure 7's signature for this corpus)."""
+        text = generate_sources(20000, seed=1)
+        structure = PrunedSuffixTreeStructure(text, 8)
+        assert structure.total_label_length() > 10 * structure.num_nodes
+
+    def test_dblp_pst_is_small(self):
+        """Structured XML prunes hard: m well below n/l * 2."""
+        size = 20000
+        structure = PrunedSuffixTreeStructure(generate_dblp(size, seed=1), 64)
+        assert structure.num_nodes < 2 * size / 64

@@ -1,0 +1,107 @@
+"""Differential suite: every index vs the exact FM ground truth, on every
+synthetic corpus, with mixed (in-text / random / adversarial) workloads.
+
+This is the end-to-end safety net: if any structure, on any corpus shape,
+ever violates its error model, this module fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ApproxIndex,
+    ApproxIndexEF,
+    CombinedIndex,
+    CompactPrunedSuffixTree,
+    FMIndex,
+    PrunedPatriciaTrie,
+    PrunedSuffixTree,
+    QGramIndex,
+)
+from repro.datasets import dataset_names, generate
+from repro.textutil import Text, mixed_workload
+
+SIZE = 4_000
+THRESHOLD = 16
+
+
+@pytest.fixture(scope="module", params=dataset_names())
+def corpus(request):
+    text = Text(generate(request.param, SIZE, seed=1))
+    fm = FMIndex(text)
+    workload = mixed_workload(text, lengths=(1, 2, 4, 8, 16), per_length=12, seed=2)
+    truths = {pattern: fm.count(pattern) for pattern in workload}
+    return request.param, text, workload, truths
+
+
+def test_fm_matches_naive_scan(corpus):
+    name, text, workload, truths = corpus
+    for pattern in workload[:40]:
+        assert truths[pattern] == text.count_naive(pattern), (name, pattern)
+
+
+def test_apx_uniform_bound(corpus):
+    name, text, workload, truths = corpus
+    apx = ApproxIndex(text, THRESHOLD)
+    for pattern in workload:
+        true = truths[pattern]
+        est = apx.count(pattern)
+        assert true <= est <= true + THRESHOLD - 1, (name, pattern, true, est)
+
+
+def test_apx_ef_identical_to_apx(corpus):
+    name, text, workload, _ = corpus
+    paper = ApproxIndex(text, THRESHOLD)
+    naive = ApproxIndexEF(text, THRESHOLD)
+    for pattern in workload:
+        assert paper.count_range(pattern) == naive.count_range(pattern), (
+            name, pattern,
+        )
+
+
+def test_cpst_and_pst_lower_sided(corpus):
+    name, text, workload, truths = corpus
+    cpst = CompactPrunedSuffixTree(text, THRESHOLD)
+    pst = PrunedSuffixTree(text, THRESHOLD)
+    for pattern in workload:
+        true = truths[pattern]
+        for index_name, index in (("cpst", cpst), ("pst", pst)):
+            got = index.count_or_none(pattern)
+            if true >= THRESHOLD:
+                assert got == true, (name, index_name, pattern, true, got)
+            else:
+                assert got is None, (name, index_name, pattern, true, got)
+
+
+def test_combined_contract(corpus):
+    name, text, workload, truths = corpus
+    combined = CombinedIndex(text, THRESHOLD)
+    for pattern in workload:
+        true = truths[pattern]
+        estimate, exact = combined.count_with_certainty(pattern)
+        if true >= THRESHOLD:
+            assert exact and estimate == true, (name, pattern)
+        else:
+            assert true <= estimate <= THRESHOLD - 1, (name, pattern, true, estimate)
+
+
+def test_patricia_conditional_bound(corpus):
+    name, text, workload, truths = corpus
+    trie = PrunedPatriciaTrie(text, THRESHOLD)
+    for pattern in workload:
+        true = truths[pattern]
+        if true >= THRESHOLD // 2:
+            est = trie.count(pattern)
+            assert abs(est - true) < THRESHOLD, (name, pattern, true, est)
+
+
+def test_qgram_exact_short(corpus):
+    name, text, workload, truths = corpus
+    q = 4
+    table = QGramIndex(text, q)
+    for pattern in workload:
+        if len(pattern) <= q:
+            assert table.count_or_none(pattern) == truths[pattern], (name, pattern)
+        else:
+            assert table.count_or_none(pattern) is None

@@ -1,0 +1,28 @@
+"""Run the doctests embedded in library docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analysis.lowerbound
+import repro.bits.intvector
+import repro.experiments.tables
+import repro.textutil.alphabet
+import repro.textutil.entropy
+
+MODULES = [
+    repro.analysis.lowerbound,
+    repro.bits.intvector,
+    repro.experiments.tables,
+    repro.textutil.alphabet,
+    repro.textutil.entropy,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

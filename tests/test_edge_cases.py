@@ -1,0 +1,165 @@
+"""Edge cases and failure injection across the whole library.
+
+Covers the degenerate shapes every structure must survive: minimal texts,
+extreme thresholds, binary and maximal alphabets, the paper's adversarial
+unary text, bad precomputed inputs, and type errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApproxIndex,
+    CombinedIndex,
+    CompactPrunedSuffixTree,
+    FMIndex,
+    PrunedPatriciaTrie,
+    PrunedSuffixTree,
+    RLFMIndex,
+)
+from repro.errors import InvalidParameterError, PatternError
+from repro.sa import suffix_array
+from repro.suffixtree.pruned import PrunedSuffixTreeStructure
+from repro.textutil import Text
+
+ALL_BUILDERS = [
+    ("fm", lambda t: FMIndex(t)),
+    ("rlfm", lambda t: RLFMIndex(t)),
+    ("apx", lambda t: ApproxIndex(t, 4)),
+    ("cpst", lambda t: CompactPrunedSuffixTree(t, 4)),
+    ("pst", lambda t: PrunedSuffixTree(t, 4)),
+    ("patricia", lambda t: PrunedPatriciaTrie(t, 4)),
+    ("combined", lambda t: CombinedIndex(t, 4)),
+]
+IDS = [name for name, _ in ALL_BUILDERS]
+
+
+@pytest.mark.parametrize("name,builder", ALL_BUILDERS, ids=IDS)
+class TestDegenerateTexts:
+    def test_single_character_text(self, name, builder):
+        index = builder(Text("a"))
+        result = index.count("a")
+        assert 0 <= result <= 4  # within every model's slack at l=4
+        assert index.count("b") == 0
+
+    def test_two_distinct_characters(self, name, builder):
+        index = builder(Text("ab"))
+        assert index.count("ba") <= 3  # truth 0, slack < l
+
+    def test_binary_alphabet_long(self, name, builder, rng):
+        text = "".join(rng.choice(list("01"), size=400))
+        t = Text(text)
+        index = builder(t)
+        true = t.count_naive("01")
+        estimate = index.count("01")
+        if name in ("fm", "rlfm"):
+            assert estimate == true
+        elif name in ("apx", "combined"):
+            assert true <= estimate <= true + 3
+        # lower-sided/blind indexes checked in their own suites
+
+    def test_unary_text(self, name, builder):
+        # The paper's PST worst case: T = a^n.
+        t = Text("a" * 64)
+        index = builder(t)
+        true = 64 - 8 + 1
+        estimate = index.count("a" * 8)
+        assert abs(estimate - true) < 4 or estimate == true
+
+    def test_pattern_equal_to_text(self, name, builder):
+        t = Text("xyxxy")
+        index = builder(t)
+        assert 0 <= index.count("xyxxy") <= 4
+
+    def test_pattern_longer_than_text(self, name, builder):
+        index = builder(Text("abc"))
+        assert index.count("abcd") <= 3  # truth 0
+
+    def test_non_string_pattern(self, name, builder):
+        index = builder(Text("abc"))
+        with pytest.raises(PatternError):
+            index.count(123)  # type: ignore[arg-type]
+
+
+class TestExtremeThresholds:
+    def test_threshold_larger_than_text(self):
+        t = Text("short")
+        cpst = CompactPrunedSuffixTree(t, 1000)
+        assert cpst.count_or_none("s") is None
+        apx = ApproxIndex(t, 1000)
+        assert apx.count("s") <= 1000 - 1
+
+    def test_threshold_equal_to_n(self):
+        n = 32
+        t = Text("a" * n)
+        cpst = CompactPrunedSuffixTree(t, n)
+        assert cpst.count_or_none("a") == n  # 'a' occurs exactly n times
+
+    def test_large_even_threshold_apx(self):
+        t = Text("ab" * 100)
+        apx = ApproxIndex(t, 512)
+        true = t.count_naive("ab")
+        assert true <= apx.count("ab") <= true + 511
+
+
+class TestMaximalAlphabet:
+    def test_256_distinct_symbols(self):
+        raw = bytes(range(256)).decode("latin-1") * 3
+        t = Text(raw)
+        assert t.sigma == 257
+        fm = FMIndex(t)
+        for ch in (raw[0], raw[100], raw[255]):
+            assert fm.count(ch) == 3
+        apx = ApproxIndex(t, 4)
+        assert apx.count(raw[:2]) in range(3, 3 + 4)
+
+    def test_all_distinct_text(self):
+        raw = "".join(chr(ord("a") + i) for i in range(26))
+        t = Text(raw)
+        cpst = CompactPrunedSuffixTree(t, 2)
+        # Every substring occurs exactly once: nothing certified.
+        assert cpst.num_nodes == 1
+        assert cpst.count_or_none("ab") is None
+
+
+class TestBadInputs:
+    def test_mismatched_precomputed_sa(self):
+        t = Text("banana")
+        wrong_sa = suffix_array(Text("banan").data)
+        with pytest.raises(InvalidParameterError):
+            PrunedSuffixTreeStructure(t, 2, sa=wrong_sa)
+
+    def test_apx_threshold_validation_matrix(self):
+        for bad in (-2, 1, 3, 7):
+            with pytest.raises(InvalidParameterError):
+                ApproxIndex("abc", bad)
+
+    def test_text_rejects_non_str(self):
+        for bad in (b"bytes", 42, ["a", "b"], None):
+            with pytest.raises(InvalidParameterError):
+                Text(bad)  # type: ignore[arg-type]
+
+    def test_from_bwt_rejects_garbage_alphabet(self):
+        t = Text("abc")
+        from repro.sa import bwt
+
+        transform = bwt(t.data)
+        small = Text("ab").alphabet  # sigma too small for the symbols
+        with pytest.raises(Exception):
+            FMIndex.from_bwt(transform, small).count("c")
+
+
+class TestWhitespaceAndControlCharacters:
+    def test_newlines_tabs_nulls(self):
+        raw = "line1\nline2\tcol\x00binary\r\n" * 10
+        t = Text(raw)
+        fm = FMIndex(t)
+        for pattern in ("\n", "\t", "\x00", "\r\n", "line1\nline2"):
+            assert fm.count(pattern) == t.count_naive(pattern), repr(pattern)
+
+    def test_row_separator_roundtrip(self):
+        rows = ["has\nnewline", "has\ttab"]
+        t = Text.from_rows(rows)
+        assert t.count_naive("\n") == 1

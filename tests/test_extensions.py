@@ -1,0 +1,179 @@
+"""Tests for the extension indexes: combined, multiplicative, EF-ablation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ApproxIndex, ApproxIndexEF, CombinedIndex, MultiplicativeIndex
+from repro.errors import InvalidParameterError
+from repro.textutil import Text
+
+
+def all_substrings(text: str, max_len: int):
+    seen = set()
+    for length in range(1, max_len + 1):
+        for start in range(len(text) - length + 1):
+            seen.add(text[start : start + length])
+    return sorted(seen)
+
+
+class TestCombinedIndex:
+    @pytest.mark.parametrize("l", [2, 4, 8, 16])
+    def test_exact_above_threshold(self, l):
+        text = "abracadabra" * 4
+        t = Text(text)
+        combined = CombinedIndex(t, l)
+        for pattern in all_substrings(text, 6):
+            true = t.count_naive(pattern)
+            estimate, exact = combined.count_with_certainty(pattern)
+            if true >= l:
+                assert exact and estimate == true, pattern
+            else:
+                assert not exact
+                assert true <= estimate <= l - 1, (pattern, true, estimate)
+
+    def test_count_bounds_contain_truth(self, rng):
+        text = "".join(rng.choice(list("abc"), size=400))
+        t = Text(text)
+        combined = CombinedIndex(t, 8)
+        patterns = all_substrings(text[:60], 4)
+        for pattern in patterns:
+            lo, hi = combined.count_bounds(pattern)
+            true = t.count_naive(pattern)
+            assert lo <= true <= hi, (pattern, lo, true, hi)
+
+    def test_odd_threshold_accepted(self):
+        combined = CombinedIndex("abcabcabc", 3)
+        assert combined.threshold == 3
+        assert combined.count("abc") == 3
+
+    def test_clamp_tightens_apx(self):
+        # Below-threshold estimates never exceed l - 1, unlike bare APX.
+        t = Text("ab" * 40)
+        l = 16
+        combined = CombinedIndex(t, l)
+        for pattern in ("aab", "bb", "aba" * 3):
+            assert combined.count(pattern) <= l - 1
+
+    def test_space_is_sum_of_parts(self):
+        combined = CombinedIndex("banana" * 20, 8)
+        report = combined.space_report()
+        assert report.payload_bits > 0
+        assert any("S_link_string" in key for key in report.components)
+        assert any("B_block_string" in key for key in report.components)
+
+    def test_backs_selectivity_estimators(self):
+        from repro.selectivity import MOLEstimator
+
+        t = Text("the cat sat on the mat " * 30)
+        estimator = MOLEstimator(CombinedIndex(t, 8))
+        assert estimator.estimate("the cat") == t.count_naive("the cat")
+
+
+class TestMultiplicativeIndex:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MultiplicativeIndex("abc", epsilon=0.0, cutoff=10)
+        with pytest.raises(InvalidParameterError):
+            MultiplicativeIndex("abc", epsilon=0.5, cutoff=0)
+        with pytest.raises(InvalidParameterError):
+            MultiplicativeIndex("abc", epsilon=0.01, cutoff=10)  # eps*c < 2
+
+    @pytest.mark.parametrize("epsilon,cutoff", [(0.5, 8), (0.25, 16), (1.0, 4)])
+    def test_multiplicative_bound_above_cutoff(self, epsilon, cutoff, rng):
+        text = "".join(rng.choice(list("ab"), size=600))
+        t = Text(text)
+        index = MultiplicativeIndex(t, epsilon, cutoff)
+        for pattern in all_substrings(text[:50], 4):
+            true = t.count_naive(pattern)
+            if true < cutoff:
+                continue
+            estimate = index.count(pattern)
+            assert true <= estimate <= (1 + epsilon) * true, (
+                pattern, true, estimate, epsilon,
+            )
+
+    def test_certified_answers_are_exact(self):
+        t = Text("abcabc" * 20)
+        index = MultiplicativeIndex(t, epsilon=0.5, cutoff=8)
+        estimate, certified = index.count_certified("abc")
+        assert certified and estimate == t.count_naive("abc")
+        estimate, certified = index.count_certified("cba")
+        assert not certified
+
+    def test_no_certifier_mode(self):
+        index = MultiplicativeIndex("abcabc" * 20, 0.5, 8, certify=False)
+        estimate, certified = index.count_certified("abc")
+        assert not certified
+        assert estimate >= 20
+
+    def test_space_sublinear_in_cutoff(self):
+        text = "the quick brown fox " * 100
+        small = MultiplicativeIndex(text, 0.5, 64, certify=False)
+        large = MultiplicativeIndex(text, 0.5, 8, certify=False)
+        assert small.space_report().payload_bits < large.space_report().payload_bits
+
+
+class TestApproxEFAblation:
+    @pytest.mark.parametrize("l", [2, 4, 8, 16])
+    def test_identical_answers_to_paper_encoding(self, l, rng):
+        text = "".join(rng.choice(list("abcd"), size=400))
+        t = Text(text)
+        paper = ApproxIndex(t, l)
+        ef = ApproxIndexEF(t, l)
+        patterns = set(all_substrings(text[:50], 4))
+        for length in (2, 5, 9):
+            for _ in range(10):
+                start = int(rng.integers(0, len(text) - length))
+                patterns.add(text[start : start + length])
+        for pattern in sorted(patterns):
+            assert paper.count_range(pattern) == ef.count_range(pattern), pattern
+
+    def test_uniform_bound_holds(self, rng):
+        text = "".join(rng.choice(list("ab"), size=300))
+        t = Text(text)
+        l = 8
+        ef = ApproxIndexEF(t, l)
+        for pattern in all_substrings(text[:40], 5):
+            true = t.count_naive(pattern)
+            assert true <= ef.count(pattern) <= true + l - 1, pattern
+
+    def test_space_report_structure(self):
+        report = ApproxIndexEF("banana" * 30, 8).space_report()
+        assert set(report.components) == {"D_positions", "D_directory", "C_array"}
+
+    def test_same_discriminant_count(self):
+        text = "mississippi" * 10
+        assert (
+            ApproxIndex(text, 8).num_discriminants
+            == ApproxIndexEF(text, 8).num_discriminants
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.text(alphabet="abc", min_size=1, max_size=100),
+    st.text(alphabet="abc", min_size=1, max_size=4),
+    st.sampled_from([2, 4, 8]),
+)
+def test_property_ef_variant_matches_paper_variant(text, pattern, l):
+    t = Text(text)
+    assert (
+        ApproxIndex(t, l).count_range(pattern)
+        == ApproxIndexEF(t, l).count_range(pattern)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(alphabet="ab", min_size=1, max_size=80), st.sampled_from([2, 4, 8]))
+def test_property_combined_never_worse_than_parts(text, l):
+    t = Text(text)
+    combined = CombinedIndex(t, l)
+    for pattern in {text[:2], text[-2:], "ab", "ba"}:
+        if not pattern:
+            continue
+        true = t.count_naive(pattern)
+        estimate = combined.count(pattern)
+        assert true <= estimate <= true + l - 1

@@ -1,0 +1,106 @@
+"""Tests for the exact FM-index baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fm import FMIndex
+from repro.core.interface import ErrorModel
+from repro.errors import PatternError
+from repro.textutil import Text
+
+
+@pytest.fixture(params=["huffman", "matrix"])
+def build(request):
+    def make(text):
+        return FMIndex(text, wavelet=request.param)
+
+    return make
+
+
+class TestFMIndexCounting:
+    def test_abracadabra(self, build):
+        fm = build("abracadabra")
+        assert fm.count("abra") == 2
+        assert fm.count("a") == 5
+        assert fm.count("bra") == 2
+        assert fm.count("abracadabra") == 1
+        assert fm.count("cad") == 1
+        assert fm.count("zzz") == 0
+        assert fm.count("abraz") == 0
+
+    def test_overlapping(self, build):
+        fm = build("aaaa")
+        assert fm.count("aa") == 3
+        assert fm.count("aaa") == 2
+
+    def test_pattern_longer_than_text(self, build):
+        fm = build("ab")
+        assert fm.count("aba") == 0
+
+    def test_single_char_text(self, build):
+        fm = build("x")
+        assert fm.count("x") == 1
+        assert fm.count("xx") == 0
+
+    def test_empty_pattern_rejected(self, build):
+        with pytest.raises(PatternError):
+            build("abc").count("")
+
+    def test_non_string_pattern_rejected(self, build):
+        with pytest.raises(PatternError):
+            build("abc").count(b"a")  # type: ignore[arg-type]
+
+    def test_count_range_shape(self, build):
+        fm = build("mississippi")
+        first, last = fm.count_range("ssi")
+        assert last - first == 2
+        assert fm.count_range("xyz") == (0, 0)
+
+    def test_random_against_naive(self, build, rng):
+        chars = list("abc")
+        text = "".join(rng.choice(chars, size=300))
+        t = Text(text)
+        fm = build(t)
+        for length in (1, 2, 3, 5, 8):
+            for _ in range(20):
+                start = int(rng.integers(0, len(text) - length))
+                pat = text[start : start + length]
+                assert fm.count(pat) == t.count_naive(pat), pat
+        # patterns unlikely to occur
+        for pat in ("cccacccbcc", "abababababab"):
+            assert fm.count(pat) == t.count_naive(pat)
+
+
+class TestFMIndexInterface:
+    def test_metadata(self):
+        fm = FMIndex("banana")
+        assert fm.error_model is ErrorModel.EXACT
+        assert fm.threshold == 1
+        assert fm.text_length == 6
+        assert fm.is_reliable("an")
+
+    def test_space_report(self):
+        fm = FMIndex("banana" * 50)
+        rep = fm.space_report()
+        assert rep.payload_bits > 0
+        assert "bwt_wavelet" in rep.components
+        assert rep.total_bits >= rep.payload_bits
+
+    def test_huffman_smaller_on_skewed_text(self):
+        text = "a" * 2000 + "bcdefgh" * 10
+        small = FMIndex(text, wavelet="huffman").space_report().payload_bits
+        big = FMIndex(text, wavelet="matrix").space_report().payload_bits
+        assert small < big
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.text(alphabet="ab", min_size=1, max_size=120),
+    st.text(alphabet="ab", min_size=1, max_size=6),
+)
+def test_property_fm_exact(text, pattern):
+    t = Text(text)
+    assert FMIndex(t).count(pattern) == t.count_naive(pattern)

@@ -1,0 +1,105 @@
+"""Tests for FM-index locate/extract (SA sampling)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fm import FMIndex
+from repro.errors import InvalidParameterError
+from repro.textutil import Text
+
+
+def naive_locate(text: str, pattern: str):
+    return [
+        i
+        for i in range(len(text) - len(pattern) + 1)
+        if text[i : i + len(pattern)] == pattern
+    ]
+
+
+class TestLocate:
+    @pytest.fixture(scope="class")
+    def fm(self):
+        return FMIndex(Text("abracadabra" * 10), sa_sample_rate=4)
+
+    def test_matches_naive(self, fm):
+        text = "abracadabra" * 10
+        for pattern in ("abra", "a", "cadab", "abracadabraabra", "zzz"):
+            assert fm.locate(pattern) == naive_locate(text, pattern), pattern
+
+    def test_sample_rate_one(self):
+        text = "banana"
+        fm = FMIndex(Text(text), sa_sample_rate=1)
+        assert fm.locate("an") == [1, 3]
+
+    def test_requires_samples(self):
+        fm = FMIndex("banana")
+        with pytest.raises(InvalidParameterError):
+            fm.locate("an")
+        with pytest.raises(InvalidParameterError):
+            fm.extract(0, 2)
+
+    def test_invalid_rate(self):
+        with pytest.raises(InvalidParameterError):
+            FMIndex("banana", sa_sample_rate=0)
+
+    def test_count_agrees_with_locate(self, fm):
+        for pattern in ("ra", "ab", "dab"):
+            assert fm.count(pattern) == len(fm.locate(pattern))
+
+
+class TestExtract:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        text = "the quick brown fox jumps over the lazy dog " * 8
+        return text, FMIndex(Text(text), sa_sample_rate=16)
+
+    def test_every_alignment(self, setup):
+        text, fm = setup
+        for start in range(0, 60, 7):
+            for length in (1, 3, 16, 17, 31):
+                assert fm.extract(start, length) == text[start : start + length]
+
+    def test_suffix_and_prefix(self, setup):
+        text, fm = setup
+        assert fm.extract(0, 5) == text[:5]
+        assert fm.extract(len(text) - 5, 5) == text[-5:]
+        assert fm.extract(0, len(text)) == text
+
+    def test_empty_extract(self, setup):
+        _, fm = setup
+        assert fm.extract(10, 0) == ""
+
+    def test_out_of_range(self, setup):
+        text, fm = setup
+        with pytest.raises(InvalidParameterError):
+            fm.extract(-1, 2)
+        with pytest.raises(InvalidParameterError):
+            fm.extract(len(text) - 1, 2)
+
+    def test_space_report_includes_samples(self, setup):
+        _, fm = setup
+        report = fm.space_report()
+        assert "sa_samples" in report.components
+        assert "isa_samples" in report.components
+
+    def test_sampling_rate_space_tradeoff(self):
+        text = "abcdefgh" * 200
+        dense = FMIndex(Text(text), sa_sample_rate=2).space_report().payload_bits
+        sparse = FMIndex(Text(text), sa_sample_rate=64).space_report().payload_bits
+        assert sparse < dense
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.text(alphabet="ab", min_size=2, max_size=80),
+    st.integers(min_value=1, max_value=12),
+)
+def test_property_locate_and_extract(text, rate):
+    t = Text(text)
+    fm = FMIndex(t, sa_sample_rate=rate)
+    pattern = text[: min(3, len(text))]
+    assert fm.locate(pattern) == naive_locate(text, pattern)
+    assert fm.extract(0, len(text)) == text

@@ -1,0 +1,128 @@
+"""Tests for safe persistence and the linear-time suffix-array verifier."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import ApproxIndex, CompactPrunedSuffixTree, FMIndex
+from repro.errors import InvalidParameterError, ReproError
+from repro.io import FORMAT_VERSION, MAGIC, load_index, save_index
+from repro.sa import suffix_array, suffix_array_naive
+from repro.sa.verify import verify_suffix_array
+from repro.textutil import Text
+
+
+class TestSaveLoad:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda t: FMIndex(t),
+            lambda t: ApproxIndex(t, 8),
+            lambda t: CompactPrunedSuffixTree(t, 8),
+        ],
+        ids=["fm", "apx", "cpst"],
+    )
+    def test_roundtrip(self, tmp_path, builder):
+        t = Text("abracadabra" * 10)
+        index = builder(t)
+        path = save_index(index, tmp_path / "index.ridx")
+        loaded = load_index(path)
+        assert type(loaded) is type(index)
+        for pattern in ("abra", "cad", "zz"):
+            assert loaded.count(pattern) == index.count(pattern)
+
+    def test_rejects_non_index(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            save_index({"not": "an index"}, tmp_path / "x.ridx")  # type: ignore[arg-type]
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "garbage.ridx"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 20)
+        with pytest.raises(ReproError):
+            load_index(path)
+
+    def test_wrong_version(self, tmp_path):
+        t = Text("abc" * 10)
+        path = save_index(FMIndex(t), tmp_path / "v.ridx")
+        raw = bytearray(path.read_bytes())
+        raw[len(MAGIC) : len(MAGIC) + 2] = (FORMAT_VERSION + 9).to_bytes(2, "big")
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ReproError):
+            load_index(path)
+
+    def test_header_class_mismatch(self, tmp_path):
+        t = Text("abc" * 10)
+        path = save_index(FMIndex(t), tmp_path / "m.ridx")
+        raw = path.read_bytes()
+        # Tamper: declare a different class name of equal length.
+        declared = b"FMIndex"
+        fake = b"XMIndex"
+        path.write_bytes(raw.replace(declared, fake, 1))
+        with pytest.raises(ReproError):
+            load_index(path)
+
+    def test_malicious_pickle_rejected(self, tmp_path):
+        class Evil:
+            def __reduce__(self):
+                return (eval, ("1+1",))
+
+        path = tmp_path / "evil.ridx"
+        name = b"FMIndex"
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(FORMAT_VERSION.to_bytes(2, "big"))
+            handle.write(len(name).to_bytes(2, "big"))
+            handle.write(name)
+            pickle.dump(Evil(), handle)
+        with pytest.raises(ReproError):
+            load_index(path)
+
+
+class TestSuffixArrayVerifier:
+    def test_accepts_correct_arrays(self, rng):
+        for sigma in (2, 5, 20):
+            syms = rng.integers(1, sigma + 1, size=500)
+            data = np.concatenate([syms, [0]])
+            assert verify_suffix_array(data, suffix_array(data))
+
+    def test_matches_naive_judgement(self, rng):
+        syms = rng.integers(1, 4, size=80)
+        data = np.concatenate([syms, [0]])
+        good = suffix_array_naive(data)
+        assert verify_suffix_array(data, good)
+
+    def test_rejects_swaps(self, rng):
+        syms = rng.integers(1, 4, size=200)
+        data = np.concatenate([syms, [0]])
+        sa = suffix_array(data)
+        for trial in range(20):
+            corrupted = sa.copy()
+            i, j = rng.integers(0, sa.size, size=2)
+            if i == j:
+                continue
+            corrupted[i], corrupted[j] = corrupted[j], corrupted[i]
+            assert not verify_suffix_array(data, corrupted), (i, j)
+
+    def test_rejects_non_permutation(self):
+        data = np.array([1, 2, 1, 0])
+        assert not verify_suffix_array(data, np.array([3, 0, 0, 1]))
+
+    def test_rejects_wrong_length(self):
+        data = np.array([1, 0])
+        assert not verify_suffix_array(data, np.array([1]))
+
+    def test_requires_sentinel(self):
+        with pytest.raises(InvalidParameterError):
+            verify_suffix_array(np.array([2, 1, 2]), np.array([1, 0, 2]))
+
+    def test_large_scale(self):
+        from repro.datasets import generate
+
+        data = Text(generate("english", 50_000, seed=5)).data
+        assert verify_suffix_array(data, suffix_array(data))
+
+    def test_empty(self):
+        assert verify_suffix_array(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))

@@ -1,0 +1,102 @@
+"""Tests for threshold ladders and budget fitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cpst import CompactPrunedSuffixTree
+from repro.core.approx import ApproxIndex
+from repro.core.ladder import ThresholdLadder, fit_threshold
+from repro.errors import InvalidParameterError
+from repro.textutil import Text
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return Text("the cat sat on the mat and the rat sat too " * 40)
+
+
+class TestThresholdLadder:
+    def test_resolution_uses_cheapest_sufficient_level(self, corpus):
+        ladder = ThresholdLadder(corpus, [64, 16, 4])
+        # 'the' is very frequent: certified already at the coarsest level.
+        level, count = ladder.resolve("the")
+        assert level == 64
+        assert count == corpus.count_naive("the")
+        # A rarer phrase needs a finer level.
+        rare = "the rat sat too"
+        truth = corpus.count_naive(rare)
+        resolved = ladder.resolve(rare)
+        assert resolved is not None
+        assert resolved[1] == truth
+        assert resolved[0] <= truth
+
+    def test_counts_are_exact_when_certified(self, corpus):
+        ladder = ThresholdLadder(corpus, [64, 8])
+        for pattern in ("the", "sat", "cat s", "mat and"):
+            got = ladder.count_or_none(pattern)
+            truth = corpus.count_naive(pattern)
+            assert got == (truth if truth >= 8 else None), pattern
+
+    def test_matches_single_finest_cpst(self, corpus):
+        ladder = ThresholdLadder(corpus, [64, 16, 8])
+        single = CompactPrunedSuffixTree(corpus, 8)
+        for pattern in ("the", "zq", "rat sat", "o", " and "):
+            assert ladder.count_or_none(pattern) == single.count_or_none(pattern)
+
+    def test_geometric_constructor(self, corpus):
+        ladder = ThresholdLadder.geometric(corpus, coarsest=128, finest=8, factor=4)
+        assert ladder.thresholds == [128, 32, 8]
+        assert ladder.threshold == 8
+
+    def test_geometric_appends_finest(self, corpus):
+        ladder = ThresholdLadder.geometric(corpus, coarsest=100, finest=7, factor=3)
+        assert ladder.thresholds[-1] == 7
+
+    def test_space_dominated_by_finest(self, corpus):
+        ladder = ThresholdLadder(corpus, [128, 32, 8])
+        report = ladder.space_report()
+        finest = report.components["level_8"]
+        assert finest > report.components["level_32"]
+        assert report.payload_bits < 2.5 * finest  # ladder ~ geometric sum
+
+    def test_validation(self, corpus):
+        with pytest.raises(InvalidParameterError):
+            ThresholdLadder(corpus, [])
+        with pytest.raises(InvalidParameterError):
+            ThresholdLadder(corpus, [8, 1])
+        with pytest.raises(InvalidParameterError):
+            ThresholdLadder.geometric(corpus, factor=1)
+
+    def test_duplicate_thresholds_deduped(self, corpus):
+        ladder = ThresholdLadder(corpus, [16, 16, 8])
+        assert ladder.thresholds == [16, 8]
+
+
+class TestFitThreshold:
+    def test_fits_within_budget(self, corpus):
+        generous = CompactPrunedSuffixTree(corpus, 8).space_report().payload_bits
+        threshold, index = fit_threshold(corpus, generous)
+        assert index.space_report().payload_bits <= generous
+        assert threshold <= 8  # budget sized for l=8 must allow l<=8
+
+    def test_minimality(self, corpus):
+        budget = CompactPrunedSuffixTree(corpus, 32).space_report().payload_bits
+        threshold, _ = fit_threshold(corpus, budget)
+        if threshold > 2:
+            smaller = CompactPrunedSuffixTree(corpus, threshold - 1)
+            assert smaller.space_report().payload_bits > budget
+
+    def test_impossible_budget(self, corpus):
+        with pytest.raises(InvalidParameterError):
+            fit_threshold(corpus, 8)  # 1 byte: hopeless
+
+    def test_apx_class(self, corpus):
+        budget = ApproxIndex(corpus, 64).space_report().payload_bits
+        threshold, index = fit_threshold(corpus, budget, index_class=ApproxIndex)
+        assert index.space_report().payload_bits <= budget
+        assert isinstance(index, ApproxIndex)
+
+    def test_budget_validation(self, corpus):
+        with pytest.raises(InvalidParameterError):
+            fit_threshold(corpus, 0)

@@ -1,0 +1,138 @@
+"""Tests for small infrastructure: tables, errors, interface, packaging."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.core.interface import ErrorModel
+from repro.errors import (
+    AlphabetError,
+    ConstructionError,
+    InvalidParameterError,
+    PatternError,
+    ReproError,
+)
+from repro.experiments.tables import bits_to_kib, format_table
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (AlphabetError, ConstructionError, InvalidParameterError, PatternError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Validation errors should be catchable as plain ValueError too.
+        for exc in (AlphabetError, InvalidParameterError, PatternError):
+            assert issubclass(exc, ValueError)
+
+    def test_one_handler_catches_everything(self):
+        with pytest.raises(ReproError):
+            repro.Text("")
+
+
+class TestTables:
+    def test_alignment_and_headers(self):
+        table = format_table(
+            headers=["name", "value"],
+            rows=[("alpha", 1234567), ("b", 2.5)],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1,234,567" in table
+        assert "2.50" in table
+
+    def test_large_floats_grouped(self):
+        table = format_table(["x"], [(123456.7,)])
+        assert "123,457" in table
+
+    def test_zero_renders_plainly(self):
+        assert "0" in format_table(["x"], [(0.0,)])
+
+    def test_bits_to_kib(self):
+        assert bits_to_kib(8 * 1024) == 1.0
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table
+
+
+class TestInterfaceSemantics:
+    def test_is_reliable_per_model(self):
+        text = repro.Text("abab" * 20)
+        assert repro.FMIndex(text).is_reliable("ab")
+        cpst = repro.CompactPrunedSuffixTree(text, 8)
+        assert cpst.is_reliable("ab") and not cpst.is_reliable("aab")
+        apx = repro.ApproxIndex(text, 8)
+        assert not apx.is_reliable("ab")  # uniform model, l > 1
+
+    def test_error_model_enum_values(self):
+        assert ErrorModel.EXACT.value == "exact"
+        assert ErrorModel.UNIFORM.value == "uniform"
+        assert ErrorModel.LOWER_SIDED.value == "lower_sided"
+
+    def test_size_in_bits_shorthand(self):
+        index = repro.FMIndex("banana" * 10)
+        assert index.size_in_bits() == index.space_report().payload_bits
+
+
+class TestPackaging:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_py_typed_marker_exists(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.applications
+        import repro.baselines
+        import repro.bits
+        import repro.collections
+        import repro.core
+        import repro.datasets
+        import repro.experiments
+        import repro.sa
+        import repro.selectivity
+        import repro.suffixtree
+        import repro.textutil
+
+
+class TestEntryPoints:
+    @pytest.mark.parametrize(
+        "module", ["repro", "repro.experiments"]
+    )
+    def test_module_help(self, module):
+        result = subprocess.run(
+            [sys.executable, "-m", module, "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "usage" in result.stdout.lower()
+
+    def test_cli_subcommand_help(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        # every subcommand wired with a handler
+        subparsers = next(
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        )
+        assert set(subparsers.choices) >= {
+            "count", "build", "query", "stats", "dataset",
+            "experiment", "selectivity", "validate", "report",
+        }

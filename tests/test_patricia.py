@@ -1,0 +1,107 @@
+"""Tests for the pruned Patricia trie baseline (paper Section 7.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.patricia import PrunedPatriciaTrie
+from repro.errors import InvalidParameterError, PatternError
+from repro.textutil import Text
+
+
+class TestPatriciaValidation:
+    def test_l_must_be_even(self):
+        with pytest.raises(InvalidParameterError):
+            PrunedPatriciaTrie("abc", 5)
+
+    def test_l_minimum(self):
+        with pytest.raises(InvalidParameterError):
+            PrunedPatriciaTrie("abc", 0)
+
+    def test_empty_pattern(self):
+        with pytest.raises(PatternError):
+            PrunedPatriciaTrie("abc", 2).count("")
+
+
+class TestPatriciaL2IsExactUpToRounding:
+    def test_h1_samples_every_suffix(self):
+        # h = 1: every suffix sampled, blind search is exact for patterns
+        # that occur (counts multiplied by h = 1).
+        text = "abracadabra"
+        t = Text(text)
+        trie = PrunedPatriciaTrie(t, 2)
+        for pattern in ("a", "abra", "bra", "cad", "abracadabra"):
+            assert trie.count(pattern) == t.count_naive(pattern), pattern
+
+
+class TestPatriciaGuarantee:
+    @pytest.mark.parametrize("l", [2, 4, 8, 16])
+    def test_frequent_patterns_within_l(self, l, rng):
+        chars = list("ab")
+        text = "".join(rng.choice(chars, size=500))
+        t = Text(text)
+        trie = PrunedPatriciaTrie(t, l)
+        h = l // 2
+        for length in (1, 2, 3, 5):
+            for _ in range(20):
+                start = int(rng.integers(0, len(text) - length))
+                pattern = text[start : start + length]
+                true = t.count_naive(pattern)
+                if true < h:
+                    continue  # no guarantee below l/2 (paper's criticism)
+                estimate = trie.count(pattern)
+                assert abs(estimate - true) < l, (pattern, true, estimate, l)
+
+    def test_unary_text(self):
+        n, l = 50, 4
+        t = Text("a" * n)
+        trie = PrunedPatriciaTrie(t, l)
+        h = l // 2
+        for k in (1, 5, 20, 45):
+            true = n - k + 1
+            if true >= h:
+                assert abs(trie.count("a" * k) - true) < l, k
+
+    def test_absent_symbol(self):
+        trie = PrunedPatriciaTrie("aabb", 2)
+        assert trie.count("z") == 0
+
+    def test_space_scales_inversely_with_l(self):
+        text = "the quick brown fox jumps over the lazy dog " * 30
+        sizes = [
+            PrunedPatriciaTrie(text, l).space_report().payload_bits
+            for l in (2, 8, 32)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_space_worse_than_cpst_shape(self):
+        # Patricia stores Theta(log n) bits per sample: for texts whose PST
+        # is small it loses to the CPST at equal threshold.
+        from repro.core.cpst import CompactPrunedSuffixTree
+
+        text = ("abcdefgh" * 10 + "x") * 20
+        l = 8
+        patricia_bits = PrunedPatriciaTrie(text, l).space_report().payload_bits
+        cpst_bits = CompactPrunedSuffixTree(text, l).space_report().payload_bits
+        assert cpst_bits < patricia_bits
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.text(alphabet="abc", min_size=4, max_size=150),
+    st.sampled_from([2, 4, 8]),
+)
+def test_property_frequent_patterns_bounded(text, l):
+    t = Text(text)
+    trie = PrunedPatriciaTrie(t, l)
+    h = l // 2
+    seen = set()
+    for length in (1, 2, 3):
+        for start in range(0, len(text) - length + 1, 3):
+            seen.add(text[start : start + length])
+    for pattern in seen:
+        true = t.count_naive(pattern)
+        if true >= h:
+            assert abs(trie.count(pattern) - true) < l, (pattern, true)

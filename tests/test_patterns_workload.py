@@ -1,0 +1,94 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.textutil import (
+    Text,
+    absent_patterns,
+    adversarial_patterns,
+    mixed_workload,
+    random_patterns,
+    sample_from_text,
+)
+
+
+class TestSampleFromText:
+    def test_patterns_occur(self):
+        text = "the quick brown fox"
+        for pattern in sample_from_text(text, 4, 20, seed=1):
+            assert pattern in text
+            assert len(pattern) == 4
+
+    def test_deterministic(self):
+        assert sample_from_text("abcdef" * 10, 3, 5, seed=2) == sample_from_text(
+            "abcdef" * 10, 3, 5, seed=2
+        )
+
+    def test_accepts_text_objects(self):
+        t = Text("banana")
+        assert all(p in "banana" for p in sample_from_text(t, 2, 5))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            sample_from_text("abc", 0, 1)
+        with pytest.raises(InvalidParameterError):
+            sample_from_text("abc", 4, 1)
+
+
+class TestRandomAndAbsent:
+    def test_random_patterns_shape(self):
+        patterns = random_patterns("xy", 5, 7, seed=3)
+        assert len(patterns) == 7
+        assert all(len(p) == 5 and set(p) <= {"x", "y"} for p in patterns)
+
+    def test_random_requires_alphabet(self):
+        with pytest.raises(InvalidParameterError):
+            random_patterns("", 3, 1)
+
+    def test_absent_patterns_are_absent(self):
+        text = "abcabcabc"
+        for pattern in absent_patterns(text, 4, 10, seed=1):
+            assert pattern not in text
+
+    def test_absent_unfindable_raises(self):
+        # Single-symbol alphabet: every string a^k <= text length occurs.
+        with pytest.raises(InvalidParameterError):
+            absent_patterns("aaaaaaaa", 2, 3, max_tries=3)
+
+
+class TestAdversarialAndMixed:
+    def test_adversarial_includes_key_shapes(self):
+        text = "aabbbba"
+        patterns = adversarial_patterns(text)
+        assert text in patterns  # whole text
+        assert "bbbb" in patterns  # longest unary run
+        assert "bbbbb" in patterns  # run + 1 (absent)
+        assert text + text[0] in patterns  # one-past-the-end
+
+    def test_mixed_workload_dedup_sorted(self):
+        workload = mixed_workload("abcabc" * 20, lengths=(2, 4), per_length=10)
+        assert workload == sorted(set(workload))
+        assert len(workload) > 5
+
+    def test_mixed_workload_respects_text_length(self):
+        # Lengths longer than the text are skipped, not an error.
+        workload = mixed_workload("ab", lengths=(1, 50), per_length=4)
+        assert all(len(p) <= 3 for p in workload)
+
+    def test_indexes_survive_adversarial_patterns(self):
+        from repro import ApproxIndex, CompactPrunedSuffixTree, FMIndex
+
+        text = "mississippi" * 5
+        t = Text(text)
+        fm = FMIndex(t)
+        apx = ApproxIndex(t, 8)
+        cpst = CompactPrunedSuffixTree(t, 8)
+        for pattern in adversarial_patterns(t):
+            true = t.count_naive(pattern)
+            assert fm.count(pattern) == true
+            assert true <= apx.count(pattern) <= true + 7
+            got = cpst.count_or_none(pattern)
+            assert got == (true if true >= 8 else None)

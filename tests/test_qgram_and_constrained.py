@@ -1,0 +1,110 @@
+"""Tests for the q-gram table baseline and the MOC/MOLC estimators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MOCEstimator, MOEstimator, MOLCEstimator, MOLEstimator, QGramIndex
+from repro.core.cpst import CompactPrunedSuffixTree
+from repro.errors import InvalidParameterError, PatternError
+from repro.textutil import Text
+
+
+class TestQGramIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return QGramIndex(Text("abracadabra" * 5), q=3)
+
+    def test_exact_short_patterns(self, index):
+        t = Text("abracadabra" * 5)
+        for pattern in ("a", "ab", "bra", "cad", "xyz", "aaa"):
+            assert index.count_or_none(pattern) == t.count_naive(pattern), pattern
+
+    def test_long_patterns_unknown(self, index):
+        assert index.count_or_none("abra") is None
+        assert index.count("abra") == 0
+        assert not index.is_reliable("abra")
+        assert index.is_reliable("bra")
+
+    def test_absent_character_short_is_exact_zero(self, index):
+        assert index.count_or_none("z") == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            QGramIndex("abc", q=0)
+        with pytest.raises(PatternError):
+            QGramIndex("abc", q=2).count("")
+
+    def test_space_grows_with_q(self):
+        text = "the quick brown fox jumps " * 20
+        sizes = [QGramIndex(text, q).space_report().payload_bits for q in (1, 2, 4)]
+        assert sizes == sorted(sizes)
+
+    def test_space_report_components(self):
+        report = QGramIndex("banana", q=2).space_report()
+        assert set(report.components) == {"1-grams", "2-grams"}
+
+    def test_as_estimator_backend(self):
+        # The classical pipeline: q-gram table + MO estimation.
+        t = Text("the cat sat on the mat " * 30)
+        estimator = MOEstimator(QGramIndex(t, q=4))
+        assert estimator.estimate("the") == t.count_naive("the")
+        value = estimator.estimate("the cat")
+        assert 0.0 <= value <= len(t)
+
+
+class TestConstrainedEstimators:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        words = ["lattice", "overlap", "estimate", "pattern", "suffix", "prune"]
+        text = Text(" ".join(words[i % len(words)] for i in range(300)))
+        return text, CompactPrunedSuffixTree(text, 16)
+
+    def test_known_patterns_exact(self, setup):
+        text, index = setup
+        for cls in (MOCEstimator, MOLCEstimator):
+            estimator = cls(index)
+            assert estimator.estimate("lattice") == text.count_naive("lattice")
+
+    def test_never_above_unconstrained(self, setup):
+        text, index = setup
+        moc, mo = MOCEstimator(index), MOEstimator(index)
+        molc, mol = MOLCEstimator(index), MOLEstimator(index)
+        patterns = ["lattice overlap", "prune suffix pat", "estimate pattern pr"]
+        for pattern in patterns:
+            assert moc.estimate(pattern) <= mo.estimate(pattern) + 1e-9
+            assert molc.estimate(pattern) <= mol.estimate(pattern) + 1e-9
+
+    def test_containment_constraint_enforced(self, setup):
+        """The clamp: an estimate may not exceed the count of any certified
+        substring of the pattern."""
+        text, index = setup
+        for cls in (MOCEstimator, MOLCEstimator):
+            estimator = cls(index)
+            for pattern in ("lattice overlap estimate", "suffix prune lattice"):
+                estimate = estimator.estimate(pattern)
+                for start in range(len(pattern)):
+                    for end in range(start + 1, len(pattern) + 1):
+                        certified = index.count_or_none(pattern[start:end])
+                        if certified is not None:
+                            assert estimate <= certified + 1e-6, (
+                                pattern, pattern[start:end],
+                            )
+
+    def test_bounded(self, setup):
+        text, index = setup
+        for cls in (MOCEstimator, MOLCEstimator):
+            value = cls(index).estimate("zzz qqq")
+            assert 0.0 <= value <= len(text)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.text(alphabet="abc", min_size=1, max_size=10))
+def test_property_constrained_le_unconstrained(pattern):
+    text = Text("abcabcbacbab" * 20)
+    index = CompactPrunedSuffixTree(text, 8)
+    assert MOLCEstimator(index).estimate(pattern) <= (
+        MOLEstimator(index).estimate(pattern) + 1e-9
+    )

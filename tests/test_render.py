@@ -1,0 +1,58 @@
+"""Regression tests for the Figure 5 rendering (paper's running example)."""
+
+from __future__ import annotations
+
+from repro.suffixtree.pruned import PrunedSuffixTreeStructure
+from repro.suffixtree.render import (
+    figure5_report,
+    link_s_string,
+    render_pst,
+    unary_g_string,
+)
+from repro.textutil import Text
+
+
+class TestFigure5Example:
+    """The paper's banabananab / threshold-2 example, pinned."""
+
+    def test_node_count(self):
+        structure = PrunedSuffixTreeStructure("banabananab", 2)
+        assert structure.num_nodes == 9
+
+    def test_g_string(self):
+        structure = PrunedSuffixTreeStructure("banabananab", 2)
+        g = unary_g_string(structure)
+        # One 1 per node; zeros sum to n+1 = 12 (every original leaf).
+        assert g.count("1") == 9
+        assert g.count("0") == 12
+        assert g == "011001010010100101001"
+
+    def test_s_string(self):
+        structure = PrunedSuffixTreeStructure("banabananab", 2)
+        s = link_s_string(structure)
+        assert s == "ab#n#n#b##a##a#a#"
+        # One '#' per node; one link symbol per non-root node.
+        assert s.count("#") == 9
+        assert len(s) - s.count("#") == 8
+
+    def test_full_report_stable(self):
+        report = figure5_report()
+        assert "PST of 'banabananab' with threshold 2 (9 nodes)" in report
+        assert "G = 011001010010100101001" in report
+        assert "S = ab#n#n#b##a##a#a#" in report
+
+    def test_render_mentions_every_node(self):
+        structure = PrunedSuffixTreeStructure("banabananab", 2)
+        rendering = render_pst(structure)
+        for node in structure.nodes:
+            assert f"{node.preorder_id} [g={node.g}]" in rendering
+
+    def test_long_labels_truncated(self):
+        # A long repeated block gives edges far longer than max_label.
+        structure = PrunedSuffixTreeStructure("abcdefghijklm" * 5, 2)
+        rendering = render_pst(structure, max_label=6)
+        assert "…" in rendering
+
+    def test_correction_factors_match_figure(self):
+        structure = PrunedSuffixTreeStructure("banabananab", 2)
+        assert [node.g for node in structure.nodes] == [1, 0, 2, 1, 2, 1, 2, 1, 2]

@@ -1,0 +1,112 @@
+"""Tests for the run-length FM-index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fm import FMIndex
+from repro.baselines.rlfm import RLFMIndex
+from repro.core.interface import ErrorModel
+from repro.errors import PatternError
+from repro.sa import bwt
+from repro.textutil import Text, mixed_workload
+
+
+class TestRLFMCounting:
+    def test_matches_naive(self):
+        text = "abracadabra" * 5
+        t = Text(text)
+        index = RLFMIndex(t)
+        for pattern in ("abra", "cad", "ra", "abracadabraabra", "zz", "a"):
+            assert index.count(pattern) == t.count_naive(pattern), pattern
+
+    def test_matches_fm_on_every_corpus(self):
+        from repro.datasets import dataset_names, generate
+
+        for name in dataset_names():
+            t = Text(generate(name, 3000, seed=2))
+            fm = FMIndex(t)
+            rlfm = RLFMIndex(t)
+            for pattern in mixed_workload(t, lengths=(1, 3, 6), per_length=8, seed=3):
+                assert rlfm.count(pattern) == fm.count(pattern), (name, pattern)
+
+    def test_internal_rank_matches_bwt(self, rng):
+        t = Text("".join(rng.choice(list("abc"), size=300)))
+        index = RLFMIndex(t)
+        l_arr = bwt(t.data).tolist()
+        for c in range(t.sigma):
+            for i in range(0, len(l_arr) + 1, 11):
+                expected = sum(1 for x in l_arr[:i] if x == c)
+                assert index._rank(c, i) == expected, (c, i)
+
+    def test_single_char_text(self):
+        index = RLFMIndex("x")
+        assert index.count("x") == 1
+        assert index.num_runs <= 3
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            RLFMIndex("abc").count("")
+
+    def test_metadata(self):
+        index = RLFMIndex("banana")
+        assert index.error_model is ErrorModel.EXACT
+        assert index.threshold == 1
+        assert index.text_length == 6
+
+
+class TestRLFMSpace:
+    def test_run_count_correct(self):
+        t = Text("aaabbbccc")
+        index = RLFMIndex(t)
+        l_arr = bwt(t.data)
+        expected = 1 + int(np.count_nonzero(np.diff(l_arr)))
+        assert index.num_runs == expected
+
+    def test_beats_fm_on_repetitive_text(self):
+        # Highly repetitive: few BWT runs, RLFM wins decisively.
+        text = ("the same sentence over and over again. " * 60)
+        t = Text(text)
+        rlfm_bits = RLFMIndex(t).space_report().payload_bits
+        fm_bits = FMIndex(t).space_report().payload_bits
+        assert rlfm_bits < 0.5 * fm_bits
+
+    def test_loses_on_incompressible_text(self, rng):
+        # Random text: R ~ n, run bookkeeping makes RLFM larger.
+        text = "".join(rng.choice(list("abcdefgh"), size=4000))
+        t = Text(text)
+        rlfm_bits = RLFMIndex(t).space_report().payload_bits
+        fm_bits = FMIndex(t).space_report().payload_bits
+        assert rlfm_bits > fm_bits
+
+    def test_space_components(self):
+        report = RLFMIndex("banana" * 20).space_report()
+        assert set(report.components) == {
+            "run_heads_wavelet",
+            "run_starts",
+            "run_length_prefix_sums",
+            "C_array",
+        }
+
+    def test_from_bwt_equivalent(self):
+        from repro.sa import suffix_array, bwt_from_sa
+
+        t = Text("mississippi" * 4)
+        transform = bwt_from_sa(t.data, suffix_array(t.data))
+        a = RLFMIndex.from_bwt(transform, t.alphabet)
+        b = RLFMIndex(t)
+        for pattern in ("ssi", "mi", "pp"):
+            assert a.count(pattern) == b.count(pattern)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.text(alphabet="ab", min_size=1, max_size=120),
+    st.text(alphabet="ab", min_size=1, max_size=6),
+)
+def test_property_rlfm_exact(text, pattern):
+    t = Text(text)
+    assert RLFMIndex(t).count(pattern) == t.count_naive(pattern)

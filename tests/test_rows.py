@@ -1,0 +1,110 @@
+"""Tests for the row-level (distinct-row) selectivity index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rows import RowSelectivityIndex
+from repro.errors import InvalidParameterError
+
+
+def rows_containing(rows, pattern):
+    return sum(1 for row in rows if pattern in row)
+
+
+def occurrences(rows, pattern):
+    total = 0
+    for row in rows:
+        start = row.find(pattern)
+        while start >= 0:
+            total += 1
+            start = row.find(pattern, start + 1)
+    return total
+
+
+class TestRowSelectivity:
+    @pytest.fixture
+    def library_rows(self):
+        base = [
+            "the cat sat on the mat",
+            "the dog sat on the log",
+            "a cat and a dog",
+            "the mat was flat",
+            "dogs chase cats",
+        ]
+        return base * 10  # every base row appears 10 times
+
+    def test_exact_row_counts_above_threshold(self, library_rows):
+        index = RowSelectivityIndex(library_rows, l=8)
+        for pattern in ("the", "cat", "sat on", "dog", "mat"):
+            expected_rows = rows_containing(library_rows, pattern)
+            if occurrences(library_rows, pattern) >= 8:
+                assert index.count_rows_or_none(pattern) == expected_rows, pattern
+
+    def test_below_threshold_detected(self, library_rows):
+        index = RowSelectivityIndex(library_rows, l=16)
+        assert index.count_rows_or_none("chase cats and dogs") is None
+        assert index.count_rows_or_none("zzz") is None
+
+    def test_rows_never_exceed_occurrences(self, library_rows):
+        index = RowSelectivityIndex(library_rows, l=8)
+        for pattern in ("the", "a", "t", "on"):
+            occ = index.count_or_none(pattern)
+            rows = index.count_rows_or_none(pattern)
+            if occ is not None:
+                assert rows is not None and rows <= occ
+
+    def test_repeated_pattern_in_one_row(self):
+        # 'xx' occurs many times but only in a handful of rows.
+        rows = ["xxxxxxxxxx"] * 3 + ["yy"] * 20
+        index = RowSelectivityIndex(rows, l=4)
+        assert index.count_rows_or_none("xx") == 3
+        assert index.count_or_none("xx") == 27  # overlapping occurrences
+
+    def test_selectivity_fraction(self, library_rows):
+        index = RowSelectivityIndex(library_rows, l=4)
+        fraction = index.selectivity_or_none("cat")
+        assert fraction == rows_containing(library_rows, "cat") / len(library_rows)
+
+    def test_patterns_never_straddle_rows(self):
+        rows = ["ab"] * 10 + ["ba"] * 10
+        index = RowSelectivityIndex(rows, l=4)
+        # 'ab'+'ba' are adjacent in the concatenation but separated by ▷.
+        assert index.count_rows_or_none("bb") is None
+        assert index.count_rows_or_none("ab") == 10
+
+    def test_metadata(self, library_rows):
+        index = RowSelectivityIndex(library_rows, l=8)
+        assert index.num_rows == len(library_rows)
+        assert index.threshold == 8
+        assert index.is_reliable("the")
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RowSelectivityIndex([], l=4)
+
+    def test_space_includes_row_counts(self, library_rows):
+        report = RowSelectivityIndex(library_rows, l=8).space_report()
+        assert "row_counts" in report.components
+        assert report.payload_bits > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.text(alphabet="ab", min_size=1, max_size=8), min_size=1, max_size=40),
+    st.text(alphabet="ab", min_size=1, max_size=3),
+    st.sampled_from([2, 4]),
+)
+def test_property_exact_rows_when_certified(rows, pattern, l):
+    index = RowSelectivityIndex(rows, l=l)
+    got = index.count_rows_or_none(pattern)
+    occ = occurrences(rows, pattern)
+    if occ >= l:
+        assert got == rows_containing(rows, pattern)
+    elif got is not None:
+        # The structure may certify via a longer-locus node only when the
+        # occurrence count truly reaches the threshold; otherwise None.
+        raise AssertionError(f"certified a below-threshold pattern {pattern!r}")

@@ -1,0 +1,220 @@
+"""Tests for suffix array, LCP and BWT construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.sa import (
+    bwt,
+    bwt_from_sa,
+    counts_array,
+    inverse_bwt,
+    inverse_suffix_array,
+    lcp_array,
+    lf_mapping,
+    suffix_array_doubling,
+    suffix_array_naive,
+    suffix_array_sais,
+)
+from repro.textutil import Text
+
+
+def sentinel_text(s: str) -> np.ndarray:
+    """Encode a string the library way: dense ids, sentinel 0 appended."""
+    return Text(s).data
+
+
+small_strings = st.text(alphabet="abcd", min_size=1, max_size=60)
+
+BUILDERS = [suffix_array_naive, suffix_array_doubling, suffix_array_sais]
+
+
+class TestSuffixArrayBuilders:
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_abracadabra(self, builder):
+        data = sentinel_text("abracadabra")
+        sa = builder(data)
+        # Figure 1 of the paper: suffixes of abracadabra$ in lex order.
+        expected = [11, 10, 7, 0, 3, 5, 8, 1, 4, 6, 9, 2]
+        assert sa.tolist() == expected
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_single_char_text(self, builder):
+        sa = builder(sentinel_text("a"))
+        assert sa.tolist() == [1, 0]
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_run_text(self, builder):
+        # T = a^n: suffixes sort by decreasing start position.
+        n = 20
+        sa = builder(sentinel_text("a" * n))
+        assert sa.tolist() == list(range(n, -1, -1))
+
+    @pytest.mark.parametrize("builder", [suffix_array_doubling, suffix_array_sais])
+    def test_matches_naive_random(self, builder, rng):
+        for sigma in (2, 4, 26):
+            syms = rng.integers(1, sigma + 1, size=200)
+            data = np.concatenate([syms, [0]])
+            np.testing.assert_array_equal(builder(data), suffix_array_naive(data))
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_empty(self, builder):
+        assert builder(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_sais_requires_sentinel(self):
+        with pytest.raises(InvalidParameterError):
+            suffix_array_sais(np.array([2, 1, 2], dtype=np.int64))
+
+    def test_inverse_suffix_array(self):
+        sa = suffix_array_doubling(sentinel_text("mississippi"))
+        isa = inverse_suffix_array(sa)
+        n = sa.size
+        np.testing.assert_array_equal(sa[isa], np.arange(n))
+        np.testing.assert_array_equal(isa[sa], np.arange(n))
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_strings)
+def test_property_builders_agree(s):
+    data = sentinel_text(s)
+    ref = suffix_array_naive(data)
+    np.testing.assert_array_equal(suffix_array_doubling(data), ref)
+    np.testing.assert_array_equal(suffix_array_sais(data), ref)
+
+
+class TestLCP:
+    def test_known_example(self):
+        # banana$ -> SA [6,5,3,1,0,4,2]; LCP [0,0,1,3,0,0,2]
+        data = sentinel_text("banana")
+        sa = suffix_array_doubling(data)
+        assert sa.tolist() == [6, 5, 3, 1, 0, 4, 2]
+        lcp = lcp_array(data, sa)
+        assert lcp.tolist() == [0, 0, 1, 3, 0, 0, 2]
+
+    def test_against_naive(self, rng):
+        syms = rng.integers(1, 4, size=150)
+        data = np.concatenate([syms, [0]])
+        sa = suffix_array_doubling(data)
+        lcp = lcp_array(data, sa)
+        lst = data.tolist()
+        for i in range(1, len(lst)):
+            a, b = lst[sa[i - 1] :], lst[sa[i] :]
+            k = 0
+            while k < min(len(a), len(b)) and a[k] == b[k]:
+                k += 1
+            assert lcp[i] == k, i
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            lcp_array(np.array([1, 0]), np.array([0]))
+
+
+class TestBWT:
+    def test_paper_figure1(self):
+        # Figure 1: BWT(abracadabra$) = ard$rcaaaabb
+        text = Text("abracadabra")
+        l = bwt(text.data)
+        assert text.alphabet.decode(l) == "ard$rcaaaabb"
+
+    def test_bwt_is_permutation(self, rng):
+        syms = rng.integers(1, 5, size=100)
+        data = np.concatenate([syms, [0]])
+        l = bwt(data)
+        np.testing.assert_array_equal(np.sort(l), np.sort(data))
+
+    def test_counts_array(self):
+        text = Text("abracadabra")
+        c = counts_array(bwt(text.data), text.sigma)
+        # $=0 once, a=1 x5, b=2 x2, c=3 x1, d=4 x1, r=5 x2
+        assert c.tolist() == [0, 1, 6, 8, 9, 10, 12]
+
+    def test_counts_rejects_out_of_alphabet(self):
+        with pytest.raises(InvalidParameterError):
+            counts_array(np.array([0, 5]), sigma=3)
+
+    def test_lf_mapping_matches_definition(self, rng):
+        syms = rng.integers(1, 6, size=80)
+        data = np.concatenate([syms, [0]])
+        sigma = 6
+        l = bwt(data)
+        c = counts_array(l, sigma)
+        lf = lf_mapping(l, sigma)
+        lst = l.tolist()
+        for i in range(len(lst)):
+            rank = sum(1 for x in lst[: i + 1] if x == lst[i])  # rank_c(L, i+1)
+            assert lf[i] == c[lst[i]] + rank - 1  # 0-based rows
+
+    def test_inverse_bwt_roundtrip(self, rng):
+        for _ in range(5):
+            syms = rng.integers(1, 7, size=120)
+            data = np.concatenate([syms, [0]])
+            np.testing.assert_array_equal(inverse_bwt(bwt(data), 7), data)
+
+    def test_inverse_requires_single_sentinel(self):
+        with pytest.raises(InvalidParameterError):
+            inverse_bwt(np.array([0, 1, 0]), 2)
+
+    def test_bwt_from_sa_matches(self):
+        data = sentinel_text("mississippi")
+        sa = suffix_array_doubling(data)
+        np.testing.assert_array_equal(bwt_from_sa(data, sa), bwt(data))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_strings)
+def test_property_bwt_roundtrip(s):
+    data = sentinel_text(s)
+    sigma = int(data.max()) + 1
+    np.testing.assert_array_equal(inverse_bwt(bwt(data), sigma), data)
+
+
+class TestDC3:
+    def test_matches_naive_random(self, rng):
+        from repro.sa import suffix_array_dc3
+
+        for sigma in (2, 4, 26):
+            syms = rng.integers(1, sigma + 1, size=150)
+            data = np.concatenate([syms, [0]])
+            np.testing.assert_array_equal(
+                suffix_array_dc3(data), suffix_array_naive(data)
+            )
+
+    def test_abracadabra(self):
+        from repro.sa import suffix_array_dc3
+
+        sa = suffix_array_dc3(sentinel_text("abracadabra"))
+        assert sa.tolist() == [11, 10, 7, 0, 3, 5, 8, 1, 4, 6, 9, 2]
+
+    def test_adversarial_shapes(self):
+        from repro.sa import suffix_array_dc3
+
+        for raw in ("a" * 31, "ab" * 16, "aab" * 11, "abca" * 8):
+            data = sentinel_text(raw)
+            np.testing.assert_array_equal(
+                suffix_array_dc3(data), suffix_array_naive(data)
+            )
+
+    def test_requires_sentinel(self):
+        from repro.sa import suffix_array_dc3
+
+        with pytest.raises(InvalidParameterError):
+            suffix_array_dc3(np.array([2, 1, 2], dtype=np.int64))
+
+    def test_empty_and_single(self):
+        from repro.sa import suffix_array_dc3
+
+        assert suffix_array_dc3(np.zeros(0, dtype=np.int64)).size == 0
+        assert suffix_array_dc3(np.zeros(1, dtype=np.int64)).tolist() == [0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_strings)
+def test_property_dc3_agrees(s):
+    from repro.sa import suffix_array_dc3
+
+    data = sentinel_text(s)
+    np.testing.assert_array_equal(suffix_array_dc3(data), suffix_array_naive(data))

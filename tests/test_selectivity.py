@@ -1,0 +1,164 @@
+"""Tests for the KVI / MO / MOL selectivity estimators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fm import FMIndex
+from repro.baselines.pst import PrunedSuffixTree
+from repro.core.cpst import CompactPrunedSuffixTree
+from repro.errors import InvalidParameterError, PatternError
+from repro.selectivity import CountOracle, KVIEstimator, MOEstimator, MOLEstimator
+from repro.textutil import Text
+
+ESTIMATORS = [KVIEstimator, MOEstimator, MOLEstimator]
+
+
+@pytest.fixture(scope="module")
+def english_like():
+    words = ["the", "cat", "sat", "on", "a", "mat", "that", "rat", "chased"]
+    text = " ".join(words[i % len(words)] for i in range(400))
+    return Text(text)
+
+
+class TestCountOracle:
+    def test_wraps_lower_sided(self):
+        oracle = CountOracle(CompactPrunedSuffixTree("abab", 2))
+        assert oracle.known("ab") == 2
+        assert oracle.known("ba") is None
+        assert oracle.threshold == 2
+
+    def test_wraps_exact(self):
+        oracle = CountOracle(FMIndex("abab"))
+        assert oracle.known("ba") == 1
+        assert oracle.threshold == 1
+
+    def test_rejects_non_index(self):
+        with pytest.raises(InvalidParameterError):
+            CountOracle(object())
+
+    def test_longest_known(self):
+        t = Text("abcabcabc")
+        oracle = CountOracle(CompactPrunedSuffixTree(t, 2))
+        # 'abcabc' occurs 2x (>=2) but 'abcabca' occurs once.
+        assert oracle.longest_known("abcabcabc", 0) == 6
+        assert oracle.longest_known("zzz", 0) == 0
+
+    def test_cache_consistency(self):
+        oracle = CountOracle(CompactPrunedSuffixTree("abab", 2))
+        assert oracle.known("ab") == oracle.known("ab")
+        assert oracle.known("xx") is None and oracle.known("xx") is None
+
+
+@pytest.mark.parametrize("estimator_cls", ESTIMATORS)
+class TestEstimatorsCommon:
+    def test_known_patterns_are_exact(self, estimator_cls, english_like):
+        index = CompactPrunedSuffixTree(english_like, 8)
+        est = estimator_cls(index)
+        for pattern in ("the", "at", "cat", " "):
+            true = english_like.count_naive(pattern)
+            if true >= 8:
+                assert est.estimate(pattern) == true, pattern
+
+    def test_estimates_are_bounded(self, estimator_cls, english_like):
+        index = CompactPrunedSuffixTree(english_like, 16)
+        est = estimator_cls(index)
+        n = len(english_like)
+        for pattern in ("the cat", "zzzq", "mat that", "rat chased a"):
+            value = est.estimate(pattern)
+            assert 0.0 <= value <= n
+
+    def test_exact_backend_gives_exact_results(self, estimator_cls, english_like):
+        est = estimator_cls(FMIndex(english_like))
+        for pattern in ("the cat", "sat on", "zzz"):
+            assert est.estimate(pattern) == english_like.count_naive(pattern)
+
+    def test_empty_pattern_rejected(self, estimator_cls):
+        est = estimator_cls(CompactPrunedSuffixTree("abab", 2))
+        with pytest.raises(PatternError):
+            est.estimate("")
+
+    def test_selectivity_normalised(self, estimator_cls, english_like):
+        est = estimator_cls(CompactPrunedSuffixTree(english_like, 8))
+        assert 0.0 <= est.selectivity("the cat") <= 1.0
+
+    def test_works_with_pst_backend(self, estimator_cls, english_like):
+        est = estimator_cls(PrunedSuffixTree(english_like, 8))
+        value = est.estimate("the cat sat")
+        assert 0.0 <= value <= len(english_like)
+
+    def test_default_count_validation(self, estimator_cls):
+        with pytest.raises(InvalidParameterError):
+            estimator_cls(CompactPrunedSuffixTree("abab", 2), default_count=0)
+
+
+class TestParsers:
+    def test_kvi_parse_covers_pattern(self, english_like):
+        est = KVIEstimator(CompactPrunedSuffixTree(english_like, 8))
+        pieces = est.explain("the cat sat on a mat")
+        assert "".join(fragment for fragment, _ in pieces) == "the cat sat on a mat"
+
+    def test_mo_parse_is_increasing_and_covering(self, english_like):
+        est = MOEstimator(CompactPrunedSuffixTree(english_like, 8))
+        pattern = "the cat sat"
+        fragments = est.explain(pattern)
+        starts = [s for s, _ in fragments]
+        assert starts == sorted(starts)
+        covered_end = max(s + len(f) for s, f in fragments)
+        assert covered_end == len(pattern)
+        assert fragments[0][0] == 0
+
+    def test_mol_lattice_contains_known_substrings(self, english_like):
+        est = MOLEstimator(CompactPrunedSuffixTree(english_like, 8))
+        probs = est.lattice_probabilities("the cat")
+        assert "the" in probs
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+
+
+class TestAccuracyOrdering:
+    def test_mol_beats_kvi_on_average(self, english_like, rng):
+        """MOL's conditioning should on average beat pure independence
+        (the paper found MOL delivered the best estimates)."""
+        index = CompactPrunedSuffixTree(english_like, 16)
+        kvi = KVIEstimator(index)
+        mol = MOLEstimator(index)
+        text = english_like.raw
+        kvi_err = mol_err = 0.0
+        trials = 0
+        for _ in range(80):
+            length = int(rng.integers(6, 12))
+            start = int(rng.integers(0, len(text) - length))
+            pattern = text[start : start + length]
+            true = english_like.count_naive(pattern)
+            kvi_err += abs(kvi.estimate(pattern) - true)
+            mol_err += abs(mol.estimate(pattern) - true)
+            trials += 1
+        assert mol_err <= kvi_err * 1.5  # MOL no worse; typically far better
+
+    def test_smaller_l_gives_better_mol_estimates(self, english_like, rng):
+        text = english_like.raw
+        patterns = []
+        for _ in range(60):
+            length = int(rng.integers(6, 12))
+            start = int(rng.integers(0, len(text) - length))
+            patterns.append(text[start : start + length])
+
+        def total_error(l):
+            est = MOLEstimator(CompactPrunedSuffixTree(english_like, l))
+            return sum(
+                abs(est.estimate(p) - english_like.count_naive(p)) for p in patterns
+            )
+
+        assert total_error(4) <= total_error(64)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(alphabet="ab", min_size=1, max_size=8))
+def test_property_estimates_nonnegative_and_bounded(pattern):
+    t = Text("abba" * 30)
+    index = CompactPrunedSuffixTree(t, 4)
+    for cls in ESTIMATORS:
+        value = cls(index).estimate(pattern)
+        assert 0.0 <= value <= len(t)

@@ -1,0 +1,64 @@
+"""Serialization tests: every index must pickle/unpickle losslessly."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import (
+    ApproxIndex,
+    ApproxIndexEF,
+    CombinedIndex,
+    CompactPrunedSuffixTree,
+    FMIndex,
+    MultiplicativeIndex,
+    PrunedPatriciaTrie,
+    PrunedSuffixTree,
+)
+from repro.textutil import Text
+
+TEXT = "the cat sat on the mat and the rat sat too " * 20
+PATTERNS = ["the", "at", "sat on", "zzz", "the cat sat"]
+
+
+def builders():
+    return [
+        ("fm", lambda t: FMIndex(t)),
+        ("apx", lambda t: ApproxIndex(t, 16)),
+        ("apx_ef", lambda t: ApproxIndexEF(t, 16)),
+        ("cpst", lambda t: CompactPrunedSuffixTree(t, 16)),
+        ("pst", lambda t: PrunedSuffixTree(t, 16)),
+        ("patricia", lambda t: PrunedPatriciaTrie(t, 16)),
+        ("combined", lambda t: CombinedIndex(t, 16)),
+        ("multiplicative", lambda t: MultiplicativeIndex(t, 0.5, 16)),
+    ]
+
+
+@pytest.mark.parametrize("name,builder", builders(), ids=[n for n, _ in builders()])
+def test_pickle_roundtrip_preserves_answers(name, builder):
+    text = Text(TEXT)
+    index = builder(text)
+    clone = pickle.loads(pickle.dumps(index))
+    for pattern in PATTERNS:
+        assert clone.count(pattern) == index.count(pattern), pattern
+    assert clone.space_report().payload_bits == index.space_report().payload_bits
+
+
+def test_pickled_size_is_bounded(tmp_path):
+    """The on-disk pickle should be within a small factor of the logical
+    payload (numpy word arrays serialise compactly)."""
+    text = Text(TEXT)
+    index = CompactPrunedSuffixTree(text, 16)
+    blob = pickle.dumps(index)
+    logical_bytes = index.space_report().total_bits / 8
+    assert len(blob) < 60 * logical_bytes + 8192
+
+
+def test_unpickled_index_is_reusable_by_estimators():
+    from repro.selectivity import MOLEstimator
+
+    text = Text(TEXT)
+    clone = pickle.loads(pickle.dumps(CompactPrunedSuffixTree(text, 8)))
+    estimator = MOLEstimator(clone)
+    assert estimator.estimate("the") == text.count_naive("the")

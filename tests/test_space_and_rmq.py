@@ -1,0 +1,99 @@
+"""Tests for the space accounting module and the sparse-table RMQ."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.sa.rmq import RangeMinimum
+from repro.space import SpaceReport, make_report, text_bits, total_payload
+
+
+class TestSpaceReport:
+    def test_totals(self):
+        report = make_report("X", {"a": 100, "b": 50}, {"dir": 10})
+        assert report.payload_bits == 150
+        assert report.overhead_bits == 10
+        assert report.total_bits == 160
+        assert report.payload_bytes == pytest.approx(18.75)
+
+    def test_ratio(self):
+        report = make_report("X", {"a": 250})
+        assert report.ratio_to(1000) == 0.25
+        with pytest.raises(ValueError):
+            report.ratio_to(0)
+
+    def test_merged(self):
+        a = make_report("A", {"x": 1}, {"o": 2})
+        b = make_report("B", {"x": 3})
+        merged = a.merged_with(b)
+        assert merged.payload_bits == 4
+        assert merged.overhead_bits == 2
+        assert set(merged.components) == {"A.x", "B.x"}
+
+    def test_format_contains_components(self):
+        text = make_report("Idx", {"big": 1000, "small": 10}).format(reference_bits=8000)
+        assert "Idx" in text and "big" in text and "% of reference" in text
+
+    def test_text_bits(self):
+        assert text_bits(100, 2) == 100  # 1 bit per symbol
+        assert text_bits(100, 256) == 800
+        with pytest.raises(ValueError):
+            text_bits(-1, 2)
+
+    def test_total_payload(self):
+        reports = [make_report("A", {"x": 5}), make_report("B", {"y": 7})]
+        assert total_payload(reports) == 12
+
+    def test_frozen(self):
+        report = make_report("X", {"a": 1})
+        with pytest.raises(AttributeError):
+            report.name = "Y"  # type: ignore[misc]
+
+
+class TestRangeMinimum:
+    def test_basic(self):
+        rmq = RangeMinimum(np.array([5, 2, 8, 1, 9, 3]))
+        assert rmq.query(0, 6) == 1
+        assert rmq.query(0, 2) == 2
+        assert rmq.query(2, 3) == 8
+        assert rmq.query(4, 6) == 3
+
+    def test_invalid_ranges(self):
+        rmq = RangeMinimum(np.array([1, 2, 3]))
+        with pytest.raises(InvalidParameterError):
+            rmq.query(2, 2)
+        with pytest.raises(InvalidParameterError):
+            rmq.query(-1, 2)
+        with pytest.raises(InvalidParameterError):
+            rmq.query(0, 4)
+
+    def test_single_element(self):
+        rmq = RangeMinimum(np.array([42]))
+        assert rmq.query(0, 1) == 42
+
+    def test_2d_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RangeMinimum(np.zeros((2, 2)))
+
+    def test_against_naive(self, rng):
+        values = rng.integers(-100, 100, size=257)
+        rmq = RangeMinimum(values)
+        for _ in range(200):
+            lo = int(rng.integers(0, 256))
+            hi = int(rng.integers(lo + 1, 258))
+            assert rmq.query(lo, hi) == int(values[lo:hi].min()), (lo, hi)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=120))
+def test_property_rmq_matches_min(values):
+    arr = np.asarray(values)
+    rmq = RangeMinimum(arr)
+    n = len(values)
+    for lo in range(0, n, max(1, n // 7)):
+        for hi in range(lo + 1, n + 1, max(1, n // 7)):
+            assert rmq.query(lo, hi) == min(values[lo:hi])

@@ -1,0 +1,245 @@
+"""Tests for lcp-interval enumeration and the pruned suffix tree structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.sa import lcp_array, suffix_array
+from repro.suffixtree.intervals import (
+    count_internal_nodes,
+    lcp_intervals,
+    lcp_intervals_pruned,
+)
+from repro.suffixtree.pruned import PrunedSuffixTreeStructure
+from repro.textutil import Text
+
+
+def intervals_of(text: str):
+    data = Text(text).data
+    sa = suffix_array(data)
+    return sorted(lcp_intervals(lcp_array(data, sa)), key=lambda x: (x[1], -x[2]))
+
+
+class TestLcpIntervals:
+    def test_banana(self):
+        # Internal nodes of ST(banana$): root, 'a', 'ana', 'na'.
+        got = intervals_of("banana")
+        assert got == [(0, 0, 6), (1, 1, 3), (3, 2, 3), (2, 5, 6)]
+
+    def test_unary_text(self):
+        # T = a^n: internal nodes are a^0..a^(n-1) — a chain of n nodes.
+        got = intervals_of("a" * 10)
+        assert len(got) == 10
+        depths = sorted(d for d, _, __ in got)
+        assert depths == list(range(10))
+
+    def test_all_distinct_symbols(self):
+        # abcd$: only the root is internal.
+        assert intervals_of("abcd") == [(0, 0, 4)]
+
+    def test_intervals_are_laminar(self, rng):
+        text = "".join(rng.choice(list("ab"), size=120))
+        nodes = intervals_of(text)
+        for i, (_, lb1, rb1) in enumerate(nodes):
+            for _, lb2, rb2 in nodes[i + 1 :]:
+                disjoint = rb2 < lb1 or rb1 < lb2
+                nested = (lb1 <= lb2 and rb2 <= rb1) or (lb2 <= lb1 and rb1 <= rb2)
+                assert disjoint or nested
+
+    def test_internal_node_count_bound(self, rng):
+        text = "".join(rng.choice(list("abc"), size=200))
+        data = Text(text).data
+        lcp = lcp_array(data, suffix_array(data))
+        assert count_internal_nodes(lcp) <= len(data)
+
+    def test_pruned_requires_positive_min_size(self):
+        with pytest.raises(InvalidParameterError):
+            lcp_intervals_pruned(np.zeros(3, dtype=np.int64), 0)
+
+    def test_pruned_filters_by_size(self):
+        data = Text("banana").data
+        lcp = lcp_array(data, suffix_array(data))
+        pruned = lcp_intervals_pruned(lcp, 3)
+        assert pruned == [(0, 0, 6), (1, 1, 3)]
+
+
+class TestPrunedStructure:
+    def test_requires_l_at_least_2(self):
+        with pytest.raises(InvalidParameterError):
+            PrunedSuffixTreeStructure("abc", 1)
+
+    def test_counts_match_substring_counts(self):
+        text = "banabananab"
+        t = Text(text)
+        pst = PrunedSuffixTreeStructure(t, 2)
+        for node in pst.nodes:
+            if node.depth == 0:
+                assert node.count == len(text) + 1  # every suffix incl. '$'
+            else:
+                label = pst.path_label(node)
+                assert node.count == t.count_naive(label), label
+
+    def test_correction_factors_sum_to_all_leaves(self):
+        for text in ("banabananab", "mississippi", "aaaa", "abcd"):
+            for l in (2, 3, 4):
+                pst = PrunedSuffixTreeStructure(text, l)
+                assert int(pst.correction_factors().sum()) == len(text) + 1, (text, l)
+
+    def test_observation1_bound(self, rng):
+        # g(u) < sigma * l for every node (paper Observation 1).
+        text = "".join(rng.choice(list("abcde"), size=400))
+        for l in (2, 4, 8):
+            pst = PrunedSuffixTreeStructure(text, l)
+            sigma = pst.text.sigma
+            assert all(node.g < sigma * l for node in pst.nodes), l
+
+    def test_preorder_ids_and_children_order(self):
+        pst = PrunedSuffixTreeStructure("banabananab", 2)
+        for node in pst.nodes:
+            assert pst.nodes[node.preorder_id] is node
+            for a, b in zip(node.children, node.children[1:]):
+                assert a < b
+                # children ordered by branching symbol = SA order
+                assert pst.nodes[a].lb < pst.nodes[b].lb
+            if node.parent is not None:
+                assert node.parent < node.preorder_id
+
+    def test_subtree_counts_consistent(self):
+        pst = PrunedSuffixTreeStructure("abracadabra" * 4, 3)
+        for node in pst.nodes:
+            kept_total = sum(pst.nodes[c].count for c in node.children)
+            assert node.count == node.g + kept_total
+
+    def test_suffix_links(self):
+        pst = PrunedSuffixTreeStructure("banabananab", 2)
+        for node in pst.nodes:
+            if node.depth == 0:
+                assert node.suffix_link is None
+                continue
+            target = pst.nodes[node.suffix_link]
+            assert target.depth == node.depth - 1
+            assert pst.path_label(node)[1:] == pst.path_label(target)
+
+    def test_isl_symbols_match_suffix_links(self):
+        pst = PrunedSuffixTreeStructure("abracadabra" * 3, 2)
+        expected = {node.preorder_id: [] for node in pst.nodes}
+        for node in pst.nodes:
+            if node.suffix_link is not None:
+                expected[node.suffix_link].append(node.first_symbol)
+        for node in pst.nodes:
+            assert node.isl_symbols == sorted(expected[node.preorder_id])
+
+    def test_symbol_counts_give_contiguous_ranges(self):
+        text = "mississippi" * 3
+        pst = PrunedSuffixTreeStructure(text, 2)
+        counts = pst.symbol_counts
+        sigma = pst.text.sigma
+        for c in range(1, sigma):
+            ids = [
+                n.preorder_id for n in pst.nodes if n.first_symbol == c
+            ]
+            lo, hi = int(counts[c]) + 1, int(counts[c + 1])
+            assert ids == list(range(lo, hi + 1)), c
+
+    def test_edge_labels_reconstruct_path_labels(self):
+        pst = PrunedSuffixTreeStructure("banabananab", 2)
+        for node in pst.nodes:
+            pieces = []
+            cur = node
+            while cur.parent is not None:
+                pieces.append(pst.edge_label(cur))
+                cur = pst.nodes[cur.parent]
+            assert "".join(reversed(pieces)) == pst.path_label(node)
+
+    def test_total_label_length(self):
+        pst = PrunedSuffixTreeStructure("banana", 2)
+        total = sum(len(pst.edge_label(n)) for n in pst.nodes)
+        assert pst.total_label_length() == total
+
+    def test_rightmost_leaf(self):
+        pst = PrunedSuffixTreeStructure("abracadabra" * 2, 2)
+        for node in pst.nodes:
+            leaf = pst.rightmost_leaf(node)
+            assert leaf.rb == node.rb  # rightmost descendant shares rb
+            assert not leaf.children
+            # No kept node has a larger preorder id within the subtree.
+            in_subtree = [
+                x.preorder_id
+                for x in pst.nodes
+                if node.lb <= x.lb and x.rb <= node.rb and x.depth >= node.depth
+            ]
+            assert leaf.preorder_id == max(in_subtree)
+
+    def test_unary_text_chain(self):
+        # T = a^n with threshold l: kept nodes a^0..a^(n-l+1): n-l+2 nodes.
+        n, l = 30, 4
+        pst = PrunedSuffixTreeStructure("a" * n, l)
+        assert pst.num_nodes == n - l + 2
+
+    def test_tiny_text_root_only(self):
+        pst = PrunedSuffixTreeStructure("ab", 8)
+        assert pst.num_nodes == 1
+        assert pst.root.g == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="ab", min_size=2, max_size=100), st.sampled_from([2, 3, 5, 8]))
+def test_property_structure_invariants(text, l):
+    t = Text(text)
+    pst = PrunedSuffixTreeStructure(t, l)
+    # every kept node represents a string occurring >= l times (except root)
+    for node in pst.nodes:
+        if node.depth > 0:
+            assert node.count >= l
+            assert t.count_naive(pst.path_label(node)) == node.count
+    # corrections account for every suffix exactly once
+    assert int(pst.correction_factors().sum()) == len(text) + 1
+
+
+def _brute_force_internal_nodes(text: str):
+    """Internal suffix-tree nodes of text$ via explicit trie compaction."""
+    suffixes = sorted(text[i:] + "$" for i in range(len(text))) + ["$"]
+    suffixes.sort()
+    nodes = set()
+    # A string alpha is an internal node iff it prefixes >= 2 suffixes and
+    # is right-branching (two different next symbols) — plus the root.
+    from collections import defaultdict
+
+    prefix_extensions = defaultdict(set)
+    for suffix in suffixes:
+        for k in range(len(suffix)):
+            prefix_extensions[suffix[:k]].add(suffix[k])
+    for alpha, extensions in prefix_extensions.items():
+        if len(extensions) >= 2:
+            nodes.add(alpha)
+    return nodes
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "text", ["banana", "mississippi", "aaaa", "abcab" * 3, "ababab"]
+    )
+    def test_interval_nodes_match_brute_force(self, text):
+        expected = _brute_force_internal_nodes(text)
+        pst = PrunedSuffixTreeStructure(text, 2)  # l=2 keeps all internal nodes
+        got = {pst.path_label(node) for node in pst.nodes}
+        # l=2 prunes internal nodes with a single (doubled) leaf? No:
+        # internal nodes have >= 2 leaves by branching, so sets must match.
+        assert got == expected
+
+    def test_counts_match_brute_force(self, rng):
+        text = "".join(rng.choice(list("ab"), size=60))
+        pst = PrunedSuffixTreeStructure(text, 2)
+        for node in pst.nodes:
+            if node.depth:
+                label = pst.path_label(node)
+                expected = sum(
+                    1
+                    for i in range(len(text) - len(label) + 1)
+                    if text[i : i + len(label)] == label
+                )
+                assert node.count == expected

@@ -1,0 +1,184 @@
+"""Tests for the lazy suffix-tree view."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternError
+from repro.suffixtree.view import SuffixTreeView, TreeNode
+from repro.textutil import Text
+
+
+@pytest.fixture(scope="module")
+def banana():
+    return SuffixTreeView("banana")
+
+
+class TestBasics:
+    def test_root(self, banana):
+        root = banana.root
+        assert root.depth == 0
+        assert root.count == 7  # six suffixes + sentinel
+
+    def test_locus_counts_match_naive(self):
+        text = "abracadabra" * 3
+        t = Text(text)
+        view = SuffixTreeView(t)
+        for pattern in ("a", "abra", "cad", "abracadabra", "zzz", "rara"):
+            assert view.count(pattern) == t.count_naive(pattern), pattern
+
+    def test_locus_none_for_absent(self, banana):
+        assert banana.locus("x") is None
+        assert banana.locus("banam") is None
+
+    def test_locus_depth_is_node_depth(self, banana):
+        # locus('an') is the 'ana' node (depth 3): 'an' ends mid-edge.
+        node = banana.locus("an")
+        assert node is not None
+        assert node.depth == 3
+        assert banana.path_label(node) == "ana"
+
+    def test_empty_pattern_rejected(self, banana):
+        with pytest.raises(PatternError):
+            banana.locus("")
+
+
+class TestNavigation:
+    def test_children_of_root(self, banana):
+        children = banana.children(banana.root)
+        labels = [banana.path_label(c)[:1] if c.depth else "" for c in children]
+        # $, a, b, n branches.
+        assert len(children) == 4
+        assert children[0].is_leaf  # the sentinel suffix
+        assert labels[1] == "a" and labels[2] == "b" and labels[3] == "n"
+
+    def test_children_partition_parent(self, banana):
+        for node in banana.walk(max_depth=3):
+            if node.is_leaf:
+                continue
+            children = banana.children(node)
+            assert children[0].lb == node.lb
+            assert children[-1].rb == node.rb
+            for a, b in zip(children, children[1:]):
+                assert a.rb + 1 == b.lb
+            assert all(c.depth > node.depth for c in children)
+
+    def test_child_by_symbol(self, banana):
+        child = banana.child_by_symbol(banana.root, "b")
+        assert child is not None
+        assert banana.path_label(child).startswith("b")
+        assert banana.child_by_symbol(banana.root, "x") is None
+        with pytest.raises(PatternError):
+            banana.child_by_symbol(banana.root, "ab")
+
+    def test_suffix_links(self, banana):
+        for node in banana.walk():
+            if node.depth == 0:
+                continue
+            linked = banana.suffix_link(node)
+            assert linked is not None
+            assert banana.path_label(node)[1:] == banana.path_label(linked)
+        assert banana.suffix_link(banana.root) is None
+
+    def test_walk_visits_all_leaves(self, banana):
+        leaves = [node for node in banana.walk() if node.is_leaf]
+        assert len(leaves) == 7
+
+    def test_walk_max_depth(self, banana):
+        # Nodes deeper than the cutoff are not expanded further, so the
+        # truncated walk is strictly smaller than the full one.
+        shallow = list(banana.walk(max_depth=1))
+        assert len(shallow) < len(list(banana.walk()))
+        assert any(node.depth > 0 for node in shallow)
+
+
+class TestAgainstPrunedStructure:
+    def test_internal_nodes_agree(self):
+        from repro.suffixtree.pruned import PrunedSuffixTreeStructure
+
+        text = "mississippi" * 2
+        view = SuffixTreeView(text)
+        structure = PrunedSuffixTreeStructure(text, 2)
+        structural = {
+            (node.depth, node.lb, node.rb) for node in structure.nodes
+        }
+        walked_internal = {
+            (node.depth, node.lb, node.rb)
+            for node in view.walk()
+            if not node.is_leaf
+        }
+        assert structural <= walked_internal  # pruning keeps a subset
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.text(alphabet="ab", min_size=1, max_size=60),
+    st.text(alphabet="ab", min_size=1, max_size=5),
+)
+def test_property_view_counts_exact(text, pattern):
+    t = Text(text)
+    assert SuffixTreeView(t).count(pattern) == t.count_naive(pattern)
+
+
+class TestDescentEqualsLocus:
+    def test_symbol_descent_reaches_locus(self):
+        text = "abracadabra" * 4
+        view = SuffixTreeView(text)
+        for pattern in ("abra", "cada", "ra", "d"):
+            node = view.root
+            matched = 0
+            while matched < len(pattern):
+                child = view.child_by_symbol(node, pattern[matched])
+                assert child is not None, pattern
+                label = view.path_label(child)[node.depth:]
+                take = min(len(label), len(pattern) - matched)
+                assert label[:take] == pattern[matched:matched + take], pattern
+                matched += take
+                node = child
+            locus = view.locus(pattern)
+            assert locus is not None
+            assert (node.lb, node.rb) == (locus.lb, locus.rb), pattern
+
+    def test_view_on_every_corpus(self):
+        from repro.datasets import dataset_names, generate
+
+        for name in dataset_names():
+            t = Text(generate(name, 1500, seed=6))
+            view = SuffixTreeView(t)
+            for pattern in (t.raw[:3], t.raw[40:44], "zzqq"):
+                assert view.count(pattern) == t.count_naive(pattern), (name, pattern)
+
+
+class TestMatchingStatistics:
+    def test_against_naive(self):
+        text = "abracadabra"
+        t = Text(text)
+        view = SuffixTreeView(t)
+        query = "racadzbra"
+        stats = view.matching_statistics(query)
+        for i, (length, count) in enumerate(stats):
+            # naive longest match of query[i:] in text
+            best = 0
+            while i + best < len(query) and query[i : i + best + 1] in text:
+                best += 1
+            assert length == best, i
+            if best:
+                assert count == t.count_naive(query[i : i + best]), i
+
+    def test_query_absent_everywhere(self):
+        view = SuffixTreeView("aaaa")
+        stats = view.matching_statistics("zz")
+        assert stats == [(0, 0), (0, 0)]
+
+    def test_full_match(self):
+        view = SuffixTreeView("banana")
+        stats = view.matching_statistics("banana")
+        assert stats[0] == (6, 1)
+        assert stats[1][0] == 5  # 'anana'
+
+    def test_empty_query_rejected(self):
+        view = SuffixTreeView("ab")
+        with pytest.raises(PatternError):
+            view.matching_statistics("")

@@ -1,0 +1,171 @@
+"""Tests for alphabet mapping, the text model and empirical entropy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlphabetError, InvalidParameterError
+from repro.textutil import (
+    SENTINEL,
+    Alphabet,
+    Text,
+    entropy_profile,
+    kth_order_entropy,
+    zeroth_order_entropy,
+)
+
+
+class TestAlphabet:
+    def test_ids_follow_lex_order(self):
+        a = Alphabet("cab")
+        assert a.encode("abc").tolist() == [1, 2, 3]
+        assert a.characters == "abc"
+        assert a.sigma == 4  # includes sentinel
+
+    def test_encode_decode_roundtrip(self):
+        a = Alphabet.from_text("hello world")
+        assert a.decode(a.encode("hello world")) == "hello world"
+
+    def test_unknown_char_raises(self):
+        a = Alphabet("ab")
+        with pytest.raises(AlphabetError):
+            a.encode("abc")
+
+    def test_encode_pattern_returns_none_for_unknown(self):
+        a = Alphabet("ab")
+        assert a.encode_pattern("abz") is None
+        assert a.encode_pattern("ba").tolist() == [2, 1]
+
+    def test_decode_sentinel(self):
+        a = Alphabet("ab")
+        assert a.decode([SENTINEL, 1]) == "$a"
+
+    def test_decode_rejects_out_of_range(self):
+        a = Alphabet("ab")
+        with pytest.raises(AlphabetError):
+            a.decode([3])
+
+    def test_contains(self):
+        a = Alphabet("xy")
+        assert "x" in a
+        assert "z" not in a
+
+    def test_multichar_entry_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["ab"])
+
+    def test_equality(self):
+        assert Alphabet("ab") == Alphabet("ba")
+        assert Alphabet("ab") != Alphabet("abc")
+
+
+class TestText:
+    def test_data_has_sentinel(self):
+        t = Text("banana")
+        assert t.data[-1] == SENTINEL
+        assert len(t.data) == 7
+        assert len(t) == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Text("")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Text(b"bytes")  # type: ignore[arg-type]
+
+    def test_from_bytes(self):
+        t = Text.from_bytes(b"\x00\xffabc")
+        assert len(t) == 5
+        assert t.sigma == 6
+
+    def test_count_naive_overlapping(self):
+        t = Text("aaaa")
+        assert t.count_naive("aa") == 3
+        assert t.count_naive("aaaa") == 1
+        assert t.count_naive("b") == 0
+
+    def test_count_naive_empty_pattern(self):
+        with pytest.raises(InvalidParameterError):
+            Text("abc").count_naive("")
+
+    def test_from_rows(self):
+        t = Text.from_rows(["ab", "ba"])
+        # ▷ab▷ba▷ : pattern 'ab' occurs once, 'a' twice
+        assert t.count_naive("ab") == 1
+        assert t.count_naive("a") == 2
+
+    def test_from_rows_separator_conflict(self):
+        with pytest.raises(AlphabetError):
+            Text.from_rows(["a\x1eb"])
+
+    def test_from_rows_empty(self):
+        with pytest.raises(InvalidParameterError):
+            Text.from_rows([])
+
+    def test_patterns_do_not_straddle_rows(self):
+        t = Text.from_rows(["xy", "yx"])
+        assert t.count_naive("yy") == 0  # adjacent across rows but separated
+
+    def test_shared_alphabet(self):
+        a = Alphabet("abcd")
+        t = Text("abc", alphabet=a)
+        assert t.sigma == 5
+
+
+class TestEntropy:
+    def test_uniform_binary(self):
+        assert zeroth_order_entropy("ab" * 50) == pytest.approx(1.0)
+
+    def test_single_symbol(self):
+        assert zeroth_order_entropy("aaaa") == pytest.approx(0.0)
+
+    def test_four_symbols_uniform(self):
+        assert zeroth_order_entropy("abcd" * 25) == pytest.approx(2.0)
+
+    def test_skewed(self):
+        # 3/4 vs 1/4: H0 = 0.75*log(4/3) + 0.25*log(4)
+        expected = 0.75 * math.log2(4 / 3) + 0.25 * 2
+        assert zeroth_order_entropy("aaab" * 30) == pytest.approx(expected)
+
+    def test_h1_of_alternating_is_zero(self):
+        # In 'ababab…' each symbol fully determines its successor.
+        assert kth_order_entropy("ab" * 40, 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_hk_monotone_non_increasing(self, rng):
+        s = "".join(rng.choice(list("abc"), size=300))
+        prof = entropy_profile(s, max_k=3)
+        assert prof[0] >= prof[1] >= prof[2] >= prof[3]
+
+    def test_accepts_int_arrays(self):
+        s = np.array([1, 2, 1, 2, 1, 2])
+        assert zeroth_order_entropy(s) == pytest.approx(1.0)
+        assert kth_order_entropy(s, 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            zeroth_order_entropy("")
+        with pytest.raises(InvalidParameterError):
+            kth_order_entropy("", 1)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            kth_order_entropy("ab", -1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="abcdef", min_size=1, max_size=200))
+def test_property_h0_bounds(s):
+    h0 = zeroth_order_entropy(s)
+    assert 0.0 <= h0 <= math.log2(max(2, len(set(s)))) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="abc", min_size=2, max_size=120))
+def test_property_h1_le_h0(s):
+    assert kth_order_entropy(s, 1) <= zeroth_order_entropy(s) + 1e-9

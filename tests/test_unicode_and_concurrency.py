@@ -1,0 +1,88 @@
+"""Unicode alphabets and concurrent read-only querying."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import (
+    ApproxIndex,
+    CompactPrunedSuffixTree,
+    FMIndex,
+    Text,
+)
+
+
+class TestUnicodeTexts:
+    """The alphabet mapper supports arbitrary unicode characters."""
+
+    GREEK = "αβγδ αβγ αβ αβγδ εζ αβγδ " * 10
+    MIXED = "naïve café 北京 déjà-vu ε=0.5 " * 12
+    EMOJI = "🙂🙃🙂🙂🙃✨🙂🙃" * 15
+
+    @pytest.mark.parametrize("raw", [GREEK, MIXED, EMOJI])
+    def test_fm_exact(self, raw):
+        t = Text(raw)
+        fm = FMIndex(t)
+        for pattern in {raw[:3], raw[2:6], raw[-4:]}:
+            assert fm.count(pattern) == t.count_naive(pattern), pattern
+
+    @pytest.mark.parametrize("raw", [GREEK, MIXED, EMOJI])
+    def test_apx_bound(self, raw):
+        t = Text(raw)
+        apx = ApproxIndex(t, 8)
+        for pattern in {raw[:2], raw[1:4], raw[5:9]}:
+            true = t.count_naive(pattern)
+            assert true <= apx.count(pattern) <= true + 7, pattern
+
+    @pytest.mark.parametrize("raw", [GREEK, MIXED])
+    def test_cpst_lower_sided(self, raw):
+        t = Text(raw)
+        cpst = CompactPrunedSuffixTree(t, 4)
+        for pattern in {raw[:2], raw[3:5]}:
+            true = t.count_naive(pattern)
+            got = cpst.count_or_none(pattern)
+            assert got == (true if true >= 4 else None), pattern
+
+    def test_alphabet_order_is_codepoint_order(self):
+        t = Text("zβa")
+        # Dense ids follow lexicographic (codepoint) order: a < z < β.
+        assert t.alphabet.characters == "azβ"
+
+    def test_unknown_unicode_pattern(self):
+        fm = FMIndex("ascii only")
+        assert fm.count("ß") == 0
+
+
+class TestConcurrentQueries:
+    """Indexes are immutable after construction: parallel reads are safe."""
+
+    def test_parallel_counts_are_consistent(self):
+        text = "the quick brown fox jumps over the lazy dog " * 20
+        t = Text(text)
+        indexes = [FMIndex(t), ApproxIndex(t, 8), CompactPrunedSuffixTree(t, 8)]
+        patterns = ["the", "fox j", "lazy dog", "quick", "zzz"] * 10
+        expected = [[idx.count(p) for p in patterns] for idx in indexes]
+        results = [[None] * len(patterns) for _ in indexes]
+        errors: list[BaseException] = []
+
+        def worker(index_pos: int, start: int) -> None:
+            try:
+                index = indexes[index_pos]
+                for i in range(start, len(patterns), 4):
+                    results[index_pos][i] = index.count(patterns[i])
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(index_pos, start))
+            for index_pos in range(len(indexes))
+            for start in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results == expected

@@ -1,0 +1,90 @@
+"""Tests for the contract-validation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ApproxIndex, CompactPrunedSuffixTree, FMIndex
+from repro.core.interface import ErrorModel, OccurrenceEstimator
+from repro.errors import InvalidParameterError
+from repro.space import SpaceReport
+from repro.textutil import Alphabet, Text
+from repro.validation import validate_all, validate_index
+
+
+class _BrokenUniform(OccurrenceEstimator):
+    """Deliberately violates the uniform contract (underestimates)."""
+
+    error_model = ErrorModel.UNIFORM
+
+    def __init__(self, text: Text, l: int):
+        self._inner = ApproxIndex(text, l)
+        self._l = l
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._inner.alphabet
+
+    @property
+    def text_length(self) -> int:
+        return self._inner.text_length
+
+    @property
+    def threshold(self) -> int:
+        return self._l
+
+    def count(self, pattern: str) -> int:
+        return max(0, self._inner.count(pattern) - self._l)  # may drop below truth
+
+    def space_report(self) -> SpaceReport:
+        return self._inner.space_report()
+
+
+class TestValidateIndex:
+    def test_exact_index_passes(self):
+        t = Text("abracadabra" * 8)
+        report = validate_index(FMIndex(t), t)
+        assert report.ok
+        assert report.patterns_checked > 10
+        assert "OK" in report.summary()
+
+    def test_uniform_index_passes(self):
+        t = Text("abracadabra" * 8)
+        report = validate_index(ApproxIndex(t, 8), t)
+        assert report.ok
+        assert 0 <= report.mean_error <= 7
+        assert report.max_error <= 7
+
+    def test_lower_sided_index_passes(self):
+        t = Text("abracadabra" * 8)
+        report = validate_index(CompactPrunedSuffixTree(t, 4), t)
+        assert report.ok
+
+    def test_broken_index_caught(self):
+        t = Text("abracadabra" * 8)
+        report = validate_index(_BrokenUniform(t, 8), t)
+        assert not report.ok
+        assert any("outside" in v.reason for v in report.violations)
+        assert "VIOLATIONS" in report.summary()
+
+    def test_text_mismatch_rejected(self):
+        t = Text("abracadabra")
+        index = FMIndex(t)
+        with pytest.raises(InvalidParameterError):
+            validate_index(index, Text("different text"))
+
+    def test_custom_workload(self):
+        t = Text("abab" * 10)
+        report = validate_index(FMIndex(t), t, patterns=["ab", "ba", "zz"])
+        assert report.patterns_checked == 3
+
+
+class TestValidateAll:
+    def test_every_bundled_index_passes(self):
+        reports = validate_all("the cat sat on the mat and sat again " * 15, l=8)
+        failing = [r.summary() for r in reports if not r.ok]
+        assert not failing, failing
+        names = {r.index_name for r in reports}
+        assert "FMIndex" in names
+        assert "CompactPrunedSuffixTree" in names
+        assert any("Patricia" in name for name in names)
