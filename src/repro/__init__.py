@@ -22,6 +22,8 @@ Main entry points:
 * :class:`FMIndex`, :class:`PrunedSuffixTree`, :class:`PrunedPatriciaTrie`
   — the baselines the paper compares against.
 * :mod:`repro.selectivity` — KVI / MO / MOL LIKE-predicate estimators.
+* :mod:`repro.service` — resilient serving: degradation ladder, deadlines,
+  circuit breakers, fault injection.
 * :mod:`repro.datasets` — synthetic Pizza&Chili stand-in corpora.
 * :mod:`repro.experiments` — regenerate every table/figure of the paper.
 """
@@ -53,6 +55,19 @@ from .selectivity import (
     MOEstimator,
     MOLCEstimator,
     MOLEstimator,
+)
+from .service import (
+    CircuitBreaker,
+    Deadline,
+    FaultSpec,
+    FaultyIndex,
+    QueryOutcome,
+    ResilientEstimator,
+    RetryPolicy,
+    TextStatsEstimator,
+    Tier,
+    build_default_ladder,
+    run_health_probe,
 )
 from .space import SpaceReport, text_bits
 from .validation import ValidationReport, validate_all, validate_index
@@ -91,5 +106,16 @@ __all__ = [
     "SuffixSharingCounter",
     "DocumentCollection",
     "Occurrence",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultSpec",
+    "FaultyIndex",
+    "QueryOutcome",
+    "ResilientEstimator",
+    "RetryPolicy",
+    "TextStatsEstimator",
+    "Tier",
+    "build_default_ladder",
+    "run_health_probe",
     "__version__",
 ]

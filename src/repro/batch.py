@@ -12,14 +12,24 @@ heavily.
 automaton protocol (``_automaton_start/_automaton_step/_automaton_count``)
 and memoises states by pattern suffix. Indexes without the protocol fall
 back to memoising whole patterns only.
+
+Counting methods accept an optional cooperative
+:class:`~repro.service.deadline.Deadline`: the backward-search loop checks
+it once per automaton step, so a query over a pathological pattern aborts
+with :class:`~repro.errors.DeadlineExceededError` mid-search instead of
+running to completion — the hook the serving layer (:mod:`repro.service`)
+uses to keep tail latency bounded.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
 
 from .core.interface import OccurrenceEstimator
-from .errors import PatternError
+from .errors import InvalidParameterError, PatternError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service uses batch)
+    from .service.deadline import Deadline
 
 
 class SuffixSharingCounter:
@@ -31,7 +41,7 @@ class SuffixSharingCounter:
 
     def __init__(self, index: OccurrenceEstimator, max_states: int | None = None):
         if max_states is not None and max_states < 1:
-            raise PatternError("max_states must be positive")
+            raise InvalidParameterError("max_states must be positive")
         self._index = index
         self._max_states = max_states
         self._has_automaton = all(
@@ -51,13 +61,15 @@ class SuffixSharingCounter:
         self._states.clear()
         self._results.clear()
 
-    def count(self, pattern: str) -> int:
+    def count(self, pattern: str, deadline: "Deadline | None" = None) -> int:
         """Same result as ``index.count(pattern)``, with suffix sharing."""
         if not isinstance(pattern, str) or not pattern:
             raise PatternError("pattern must be a non-empty string")
         cached = self._results.get(pattern)
         if cached is not None:
             return cached
+        if deadline is not None:
+            deadline.check()
         # Epoch eviction: batch-scoped caches reset wholesale when the
         # configured ceiling is reached (keeps memory bounded on streams).
         if self._max_states is not None and len(self._states) > self._max_states:
@@ -65,18 +77,22 @@ class SuffixSharingCounter:
         if not self._has_automaton:
             result = self._index.count(pattern)
         else:
-            state = self._state_of(pattern)
+            state = self._state_of(pattern, deadline)
             result = self._index._automaton_count(state)  # type: ignore[attr-defined]
         self._results[pattern] = result
         return result
 
-    def count_many(self, patterns: Sequence[str]) -> List[int]:
+    def count_many(
+        self, patterns: Sequence[str], deadline: "Deadline | None" = None
+    ) -> List[int]:
         """Batch variant; processing longer patterns first maximises reuse."""
         for pattern in sorted(set(patterns), key=len, reverse=True):
-            self.count(pattern)
+            self.count(pattern, deadline)
         return [self._results[p] for p in patterns]
 
-    def count_or_none(self, pattern: str) -> Optional[int]:
+    def count_or_none(
+        self, pattern: str, deadline: "Deadline | None" = None
+    ) -> Optional[int]:
         """Lower-sided view with sharing: ``None`` exactly when the wrapped
         index's ``count_or_none`` would return ``None``.
 
@@ -90,14 +106,18 @@ class SuffixSharingCounter:
             )
         if not isinstance(pattern, str) or not pattern:
             raise PatternError("pattern must be a non-empty string")
+        if deadline is not None:
+            deadline.check()
         if not self._has_automaton:
             return self._index.count_or_none(pattern)  # type: ignore[attr-defined]
-        state = self._state_of(pattern)
+        state = self._state_of(pattern, deadline)
         if state is None:
             return None
         return self._index._automaton_count(state)  # type: ignore[attr-defined]
 
-    def _state_of(self, suffix: str) -> Optional[Hashable]:
+    def _state_of(
+        self, suffix: str, deadline: "Deadline | None" = None
+    ) -> Optional[Hashable]:
         """Automaton state after consuming ``suffix`` right-to-left,
         computed iteratively with memoisation on every suffix."""
         if suffix in self._states:
@@ -116,8 +136,12 @@ class SuffixSharingCounter:
             state = self._index._automaton_start(suffix[-1])  # type: ignore[attr-defined]
             self._states[suffix[-1:]] = state
             start = len(suffix) - 1
-        # Extend leftwards, memoising every intermediate suffix.
+        # Extend leftwards, memoising every intermediate suffix. One
+        # cooperative deadline check per automaton step keeps the abort
+        # granularity at a single backward-search extension.
         for i in range(start - 1, -1, -1):
+            if deadline is not None:
+                deadline.check()
             if state is not None:
                 state = self._index._automaton_step(state, suffix[i])  # type: ignore[attr-defined]
             self._states[suffix[i:]] = state

@@ -13,6 +13,9 @@ Commands
 ``dataset``      generate a builtin synthetic corpus to a file.
 ``experiment``   regenerate a paper table/figure (see repro.experiments).
 ``report``       run every experiment into one markdown document.
+``serve-check``  build the resilient degradation ladder, run a health
+                 probe workload, print a tier/latency/degradation report
+                 (optionally with injected faults on the primary tier).
 """
 
 from __future__ import annotations
@@ -151,6 +154,30 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve_check(args: argparse.Namespace) -> int:
+    from .service import FaultSpec, FaultyIndex, build_default_ladder, run_health_probe
+
+    text = _load_text(args.text, args.size, args.seed)
+    primary = None
+    if args.fault_rate > 0:
+        spec = FaultSpec(error_rate=args.fault_rate)
+        primary = FaultyIndex(
+            CompactPrunedSuffixTree(text, args.l),
+            {"count_or_none": spec, "automaton_count": spec},
+            seed=args.fault_seed,
+        )
+        print(f"injecting transient faults on the primary tier "
+              f"at rate {args.fault_rate:.0%} (seed {args.fault_seed})")
+    service = build_default_ladder(
+        text, args.l,
+        deadline_seconds=args.deadline_ms / 1000.0,
+        primary=primary,
+    )
+    report = run_health_probe(service, text=text, seed=args.seed)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def cmd_selectivity(args: argparse.Namespace) -> int:
     from .selectivity import (
         KVIEstimator,
@@ -247,6 +274,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("patterns", nargs="+")
     p.set_defaults(func=cmd_selectivity)
+
+    p = sub.add_parser(
+        "serve-check",
+        help="run a health probe through the resilient degradation ladder",
+    )
+    _add_text_arguments(p)
+    p.add_argument("--l", type=int, default=64, help="ladder error threshold")
+    p.add_argument("--deadline-ms", type=float, default=500.0,
+                   help="per-query soft deadline in milliseconds")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="inject transient faults into the primary tier at this rate")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for deterministic fault injection")
+    p.set_defaults(func=cmd_serve_check)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])

@@ -13,6 +13,10 @@ Count semantics per model, for threshold ``l`` and true count ``c``:
   result is some value in ``[0, l - 1]`` (conventionally paired with
   :meth:`OccurrenceEstimator.is_reliable` to detect the below-threshold
   case when the index can).
+* ``UPPER_BOUND``  — result is in ``[c, n]``: never an undercount, but with
+  no additive bound. The weakest guarantee any estimator can make while
+  staying sound for pruning decisions; the serving layer
+  (:mod:`repro.service`) uses it for its last-resort text-statistics tier.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ class ErrorModel(enum.Enum):
     EXACT = "exact"
     UNIFORM = "uniform"
     LOWER_SIDED = "lower_sided"
+    UPPER_BOUND = "upper_bound"
 
 
 class OccurrenceEstimator(abc.ABC):
@@ -78,12 +83,15 @@ class OccurrenceEstimator(abc.ABC):
         Exact indexes always return True. Lower-sided indexes return True
         iff the pattern meets the threshold; uniform-error indexes can only
         guarantee reliability when even the overestimate stays below ``l``
-        relative bounds, so they return False unless ``l == 1``.
+        relative bounds, so they return False unless ``l == 1``. Upper-bound
+        estimators are only exact when the bound itself is zero.
         """
         if self.error_model is ErrorModel.EXACT:
             return True
         if self.error_model is ErrorModel.LOWER_SIDED:
             return self.count(pattern) >= self.threshold
+        if self.error_model is ErrorModel.UPPER_BOUND:
+            return self.count(pattern) == 0
         return self.threshold == 1
 
     def _encode_pattern(self, pattern: str) -> np.ndarray | None:

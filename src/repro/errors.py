@@ -27,3 +27,29 @@ class PatternError(ReproError, ValueError):
 
 class ConstructionError(ReproError, RuntimeError):
     """An index could not be built from the given text."""
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A query's wall-clock budget ran out before an answer was produced."""
+
+
+class IndexCorruptedError(ReproError, RuntimeError):
+    """An index failed an integrity check: a persisted file is truncated or
+    fails its digest (detected before unpickling), or a live backend
+    produced an answer outside the feasible range."""
+
+
+class AllTiersFailedError(ReproError, RuntimeError):
+    """Every tier of a degradation ladder failed or was skipped.
+
+    Carries the per-tier failures so operators can see what went wrong at
+    each level of the ladder.
+    """
+
+    def __init__(self, pattern: str, failures: "list[tuple[str, str]]"):
+        self.pattern = pattern
+        self.failures = list(failures)
+        detail = "; ".join(f"{tier}: {reason}" for tier, reason in self.failures)
+        super().__init__(
+            f"no tier could answer pattern {pattern!r} ({detail or 'no tiers'})"
+        )

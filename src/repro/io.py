@@ -5,23 +5,60 @@ Raw pickles execute arbitrary code on load; :func:`save_index` /
 the declaring class name, and — on load — a whitelist restricting
 unpickling to this library's index classes (everything else in the stream
 is rejected before instantiation).
+
+Format version 2 (current) adds integrity checking so that bit-rot and
+truncation are detected *before* the unpickler ever runs:
+
+``MAGIC | version:2 | name_len:2 | class_name | payload_len:8 | sha256:32 | payload``
+
+All integers are big-endian. The digest covers exactly the pickle payload.
+Version 1 files (no length or digest) still load, with a
+:class:`DeprecationWarning`; any structural mismatch raises
+:class:`~repro.errors.IndexCorruptedError`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io as _io
 import pickle
+import warnings
 from pathlib import Path
-from typing import Set
+from typing import BinaryIO, Set
 
 from .core.interface import OccurrenceEstimator
-from .errors import InvalidParameterError, ReproError
+from .errors import IndexCorruptedError, InvalidParameterError, ReproError
 
 MAGIC = b"REPROIDX"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_DIGEST_SIZE = hashlib.sha256().digest_size
 
-#: Module prefixes a persisted index may pull classes from.
-_ALLOWED_MODULE_PREFIXES = ("repro.", "numpy", "collections", "builtins")
+#: Module prefixes a persisted index may pull classes from. ``builtins`` is
+#: deliberately absent — builtins go through the explicit allowlist below.
+_ALLOWED_MODULE_PREFIXES = ("repro.", "numpy", "collections")
+
+#: The only ``builtins`` globals a pickle stream may reference: safe
+#: constructors for container/scalar types plus the bases pickle itself
+#: emits for reduce-protocol objects. Notably absent: ``getattr``,
+#: ``setattr``, ``eval``, ``exec``, ``breakpoint``, ``__import__`` — any
+#: builtin that can reach code execution or attribute smuggling.
+_ALLOWED_BUILTINS: Set[str] = {
+    "set",
+    "frozenset",
+    "bytearray",
+    "complex",
+    "range",
+    "slice",
+    "list",
+    "tuple",
+    "dict",
+    "bytes",
+    "str",
+    "int",
+    "float",
+    "bool",
+    "object",
+}
 _FORBIDDEN_NAMES: Set[str] = {"eval", "exec", "compile", "open", "__import__", "system"}
 
 
@@ -31,6 +68,13 @@ class _RestrictedUnpickler(pickle.Unpickler):
     def find_class(self, module: str, name: str):  # noqa: D102 - pickle API
         if name in _FORBIDDEN_NAMES:
             raise ReproError(f"refusing to unpickle forbidden global {name!r}")
+        if module == "builtins":
+            if name not in _ALLOWED_BUILTINS:
+                raise ReproError(
+                    f"refusing to unpickle builtin {name!r} "
+                    "(not in the safe-constructor allowlist)"
+                )
+            return super().find_class(module, name)
         if not module.startswith(_ALLOWED_MODULE_PREFIXES) and module != "repro":
             raise ReproError(
                 f"refusing to unpickle global from module {module!r}"
@@ -38,41 +82,94 @@ class _RestrictedUnpickler(pickle.Unpickler):
         return super().find_class(module, name)
 
 
+def _read_exact(handle: BinaryIO, size: int, what: str) -> bytes:
+    """Read exactly ``size`` bytes or raise :class:`IndexCorruptedError`.
+
+    ``handle.read(n)`` silently returns fewer bytes at EOF; on a truncated
+    file that would mis-parse the next field instead of failing loudly.
+    """
+    try:
+        data = handle.read(size)
+    except (OverflowError, MemoryError) as exc:
+        raise IndexCorruptedError(
+            f"corrupt index file: implausible {what} size {size}"
+        ) from exc
+    if len(data) != size:
+        raise IndexCorruptedError(
+            f"truncated index file: expected {size} bytes of {what}, "
+            f"got {len(data)}"
+        )
+    return data
+
+
 def save_index(index: OccurrenceEstimator, path: str | Path) -> Path:
-    """Persist an index with header and version; returns the path."""
+    """Persist an index with header, version and digest; returns the path."""
     if not isinstance(index, OccurrenceEstimator):
         raise InvalidParameterError(
             f"save_index expects an OccurrenceEstimator, got {type(index).__name__}"
         )
     target = Path(path)
     class_name = type(index).__name__.encode("ascii")
+    payload = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
     with open(target, "wb") as handle:
         handle.write(MAGIC)
         handle.write(FORMAT_VERSION.to_bytes(2, "big"))
         handle.write(len(class_name).to_bytes(2, "big"))
         handle.write(class_name)
-        pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.write(len(payload).to_bytes(8, "big"))
+        handle.write(hashlib.sha256(payload).digest())
+        handle.write(payload)
     return target
 
 
 def load_index(path: str | Path) -> OccurrenceEstimator:
-    """Load an index saved by :func:`save_index`, validating the header."""
+    """Load an index saved by :func:`save_index`, validating the header.
+
+    Integrity failures (short reads, payload-length mismatch, digest
+    mismatch) raise :class:`~repro.errors.IndexCorruptedError` before the
+    payload reaches the unpickler. Version-1 files carry no digest and load
+    with a :class:`DeprecationWarning`.
+    """
     source = Path(path)
     with open(source, "rb") as handle:
-        magic = handle.read(len(MAGIC))
+        magic = _read_exact(handle, len(MAGIC), "magic")
         if magic != MAGIC:
             raise ReproError(
                 f"{source} is not a repro index file (bad magic {magic!r})"
             )
-        version = int.from_bytes(handle.read(2), "big")
-        if version != FORMAT_VERSION:
+        version = int.from_bytes(_read_exact(handle, 2, "format version"), "big")
+        if version not in (1, FORMAT_VERSION):
             raise ReproError(
                 f"unsupported index format version {version} "
-                f"(this library reads version {FORMAT_VERSION})"
+                f"(this library reads versions 1..{FORMAT_VERSION})"
             )
-        name_length = int.from_bytes(handle.read(2), "big")
-        declared = handle.read(name_length).decode("ascii")
-        payload = handle.read()
+        name_length = int.from_bytes(_read_exact(handle, 2, "name length"), "big")
+        declared = _read_exact(handle, name_length, "class name").decode("ascii")
+        if version == 1:
+            warnings.warn(
+                f"{source} uses index format version 1 (no integrity digest); "
+                "re-save it to upgrade to the checksummed format",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            payload = handle.read()
+        else:
+            payload_length = int.from_bytes(
+                _read_exact(handle, 8, "payload length"), "big"
+            )
+            digest = _read_exact(handle, _DIGEST_SIZE, "payload digest")
+            payload = _read_exact(handle, payload_length, "payload")
+            if handle.read(1):
+                raise IndexCorruptedError(
+                    f"{source} has trailing bytes after the declared payload"
+                )
+            actual = hashlib.sha256(payload).digest()
+            if actual != digest:
+                raise IndexCorruptedError(
+                    f"{source} failed its integrity check: payload digest "
+                    f"{actual.hex()[:16]}… does not match stored "
+                    f"{digest.hex()[:16]}…"
+                )
     index = _RestrictedUnpickler(_io.BytesIO(payload)).load()
     if type(index).__name__ != declared:
         raise ReproError(

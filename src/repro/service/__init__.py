@@ -1,0 +1,47 @@
+"""Resilient serving layer: degradation ladder, deadlines, fault injection.
+
+The estimators in this library form a natural accuracy hierarchy —
+``CPST_l`` (exact above threshold), ``APX_l`` (uniform error ``l``),
+q-gram tables (exact up to length ``q``), raw text statistics (sound
+upper bound). This package turns that accuracy dial into an
+*availability* dial: :class:`ResilientEstimator` tries tiers in order
+under a per-query deadline, retries transient failures with jittered
+backoff, skips persistently failing tiers via circuit breakers, and
+reports every answer as a :class:`QueryOutcome` that names the tier and
+the error model actually honored.
+
+:class:`FaultyIndex` provides deterministic chaos: seeded injection of
+exceptions, latency spikes and corrupted answers at named call sites, so
+every degradation path is provable in tests.
+"""
+
+from .breaker import BreakerState, CircuitBreaker
+from .deadline import Deadline, ManualClock
+from .faults import SITES, FaultSpec, FaultyIndex, InjectedFault
+from .health import HealthReport, TierHealth, run_health_probe
+from .outcome import QueryOutcome
+from .resilient import ResilientEstimator, build_default_ladder
+from .retry import RetryPolicy, is_transient
+from .tiers import TextStatsEstimator, Tier, TierDeclined
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultSpec",
+    "FaultyIndex",
+    "HealthReport",
+    "InjectedFault",
+    "ManualClock",
+    "QueryOutcome",
+    "ResilientEstimator",
+    "RetryPolicy",
+    "SITES",
+    "TextStatsEstimator",
+    "Tier",
+    "TierDeclined",
+    "TierHealth",
+    "build_default_ladder",
+    "is_transient",
+    "run_health_probe",
+]

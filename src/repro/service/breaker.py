@@ -1,0 +1,137 @@
+"""Per-tier circuit breaker: skip a persistently failing tier fast.
+
+Classic three-state breaker (Nygard, *Release It!*), tuned for the
+degradation ladder: a tier that keeps timing out or erroring should not be
+paid its full latency on every query while it is down.
+
+* **closed** — calls flow; outcomes land in a sliding window of the last
+  ``window`` calls. Once the window holds ``min_calls`` outcomes and the
+  failure fraction reaches ``failure_threshold``, the breaker opens.
+* **open** — calls are refused (:meth:`allow` is False) until
+  ``reset_timeout`` seconds pass on the injected clock.
+* **half-open** — after the cooldown, up to ``trial_calls`` probe calls are
+  let through. Any failure re-opens the breaker; ``trial_calls`` successes
+  close it and clear the window.
+
+The clock is injectable (``time.monotonic`` by default), so state-machine
+tests advance a :class:`~repro.service.deadline.ManualClock` instead of
+sleeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from typing import Deque
+
+from ..errors import InvalidParameterError
+from .deadline import Clock
+
+
+class BreakerState(enum.Enum):
+    """Where the breaker currently is in its closed/open/half-open cycle."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-rate breaker over a sliding window of recent call outcomes."""
+
+    def __init__(
+        self,
+        *,
+        window: int = 16,
+        min_calls: int = 4,
+        failure_threshold: float = 0.5,
+        reset_timeout: float = 30.0,
+        trial_calls: int = 2,
+        clock: Clock = time.monotonic,
+    ):
+        if window < 1:
+            raise InvalidParameterError(f"window must be >= 1, got {window}")
+        if not 1 <= min_calls <= window:
+            raise InvalidParameterError(
+                f"min_calls must be in [1, window={window}], got {min_calls}"
+            )
+        if not 0.0 < failure_threshold <= 1.0:
+            raise InvalidParameterError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise InvalidParameterError(
+                f"reset_timeout must be >= 0, got {reset_timeout}"
+            )
+        if trial_calls < 1:
+            raise InvalidParameterError(
+                f"trial_calls must be >= 1, got {trial_calls}"
+            )
+        self._window: Deque[bool] = deque(maxlen=window)
+        self._min_calls = min_calls
+        self._failure_threshold = failure_threshold
+        self._reset_timeout = reset_timeout
+        self._trial_calls = trial_calls
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._opened_at = 0.0
+        self._trial_successes = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, accounting for an elapsed open-state cooldown."""
+        self._maybe_half_open()
+        return self._state
+
+    def failure_rate(self) -> float:
+        """Failure fraction over the sliding window (0.0 when empty)."""
+        if not self._window:
+            return 0.0
+        return sum(1 for ok in self._window if not ok) / len(self._window)
+
+    def allow(self) -> bool:
+        """Whether the protected tier may be called right now."""
+        self._maybe_half_open()
+        return self._state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        """Report one successful call through the breaker."""
+        self._maybe_half_open()
+        if self._state is BreakerState.HALF_OPEN:
+            self._trial_successes += 1
+            if self._trial_successes >= self._trial_calls:
+                self._close()
+            return
+        self._window.append(True)
+
+    def record_failure(self) -> None:
+        """Report one failed call; may trip the breaker."""
+        self._maybe_half_open()
+        if self._state is BreakerState.HALF_OPEN:
+            self._open()
+            return
+        self._window.append(False)
+        if (
+            len(self._window) >= self._min_calls
+            and self.failure_rate() >= self._failure_threshold
+        ):
+            self._open()
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self._reset_timeout
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._trial_successes = 0
+
+    def _open(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._trial_successes = 0
+
+    def _close(self) -> None:
+        self._state = BreakerState.CLOSED
+        self._window.clear()
+        self._trial_successes = 0

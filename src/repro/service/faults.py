@@ -1,0 +1,188 @@
+"""Deterministic fault injection for chaos-testing the serving layer.
+
+:class:`FaultyIndex` wraps any estimator and injects three fault kinds at
+configurable per-call-site rates, driven by one seeded RNG so every chaos
+run is reproducible:
+
+* **errors** — raise :class:`InjectedFault` (transient, so the retry
+  policy engages);
+* **latency spikes** — call the injected sleeper for a configured number
+  of seconds. Paired with a :class:`~repro.service.deadline.ManualClock`
+  shared with the query's :class:`~repro.service.deadline.Deadline`, a
+  spike deterministically burns wall-clock budget without real sleeping;
+* **corrupted answers** — replace a count with an out-of-range value
+  (negative, or beyond ``n``), exercising the ladder's feasibility check.
+
+Call sites are named: ``count``, ``count_or_none``, ``count_many``, and —
+when the wrapped index exposes the backward-search automaton protocol —
+``automaton_start`` / ``automaton_step`` / ``automaton_count``, so faults
+can fire *mid-search*, not just at the call boundary.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
+
+from ..errors import InvalidParameterError, ReproError
+
+#: All call sites :class:`FaultyIndex` can instrument.
+SITES = (
+    "count",
+    "count_or_none",
+    "count_many",
+    "automaton_start",
+    "automaton_step",
+    "automaton_count",
+)
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """The failure raised by an injected error fault (transient by design)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault rates for one call site; all rates are probabilities in [0, 1]."""
+
+    error_rate: float = 0.0
+    latency_rate: float = 0.0
+    #: Seconds each latency spike lasts (fed to the injected sleeper).
+    latency: float = 0.05
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self):
+        for field_name in ("error_rate", "latency_rate", "corrupt_rate"):
+            rate = getattr(self, field_name)
+            if not 0.0 <= rate <= 1.0:
+                raise InvalidParameterError(
+                    f"{field_name} must be in [0, 1], got {rate}"
+                )
+        if self.latency < 0:
+            raise InvalidParameterError(f"latency must be >= 0, got {self.latency}")
+
+
+class FaultyIndex:
+    """Transparent estimator proxy that injects faults at named call sites.
+
+    Any attribute not instrumented here (``alphabet``, ``text_length``,
+    ``error_model``, ``space_report``, …) is delegated to the wrapped
+    index, so a :class:`FaultyIndex` drops into a
+    :class:`~repro.service.tiers.Tier` anywhere the real index would.
+    ``injections`` counts every fault fired, keyed by ``(site, kind)``,
+    so chaos tests can assert each degradation path actually triggered.
+    """
+
+    def __init__(
+        self,
+        inner,
+        specs: Mapping[str, FaultSpec],
+        *,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        unknown = set(specs) - set(SITES)
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown fault sites {sorted(unknown)}; valid sites: {SITES}"
+            )
+        self._inner = inner
+        self._specs: Dict[str, FaultSpec] = dict(specs)
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self.injections: Counter = Counter()
+        # The automaton protocol must only *appear* present when the inner
+        # index has it (SuffixSharingCounter feature-detects via hasattr),
+        # so the wrappers are bound as instance attributes conditionally.
+        if all(
+            hasattr(inner, name)
+            for name in ("_automaton_start", "_automaton_step", "_automaton_count")
+        ):
+            self._automaton_start = self._wrap_automaton(
+                "automaton_start", inner._automaton_start
+            )
+            self._automaton_step = self._wrap_automaton(
+                "automaton_step", inner._automaton_step
+            )
+            self._automaton_count = self._wrap_automaton(
+                "automaton_count", inner._automaton_count, corruptible=True
+            )
+        if hasattr(inner, "count_or_none"):
+            self.count_or_none = self._wrap_count_or_none
+
+    @classmethod
+    def failing(cls, inner, rate: float = 1.0, *, seed: int = 0) -> "FaultyIndex":
+        """Shorthand: inject errors at ``rate`` on every counting site."""
+        spec = FaultSpec(error_rate=rate)
+        return cls(
+            inner,
+            {"count": spec, "count_or_none": spec, "count_many": spec,
+             "automaton_count": spec},
+            seed=seed,
+        )
+
+    @property
+    def inner(self):
+        """The wrapped, fault-free index."""
+        return self._inner
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    # -- counting sites -----------------------------------------------------
+
+    def count(self, pattern: str) -> int:
+        self._roll("count")
+        return self._maybe_corrupt("count", self._inner.count(pattern), pattern)
+
+    def count_many(self, patterns: Sequence[str]) -> List[int]:
+        self._roll("count_many")
+        return [self.count(pattern) for pattern in patterns]
+
+    def _wrap_count_or_none(self, pattern: str) -> Optional[int]:
+        self._roll("count_or_none")
+        value = self._inner.count_or_none(pattern)
+        if value is None:
+            return None
+        return self._maybe_corrupt("count_or_none", value, pattern)
+
+    # -- fault machinery ----------------------------------------------------
+
+    def _wrap_automaton(self, site: str, method, corruptible: bool = False):
+        def wrapper(*args: Hashable):
+            self._roll(site)
+            value = method(*args)
+            if corruptible and isinstance(value, int):
+                return self._maybe_corrupt(site, value, None)
+            return value
+
+        return wrapper
+
+    def _roll(self, site: str) -> None:
+        spec = self._specs.get(site)
+        if spec is None:
+            return
+        if spec.latency_rate and self._rng.random() < spec.latency_rate:
+            self.injections[site, "latency"] += 1
+            self._sleep(spec.latency)
+        if spec.error_rate and self._rng.random() < spec.error_rate:
+            self.injections[site, "error"] += 1
+            raise InjectedFault(f"injected fault at call site {site!r}")
+
+    def _maybe_corrupt(self, site: str, value: int, pattern: Optional[str]) -> int:
+        spec = self._specs.get(site)
+        if spec is None or not spec.corrupt_rate:
+            return value
+        if self._rng.random() >= spec.corrupt_rate:
+            return value
+        self.injections[site, "corrupt"] += 1
+        # Corrupt *detectably*: past the feasible ceiling (which grants the
+        # error model up to threshold - 1 of slack) or below zero, so the
+        # serving layer's feasibility check can prove it catches them.
+        n = self._inner.text_length + getattr(self._inner, "threshold", 1)
+        if self._rng.random() < 0.5:
+            return n + 1 + self._rng.randrange(1000)
+        return -1 - self._rng.randrange(1000)

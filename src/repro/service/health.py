@@ -1,0 +1,130 @@
+"""Health probing for a degradation ladder.
+
+:func:`run_health_probe` pushes a representative workload through a
+:class:`~repro.service.resilient.ResilientEstimator` and aggregates where
+the answers came from: per-tier serve counts and latency, how often the
+ladder degraded, breaker states afterwards, and any patterns that could
+not be answered at all. ``repro serve-check`` prints the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import AllTiersFailedError
+from ..textutil import Text, mixed_workload
+from .outcome import QueryOutcome
+from .resilient import ResilientEstimator
+
+
+@dataclass
+class TierHealth:
+    """Aggregated serving stats for one tier."""
+
+    name: str
+    served: int = 0
+    failures: int = 0
+    #: Healthy "cannot certify" responses from certified-only tiers.
+    declines: int = 0
+    total_elapsed: float = 0.0
+    max_elapsed: float = 0.0
+    breaker_state: str = "closed"
+
+    @property
+    def mean_elapsed(self) -> float:
+        return self.total_elapsed / self.served if self.served else 0.0
+
+
+@dataclass
+class HealthReport:
+    """Outcome of one probe workload against a ladder."""
+
+    total: int
+    answered: int
+    degraded: int
+    tiers: List[TierHealth]
+    unanswered: List[Tuple[str, str]] = field(default_factory=list)
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every probe pattern received an answer."""
+        return self.answered == self.total
+
+    def format(self) -> str:
+        """Multi-line operator report."""
+        lines = [
+            f"probe: {self.answered}/{self.total} answered, "
+            f"{self.degraded} degraded"
+        ]
+        lines.append(
+            f"{'tier':<12} {'served':>7} {'failures':>9} {'declines':>9} "
+            f"{'mean ms':>9} {'max ms':>9}  breaker"
+        )
+        for tier in self.tiers:
+            lines.append(
+                f"{tier.name:<12} {tier.served:>7} {tier.failures:>9} "
+                f"{tier.declines:>9} {tier.mean_elapsed * 1000:>9.3f} "
+                f"{tier.max_elapsed * 1000:>9.3f}  {tier.breaker_state}"
+            )
+        for pattern, reason in self.unanswered[:10]:
+            lines.append(f"UNANSWERED {pattern!r}: {reason}")
+        lines.append("serve-check PASS" if self.ok else "serve-check FAIL")
+        return "\n".join(lines)
+
+
+def run_health_probe(
+    service: ResilientEstimator,
+    patterns: Sequence[str] | None = None,
+    *,
+    text: Text | str | None = None,
+    seed: int = 0,
+) -> HealthReport:
+    """Run a probe workload and aggregate serving statistics.
+
+    ``patterns`` defaults to the standard mixed workload over ``text``
+    (which is then required — the same generator validation uses, so the
+    probe exercises present, absent and adversarial patterns alike).
+    """
+    if patterns is None:
+        if text is None:
+            raise ValueError("run_health_probe needs either patterns or text")
+        patterns = mixed_workload(text, per_length=10, seed=seed)
+    stats: Dict[str, TierHealth] = {
+        tier.name: TierHealth(tier.name) for tier in service.tiers
+    }
+    report = HealthReport(
+        total=len(patterns), answered=0, degraded=0, tiers=list(stats.values())
+    )
+    for pattern in patterns:
+        try:
+            outcome = service.query(pattern)
+        except AllTiersFailedError as exc:
+            report.unanswered.append((pattern, str(exc)))
+            _attribute(stats, exc.failures)
+            continue
+        report.answered += 1
+        report.outcomes.append(outcome)
+        if outcome.degraded:
+            report.degraded += 1
+        health = stats[outcome.tier]
+        health.served += 1
+        health.total_elapsed += outcome.elapsed
+        health.max_elapsed = max(health.max_elapsed, outcome.elapsed)
+        _attribute(stats, outcome.failures)
+    for tier in service.tiers:
+        stats[tier.name].breaker_state = tier.breaker.state.value
+    return report
+
+
+def _attribute(stats: Dict[str, TierHealth], failures) -> None:
+    """Credit each recorded failure/decline to its tier's health row."""
+    for tier_name, reason in failures:
+        health = stats.get(tier_name)
+        if health is None:
+            continue
+        if reason.startswith("declined"):
+            health.declines += 1
+        else:
+            health.failures += 1

@@ -1,0 +1,77 @@
+"""Structured query results for the serving layer.
+
+Every answer from :class:`~repro.service.resilient.ResilientEstimator` is a
+:class:`QueryOutcome` rather than a bare integer: it names the tier that
+served it, states the error model that answer *actually* honors (which may
+be weaker than the primary tier's model if the ladder degraded), and
+records latency and the failures met along the way — everything an
+operator needs to audit a degraded response after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core.interface import ErrorModel
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One served query: the answer plus its provenance and guarantee."""
+
+    pattern: str
+    count: int
+    #: Name of the tier that produced the answer.
+    tier: str
+    #: Position of the serving tier in the ladder (0 = primary).
+    tier_index: int
+    #: Error model the answer honors (the serving tier's model).
+    error_model: ErrorModel
+    #: Error threshold ``l`` of the serving tier (1 for exact tiers).
+    threshold: int
+    #: Whether the serving tier certifies this particular answer as exact.
+    reliable: bool
+    #: Wall-clock seconds from accepting the query to producing the answer.
+    elapsed: float
+    #: Total tier attempts made, including retries and the successful one.
+    attempts: int
+    #: ``(tier_name, reason)`` for every failed or skipped attempt.
+    failures: Tuple[Tuple[str, str], ...] = field(default=())
+
+    @property
+    def degraded(self) -> bool:
+        """True when the primary tier did not serve this answer cleanly."""
+        return self.tier_index > 0 or bool(self.failures)
+
+    def contract_holds(self, truth: int, text_length: Optional[int] = None) -> bool:
+        """Whether ``count`` satisfies the declared error model against the
+        true occurrence count — the same per-model rules
+        :func:`repro.validation.validate_index` enforces.
+
+        ``text_length`` tightens the UPPER_BOUND ceiling to
+        ``n - |P| + 1``; without it the model only requires no undercount.
+        """
+        if self.error_model is ErrorModel.EXACT:
+            return self.count == truth
+        if self.error_model is ErrorModel.UNIFORM:
+            return truth <= self.count <= truth + self.threshold - 1
+        if self.error_model is ErrorModel.UPPER_BOUND:
+            if self.count < truth:
+                return False
+            if text_length is None:
+                return True
+            return self.count <= max(0, text_length - len(self.pattern) + 1)
+        # LOWER_SIDED: exact above threshold; anything in [0, l) below it.
+        if truth >= self.threshold:
+            return self.count == truth
+        return 0 <= self.count < self.threshold
+
+    def summary(self) -> str:
+        """One-line operator-facing description."""
+        tag = "degraded" if self.degraded else "primary"
+        return (
+            f"{self.pattern!r}: {self.count} via {self.tier} "
+            f"[{self.error_model.value}, l={self.threshold}, {tag}] "
+            f"in {self.elapsed * 1000:.2f}ms, {self.attempts} attempt(s)"
+        )

@@ -1,0 +1,215 @@
+"""The resilient query service: a degradation ladder over estimator tiers.
+
+:class:`ResilientEstimator` answers every query it possibly can, degrading
+accuracy before availability. Tiers are tried in order; each is protected
+by a circuit breaker (a persistently failing tier is skipped without
+paying its latency), failed calls are retried with jittered exponential
+backoff while the per-query deadline allows, and once the deadline is
+spent the ladder jumps straight to its always-available tier (pure
+arithmetic, cannot stall). Every answer is a
+:class:`~repro.service.outcome.QueryOutcome` naming the serving tier and
+the error model the answer actually honors.
+
+The paper's own hierarchy maps directly onto the ladder:
+``CompactPrunedSuffixTree`` (exact above threshold) →
+:class:`~repro.core.approx.ApproxIndex` (uniform error ``l``) →
+``QGramIndex`` (exact up to length ``q``) →
+:class:`~repro.service.tiers.TextStatsEstimator` (sound upper bound,
+always available). :func:`build_default_ladder` assembles exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..core.interface import OccurrenceEstimator
+from ..errors import (
+    AllTiersFailedError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    PatternError,
+)
+from ..textutil import Text
+from .breaker import CircuitBreaker
+from .deadline import Clock, Deadline
+from .outcome import QueryOutcome
+from .retry import RetryPolicy
+from .tiers import Tier, TextStatsEstimator, TierDeclined
+
+
+class ResilientEstimator:
+    """Serve substring-count queries through an ordered fallback ladder.
+
+    ``tiers`` may mix bare estimators (wrapped into default
+    :class:`~repro.service.tiers.Tier` instances) and pre-configured
+    tiers. ``deadline_seconds`` is the default per-query soft budget
+    (``None`` = unbounded); ``clock`` and ``sleep`` are injectable so
+    tests and simulations run on manual time.
+    """
+
+    def __init__(
+        self,
+        tiers: Sequence[Union[Tier, OccurrenceEstimator]],
+        *,
+        deadline_seconds: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+        clock: Clock = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if not tiers:
+            raise InvalidParameterError("a ladder needs at least one tier")
+        self._tiers: List[Tier] = [
+            tier if isinstance(tier, Tier) else Tier(tier) for tier in tiers
+        ]
+        names = [tier.name for tier in self._tiers]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(f"tier names must be unique, got {names}")
+        self._deadline_seconds = deadline_seconds
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._clock = clock
+        self._sleep = sleep
+        make_breaker = breaker_factory or (lambda: CircuitBreaker(clock=clock))
+        for tier in self._tiers:
+            if tier.breaker is None:
+                tier.breaker = make_breaker()
+
+    @property
+    def tiers(self) -> List[Tier]:
+        """The ladder, primary first."""
+        return list(self._tiers)
+
+    def query(
+        self, pattern: str, *, deadline: Union[Deadline, float, None] = None
+    ) -> QueryOutcome:
+        """Answer one pattern through the ladder.
+
+        Malformed patterns raise :class:`~repro.errors.PatternError`
+        immediately (bad input is the caller's bug, not an availability
+        event). If no tier can serve,
+        :class:`~repro.errors.AllTiersFailedError` reports why each one
+        failed.
+        """
+        if not isinstance(pattern, str) or not pattern:
+            raise PatternError("pattern must be a non-empty string")
+        if isinstance(deadline, Deadline):
+            budget = deadline
+        else:
+            seconds = deadline if deadline is not None else self._deadline_seconds
+            budget = Deadline(seconds, self._clock)
+        started = self._clock()
+        failures: List[tuple] = []
+        attempts = 0
+        out_of_time = False
+
+        for index, tier in enumerate(self._tiers):
+            if (out_of_time or budget.expired()) and not tier.always_available:
+                failures.append((tier.name, "skipped: deadline exceeded"))
+                continue
+            if not tier.breaker.allow():
+                failures.append(
+                    (tier.name, f"skipped: circuit {tier.breaker.state.value}")
+                )
+                continue
+            attempt = 0
+            while True:
+                attempt += 1
+                attempts += 1
+                try:
+                    effective = None if tier.always_available else budget
+                    count, model, threshold, reliable = tier.answer(
+                        pattern, effective
+                    )
+                except TierDeclined:
+                    # A certified-only tier saying "I don't know" is healthy.
+                    tier.breaker.record_success()
+                    failures.append((tier.name, "declined: cannot certify"))
+                    break
+                except DeadlineExceededError as exc:
+                    tier.breaker.record_failure()
+                    failures.append((tier.name, str(exc)))
+                    out_of_time = True
+                    break
+                except Exception as exc:  # noqa: BLE001 - ladder boundary
+                    tier.breaker.record_failure()
+                    failures.append((tier.name, f"{type(exc).__name__}: {exc}"))
+                    if not self._retry.should_retry(attempt, exc):
+                        break
+                    backoff = self._retry.delay(attempt)
+                    if backoff >= budget.remaining():
+                        failures.append(
+                            (tier.name, "retry abandoned: backoff exceeds deadline")
+                        )
+                        break
+                    if backoff > 0:
+                        self._sleep(backoff)
+                else:
+                    tier.breaker.record_success()
+                    return QueryOutcome(
+                        pattern=pattern,
+                        count=count,
+                        tier=tier.name,
+                        tier_index=index,
+                        error_model=model,
+                        threshold=threshold,
+                        reliable=reliable,
+                        elapsed=self._clock() - started,
+                        attempts=attempts,
+                        failures=tuple(failures),
+                    )
+        raise AllTiersFailedError(pattern, failures)
+
+    def query_many(self, patterns: Sequence[str]) -> List[QueryOutcome]:
+        """One outcome per pattern, each under its own fresh deadline."""
+        return [self.query(pattern) for pattern in patterns]
+
+    def count(self, pattern: str) -> int:
+        """Ladder-served count, discarding provenance."""
+        return self.query(pattern).count
+
+    def count_many(self, patterns: Sequence[str]) -> List[int]:
+        """Batch variant of :meth:`count`."""
+        return [self.count(pattern) for pattern in patterns]
+
+
+def build_default_ladder(
+    text: Text | str,
+    l: int = 64,
+    *,
+    deadline_seconds: Optional[float] = 0.5,
+    retry: Optional[RetryPolicy] = None,
+    breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+    clock: Clock = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+    primary: Optional[OccurrenceEstimator] = None,
+) -> ResilientEstimator:
+    """The paper's accuracy hierarchy as a four-tier availability ladder.
+
+    ``CPST_l`` serves exactly what it certifies (counts ``>= l``),
+    ``APX_l`` catches the rest with uniform error ``< l``, a small q-gram
+    table answers short patterns exactly if both contributions are down,
+    and the text-statistics tier guarantees a sound upper bound no matter
+    what. ``primary`` substitutes the first tier's estimator — the hook
+    chaos tests and ``repro serve-check --fault-rate`` use to inject
+    faults without touching the rest of the ladder.
+    """
+    from ..baselines import QGramIndex
+    from ..core import ApproxIndex, CompactPrunedSuffixTree
+
+    t = text if isinstance(text, Text) else Text(text)
+    cpst = primary if primary is not None else CompactPrunedSuffixTree(t, l)
+    tiers = [
+        Tier(cpst, "cpst", certified_only=True),
+        Tier(ApproxIndex(t, max(2, l - l % 2)), "apx"),
+        Tier(QGramIndex(t, q=max(2, min(l, 8))), "qgram", certified_only=True),
+        Tier(TextStatsEstimator(t), "stats", always_available=True),
+    ]
+    return ResilientEstimator(
+        tiers,
+        deadline_seconds=deadline_seconds,
+        retry=retry,
+        breaker_factory=breaker_factory,
+        clock=clock,
+        sleep=sleep,
+    )

@@ -1,0 +1,92 @@
+"""Bounded retry with jittered exponential backoff.
+
+Transient failures (an injected fault, a race in a shared backend) deserve
+a quick retry; deterministic failures (malformed input, a spent deadline)
+do not. :class:`RetryPolicy` encodes the attempt budget and the backoff
+schedule; :func:`is_transient` encodes the classification.
+
+Everything non-deterministic or time-dependent is injectable: the jitter
+RNG is seeded, and the sleeper is a callable (tests pass
+:meth:`ManualClock.sleep <repro.service.deadline.ManualClock.sleep>` so
+backoff advances simulated time instead of blocking).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import (
+    AlphabetError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    PatternError,
+)
+
+#: Failures that will recur identically on retry: bad input, spent budget.
+_NON_TRANSIENT = (PatternError, InvalidParameterError, AlphabetError,
+                  DeadlineExceededError)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether retrying after ``error`` could plausibly succeed."""
+    return isinstance(error, Exception) and not isinstance(error, _NON_TRANSIENT)
+
+
+class RetryPolicy:
+    """Attempt budget plus a jittered exponential backoff schedule.
+
+    ``delay(attempt)`` for attempt numbers ``1, 2, ...`` (the delay taken
+    *after* that attempt fails) is ``base * multiplier**(attempt-1)``
+    capped at ``max_delay``, with the final value drawn uniformly from
+    ``[delay * (1 - jitter), delay]`` — full deterministic given ``seed``.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 2,
+        base_delay: float = 0.01,
+        max_delay: float = 0.5,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        seed: Optional[int] = 0,
+    ):
+        if max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if base_delay < 0 or max_delay < 0:
+            raise InvalidParameterError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise InvalidParameterError(
+                f"multiplier must be >= 1, got {multiplier}"
+            )
+        if not 0.0 <= jitter <= 1.0:
+            raise InvalidParameterError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = max_attempts
+        self._base_delay = base_delay
+        self._max_delay = max_delay
+        self._multiplier = multiplier
+        self._jitter = jitter
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Single attempt, no backoff."""
+        return cls(max_attempts=1, base_delay=0.0)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff (seconds) to take after failed attempt number ``attempt``."""
+        if attempt < 1:
+            raise InvalidParameterError(f"attempt numbers start at 1, got {attempt}")
+        raw = min(
+            self._max_delay, self._base_delay * self._multiplier ** (attempt - 1)
+        )
+        if raw <= 0.0 or self._jitter == 0.0:
+            return raw
+        return raw * (1.0 - self._jitter * self._rng.random())
+
+    def should_retry(self, attempt: int, error: BaseException) -> bool:
+        """Whether to attempt again after failure number ``attempt``."""
+        return attempt < self.max_attempts and is_transient(error)

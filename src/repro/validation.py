@@ -8,7 +8,9 @@ variants should run first, and the engine behind the X1 experiment.
 * ``EXACT``       — estimate == truth for every pattern;
 * ``UNIFORM``     — ``truth <= estimate <= truth + l - 1``;
 * ``LOWER_SIDED`` — via ``count_or_none``: equal to truth when
-  ``truth >= l``, ``None`` otherwise.
+  ``truth >= l``, ``None`` otherwise;
+* ``UPPER_BOUND`` — ``truth <= estimate <= n - |P| + 1`` (never an
+  undercount, never above the trivial occurrence bound).
 """
 
 from __future__ import annotations
@@ -110,6 +112,20 @@ def validate_index(
                     Violation(
                         pattern, truth, estimate,
                         f"estimate outside [truth, truth+{l - 1}]",
+                    )
+                )
+            continue
+        if index.error_model is ErrorModel.UPPER_BOUND:
+            estimate = index.count(pattern)
+            error = estimate - truth
+            report.max_error = max(report.max_error, error)
+            report.total_error += error
+            ceiling = max(0, len(t) - len(pattern) + 1)
+            if not truth <= estimate <= ceiling:
+                report.violations.append(
+                    Violation(
+                        pattern, truth, estimate,
+                        f"estimate outside [truth, {ceiling}]",
                     )
                 )
             continue

@@ -94,7 +94,9 @@ class TestBoundedCache:
         assert len(bounded._states) <= 32 + max(len(p) for p in workload)
 
     def test_invalid_bound(self):
-        with pytest.raises(PatternError):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
             SuffixSharingCounter(FMIndex(TEXT), max_states=0)
 
 

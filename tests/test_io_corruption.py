@@ -1,0 +1,179 @@
+"""Corruption-path tests for the checksummed persistence format (v2).
+
+Every structural failure — flipped payload bytes, truncation at each
+header boundary, a rewritten digest, trailing garbage — must surface as
+:class:`IndexCorruptedError` *before* the unpickler runs; synthesized
+version-1 files must keep loading (with a deprecation warning).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+import pytest
+
+import repro.io as io_mod
+from repro import FMIndex
+from repro.errors import IndexCorruptedError, ReproError
+from repro.io import FORMAT_VERSION, MAGIC, load_index, save_index
+from repro.textutil import Text
+
+TEXT = Text("the quick brown fox jumps over the lazy dog " * 12)
+
+
+@pytest.fixture
+def saved(tmp_path):
+    index = FMIndex(TEXT)
+    path = save_index(index, tmp_path / "index.ridx")
+    return index, path
+
+
+def _header_length(raw: bytes) -> int:
+    """Offset of the first payload byte in a v2 file."""
+    name_length = int.from_bytes(raw[len(MAGIC) + 2 : len(MAGIC) + 4], "big")
+    return len(MAGIC) + 2 + 2 + name_length + 8 + 32
+
+
+class _ExplodingUnpickler:
+    """Stand-in proving corrupted payloads never reach the unpickler."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("unpickler was invoked on a corrupted file")
+
+
+class TestFormatV2:
+    def test_writes_version_2_with_valid_digest(self, saved):
+        _, path = saved
+        raw = path.read_bytes()
+        assert raw[: len(MAGIC)] == MAGIC
+        assert int.from_bytes(raw[len(MAGIC) : len(MAGIC) + 2], "big") == 2
+        assert FORMAT_VERSION == 2
+        header = _header_length(raw)
+        payload = raw[header:]
+        stored_digest = raw[header - 32 : header]
+        assert hashlib.sha256(payload).digest() == stored_digest
+        stored_length = int.from_bytes(raw[header - 40 : header - 32], "big")
+        assert stored_length == len(payload)
+
+    def test_roundtrip(self, saved):
+        index, path = saved
+        loaded = load_index(path)
+        for pattern in ("the", "fox", "zebra"):
+            assert loaded.count(pattern) == index.count(pattern)
+
+
+class TestPayloadCorruption:
+    def test_flipped_payload_byte_raises_before_unpickling(
+        self, saved, monkeypatch
+    ):
+        _, path = saved
+        raw = bytearray(path.read_bytes())
+        header = _header_length(bytes(raw))
+        monkeypatch.setattr(io_mod, "_RestrictedUnpickler", _ExplodingUnpickler)
+        # Flip a byte at the start, middle and end of the payload.
+        for offset in (header, (header + len(raw)) // 2, len(raw) - 1):
+            corrupted = bytearray(raw)
+            corrupted[offset] ^= 0x40
+            path.write_bytes(bytes(corrupted))
+            with pytest.raises(IndexCorruptedError, match="integrity"):
+                load_index(path)
+
+    def test_rewritten_digest_raises(self, saved, monkeypatch):
+        _, path = saved
+        raw = bytearray(path.read_bytes())
+        header = _header_length(bytes(raw))
+        raw[header - 32 : header] = hashlib.sha256(b"not the payload").digest()
+        path.write_bytes(bytes(raw))
+        monkeypatch.setattr(io_mod, "_RestrictedUnpickler", _ExplodingUnpickler)
+        with pytest.raises(IndexCorruptedError, match="integrity"):
+            load_index(path)
+
+    def test_trailing_garbage_raises(self, saved):
+        _, path = saved
+        path.write_bytes(path.read_bytes() + b"\x00garbage")
+        with pytest.raises(IndexCorruptedError, match="trailing"):
+            load_index(path)
+
+
+class TestTruncation:
+    def test_truncation_at_every_header_boundary(self, saved):
+        _, path = saved
+        raw = path.read_bytes()
+        header = _header_length(raw)
+        # Every prefix length within the header, plus mid- and end-payload
+        # cuts: all must fail loudly, never mis-parse silently.
+        cuts = list(range(header + 1)) + [
+            header + (len(raw) - header) // 2,
+            len(raw) - 1,
+        ]
+        for cut in cuts:
+            path.write_bytes(raw[:cut])
+            with pytest.raises((IndexCorruptedError, ReproError)):
+                load_index(path)
+
+    def test_short_reads_name_the_missing_field(self, saved):
+        _, path = saved
+        raw = path.read_bytes()
+        for cut, field in [
+            (4, "magic"),
+            (len(MAGIC) + 1, "format version"),
+            (len(MAGIC) + 3, "name length"),
+            (len(MAGIC) + 5, "class name"),
+        ]:
+            path.write_bytes(raw[:cut])
+            with pytest.raises(IndexCorruptedError, match=field):
+                load_index(path)
+
+
+class TestVersion1Compat:
+    def _write_v1(self, path, index):
+        name = type(index).__name__.encode("ascii")
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write((1).to_bytes(2, "big"))
+            handle.write(len(name).to_bytes(2, "big"))
+            handle.write(name)
+            pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def test_v1_file_still_loads_with_warning(self, tmp_path):
+        index = FMIndex(TEXT)
+        path = tmp_path / "legacy.ridx"
+        self._write_v1(path, index)
+        with pytest.warns(DeprecationWarning, match="version 1"):
+            loaded = load_index(path)
+        for pattern in ("quick", "lazy", "absent!"):
+            assert loaded.count(pattern) == index.count(pattern)
+
+    def test_resaving_v1_upgrades_to_v2(self, tmp_path):
+        index = FMIndex(TEXT)
+        legacy = tmp_path / "legacy.ridx"
+        self._write_v1(legacy, index)
+        with pytest.warns(DeprecationWarning):
+            loaded = load_index(legacy)
+        upgraded = save_index(loaded, tmp_path / "upgraded.ridx")
+        raw = upgraded.read_bytes()
+        assert int.from_bytes(raw[len(MAGIC) : len(MAGIC) + 2], "big") == 2
+        load_index(upgraded)  # no warning machinery needed; must not raise
+
+
+class TestRestrictedUnpickler:
+    @pytest.mark.parametrize("evil", [getattr, setattr, breakpoint, eval, exec])
+    def test_dangerous_builtins_rejected(self, evil):
+        stream = pickle.dumps(evil)
+        with pytest.raises(ReproError, match="refusing to unpickle"):
+            io_mod._RestrictedUnpickler(io_mod._io.BytesIO(stream)).load()
+
+    @pytest.mark.parametrize(
+        "value", [slice(1, 5), range(3), complex(2, 3), frozenset({1})]
+    )
+    def test_safe_builtin_constructors_allowed(self, value):
+        stream = pickle.dumps(value)
+        assert io_mod._RestrictedUnpickler(io_mod._io.BytesIO(stream)).load() == value
+
+    def test_foreign_module_rejected(self):
+        import textwrap
+
+        stream = pickle.dumps(textwrap.dedent)
+        with pytest.raises(ReproError, match="refusing to unpickle"):
+            io_mod._RestrictedUnpickler(io_mod._io.BytesIO(stream)).load()
