@@ -21,6 +21,9 @@ Main entry points:
 * :class:`CompactPrunedSuffixTree` — paper Section 5, lower-sided error.
 * :class:`FMIndex`, :class:`PrunedSuffixTree`, :class:`PrunedPatriciaTrie`
   — the baselines the paper compares against.
+* :mod:`repro.engine` — the backward-search engine: the
+  :class:`BackwardSearchAutomaton` protocol every index implements, the
+  trie-planned batch executor and its work counters.
 * :mod:`repro.selectivity` — KVI / MO / MOL LIKE-predicate estimators.
 * :mod:`repro.service` — resilient serving: degradation ladder, deadlines,
   circuit breakers, fault injection.
@@ -30,6 +33,14 @@ Main entry points:
 
 from .batch import SuffixSharingCounter
 from .collections import DocumentCollection, Occurrence
+from .engine import (
+    AutomatonCapabilities,
+    BackwardSearchAutomaton,
+    EngineStats,
+    TrieBatchPlanner,
+    automaton_of,
+    planner_for,
+)
 from .baselines import (
     FMIndex,
     PrunedPatriciaTrie,
@@ -104,6 +115,12 @@ __all__ = [
     "ThresholdLadder",
     "fit_threshold",
     "SuffixSharingCounter",
+    "AutomatonCapabilities",
+    "BackwardSearchAutomaton",
+    "EngineStats",
+    "TrieBatchPlanner",
+    "automaton_of",
+    "planner_for",
     "DocumentCollection",
     "Occurrence",
     "CircuitBreaker",

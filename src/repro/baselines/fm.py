@@ -18,13 +18,14 @@ import numpy as np
 
 from ..bits import HuffmanWaveletTree, WaveletMatrix, bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
 from ..errors import InvalidParameterError
 from ..sa import bwt_from_sa, counts_array, suffix_array
 from ..space import SpaceReport
 from ..textutil import Alphabet, Text
 
 
-class FMIndex(OccurrenceEstimator):
+class FMIndex(OccurrenceEstimator, BackwardSearchAutomaton):
     """Exact substring counting over a compressed text representation."""
 
     error_model = ErrorModel.EXACT
@@ -120,7 +121,7 @@ class FMIndex(OccurrenceEstimator):
         return state if state is not None else (0, 0)
 
     # Backward-search automaton over reversed patterns (half-open rows);
-    # the protocol consumed by repro.batch.SuffixSharingCounter.
+    # the engine interface consumed by repro.engine.TrieBatchPlanner.
 
     def _start_state(self, c: int) -> Tuple[int, int] | None:
         first, last = int(self._c[c]), int(self._c[c + 1])
@@ -132,18 +133,23 @@ class FMIndex(OccurrenceEstimator):
         last = int(self._c[c]) + self._occ.rank(c, last)
         return (first, last) if first < last else None
 
-    def _automaton_start(self, ch: str) -> Tuple[int, int] | None:
+    def start(self, ch: str) -> Tuple[int, int] | None:
         encoded = self._alphabet.encode_pattern(ch)
         return None if encoded is None else self._start_state(int(encoded[0]))
 
-    def _automaton_step(
+    def step(
         self, state: Tuple[int, int], ch: str
     ) -> Tuple[int, int] | None:
         encoded = self._alphabet.encode_pattern(ch)
         return None if encoded is None else self._step_state(state, int(encoded[0]))
 
-    def _automaton_count(self, state: Tuple[int, int] | None) -> int:
+    def count_state(self, state: Tuple[int, int] | None) -> int:
         return 0 if state is None else state[1] - state[0]
+
+    def capabilities(self) -> AutomatonCapabilities:
+        # One backward-search step = two rank queries on the BWT wavelet
+        # tree (Figure 2).
+        return AutomatonCapabilities(exact=True, rank_ops_per_step=2)
 
     # -- locate / extract (SA sampling) ---------------------------------------
 

@@ -17,16 +17,20 @@ compact variant.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..bits import bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
 from ..space import SpaceReport
 from ..suffixtree.pruned import PrunedSuffixTreeStructure
 from ..textutil import Alphabet, Text
 
 
-class PrunedSuffixTree(OccurrenceEstimator):
+class PrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
     """Explicit-label pruned suffix tree with lower-sided error."""
 
     error_model = ErrorModel.LOWER_SIDED
@@ -59,6 +63,15 @@ class PrunedSuffixTree(OccurrenceEstimator):
             for node in structure.nodes
         ]
         self._total_label_length = structure.total_label_length()
+        # Inverse-suffix-link view for the backward-search automaton: the
+        # same (u, z) preorder-range search as the CPST (Figure 6), driven
+        # by plain sorted id lists instead of rank/select on S.
+        self._symbol_counts = structure.symbol_counts  # length sigma+1
+        self._isl_ids: List[List[int]] = [[] for _ in range(self._sigma)]
+        for node in structure.nodes:
+            for c in node.isl_symbols:
+                self._isl_ids[c].append(node.preorder_id)
+        self._g_prefix = np.cumsum(structure.correction_factors())
 
     # -- interface ----------------------------------------------------------
 
@@ -110,6 +123,53 @@ class PrunedSuffixTree(OccurrenceEstimator):
 
     def is_reliable(self, pattern: str) -> bool:
         return self.count_or_none(pattern) is not None
+
+    # Backward-search automaton over reversed patterns (preorder id
+    # ranges, exactly the CPST's Figure 6 search); the engine interface
+    # consumed by repro.engine.TrieBatchPlanner. Whereas count_or_none
+    # walks edge labels top-down, this walks inverse suffix links
+    # right-to-left — both certify the same Count>=_l semantics.
+
+    def _links_before(self, c: int, k: int) -> int:
+        """Number of inverse suffix links for ``c`` in nodes ``[0, k)``."""
+        return bisect.bisect_left(self._isl_ids[c], k)
+
+    def _start_state(self, c: int) -> Optional[Tuple[int, int]]:
+        u = int(self._symbol_counts[c]) + 1
+        z = int(self._symbol_counts[c + 1])
+        return (u, z) if u <= z else None
+
+    def _step_state(self, state: Tuple[int, int], c: int) -> Optional[Tuple[int, int]]:
+        u, z = state
+        c_u = self._links_before(c, u)
+        c_z = self._links_before(c, z + 1)
+        if c_u == c_z:
+            return None  # ISL undefined: Count(P[i..]) < l
+        base = int(self._symbol_counts[c])
+        return base + c_u + 1, base + c_z
+
+    def _cnt(self, u: int, z: int) -> int:
+        """Total correction factors over node ids [u, z] (paper Lemma 3)."""
+        high = int(self._g_prefix[z])
+        low = int(self._g_prefix[u - 1]) if u > 0 else 0
+        return high - low
+
+    def start(self, ch: str) -> Optional[Tuple[int, int]]:
+        encoded = self._alphabet.encode_pattern(ch)
+        return None if encoded is None else self._start_state(int(encoded[0]))
+
+    def step(
+        self, state: Tuple[int, int], ch: str
+    ) -> Optional[Tuple[int, int]]:
+        encoded = self._alphabet.encode_pattern(ch)
+        return None if encoded is None else self._step_state(state, int(encoded[0]))
+
+    def count_state(self, state: Optional[Tuple[int, int]]) -> int:
+        return 0 if state is None else self._cnt(state[0], state[1])
+
+    def capabilities(self) -> AutomatonCapabilities:
+        # Pointer/bisect navigation: no succinct rank structures touched.
+        return AutomatonCapabilities(lower_sided=True, threshold=self._l)
 
     # -- frequent-substring mining -------------------------------------------
 

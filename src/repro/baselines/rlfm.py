@@ -21,18 +21,19 @@ Rank decomposition, with ``r`` the run containing position ``i``::
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..bits import EliasFano, HuffmanWaveletTree, bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
 from ..sa import bwt_from_sa, counts_array, suffix_array
 from ..space import SpaceReport
 from ..textutil import Alphabet, Text
 
 
-class RLFMIndex(OccurrenceEstimator):
+class RLFMIndex(OccurrenceEstimator, BackwardSearchAutomaton):
     """Exact counting over the run-length encoded BWT."""
 
     error_model = ErrorModel.EXACT
@@ -121,18 +122,43 @@ class RLFMIndex(OccurrenceEstimator):
         encoded = self._encode_pattern(pattern)
         if encoded is None:
             return 0, 0
-        c = int(encoded[-1])
-        first = int(self._c[c])
-        last = int(self._c[c + 1])
+        state = self._start_state(int(encoded[-1]))
         for i in range(len(encoded) - 2, -1, -1):
-            if first >= last:
+            if state is None:
                 return 0, 0
-            c = int(encoded[i])
-            first = int(self._c[c]) + self._rank(c, first)
-            last = int(self._c[c]) + self._rank(c, last)
-        if first >= last:
-            return 0, 0
-        return first, last
+            state = self._step_state(state, int(encoded[i]))
+        return state if state is not None else (0, 0)
+
+    # Backward-search automaton over reversed patterns (half-open rows);
+    # the engine interface consumed by repro.engine.TrieBatchPlanner.
+
+    def _start_state(self, c: int) -> Optional[Tuple[int, int]]:
+        first, last = int(self._c[c]), int(self._c[c + 1])
+        return (first, last) if first < last else None
+
+    def _step_state(self, state: Tuple[int, int], c: int) -> Optional[Tuple[int, int]]:
+        first, last = state
+        first = int(self._c[c]) + self._rank(c, first)
+        last = int(self._c[c]) + self._rank(c, last)
+        return (first, last) if first < last else None
+
+    def start(self, ch: str) -> Optional[Tuple[int, int]]:
+        encoded = self._alphabet.encode_pattern(ch)
+        return None if encoded is None else self._start_state(int(encoded[0]))
+
+    def step(
+        self, state: Tuple[int, int], ch: str
+    ) -> Optional[Tuple[int, int]]:
+        encoded = self._alphabet.encode_pattern(ch)
+        return None if encoded is None else self._step_state(state, int(encoded[0]))
+
+    def count_state(self, state: Optional[Tuple[int, int]]) -> int:
+        return 0 if state is None else state[1] - state[0]
+
+    def capabilities(self) -> AutomatonCapabilities:
+        # One step = two rank evaluations over the virtual L (each a run
+        # lookup + wavelet rank + prefix-sum access).
+        return AutomatonCapabilities(exact=True, rank_ops_per_step=2)
 
     # -- space ---------------------------------------------------------------
 

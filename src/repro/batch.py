@@ -1,21 +1,29 @@
 """Batched counting with shared backward-search work.
 
+.. deprecated::
+    This module is the *compatibility facade* over the engine layer — the
+    protocol, planner and statistics now live in :mod:`repro.engine` (see
+    ``docs/API.md``, section "repro.engine"). :class:`SuffixSharingCounter`
+    remains supported, but new code should use
+    :class:`repro.engine.TrieBatchPlanner` (via
+    :func:`repro.engine.planner_for`) directly. The underscore automaton
+    protocol (``_automaton_start/_automaton_step/_automaton_count``) this
+    module used to consume is deprecated in favour of the typed
+    :class:`repro.engine.BackwardSearchAutomaton` ABC and will be removed.
+
 Every backward-search-style index in this library is a deterministic
 automaton over the *reversed* pattern: the search state after consuming
 ``P[i:]`` depends only on that suffix. Batches of patterns therefore share
 work through common suffixes — e.g. the Figure 9 workload (many patterns
 sampled from one text) repeats suffixes constantly, and the MOL lattice
 probes all ``O(p^2)`` substrings of one pattern, whose suffix sets overlap
-heavily.
-
-:class:`SuffixSharingCounter` wraps an index exposing the internal
-automaton protocol (``_automaton_start/_automaton_step/_automaton_count``)
-and memoises states by pattern suffix. Indexes without the protocol fall
-back to memoising whole patterns only.
+heavily. :class:`SuffixSharingCounter` delegates that sharing to a
+:class:`~repro.engine.planner.TrieBatchPlanner`; indexes without an
+automaton view fall back to memoising whole patterns only.
 
 Counting methods accept an optional cooperative
-:class:`~repro.service.deadline.Deadline`: the backward-search loop checks
-it once per automaton step, so a query over a pathological pattern aborts
+:class:`~repro.service.deadline.Deadline`, checked once per automaton
+extension inside the engine, so a query over a pathological pattern aborts
 with :class:`~repro.errors.DeadlineExceededError` mid-search instead of
 running to completion — the hook the serving layer (:mod:`repro.service`)
 uses to keep tail latency bounded.
@@ -26,6 +34,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
 
 from .core.interface import OccurrenceEstimator
+from .engine import EngineStats, TrieBatchPlanner, automaton_of
 from .errors import InvalidParameterError, PatternError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service uses batch)
@@ -35,60 +44,87 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service uses batch)
 class SuffixSharingCounter:
     """Memoising batch counter over one index.
 
-    The wrapper is unbounded-cache by design (batch scope); create a fresh
-    one per workload, or call :meth:`clear`.
+    Cache-growth contract
+    ---------------------
+    Two caches with different lifetimes back the counter:
+
+    * the **state cache** (pattern suffix → automaton state) is bounded by
+      ``max_states`` via LRU eviction (``None`` = unbounded). Eviction
+      affects only how much work future patterns can reuse — it **never
+      changes an answer** and never drops memoised results;
+    * the **result memo** (pattern → final count) grows with the number of
+      distinct patterns seen and is *unbounded by design*: results are the
+      answers callers asked for. Long-lived callers counting unbounded
+      pattern streams must call :meth:`clear` at workload boundaries (the
+      serving tiers do this per feasibility probe).
+
+    :meth:`clear` drops both caches.
     """
 
     def __init__(self, index: OccurrenceEstimator, max_states: int | None = None):
         if max_states is not None and max_states < 1:
             raise InvalidParameterError("max_states must be positive")
         self._index = index
-        self._max_states = max_states
-        self._has_automaton = all(
-            hasattr(index, name)
-            for name in ("_automaton_start", "_automaton_step", "_automaton_count")
+        automaton = automaton_of(index)
+        self._planner: Optional[TrieBatchPlanner] = (
+            None
+            if automaton is None
+            else TrieBatchPlanner(automaton, max_states=max_states)
         )
-        self._states: Dict[str, Optional[Hashable]] = {}
-        self._results: Dict[str, int] = {}
+        self._fallback_stats = EngineStats()
+        self._fallback_results: Dict[str, int] = {}
 
     @property
     def index(self) -> OccurrenceEstimator:
         """The wrapped index."""
         return self._index
 
+    @property
+    def planner(self) -> Optional[TrieBatchPlanner]:
+        """The engine planner driving this counter (``None`` on the
+        fallback path for indexes without an automaton view)."""
+        return self._planner
+
+    @property
+    def stats(self) -> EngineStats:
+        """Engine work counters accumulated by this counter."""
+        if self._planner is not None:
+            return self._planner.stats
+        return self._fallback_stats
+
+    @property
+    def _states(self) -> Dict[str, Optional[Hashable]]:
+        """The state cache (read-mostly; exposed for tests/diagnostics)."""
+        if self._planner is not None:
+            return self._planner._states
+        return {}
+
+    @property
+    def _results(self) -> Dict[str, Optional[int]]:
+        """The result memo (read-mostly; exposed for tests/diagnostics)."""
+        if self._planner is not None:
+            return self._planner._results
+        return self._fallback_results
+
     def clear(self) -> None:
-        """Drop all memoised state."""
-        self._states.clear()
-        self._results.clear()
+        """Drop all memoised state (both caches; see class docstring)."""
+        if self._planner is not None:
+            self._planner.clear()
+        self._fallback_results.clear()
 
     def count(self, pattern: str, deadline: "Deadline | None" = None) -> int:
         """Same result as ``index.count(pattern)``, with suffix sharing."""
-        if not isinstance(pattern, str) or not pattern:
-            raise PatternError("pattern must be a non-empty string")
-        cached = self._results.get(pattern)
-        if cached is not None:
-            return cached
-        if deadline is not None:
-            deadline.check()
-        # Epoch eviction: batch-scoped caches reset wholesale when the
-        # configured ceiling is reached (keeps memory bounded on streams).
-        if self._max_states is not None and len(self._states) > self._max_states:
-            self._states.clear()
-        if not self._has_automaton:
-            result = self._index.count(pattern)
-        else:
-            state = self._state_of(pattern, deadline)
-            result = self._index._automaton_count(state)  # type: ignore[attr-defined]
-        self._results[pattern] = result
-        return result
+        if self._planner is not None:
+            return self._planner.count(pattern, deadline)
+        return self._fallback_count(pattern, deadline)
 
     def count_many(
         self, patterns: Sequence[str], deadline: "Deadline | None" = None
     ) -> List[int]:
-        """Batch variant; processing longer patterns first maximises reuse."""
-        for pattern in sorted(set(patterns), key=len, reverse=True):
-            self.count(pattern, deadline)
-        return [self._results[p] for p in patterns]
+        """Batch counting: one result per pattern, in order."""
+        if self._planner is not None:
+            return self._planner.count_many(patterns, deadline)
+        return [self._fallback_count(p, deadline) for p in patterns]
 
     def count_or_none(
         self, pattern: str, deadline: "Deadline | None" = None
@@ -96,10 +132,11 @@ class SuffixSharingCounter:
         """Lower-sided view with sharing: ``None`` exactly when the wrapped
         index's ``count_or_none`` would return ``None``.
 
-        Requires the wrapped index to be lower-sided (``count_or_none``)
-        *and* expose the automaton protocol (a dead/None state is precisely
-        the below-threshold outcome for the CPST family).
+        Requires a lower-sided index (a dead/``None`` automaton state is
+        precisely the below-threshold outcome for the CPST family).
         """
+        if self._planner is not None:
+            return self._planner.count_or_none(pattern, deadline)
         if not hasattr(self._index, "count_or_none"):
             raise PatternError(
                 f"{type(self._index).__name__} has no lower-sided interface"
@@ -107,42 +144,23 @@ class SuffixSharingCounter:
         if not isinstance(pattern, str) or not pattern:
             raise PatternError("pattern must be a non-empty string")
         if deadline is not None:
+            self._fallback_stats.deadline_checks += 1
             deadline.check()
-        if not self._has_automaton:
-            return self._index.count_or_none(pattern)  # type: ignore[attr-defined]
-        state = self._state_of(pattern, deadline)
-        if state is None:
-            return None
-        return self._index._automaton_count(state)  # type: ignore[attr-defined]
+        self._fallback_stats.patterns += 1
+        return self._index.count_or_none(pattern)  # type: ignore[attr-defined]
 
-    def _state_of(
-        self, suffix: str, deadline: "Deadline | None" = None
-    ) -> Optional[Hashable]:
-        """Automaton state after consuming ``suffix`` right-to-left,
-        computed iteratively with memoisation on every suffix."""
-        if suffix in self._states:
-            return self._states[suffix]
-        # Find the longest already-known proper suffix.
-        start = len(suffix) - 1
-        while start > 0 and suffix[start:] not in self._states:
-            start -= 1
-        if start == len(suffix) - 1 and suffix[start:] not in self._states:
-            # Not even the last character is known yet.
-            state = self._index._automaton_start(suffix[-1])  # type: ignore[attr-defined]
-            self._states[suffix[-1:]] = state
-        elif suffix[start:] in self._states:
-            state = self._states[suffix[start:]]
-        else:  # pragma: no cover - defensive
-            state = self._index._automaton_start(suffix[-1])  # type: ignore[attr-defined]
-            self._states[suffix[-1:]] = state
-            start = len(suffix) - 1
-        # Extend leftwards, memoising every intermediate suffix. One
-        # cooperative deadline check per automaton step keeps the abort
-        # granularity at a single backward-search extension.
-        for i in range(start - 1, -1, -1):
-            if deadline is not None:
-                deadline.check()
-            if state is not None:
-                state = self._index._automaton_step(state, suffix[i])  # type: ignore[attr-defined]
-            self._states[suffix[i:]] = state
-        return self._states[suffix]
+    def _fallback_count(self, pattern: str, deadline: "Deadline | None") -> int:
+        """Whole-pattern memoisation for indexes without an automaton."""
+        if not isinstance(pattern, str) or not pattern:
+            raise PatternError("pattern must be a non-empty string")
+        self._fallback_stats.patterns += 1
+        cached = self._fallback_results.get(pattern)
+        if cached is not None:
+            self._fallback_stats.result_cache_hits += 1
+            return cached
+        if deadline is not None:
+            self._fallback_stats.deadline_checks += 1
+            deadline.check()
+        result = self._index.count(pattern)
+        self._fallback_results[pattern] = result
+        return result

@@ -3,7 +3,8 @@
 Commands
 --------
 ``count``        build an index over a text file (or builtin corpus) and
-                 count one or more patterns (``--json`` for machine output).
+                 count one or more patterns (``--json`` for machine output,
+                 ``--engine-stats`` for the engine's work counters).
 ``build``        build an index and save it (versioned format, repro.io)
                  with a space report.
 ``query``        load a saved index and count patterns.
@@ -70,17 +71,32 @@ def _build_index(args: argparse.Namespace):
 
 
 def cmd_count(args: argparse.Namespace) -> int:
+    from .engine import planner_for
+
     _, index = _build_index(args)
+    planner = planner_for(index)
+    if planner is not None:
+        counts = dict(zip(args.patterns, planner.count_many(args.patterns)))
+        stats = planner.stats
+    else:
+        counts = {pattern: index.count(pattern) for pattern in args.patterns}
+        stats = None
     if args.json:
         import json
 
-        print(json.dumps(
-            {pattern: index.count(pattern) for pattern in args.patterns},
-            ensure_ascii=False,
-        ))
+        payload: dict = dict(counts)
+        if args.engine_stats:
+            payload = {"counts": dict(counts),
+                       "engine": stats.as_dict() if stats else None}
+        print(json.dumps(payload, ensure_ascii=False))
         return 0
     for pattern in args.patterns:
-        print(f"{pattern!r}: {index.count(pattern)}")
+        print(f"{pattern!r}: {counts[pattern]}")
+    if args.engine_stats:
+        print(
+            "engine: " + (stats.summary() if stats is not None
+                          else "no automaton view (per-pattern counting)")
+        )
     return 0
 
 
@@ -229,6 +245,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_text_arguments(p)
     _add_index_arguments(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--engine-stats",
+        action="store_true",
+        help="report the engine work counters (automaton steps, rank ops, "
+        "cache traffic) for the batch",
+    )
     p.add_argument("patterns", nargs="+")
     p.set_defaults(func=cmd_count)
 

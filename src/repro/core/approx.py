@@ -40,6 +40,7 @@ import numpy as np
 
 from ..bits import IntVector, WaveletMatrix, bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
 from ..errors import InvalidParameterError
 from ..sa import bwt_from_sa, counts_array, suffix_array
 from ..space import SpaceReport
@@ -48,7 +49,7 @@ from ..textutil import Alphabet, Text
 _EMPTY = (0, -1)  # canonical empty inclusive interval
 
 
-class ApproxIndex(OccurrenceEstimator):
+class ApproxIndex(OccurrenceEstimator, BackwardSearchAutomaton):
     """Uniform additive-error index (paper Theorem 5 / Section 4.3).
 
     ``count(P)`` returns a value in ``[Count(P), Count(P) + l - 1]`` using
@@ -183,7 +184,7 @@ class ApproxIndex(OccurrenceEstimator):
         return state if state is not None else _EMPTY
 
     # Backward-search automaton over reversed patterns (inclusive rows);
-    # the protocol consumed by repro.batch.SuffixSharingCounter.
+    # the engine interface consumed by repro.engine.TrieBatchPlanner.
 
     def _start_state(self, c: int) -> Optional[Tuple[int, int]]:
         first = int(self._c[c])
@@ -213,18 +214,23 @@ class ApproxIndex(OccurrenceEstimator):
         last = min(last, hi)
         return (first, last) if first <= last else None
 
-    def _automaton_start(self, ch: str) -> Optional[Tuple[int, int]]:
+    def start(self, ch: str) -> Optional[Tuple[int, int]]:
         encoded = self._alphabet.encode_pattern(ch)
         return None if encoded is None else self._start_state(int(encoded[0]))
 
-    def _automaton_step(
+    def step(
         self, state: Tuple[int, int], ch: str
     ) -> Optional[Tuple[int, int]]:
         encoded = self._alphabet.encode_pattern(ch)
         return None if encoded is None else self._step_state(state, int(encoded[0]))
 
-    def _automaton_count(self, state: Optional[Tuple[int, int]]) -> int:
+    def count_state(self, state: Optional[Tuple[int, int]]) -> int:
         return 0 if state is None else state[1] - state[0] + 1
+
+    def capabilities(self) -> AutomatonCapabilities:
+        # One step = predecessor + successor over D_c: nominally 8
+        # rank/select operations on B (see Lemma 2 machinery below).
+        return AutomatonCapabilities(threshold=self._l, rank_ops_per_step=8)
 
     # -- D_c machinery (paper Lemma 2 / Fact 1) ------------------------------
 

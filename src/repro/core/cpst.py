@@ -35,13 +35,14 @@ import numpy as np
 
 from ..bits import EliasFano, WaveletMatrix, bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
 from ..errors import InvalidParameterError
 from ..space import SpaceReport
 from ..suffixtree.pruned import PrunedSuffixTreeStructure
 from ..textutil import Alphabet, Text
 
 
-class CompactPrunedSuffixTree(OccurrenceEstimator):
+class CompactPrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
     """Lower-sided-error index (paper Theorem 8 / Figure 6)."""
 
     error_model = ErrorModel.LOWER_SIDED
@@ -137,7 +138,7 @@ class CompactPrunedSuffixTree(OccurrenceEstimator):
         return state
 
     # Backward-search automaton over reversed patterns (node id ranges);
-    # the protocol consumed by repro.batch.SuffixSharingCounter.
+    # the engine interface consumed by repro.engine.TrieBatchPlanner.
 
     def _start_state(self, c: int) -> Optional[Tuple[int, int]]:
         u = int(self._c[c]) + 1
@@ -152,18 +153,25 @@ class CompactPrunedSuffixTree(OccurrenceEstimator):
             return None  # VISL undefined: Count(P[i..]) < l
         return int(self._c[c]) + c_u + 1, int(self._c[c]) + c_z
 
-    def _automaton_start(self, ch: str) -> Optional[Tuple[int, int]]:
+    def start(self, ch: str) -> Optional[Tuple[int, int]]:
         encoded = self._alphabet.encode_pattern(ch)
         return None if encoded is None else self._start_state(int(encoded[0]))
 
-    def _automaton_step(
+    def step(
         self, state: Tuple[int, int], ch: str
     ) -> Optional[Tuple[int, int]]:
         encoded = self._alphabet.encode_pattern(ch)
         return None if encoded is None else self._step_state(state, int(encoded[0]))
 
-    def _automaton_count(self, state: Optional[Tuple[int, int]]) -> int:
+    def count_state(self, state: Optional[Tuple[int, int]]) -> int:
         return 0 if state is None else self._cnt(state[0], state[1])
+
+    def capabilities(self) -> AutomatonCapabilities:
+        # One virtual-ISL step = two _links_before evaluations, each one
+        # select plus one rank on S (Theorem 9): 4 operations.
+        return AutomatonCapabilities(
+            lower_sided=True, threshold=self._l, rank_ops_per_step=4
+        )
 
     def _links_before(self, c: int, k: int) -> int:
         """Number of inverse suffix links for ``c`` in nodes ``[0, k)``

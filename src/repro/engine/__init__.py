@@ -1,0 +1,32 @@
+"""The backward-search engine: the library's central execution layer.
+
+Every index that counts by scanning the pattern right-to-left implements
+one shared abstraction — :class:`BackwardSearchAutomaton` — and every
+consumer (the batch API, the serving tiers, the selectivity estimators)
+drives it through one shared executor — :class:`TrieBatchPlanner` — so
+suffix sharing, LRU state budgeting, cooperative deadlines and work
+accounting (:class:`EngineStats`) live in exactly one code path.
+
+Resolve an arbitrary index to its automaton with :func:`automaton_of`
+(``None`` for indexes without one), or get a ready planner with
+:func:`planner_for`.
+"""
+
+from .automaton import (
+    AutomatonCapabilities,
+    BackwardSearchAutomaton,
+    LegacyProtocolAutomaton,
+    automaton_of,
+)
+from .planner import TrieBatchPlanner, planner_for
+from .stats import EngineStats
+
+__all__ = [
+    "AutomatonCapabilities",
+    "BackwardSearchAutomaton",
+    "EngineStats",
+    "LegacyProtocolAutomaton",
+    "TrieBatchPlanner",
+    "automaton_of",
+    "planner_for",
+]

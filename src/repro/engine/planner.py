@@ -1,0 +1,219 @@
+"""Trie-planned batch execution of backward-search automata.
+
+Because an automaton state depends only on the pattern *suffix* consumed
+so far, a workload of patterns is really a **trie of reversed patterns**:
+two patterns sharing a suffix share a trie path, and each trie edge costs
+exactly one automaton step. :class:`TrieBatchPlanner` materialises that
+observation without building a trie: it sorts the distinct patterns by
+reversed string — which makes shared suffixes adjacent — and walks the
+virtual trie once with an explicit path stack, so every shared edge is
+stepped exactly once per batch.
+
+Two caches back the walk, with deliberately different lifetimes:
+
+* a **state cache** (suffix → automaton state) bounded by an LRU budget
+  (``max_states``): cross-batch reuse without unbounded growth;
+* a **result memo** (pattern → final value), *unbounded by design*:
+  results are the answers callers asked for, and evicting states must
+  never change answers, so the two are managed independently. Call
+  :meth:`clear` per workload to reset both.
+
+The planner owns the engine's single deadline code path: one cooperative
+:meth:`~repro.service.deadline.Deadline.check` per extension, so the
+serving layer, the selectivity estimators and ad-hoc batch callers all
+inherit the same tail-latency bound. Every unit of work is counted in an
+:class:`~repro.engine.stats.EngineStats` instance (:attr:`stats`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
+
+from ..errors import DeadlineExceededError, InvalidParameterError, PatternError
+from .automaton import BackwardSearchAutomaton
+from .stats import EngineStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (service imports engine)
+    from ..service.deadline import Deadline
+
+
+class TrieBatchPlanner:
+    """Shared-work executor for one :class:`BackwardSearchAutomaton`.
+
+    ``max_states`` bounds the state cache (LRU); ``None`` means unbounded.
+    ``stats`` lets callers share one counter across planners; by default
+    each planner owns a fresh :class:`EngineStats`.
+    """
+
+    def __init__(
+        self,
+        automaton: BackwardSearchAutomaton,
+        *,
+        max_states: Optional[int] = 4096,
+        stats: Optional[EngineStats] = None,
+    ):
+        if not isinstance(automaton, BackwardSearchAutomaton):
+            raise InvalidParameterError(
+                f"TrieBatchPlanner needs a BackwardSearchAutomaton, "
+                f"got {type(automaton).__name__}"
+            )
+        if max_states is not None and max_states < 1:
+            raise InvalidParameterError("max_states must be positive")
+        self._automaton = automaton
+        self._caps = automaton.capabilities()
+        self._max_states = max_states
+        #: suffix string -> automaton state (None = dead), LRU order.
+        self._states: "OrderedDict[str, Optional[Hashable]]" = OrderedDict()
+        #: pattern -> finalised value (None = dead state); never evicted.
+        self._results: Dict[str, Optional[int]] = {}
+        self.stats = stats if stats is not None else EngineStats()
+
+    @property
+    def automaton(self) -> BackwardSearchAutomaton:
+        """The automaton this planner drives."""
+        return self._automaton
+
+    @property
+    def capabilities(self):
+        """The automaton's :class:`AutomatonCapabilities` descriptor."""
+        return self._caps
+
+    def clear(self) -> None:
+        """Drop both caches (states *and* memoised results)."""
+        self._states.clear()
+        self._results.clear()
+
+    def clear_states(self) -> None:
+        """Drop only the state cache; memoised results survive."""
+        self._states.clear()
+
+    # -- public counting surface --------------------------------------------
+
+    def count(self, pattern: str, deadline: "Deadline | None" = None) -> int:
+        """Same value as the index's ``count(pattern)``, with sharing."""
+        value = self._values_many([pattern], deadline)[0]
+        return 0 if value is None else value
+
+    def count_many(
+        self, patterns: Sequence[str], deadline: "Deadline | None" = None
+    ) -> List[int]:
+        """Batch counting: one result per pattern, in order."""
+        return [
+            0 if value is None else value
+            for value in self._values_many(patterns, deadline)
+        ]
+
+    def count_or_none(
+        self, pattern: str, deadline: "Deadline | None" = None
+    ) -> Optional[int]:
+        """Certified count or ``None``; lower-sided automata only."""
+        return self._require_lower_sided()._values_many([pattern], deadline)[0]
+
+    def count_or_none_many(
+        self, patterns: Sequence[str], deadline: "Deadline | None" = None
+    ) -> List[Optional[int]]:
+        """Batch variant of :meth:`count_or_none`."""
+        return self._require_lower_sided()._values_many(patterns, deadline)
+
+    def _require_lower_sided(self) -> "TrieBatchPlanner":
+        if not self._caps.lower_sided:
+            raise PatternError(
+                f"{type(self._automaton).__name__} has no lower-sided interface"
+            )
+        return self
+
+    # -- the trie walk -------------------------------------------------------
+
+    def _values_many(
+        self, patterns: Sequence[str], deadline: "Deadline | None"
+    ) -> List[Optional[int]]:
+        for pattern in patterns:
+            if not isinstance(pattern, str) or not pattern:
+                raise PatternError("pattern must be a non-empty string")
+        # Reverse-lexicographic order puts shared suffixes on adjacent
+        # patterns, so the virtual trie is walked in one depth-first pass.
+        distinct = sorted(set(patterns), key=lambda p: p[::-1])
+        stack: List[Optional[Hashable]] = []  # states along the current path
+        stack_rev = ""  # reversed prefix the stack currently spells
+        for pattern in distinct:
+            self.stats.patterns += 1
+            if pattern in self._results:
+                self.stats.result_cache_hits += 1
+                continue
+            rev = pattern[::-1]
+            depth = _common_prefix_length(rev, stack_rev)
+            del stack[depth:]
+            # Prefer deeper states remembered from earlier batches.
+            while depth < len(rev):
+                cached = self._lookup_state(pattern[len(pattern) - depth - 1 :])
+                if cached is _MISS:
+                    break
+                stack.append(cached)
+                depth += 1
+            state = stack[-1] if stack else None
+            for d in range(depth, len(rev)):
+                if deadline is not None:
+                    self.stats.deadline_checks += 1
+                    try:
+                        deadline.check()
+                    except DeadlineExceededError:
+                        self.stats.deadline_aborts += 1
+                        raise
+                if d == 0:
+                    state = self._automaton.start(rev[0])
+                    self.stats.automaton_starts += 1
+                    self.stats.rank_calls += self._caps.rank_ops_per_step
+                elif state is not None:
+                    state = self._automaton.step(state, rev[d])
+                    self.stats.automaton_steps += 1
+                    self.stats.rank_calls += self._caps.rank_ops_per_step
+                # else: dead state propagates for free.
+                stack.append(state)
+                self._remember_state(pattern[len(pattern) - d - 1 :], state)
+            stack_rev = rev
+            self._results[pattern] = (
+                None if state is None else self._automaton.count_state(state)
+            )
+        return [self._results[pattern] for pattern in patterns]
+
+    def _lookup_state(self, suffix: str):
+        states = self._states
+        if suffix in states:
+            states.move_to_end(suffix)
+            self.stats.state_cache_hits += 1
+            return states[suffix]
+        self.stats.state_cache_misses += 1
+        return _MISS
+
+    def _remember_state(self, suffix: str, state: Optional[Hashable]) -> None:
+        states = self._states
+        if suffix in states:
+            states.move_to_end(suffix)
+        states[suffix] = state
+        if self._max_states is not None:
+            while len(states) > self._max_states:
+                states.popitem(last=False)
+                self.stats.state_cache_evictions += 1
+
+
+#: Cache-miss sentinel (``None`` is a valid — dead — cached state).
+_MISS = object()
+
+
+def _common_prefix_length(a: str, b: str) -> int:
+    limit = min(len(a), len(b))
+    k = 0
+    while k < limit and a[k] == b[k]:
+        k += 1
+    return k
+
+
+def planner_for(index, **kwargs) -> Optional[TrieBatchPlanner]:
+    """A planner for ``index``'s automaton, or ``None`` if it has none."""
+    from .automaton import automaton_of
+
+    automaton = automaton_of(index)
+    if automaton is None:
+        return None
+    return TrieBatchPlanner(automaton, **kwargs)

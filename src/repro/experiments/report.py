@@ -26,6 +26,7 @@ _SECTION_TITLES = {
     "errordist": "X6 — APX error distribution",
     "estimators": "X7 — selectivity estimator comparison",
     "budget": "X8 — space budget trade-off",
+    "engine": "X9 — engine trie-planned batching",
 }
 
 
@@ -38,7 +39,7 @@ def generate(
     preferred_order = [
         "corpora", "figure7", "figure8", "figure9",
         "errorbounds", "ablation", "scaling", "errordist",
-        "estimators", "budget",
+        "estimators", "budget", "engine",
     ]
     default = [name for name in preferred_order if name in EXPERIMENTS]
     default += [name for name in sorted(EXPERIMENTS) if name not in default]

@@ -14,6 +14,7 @@ from . import (
     ablation,
     budget,
     corpora,
+    engine,
     errorbounds,
     errordist,
     estimators,
@@ -92,6 +93,12 @@ def run_budget(size: int, seed: int) -> str:
     return budget.format_results(rows) + "\n" + _render_checks(checks)
 
 
+def run_engine(size: int, seed: int) -> str:
+    rows = engine.run(size=min(size, 30_000), seed=seed)
+    checks = engine.headline_checks(rows)
+    return engine.format_results(rows) + "\n" + _render_checks(checks)
+
+
 def run_errordist(size: int, seed: int) -> str:
     rows = errordist.run(size=min(size, 30_000), seed=seed)
     status = "PASS" if errordist.all_within_bound(rows) else "FAIL"
@@ -109,6 +116,7 @@ EXPERIMENTS: Dict[str, Callable[[int, int], str]] = {
     "errordist": run_errordist,
     "estimators": run_estimators,
     "budget": run_budget,
+    "engine": run_engine,
 }
 
 

@@ -16,9 +16,13 @@ modelling choice the paper leaves to the estimation layer.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Optional, Protocol, runtime_checkable
 
+from ..engine import EngineStats, TrieBatchPlanner, automaton_of
 from ..errors import InvalidParameterError, PatternError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.deadline import Deadline
 
 
 @runtime_checkable
@@ -61,9 +65,23 @@ class CountOracle:
     """
 
     def __init__(self, index):
-        if not hasattr(index, "count_or_none"):
+        # Estimator workloads hammer overlapping substrings of each
+        # pattern; when the index has a backward-search automaton view
+        # (repro.engine), probe it through one trie planner so the O(p^2)
+        # lattice fragments share their suffix work.
+        automaton = automaton_of(index)
+        capabilities = automaton.capabilities() if automaton is not None else None
+        self._planner: Optional[TrieBatchPlanner] = None
+        self._exact = False
+        if capabilities is not None and (
+            capabilities.exact or capabilities.lower_sided
+        ):
+            self._planner = TrieBatchPlanner(automaton)
+            self._exact = capabilities.exact
+        elif not hasattr(index, "count_or_none"):
             if hasattr(index, "count"):
                 index = _ExactAdapter(index)
+                self._exact = True
             else:
                 raise InvalidParameterError(
                     "selectivity estimation requires an index with "
@@ -71,37 +89,59 @@ class CountOracle:
                 )
         self._index = index
         self._cache: dict[str, Optional[int]] = {}
-        # When the index exposes the backward-search automaton protocol
-        # (CPST family), probe through a suffix-sharing counter: estimator
-        # workloads hammer overlapping substrings of each pattern.
-        self._shared = None
-        if all(
-            hasattr(index, name)
-            for name in ("_automaton_start", "_automaton_step", "_automaton_count")
-        ):
-            from ..batch import SuffixSharingCounter
-
-            self._shared = SuffixSharingCounter(index)
 
     @property
     def threshold(self) -> int:
-        return self._index.threshold
+        return 1 if self._exact else self._index.threshold
 
     @property
     def text_length(self) -> int:
         return self._index.text_length
 
-    def known(self, fragment: str) -> Optional[int]:
+    @property
+    def stats(self) -> EngineStats:
+        """Engine work counters for the probes issued through this oracle
+        (all zeros on the non-automaton fallback path)."""
+        if self._planner is not None:
+            return self._planner.stats
+        return EngineStats()
+
+    def known(
+        self, fragment: str, deadline: "Deadline | None" = None
+    ) -> Optional[int]:
         """Exact count of ``fragment`` when certified, else ``None``."""
+        if self._planner is not None:
+            if self._exact:
+                return self._planner.count(fragment, deadline)
+            return self._planner.count_or_none(fragment, deadline)
         cached = self._cache.get(fragment)
         if fragment in self._cache:
             return cached
-        if self._shared is not None:
-            result = self._shared.count_or_none(fragment)
-        else:
-            result = self._index.count_or_none(fragment)
+        result = self._index.count_or_none(fragment)
         self._cache[fragment] = result
         return result
+
+    def prime(
+        self, fragments: Iterable[str], deadline: "Deadline | None" = None
+    ) -> None:
+        """Warm the oracle with a batch of fragments in one planner pass.
+
+        The route-lattice estimators (KVI/MO/MOL) know most of their probe
+        set up front; priming it lets the trie planner order the fragments
+        for maximal suffix sharing instead of answering them in estimation
+        order.
+        """
+        fragments = [f for f in fragments if isinstance(f, str) and f]
+        if not fragments:
+            return
+        if self._planner is not None:
+            if self._exact:
+                self._planner.count_many(fragments, deadline)
+            else:
+                self._planner.count_or_none_many(fragments, deadline)
+            return
+        for fragment in fragments:
+            self.known(fragment, deadline)
 
     def longest_known(self, pattern: str, start: int) -> int:
         """Length of the longest known fragment ``pattern[start:start+len]``

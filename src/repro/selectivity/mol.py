@@ -31,6 +31,12 @@ class MOLEstimator(SelectivityEstimator):
 
     def _estimate_probability(self, pattern: str) -> float:
         p = len(pattern)
+        # Prime the oracle with the whole O(p^2) lattice up front: the
+        # fragments overlap heavily, and the engine's trie planner answers
+        # them in shared-suffix order rather than estimation order.
+        self._oracle.prime(
+            pattern[i:j] for i in range(p) for j in range(i + 1, p + 1)
+        )
         probability: Dict[_Span, float] = {}
         # Bottom-up by substring length; length-0 spans act as Pr = 1
         # (the overlap of two adjacent characters is empty).

@@ -13,10 +13,31 @@ run is reproducible:
 * **corrupted answers** — replace a count with an out-of-range value
   (negative, or beyond ``n``), exercising the ladder's feasibility check.
 
-Call sites are named: ``count``, ``count_or_none``, ``count_many``, and —
-when the wrapped index exposes the backward-search automaton protocol —
-``automaton_start`` / ``automaton_step`` / ``automaton_count``, so faults
-can fire *mid-search*, not just at the call boundary.
+Call sites are named (see :data:`SITES`); each maps onto one operation of
+the wrapped index or of its engine automaton view
+(:func:`repro.engine.automaton_of`):
+
+==================== ====================================================
+site                 instrumented operation
+==================== ====================================================
+``count``            ``index.count(pattern)``
+``count_or_none``    ``index.count_or_none(pattern)`` (lower-sided only)
+``count_many``       ``index.count_many(patterns)`` (fires per batch,
+                     then per-pattern via ``count``)
+``automaton_start``  ``BackwardSearchAutomaton.start(ch)``
+``automaton_step``   ``BackwardSearchAutomaton.step(state, ch)``
+``automaton_count``  ``BackwardSearchAutomaton.count_state(state)``
+                     (corruptible: the one automaton site returning a
+                     count)
+==================== ====================================================
+
+The three ``automaton_*`` sites fire *mid-search* — the engine's
+:class:`~repro.engine.planner.TrieBatchPlanner` drives the wrapped
+automaton one extension at a time — not just at the call boundary.
+:class:`FaultyIndex` supplies its instrumented automaton through the
+``__engine_automaton__`` hook, so every engine consumer (batch API,
+serving tiers, selectivity oracles) sees the faults without any
+feature-probing of the wrapper.
 """
 
 from __future__ import annotations
@@ -27,6 +48,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
 
+from ..engine import AutomatonCapabilities, BackwardSearchAutomaton, automaton_of
 from ..errors import InvalidParameterError, ReproError
 
 #: All call sites :class:`FaultyIndex` can instrument.
@@ -94,24 +116,17 @@ class FaultyIndex:
         self._rng = random.Random(seed)
         self._sleep = sleep
         self.injections: Counter = Counter()
-        # The automaton protocol must only *appear* present when the inner
-        # index has it (SuffixSharingCounter feature-detects via hasattr),
-        # so the wrappers are bound as instance attributes conditionally.
-        if all(
-            hasattr(inner, name)
-            for name in ("_automaton_start", "_automaton_step", "_automaton_count")
-        ):
-            self._automaton_start = self._wrap_automaton(
-                "automaton_start", inner._automaton_start
-            )
-            self._automaton_step = self._wrap_automaton(
-                "automaton_step", inner._automaton_step
-            )
-            self._automaton_count = self._wrap_automaton(
-                "automaton_count", inner._automaton_count, corruptible=True
-            )
         if hasattr(inner, "count_or_none"):
             self.count_or_none = self._wrap_count_or_none
+
+    def __engine_automaton__(self) -> Optional[BackwardSearchAutomaton]:
+        """Engine hook: the inner automaton instrumented with the
+        ``automaton_*`` fault sites, or ``None`` when the inner index has
+        no automaton view (engine consumers then fall back to ``count``)."""
+        inner = automaton_of(self._inner)
+        if inner is None:
+            return None
+        return _FaultyAutomaton(self, inner)
 
     @classmethod
     def failing(cls, inner, rate: float = 1.0, *, seed: int = 0) -> "FaultyIndex":
@@ -151,16 +166,6 @@ class FaultyIndex:
 
     # -- fault machinery ----------------------------------------------------
 
-    def _wrap_automaton(self, site: str, method, corruptible: bool = False):
-        def wrapper(*args: Hashable):
-            self._roll(site)
-            value = method(*args)
-            if corruptible and isinstance(value, int):
-                return self._maybe_corrupt(site, value, None)
-            return value
-
-        return wrapper
-
     def _roll(self, site: str) -> None:
         spec = self._specs.get(site)
         if spec is None:
@@ -186,3 +191,32 @@ class FaultyIndex:
         if self._rng.random() < 0.5:
             return n + 1 + self._rng.randrange(1000)
         return -1 - self._rng.randrange(1000)
+
+
+class _FaultyAutomaton(BackwardSearchAutomaton):
+    """The automaton view of a :class:`FaultyIndex`: delegates to the inner
+    index's automaton with one fault roll per operation (the mid-search
+    ``automaton_*`` sites). Only ``count_state`` returns a count, so it is
+    the only corruptible automaton site."""
+
+    def __init__(self, owner: FaultyIndex, inner: BackwardSearchAutomaton):
+        self._owner = owner
+        self._inner = inner
+
+    def start(self, ch: str) -> Optional[Hashable]:
+        self._owner._roll("automaton_start")
+        return self._inner.start(ch)
+
+    def step(self, state: Hashable, ch: str) -> Optional[Hashable]:
+        self._owner._roll("automaton_step")
+        return self._inner.step(state, ch)
+
+    def count_state(self, state: Optional[Hashable]) -> int:
+        self._owner._roll("automaton_count")
+        value = self._inner.count_state(state)
+        if isinstance(value, int):
+            return self._owner._maybe_corrupt("automaton_count", value, None)
+        return value
+
+    def capabilities(self) -> AutomatonCapabilities:
+        return self._inner.capabilities()

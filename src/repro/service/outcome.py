@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from ..core.interface import ErrorModel
+from ..engine import EngineStats
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,11 @@ class QueryOutcome:
     attempts: int
     #: ``(tier_name, reason)`` for every failed or skipped attempt.
     failures: Tuple[Tuple[str, str], ...] = field(default=())
+    #: Engine work this query cost across *all* attempted tiers (automaton
+    #: steps, rank operations, cache traffic, deadline checks) — the
+    #: per-query delta of each tier's counters, not lifetime totals.
+    #: ``None`` when served by a pre-engine caller that did not measure.
+    engine: Optional[EngineStats] = None
 
     @property
     def degraded(self) -> bool:
@@ -70,8 +76,14 @@ class QueryOutcome:
     def summary(self) -> str:
         """One-line operator-facing description."""
         tag = "degraded" if self.degraded else "primary"
+        work = ""
+        if self.engine is not None:
+            work = (
+                f", {self.engine.automaton_steps} steps"
+                f"/{self.engine.rank_calls} rank ops"
+            )
         return (
             f"{self.pattern!r}: {self.count} via {self.tier} "
             f"[{self.error_model.value}, l={self.threshold}, {tag}] "
-            f"in {self.elapsed * 1000:.2f}ms, {self.attempts} attempt(s)"
+            f"in {self.elapsed * 1000:.2f}ms, {self.attempts} attempt(s){work}"
         )

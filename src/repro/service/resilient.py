@@ -24,6 +24,7 @@ import time
 from typing import Callable, List, Optional, Sequence, Union
 
 from ..core.interface import OccurrenceEstimator
+from ..engine import EngineStats
 from ..errors import (
     AllTiersFailedError,
     DeadlineExceededError,
@@ -102,6 +103,9 @@ class ResilientEstimator:
         failures: List[tuple] = []
         attempts = 0
         out_of_time = False
+        # Engine work this query costs, summed over every attempted tier
+        # (snapshot/delta against each tier's lifetime counters).
+        engine_total = EngineStats()
 
         for index, tier in enumerate(self._tiers):
             if (out_of_time or budget.expired()) and not tier.always_available:
@@ -116,22 +120,26 @@ class ResilientEstimator:
             while True:
                 attempt += 1
                 attempts += 1
+                before = tier.engine_stats.copy()
                 try:
                     effective = None if tier.always_available else budget
                     count, model, threshold, reliable = tier.answer(
                         pattern, effective
                     )
                 except TierDeclined:
+                    engine_total.merge(tier.engine_stats - before)
                     # A certified-only tier saying "I don't know" is healthy.
                     tier.breaker.record_success()
                     failures.append((tier.name, "declined: cannot certify"))
                     break
                 except DeadlineExceededError as exc:
+                    engine_total.merge(tier.engine_stats - before)
                     tier.breaker.record_failure()
                     failures.append((tier.name, str(exc)))
                     out_of_time = True
                     break
                 except Exception as exc:  # noqa: BLE001 - ladder boundary
+                    engine_total.merge(tier.engine_stats - before)
                     tier.breaker.record_failure()
                     failures.append((tier.name, f"{type(exc).__name__}: {exc}"))
                     if not self._retry.should_retry(attempt, exc):
@@ -145,6 +153,7 @@ class ResilientEstimator:
                     if backoff > 0:
                         self._sleep(backoff)
                 else:
+                    engine_total.merge(tier.engine_stats - before)
                     tier.breaker.record_success()
                     return QueryOutcome(
                         pattern=pattern,
@@ -157,6 +166,7 @@ class ResilientEstimator:
                         elapsed=self._clock() - started,
                         attempts=attempts,
                         failures=tuple(failures),
+                        engine=engine_total,
                     )
         raise AllTiersFailedError(pattern, failures)
 

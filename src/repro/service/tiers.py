@@ -114,6 +114,13 @@ class Tier:
         self.breaker = breaker
         self._counter = SuffixSharingCounter(estimator, max_states=max_states)
 
+    @property
+    def engine_stats(self):
+        """Lifetime :class:`~repro.engine.stats.EngineStats` of this tier's
+        counter (the serving layer snapshots it around each attempt to
+        report per-query work in the outcome)."""
+        return self._counter.stats
+
     def answer(
         self, pattern: str, deadline: Optional[Deadline] = None
     ) -> Tuple[int, ErrorModel, int, bool]:

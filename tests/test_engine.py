@@ -1,0 +1,242 @@
+"""Engine layer: automaton adapters, trie planner, stats, deadlines.
+
+The differential core: for every automaton-capable index, the engine's
+trie-planned ``count_many`` must return exactly what sequential
+``count`` calls return — the planner is an execution strategy, never an
+approximation. On top of that: ``automaton_of`` resolution order,
+capability descriptors, the LRU state-cache bound (eviction never drops
+memoised results), and deadline aborts mid-batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ApproxIndex,
+    CompactPrunedSuffixTree,
+    FMIndex,
+    PrunedSuffixTree,
+    QGramIndex,
+    RLFMIndex,
+)
+from repro.engine import (
+    AutomatonCapabilities,
+    BackwardSearchAutomaton,
+    EngineStats,
+    LegacyProtocolAutomaton,
+    TrieBatchPlanner,
+    automaton_of,
+    planner_for,
+)
+from repro.errors import DeadlineExceededError, PatternError
+from repro.datasets import generate
+from repro.service import Deadline, ManualClock
+from repro.textutil import Text, mixed_workload
+
+SIZE = 3_000
+THRESHOLD = 8
+
+BUILDERS = {
+    "fm": lambda text: FMIndex(text),
+    "rlfm": lambda text: RLFMIndex(text),
+    "apx": lambda text: ApproxIndex(text, THRESHOLD),
+    "cpst": lambda text: CompactPrunedSuffixTree(text, THRESHOLD),
+    "pst": lambda text: PrunedSuffixTree(text, THRESHOLD),
+}
+
+
+@pytest.fixture(scope="module", params=["dna", "english", "dblp"])
+def corpus(request):
+    text = Text(generate(request.param, SIZE, seed=3))
+    workload = mixed_workload(
+        text, lengths=(1, 2, 4, 8, 12), per_length=10, seed=4
+    )
+    return request.param, text, list(workload)
+
+
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+def test_planned_equals_sequential(corpus, kind):
+    """The differential contract: planner batches == per-pattern counts."""
+    name, text, workload = corpus
+    index = BUILDERS[kind](text)
+    sequential = [index.count(p) for p in workload]
+    planner = planner_for(index)
+    assert planner is not None, (name, kind)
+    assert planner.count_many(workload) == sequential, (name, kind)
+    # Re-asking is served from the result memo, still identical.
+    assert planner.count_many(list(reversed(workload))) == sequential[::-1]
+
+
+@pytest.mark.parametrize("kind", ["cpst", "pst"])
+def test_planned_count_or_none_matches(corpus, kind):
+    """Lower-sided batches mirror count_or_none exactly (None included)."""
+    name, text, workload = corpus
+    index = BUILDERS[kind](text)
+    planner = planner_for(index)
+    expected = [index.count_or_none(p) for p in workload]
+    assert planner.count_or_none_many(workload) == expected, (name, kind)
+
+
+def test_count_or_none_requires_lower_sided(corpus):
+    _, text, _ = corpus
+    planner = planner_for(FMIndex(text))
+    with pytest.raises(PatternError, match="lower-sided"):
+        planner.count_or_none("a")
+
+
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+def test_interface_count_many_routes_through_planner(corpus, kind):
+    name, text, workload = corpus
+    index = BUILDERS[kind](text)
+    assert index.count_many(workload) == [index.count(p) for p in workload]
+
+
+def test_lru_eviction_keeps_results_correct(corpus):
+    """A tiny state budget forces evictions; answers must not change and
+    memoised results must survive (the cache-growth contract)."""
+    name, text, workload = corpus
+    index = FMIndex(text)
+    planner = TrieBatchPlanner(automaton_of(index), max_states=4)
+    expected = [index.count(p) for p in workload]
+    assert planner.count_many(workload) == expected, name
+    assert planner.stats.state_cache_evictions > 0
+    # Everything is memoised: a second pass does zero automaton work.
+    before = planner.stats.copy()
+    assert planner.count_many(workload) == expected
+    delta = planner.stats - before
+    assert delta.automaton_starts == 0 and delta.automaton_steps == 0
+    assert delta.result_cache_hits == len(workload)
+
+
+def test_shared_suffixes_reduce_extensions(corpus):
+    """The acceptance-criterion shape: trie-planned batching performs
+    strictly fewer extensions than isolated counting on an overlapping
+    workload."""
+    _, text, _ = corpus
+    index = FMIndex(text)
+    base = text.raw[100:112]
+    patterns = [base[i:] for i in range(len(base))]  # shared suffixes
+    naive = EngineStats()
+    for p in patterns:
+        TrieBatchPlanner(automaton_of(index), stats=naive).count(p)
+    planner = TrieBatchPlanner(automaton_of(index))
+    assert planner.count_many(patterns) == [index.count(p) for p in patterns]
+    planned = planner.stats
+    assert (
+        planned.automaton_starts + planned.automaton_steps
+        < naive.automaton_starts + naive.automaton_steps
+    )
+
+
+def test_deadline_abort_and_recovery(corpus):
+    """An expired deadline aborts mid-batch (counted in the stats); a
+    fresh call without a deadline completes and memoises normally."""
+    _, text, workload = corpus
+    index = FMIndex(text)
+    planner = planner_for(index)
+    clock = ManualClock()
+    deadline = Deadline(1.0, clock)
+    clock.advance(2.0)  # already expired: first per-extension check trips
+    with pytest.raises(DeadlineExceededError):
+        planner.count_many(workload, deadline=deadline)
+    assert planner.stats.deadline_aborts == 1
+    assert planner.stats.deadline_checks >= 1
+    # The batch is retryable: no poisoned partial answers.
+    assert planner.count_many(workload) == [index.count(p) for p in workload]
+
+
+def test_live_deadline_is_checked_but_harmless(corpus):
+    _, text, workload = corpus
+    planner = planner_for(FMIndex(text))
+    clock = ManualClock()
+    results = planner.count_many(workload, deadline=Deadline(60.0, clock))
+    assert results == [BUILDERS["fm"](text).count(p) for p in workload]
+    assert planner.stats.deadline_checks > 0
+    assert planner.stats.deadline_aborts == 0
+
+
+# --- automaton_of resolution -------------------------------------------------
+
+
+def test_automaton_of_prefers_isinstance(corpus):
+    _, text, _ = corpus
+    index = FMIndex(text)
+    assert automaton_of(index) is index  # the index IS its automaton
+
+
+def test_automaton_of_hook_wins_over_isinstance(corpus):
+    _, text, _ = corpus
+    inner = FMIndex(text)
+
+    class Wrapper:
+        def __engine_automaton__(self):
+            return automaton_of(inner)
+
+    assert automaton_of(Wrapper()) is inner
+
+
+def test_automaton_of_legacy_protocol_shim(corpus):
+    _, text, _ = corpus
+    inner = FMIndex(text)
+
+    class LegacyIndex:
+        """Only speaks the deprecated underscore protocol."""
+
+        def _automaton_start(self, ch):
+            return inner.start(ch)
+
+        def _automaton_step(self, state, ch):
+            return inner.step(state, ch)
+
+        def _automaton_count(self, state):
+            return inner.count_state(state)
+
+    shim = automaton_of(LegacyIndex())
+    assert isinstance(shim, LegacyProtocolAutomaton)
+    planner = TrieBatchPlanner(shim)
+    assert planner.count("the") == inner.count("the")
+
+
+def test_automaton_of_none_without_view(corpus):
+    _, text, _ = corpus
+    assert automaton_of(QGramIndex(text, q=4)) is None
+    assert planner_for(QGramIndex(text, q=4)) is None
+    assert automaton_of(object()) is None
+
+
+def test_deprecated_underscore_aliases_still_work(corpus):
+    """The ABC keeps `_automaton_*` aliases during the deprecation window."""
+    _, text, _ = corpus
+    index = FMIndex(text)
+    state = index._automaton_start("t")
+    state = index._automaton_step(state, "h")  # prepends: state now = "ht"
+    assert index._automaton_count(state) == index.count("ht")
+
+
+# --- capabilities ------------------------------------------------------------
+
+
+def test_capabilities_descriptors(corpus):
+    _, text, _ = corpus
+    caps = {
+        kind: automaton_of(BUILDERS[kind](text)).capabilities()
+        for kind in BUILDERS
+    }
+    assert caps["fm"] == AutomatonCapabilities(exact=True, rank_ops_per_step=2)
+    assert caps["rlfm"].exact and caps["rlfm"].rank_ops_per_step == 2
+    assert not caps["apx"].exact and caps["apx"].threshold == THRESHOLD
+    assert caps["cpst"].lower_sided and caps["cpst"].threshold == THRESHOLD
+    assert caps["pst"].lower_sided and caps["pst"].rank_ops_per_step == 0
+
+
+def test_rank_calls_follow_capabilities(corpus):
+    _, text, workload = corpus
+    for kind in ("fm", "apx", "cpst"):
+        index = BUILDERS[kind](text)
+        planner = planner_for(index)
+        planner.count_many(workload)
+        stats = planner.stats
+        per_step = planner.capabilities.rank_ops_per_step
+        extensions = stats.automaton_starts + stats.automaton_steps
+        assert stats.rank_calls == extensions * per_step, kind
