@@ -31,6 +31,7 @@ uses to keep tail latency bounded.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
 
 from .core.interface import OccurrenceEstimator
@@ -73,6 +74,9 @@ class SuffixSharingCounter:
         )
         self._fallback_stats = EngineStats()
         self._fallback_results: Dict[str, int] = {}
+        # The planner path serialises on the planner's own lock; this lock
+        # gives the whole-pattern fallback path the same guarantee.
+        self._fallback_lock = threading.RLock()
 
     @property
     def index(self) -> OccurrenceEstimator:
@@ -110,7 +114,8 @@ class SuffixSharingCounter:
         """Drop all memoised state (both caches; see class docstring)."""
         if self._planner is not None:
             self._planner.clear()
-        self._fallback_results.clear()
+        with self._fallback_lock:
+            self._fallback_results.clear()
 
     def count(self, pattern: str, deadline: "Deadline | None" = None) -> int:
         """Same result as ``index.count(pattern)``, with suffix sharing."""
@@ -143,24 +148,26 @@ class SuffixSharingCounter:
             )
         if not isinstance(pattern, str) or not pattern:
             raise PatternError("pattern must be a non-empty string")
-        if deadline is not None:
-            self._fallback_stats.deadline_checks += 1
-            deadline.check()
-        self._fallback_stats.patterns += 1
-        return self._index.count_or_none(pattern)  # type: ignore[attr-defined]
+        with self._fallback_lock:
+            if deadline is not None:
+                self._fallback_stats.deadline_checks += 1
+                deadline.check()
+            self._fallback_stats.patterns += 1
+            return self._index.count_or_none(pattern)  # type: ignore[attr-defined]
 
     def _fallback_count(self, pattern: str, deadline: "Deadline | None") -> int:
         """Whole-pattern memoisation for indexes without an automaton."""
         if not isinstance(pattern, str) or not pattern:
             raise PatternError("pattern must be a non-empty string")
-        self._fallback_stats.patterns += 1
-        cached = self._fallback_results.get(pattern)
-        if cached is not None:
-            self._fallback_stats.result_cache_hits += 1
-            return cached
-        if deadline is not None:
-            self._fallback_stats.deadline_checks += 1
-            deadline.check()
-        result = self._index.count(pattern)
-        self._fallback_results[pattern] = result
-        return result
+        with self._fallback_lock:
+            self._fallback_stats.patterns += 1
+            cached = self._fallback_results.get(pattern)
+            if cached is not None:
+                self._fallback_stats.result_cache_hits += 1
+                return cached
+            if deadline is not None:
+                self._fallback_stats.deadline_checks += 1
+                deadline.check()
+            result = self._index.count(pattern)
+            self._fallback_results[pattern] = result
+            return result

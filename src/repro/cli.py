@@ -15,8 +15,10 @@ Commands
 ``experiment``   regenerate a paper table/figure (see repro.experiments).
 ``report``       run every experiment into one markdown document.
 ``serve-check``  build the resilient degradation ladder, run a health
-                 probe workload, print a tier/latency/degradation report
-                 (optionally with injected faults on the primary tier).
+                 probe workload, print a tier/latency/engine-work report
+                 (optionally with injected faults on the primary tier, or
+                 ``--concurrency N`` to hammer a QueryServer from N
+                 threads through admission control and bulkheads).
 """
 
 from __future__ import annotations
@@ -171,7 +173,14 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_check(args: argparse.Namespace) -> int:
-    from .service import FaultSpec, FaultyIndex, build_default_ladder, run_health_probe
+    from .service import (
+        FaultSpec,
+        FaultyIndex,
+        QueryServer,
+        build_default_ladder,
+        run_concurrent_probe,
+        run_health_probe,
+    )
 
     text = _load_text(args.text, args.size, args.seed)
     primary = None
@@ -189,8 +198,25 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
         deadline_seconds=args.deadline_ms / 1000.0,
         primary=primary,
     )
-    report = run_health_probe(service, text=text, seed=args.seed)
-    print(report.format())
+    if args.concurrency > 1:
+        server = QueryServer(
+            service,
+            max_concurrent=args.concurrency,
+            max_waiting=4 * args.concurrency,
+            rate=args.rate,
+        )
+        with server:
+            print(f"hammering the query server with "
+                  f"{args.concurrency} worker threads")
+            report = run_concurrent_probe(
+                server, text=text, seed=args.seed,
+                concurrency=args.concurrency,
+            )
+            print(report.format())
+            print("server: " + server.stats().summary())
+    else:
+        report = run_health_probe(service, text=text, seed=args.seed)
+        print(report.format())
     return 0 if report.ok else 1
 
 
@@ -309,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject transient faults into the primary tier at this rate")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for deterministic fault injection")
+    p.add_argument("--concurrency", type=int, default=1,
+                   help="N > 1: hammer a QueryServer with N worker threads "
+                        "instead of probing the ladder sequentially")
+    p.add_argument("--rate", type=float, default=None,
+                   help="optional token-bucket rate limit (queries/second) "
+                        "for the concurrent server; excess load is shed")
     p.set_defaults(func=cmd_serve_check)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

@@ -23,10 +23,23 @@ The planner owns the engine's single deadline code path: one cooperative
 serving layer, the selectivity estimators and ad-hoc batch callers all
 inherit the same tail-latency bound. Every unit of work is counted in an
 :class:`~repro.engine.stats.EngineStats` instance (:attr:`stats`).
+
+Thread-safety contract
+----------------------
+Every public method of :class:`TrieBatchPlanner` serialises on one
+internal re-entrant lock: concurrent callers over a *shared* planner are
+correct but run one at a time (the path stack, the LRU order and the
+stats counters are all mutated during a walk, and interleaving them would
+corrupt the trie traversal). Parallelism in the serving layer therefore
+comes from *distinct* planners — one per tier — with per-tier bulkheads
+bounding how many callers contend for each lock. The wrapped automaton is
+only ever driven under the lock, so automata need no locking of their
+own.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
 
@@ -63,6 +76,7 @@ class TrieBatchPlanner:
         self._automaton = automaton
         self._caps = automaton.capabilities()
         self._max_states = max_states
+        self._lock = threading.RLock()
         #: suffix string -> automaton state (None = dead), LRU order.
         self._states: "OrderedDict[str, Optional[Hashable]]" = OrderedDict()
         #: pattern -> finalised value (None = dead state); never evicted.
@@ -81,40 +95,44 @@ class TrieBatchPlanner:
 
     def clear(self) -> None:
         """Drop both caches (states *and* memoised results)."""
-        self._states.clear()
-        self._results.clear()
+        with self._lock:
+            self._states.clear()
+            self._results.clear()
 
     def clear_states(self) -> None:
         """Drop only the state cache; memoised results survive."""
-        self._states.clear()
+        with self._lock:
+            self._states.clear()
 
     # -- public counting surface --------------------------------------------
 
     def count(self, pattern: str, deadline: "Deadline | None" = None) -> int:
         """Same value as the index's ``count(pattern)``, with sharing."""
-        value = self._values_many([pattern], deadline)[0]
+        with self._lock:
+            value = self._values_many([pattern], deadline)[0]
         return 0 if value is None else value
 
     def count_many(
         self, patterns: Sequence[str], deadline: "Deadline | None" = None
     ) -> List[int]:
         """Batch counting: one result per pattern, in order."""
-        return [
-            0 if value is None else value
-            for value in self._values_many(patterns, deadline)
-        ]
+        with self._lock:
+            values = self._values_many(patterns, deadline)
+        return [0 if value is None else value for value in values]
 
     def count_or_none(
         self, pattern: str, deadline: "Deadline | None" = None
     ) -> Optional[int]:
         """Certified count or ``None``; lower-sided automata only."""
-        return self._require_lower_sided()._values_many([pattern], deadline)[0]
+        with self._lock:
+            return self._require_lower_sided()._values_many([pattern], deadline)[0]
 
     def count_or_none_many(
         self, patterns: Sequence[str], deadline: "Deadline | None" = None
     ) -> List[Optional[int]]:
         """Batch variant of :meth:`count_or_none`."""
-        return self._require_lower_sided()._values_many(patterns, deadline)
+        with self._lock:
+            return self._require_lower_sided()._values_many(patterns, deadline)
 
     def _require_lower_sided(self) -> "TrieBatchPlanner":
         if not self._caps.lower_sided:

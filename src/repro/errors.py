@@ -39,6 +39,11 @@ class IndexCorruptedError(ReproError, RuntimeError):
     produced an answer outside the feasible range."""
 
 
+class ServerClosedError(ReproError, RuntimeError):
+    """A query reached a :class:`~repro.service.server.QueryServer` after it
+    was closed (drained and shut down)."""
+
+
 class AllTiersFailedError(ReproError, RuntimeError):
     """Every tier of a degradation ladder failed or was skipped.
 

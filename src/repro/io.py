@@ -13,7 +13,9 @@ truncation are detected *before* the unpickler ever runs:
 
 All integers are big-endian. The digest covers exactly the pickle payload.
 Version 1 files (no length or digest) still load, with a
-:class:`DeprecationWarning`; any structural mismatch raises
+:class:`UserWarning` — their payload cannot be integrity-checked, so a
+corrupted v1 file reaches the (restricted) unpickler undetected. Pass
+``strict=True`` to reject them outright; any structural mismatch raises
 :class:`~repro.errors.IndexCorruptedError`.
 """
 
@@ -122,13 +124,15 @@ def save_index(index: OccurrenceEstimator, path: str | Path) -> Path:
     return target
 
 
-def load_index(path: str | Path) -> OccurrenceEstimator:
+def load_index(path: str | Path, *, strict: bool = False) -> OccurrenceEstimator:
     """Load an index saved by :func:`save_index`, validating the header.
 
     Integrity failures (short reads, payload-length mismatch, digest
     mismatch) raise :class:`~repro.errors.IndexCorruptedError` before the
-    payload reaches the unpickler. Version-1 files carry no digest and load
-    with a :class:`DeprecationWarning`.
+    payload reaches the unpickler. Version-1 files carry no digest: they
+    load with a :class:`UserWarning`, or — with ``strict=True`` — are
+    rejected with :class:`~repro.errors.IndexCorruptedError`, since their
+    payload cannot be distinguished from a corrupted one.
     """
     source = Path(path)
     with open(source, "rb") as handle:
@@ -146,10 +150,16 @@ def load_index(path: str | Path) -> OccurrenceEstimator:
         name_length = int.from_bytes(_read_exact(handle, 2, "name length"), "big")
         declared = _read_exact(handle, name_length, "class name").decode("ascii")
         if version == 1:
+            if strict:
+                raise IndexCorruptedError(
+                    f"{source} uses index format version 1 (no integrity "
+                    "digest) and strict=True refuses unverifiable payloads; "
+                    "re-save it to upgrade to the checksummed format"
+                )
             warnings.warn(
                 f"{source} uses index format version 1 (no integrity digest); "
                 "re-save it to upgrade to the checksummed format",
-                DeprecationWarning,
+                UserWarning,
                 stacklevel=2,
             )
             payload = handle.read()

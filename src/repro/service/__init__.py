@@ -10,38 +10,79 @@ backoff, skips persistently failing tiers via circuit breakers, and
 reports every answer as a :class:`QueryOutcome` that names the tier and
 the error model actually honored.
 
+On top of the ladder, :class:`QueryServer` adds the concurrent serving
+front: admission control (token bucket + bounded queue) that *sheds* to
+the always-available tier instead of queueing past the deadline
+(:class:`ShedOutcome`), per-tier bulkhead semaphores, optional hedged
+queries with cooperative loser cancellation, graceful drain, and an
+optional :class:`CorruptionWatchdog` whose differential probes quarantine,
+rebuild and readmit a tier caught violating its error contract.
+
 :class:`FaultyIndex` provides deterministic chaos: seeded injection of
-exceptions, latency spikes and corrupted answers at named call sites, so
-every degradation path is provable in tests.
+exceptions, latency spikes and corrupted answers (detectably out-of-range
+or silently bit-flipped) at named call sites, so every degradation path is
+provable in tests.
 """
 
+from .admission import AdmissionController, AdmissionStats, TokenBucket
 from .breaker import BreakerState, CircuitBreaker
-from .deadline import Deadline, ManualClock
-from .faults import SITES, FaultSpec, FaultyIndex, InjectedFault
-from .health import HealthReport, TierHealth, run_health_probe
-from .outcome import QueryOutcome
-from .resilient import ResilientEstimator, build_default_ladder
+from .deadline import CancellableDeadline, Deadline, ManualClock
+from .faults import CORRUPT_MODES, SITES, FaultSpec, FaultyIndex, InjectedFault
+from .health import (
+    HealthReport,
+    TierHealth,
+    run_concurrent_probe,
+    run_health_probe,
+)
+from .outcome import QueryOutcome, ShedOutcome, contract_holds
+from .resilient import ResilientEstimator, TierGuard, build_default_ladder
 from .retry import RetryPolicy, is_transient
+from .server import Bulkhead, LatencyTracker, QueryServer, ServerStats
 from .tiers import TextStatsEstimator, Tier, TierDeclined
+from .watchdog import (
+    CorruptionWatchdog,
+    ProbeFinding,
+    QuarantineEvent,
+    default_rebuilders,
+    probes_from_text,
+)
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionStats",
     "BreakerState",
+    "Bulkhead",
+    "CORRUPT_MODES",
+    "CancellableDeadline",
     "CircuitBreaker",
+    "CorruptionWatchdog",
     "Deadline",
     "FaultSpec",
     "FaultyIndex",
     "HealthReport",
     "InjectedFault",
+    "LatencyTracker",
     "ManualClock",
+    "ProbeFinding",
+    "QuarantineEvent",
     "QueryOutcome",
+    "QueryServer",
     "ResilientEstimator",
     "RetryPolicy",
     "SITES",
+    "ServerStats",
+    "ShedOutcome",
     "TextStatsEstimator",
     "Tier",
     "TierDeclined",
+    "TierGuard",
     "TierHealth",
+    "TokenBucket",
     "build_default_ladder",
+    "contract_holds",
+    "default_rebuilders",
     "is_transient",
+    "probes_from_text",
+    "run_concurrent_probe",
     "run_health_probe",
 ]

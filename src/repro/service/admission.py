@@ -1,0 +1,225 @@
+"""Admission control for the concurrent serving front.
+
+Under overload a service has three honest options: queue (and blow the
+deadline), refuse (and lose availability), or *shed* — answer with a
+cheaper, less accurate tier that cannot stall. The paper's tier hierarchy
+makes shedding principled: the always-available statistics tier is a sound
+upper bound computed by pure arithmetic, so an overloaded server can
+legally trade error bound for latency instead of queueing past the
+deadline.
+
+Two mechanisms gate entry, both thread-safe and clock-injectable:
+
+* :class:`TokenBucket` — classic rate limiter: ``rate`` tokens/second
+  refill up to ``burst``; a query that finds no token is shed with reason
+  ``"rate limited"``.
+* :class:`AdmissionController` — a bounded in-flight pool plus a bounded
+  wait queue. At most ``max_concurrent`` queries run at once; up to
+  ``max_waiting`` more may wait (never longer than ``max_wait`` seconds,
+  or the query's own remaining deadline, whichever is smaller); everything
+  else is shed immediately with reason ``"admission queue full"``.
+
+The controller never answers queries itself — it returns a shed *reason*
+(or ``None`` for admitted), and :class:`~repro.service.server.QueryServer`
+turns the reason into a :class:`~repro.service.outcome.ShedOutcome` served
+by the statistics tier.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from ..errors import InvalidParameterError
+from .deadline import Clock, Deadline
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    The clock is injectable; tests refill deterministically on a
+    :class:`~repro.service.deadline.ManualClock`.
+    """
+
+    def __init__(
+        self, rate: float, burst: float, *, clock: Clock = time.monotonic
+    ):
+        if rate <= 0:
+            raise InvalidParameterError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise InvalidParameterError(f"burst must be >= 1, got {burst}")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available right now (never blocks)."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._updated)
+            self._updated = now
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def available(self) -> float:
+        """Current token count (after refill), for diagnostics."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._updated)
+            self._updated = now
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+            return self._tokens
+
+
+@dataclass
+class AdmissionStats:
+    """Counters of admission decisions (cumulative, snapshot via copy)."""
+
+    admitted: int = 0
+    rate_limited: int = 0
+    queue_full: int = 0
+    queue_timeout: int = 0
+    drained: int = 0
+
+    @property
+    def shed(self) -> int:
+        """Total queries refused admission for any reason."""
+        return (
+            self.rate_limited + self.queue_full + self.queue_timeout
+            + self.drained
+        )
+
+    def copy(self) -> "AdmissionStats":
+        return AdmissionStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+
+class AdmissionController:
+    """Bounded in-flight pool with a bounded, deadline-aware wait queue."""
+
+    def __init__(
+        self,
+        *,
+        max_concurrent: int = 8,
+        max_waiting: int = 16,
+        max_wait: float = 0.05,
+        bucket: Optional[TokenBucket] = None,
+    ):
+        if max_concurrent < 1:
+            raise InvalidParameterError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if max_waiting < 0:
+            raise InvalidParameterError(
+                f"max_waiting must be >= 0, got {max_waiting}"
+            )
+        if max_wait < 0:
+            raise InvalidParameterError(f"max_wait must be >= 0, got {max_wait}")
+        self._max_concurrent = max_concurrent
+        self._max_waiting = max_waiting
+        self._max_wait = max_wait
+        self._bucket = bucket
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._waiting = 0
+        self._draining = False
+        self._stats = AdmissionStats()
+
+    @property
+    def inflight(self) -> int:
+        """Queries currently admitted and not yet released."""
+        with self._cond:
+            return self._inflight
+
+    def stats(self) -> AdmissionStats:
+        """Snapshot of the admission counters."""
+        with self._cond:
+            return self._stats.copy()
+
+    def set_draining(self, draining: bool = True) -> None:
+        """While draining, every new arrival is shed (reason ``draining``)."""
+        with self._cond:
+            self._draining = draining
+            self._cond.notify_all()
+
+    def admit(self, deadline: Optional[Deadline] = None) -> Optional[str]:
+        """Try to admit one query.
+
+        Returns ``None`` on admission (the caller *must* pair it with
+        :meth:`release`), or the shed reason. Waiting is bounded by
+        ``max_wait`` and by the query's remaining deadline — a query is
+        shed rather than queued past the point it could still be served.
+        """
+        if self._bucket is not None and not self._bucket.try_acquire():
+            with self._cond:
+                if self._draining:
+                    self._stats.drained += 1
+                    return "draining"
+                self._stats.rate_limited += 1
+            return "rate limited"
+        with self._cond:
+            if self._draining:
+                self._stats.drained += 1
+                return "draining"
+            if self._inflight < self._max_concurrent:
+                self._inflight += 1
+                self._stats.admitted += 1
+                return None
+            if self._waiting >= self._max_waiting:
+                self._stats.queue_full += 1
+                return "admission queue full"
+            budget = self._max_wait
+            if deadline is not None:
+                budget = min(budget, deadline.remaining())
+            if budget <= 0:
+                self._stats.queue_full += 1
+                return "admission queue full"
+            self._waiting += 1
+            try:
+                end = time.monotonic() + budget
+                while self._inflight >= self._max_concurrent:
+                    if self._draining:
+                        self._stats.drained += 1
+                        return "draining"
+                    left = end - time.monotonic()
+                    if left <= 0 or not self._cond.wait(timeout=left):
+                        if self._inflight < self._max_concurrent:
+                            break
+                        self._stats.queue_timeout += 1
+                        return "admission queue timeout"
+            finally:
+                self._waiting -= 1
+            self._inflight += 1
+            self._stats.admitted += 1
+            return None
+
+    def release(self) -> None:
+        """Return one admitted query's slot to the pool."""
+        with self._cond:
+            if self._inflight <= 0:
+                raise InvalidParameterError(
+                    "release() without a matching successful admit()"
+                )
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no query is in flight; True iff fully drained."""
+        end = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._inflight > 0:
+                left = None if end is None else end - time.monotonic()
+                if left is not None and left <= 0:
+                    return False
+                if not self._cond.wait(timeout=left):
+                    return False
+            return True

@@ -9,9 +9,15 @@ paid its full latency on every query while it is down.
   failure fraction reaches ``failure_threshold``, the breaker opens.
 * **open** — calls are refused (:meth:`allow` is False) until
   ``reset_timeout`` seconds pass on the injected clock.
-* **half-open** — after the cooldown, up to ``trial_calls`` probe calls are
-  let through. Any failure re-opens the breaker; ``trial_calls`` successes
-  close it and clear the window.
+* **half-open** — after the cooldown, :meth:`allow` issues at most
+  ``trial_calls`` probe permits (concurrent callers beyond that are
+  refused until the trials resolve). Any failure re-opens the breaker;
+  ``trial_calls`` successes close it and clear the window.
+
+The breaker is **thread-safe**: every state read and transition happens
+under one internal lock, so concurrent callers in the half-open state are
+admitted exactly ``trial_calls`` at a time — N threads hammering
+:meth:`allow` cannot stampede a recovering tier.
 
 The clock is injectable (``time.monotonic`` by default), so state-machine
 tests advance a :class:`~repro.service.deadline.ManualClock` instead of
@@ -21,6 +27,7 @@ sleeping.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from collections import deque
 from typing import Deque
@@ -74,49 +81,84 @@ class CircuitBreaker:
         self._reset_timeout = reset_timeout
         self._trial_calls = trial_calls
         self._clock = clock
+        self._lock = threading.RLock()
         self._state = BreakerState.CLOSED
         self._opened_at = 0.0
         self._trial_successes = 0
+        #: Probe permits issued since entering half-open (allow() returning
+        #: True counts as one; refused once trial_calls are outstanding).
+        self._trial_admitted = 0
 
     @property
     def state(self) -> BreakerState:
         """Current state, accounting for an elapsed open-state cooldown."""
-        self._maybe_half_open()
-        return self._state
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
 
     def failure_rate(self) -> float:
         """Failure fraction over the sliding window (0.0 when empty)."""
-        if not self._window:
-            return 0.0
-        return sum(1 for ok in self._window if not ok) / len(self._window)
+        with self._lock:
+            if not self._window:
+                return 0.0
+            return sum(1 for ok in self._window if not ok) / len(self._window)
 
     def allow(self) -> bool:
-        """Whether the protected tier may be called right now."""
-        self._maybe_half_open()
-        return self._state is not BreakerState.OPEN
+        """Whether the protected tier may be called right now.
+
+        In the half-open state each True return consumes one of the
+        ``trial_calls`` probe permits; callers that receive True are
+        expected to report the call's outcome via :meth:`record_success`
+        or :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.OPEN:
+                return False
+            if self._state is BreakerState.HALF_OPEN:
+                if self._trial_admitted >= self._trial_calls:
+                    return False
+                self._trial_admitted += 1
+            return True
 
     def record_success(self) -> None:
         """Report one successful call through the breaker."""
-        self._maybe_half_open()
-        if self._state is BreakerState.HALF_OPEN:
-            self._trial_successes += 1
-            if self._trial_successes >= self._trial_calls:
-                self._close()
-            return
-        self._window.append(True)
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.HALF_OPEN:
+                self._trial_successes += 1
+                if self._trial_successes >= self._trial_calls:
+                    self._close()
+                return
+            self._window.append(True)
 
     def record_failure(self) -> None:
         """Report one failed call; may trip the breaker."""
-        self._maybe_half_open()
-        if self._state is BreakerState.HALF_OPEN:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.HALF_OPEN:
+                self._open()
+                return
+            self._window.append(False)
+            if (
+                len(self._window) >= self._min_calls
+                and self.failure_rate() >= self._failure_threshold
+            ):
+                self._open()
+
+    def force_open(self) -> None:
+        """Trip the breaker unconditionally (quarantine support).
+
+        The watchdog uses this when a tier contradicts its error contract:
+        the breaker opens *now*, regardless of the sliding window.
+        """
+        with self._lock:
             self._open()
-            return
-        self._window.append(False)
-        if (
-            len(self._window) >= self._min_calls
-            and self.failure_rate() >= self._failure_threshold
-        ):
-            self._open()
+
+    def force_close(self) -> None:
+        """Reset the breaker to closed with a clean window (readmission)."""
+        with self._lock:
+            self._close()
 
     def _maybe_half_open(self) -> None:
         if (
@@ -125,13 +167,16 @@ class CircuitBreaker:
         ):
             self._state = BreakerState.HALF_OPEN
             self._trial_successes = 0
+            self._trial_admitted = 0
 
     def _open(self) -> None:
         self._state = BreakerState.OPEN
         self._opened_at = self._clock()
         self._trial_successes = 0
+        self._trial_admitted = 0
 
     def _close(self) -> None:
         self._state = BreakerState.CLOSED
         self._window.clear()
         self._trial_successes = 0
+        self._trial_admitted = 0

@@ -85,3 +85,51 @@ class Deadline:
             raise DeadlineExceededError(
                 f"query deadline of {self.seconds:.6g}s exceeded"
             )
+
+
+class CancellableDeadline(Deadline):
+    """A deadline that can also be revoked explicitly.
+
+    Hedged queries hand each speculative attempt its own
+    ``CancellableDeadline``; when one attempt wins, the server calls
+    :meth:`cancel` on the losers and their next cooperative
+    :meth:`~Deadline.check` (one per automaton extension inside the
+    engine) aborts the search. Cancellation is sticky and thread-safe:
+    ``cancel()`` is a single attribute write, observed by the worker
+    thread at its next checkpoint.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self, seconds: Optional[float], clock: Clock = time.monotonic):
+        super().__init__(seconds, clock)
+        self._cancelled = False
+
+    @classmethod
+    def from_deadline(cls, deadline: Deadline) -> "CancellableDeadline":
+        """A cancellable view with the budget ``deadline`` has left."""
+        remaining = deadline.remaining()
+        seconds = None if remaining == float("inf") else remaining
+        return cls(seconds, deadline._clock)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called (distinct from timing out)."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Revoke the budget: every later check fails immediately."""
+        self._cancelled = True
+
+    def remaining(self) -> float:
+        return 0.0 if self._cancelled else super().remaining()
+
+    def expired(self) -> bool:
+        return self._cancelled or super().expired()
+
+    def check(self) -> None:
+        if self._cancelled:
+            raise DeadlineExceededError(
+                "query cancelled (a hedged attempt won elsewhere)"
+            )
+        super().check()

@@ -66,15 +66,32 @@ class InjectedFault(ReproError, RuntimeError):
     """The failure raised by an injected error fault (transient by design)."""
 
 
+#: Recognised :attr:`FaultSpec.corrupt_mode` values.
+CORRUPT_MODES = ("out_of_range", "bitflip")
+
+
 @dataclass(frozen=True)
 class FaultSpec:
-    """Fault rates for one call site; all rates are probabilities in [0, 1]."""
+    """Fault rates for one call site; all rates are probabilities in [0, 1].
+
+    ``corrupt_mode`` selects what a corrupted count looks like:
+
+    * ``"out_of_range"`` (default) — detectably infeasible (negative or
+      past the occurrence ceiling), so the serving layer's feasibility
+      check can prove it catches them;
+    * ``"bitflip"`` — a low bit of the correct count is flipped. The
+      result stays plausible and in range, slipping straight past the
+      feasibility check — exactly the silent in-memory corruption the
+      :class:`~repro.service.watchdog.CorruptionWatchdog`'s differential
+      probes exist to catch.
+    """
 
     error_rate: float = 0.0
     latency_rate: float = 0.0
     #: Seconds each latency spike lasts (fed to the injected sleeper).
     latency: float = 0.05
     corrupt_rate: float = 0.0
+    corrupt_mode: str = "out_of_range"
 
     def __post_init__(self):
         for field_name in ("error_rate", "latency_rate", "corrupt_rate"):
@@ -85,6 +102,11 @@ class FaultSpec:
                 )
         if self.latency < 0:
             raise InvalidParameterError(f"latency must be >= 0, got {self.latency}")
+        if self.corrupt_mode not in CORRUPT_MODES:
+            raise InvalidParameterError(
+                f"corrupt_mode must be one of {CORRUPT_MODES}, "
+                f"got {self.corrupt_mode!r}"
+            )
 
 
 class FaultyIndex:
@@ -184,6 +206,12 @@ class FaultyIndex:
         if self._rng.random() >= spec.corrupt_rate:
             return value
         self.injections[site, "corrupt"] += 1
+        if spec.corrupt_mode == "bitflip":
+            # Silent corruption: flip a low bit of the true count. The
+            # result stays feasible (clamped at 0), so only a differential
+            # probe against a known count can expose it.
+            flipped = int(value) ^ (1 << self._rng.randrange(3))
+            return max(0, flipped)
         # Corrupt *detectably*: past the feasible ceiling (which grants the
         # error model up to threshold - 1 of slack) or below zero, so the
         # serving layer's feasibility check can prove it catches them.

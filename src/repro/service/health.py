@@ -2,19 +2,27 @@
 
 :func:`run_health_probe` pushes a representative workload through a
 :class:`~repro.service.resilient.ResilientEstimator` and aggregates where
-the answers came from: per-tier serve counts and latency, how often the
-ladder degraded, breaker states afterwards, and any patterns that could
-not be answered at all. ``repro serve-check`` prints the report.
+the answers came from: per-tier serve counts, latency, *engine work*
+(automaton steps, rank operations, deadline aborts — the per-tier delta of
+the engine counters over the whole probe), how often the ladder degraded,
+breaker states afterwards, and any patterns that could not be answered at
+all. :func:`run_concurrent_probe` is the multi-threaded sibling for a
+:class:`~repro.service.server.QueryServer`: N worker threads drain the
+same workload concurrently, and shed answers are reported alongside served
+ones. ``repro serve-check [--concurrency N]`` prints the report.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..engine import EngineStats
 from ..errors import AllTiersFailedError
 from ..textutil import Text, mixed_workload
-from .outcome import QueryOutcome
+from .outcome import QueryOutcome, ShedOutcome
 from .resilient import ResilientEstimator
 
 
@@ -27,9 +35,15 @@ class TierHealth:
     failures: int = 0
     #: Healthy "cannot certify" responses from certified-only tiers.
     declines: int = 0
+    #: Answers this tier produced for *shed* queries (admission refused).
+    shed_served: int = 0
     total_elapsed: float = 0.0
     max_elapsed: float = 0.0
     breaker_state: str = "closed"
+    #: Engine work the probe cost this tier (delta of lifetime counters).
+    automaton_steps: int = 0
+    rank_calls: int = 0
+    deadline_aborts: int = 0
 
     @property
     def mean_elapsed(self) -> float:
@@ -38,14 +52,18 @@ class TierHealth:
 
 @dataclass
 class HealthReport:
-    """Outcome of one probe workload against a ladder."""
+    """Outcome of one probe workload against a ladder (or server)."""
 
     total: int
     answered: int
     degraded: int
     tiers: List[TierHealth]
+    #: Queries answered via load shedding (always counted in ``answered``).
+    shed: int = 0
     unanswered: List[Tuple[str, str]] = field(default_factory=list)
-    outcomes: List[QueryOutcome] = field(default_factory=list)
+    outcomes: List[Union[QueryOutcome, ShedOutcome]] = field(
+        default_factory=list
+    )
 
     @property
     def ok(self) -> bool:
@@ -56,22 +74,65 @@ class HealthReport:
         """Multi-line operator report."""
         lines = [
             f"probe: {self.answered}/{self.total} answered, "
-            f"{self.degraded} degraded"
+            f"{self.degraded} degraded, {self.shed} shed"
         ]
         lines.append(
-            f"{'tier':<12} {'served':>7} {'failures':>9} {'declines':>9} "
-            f"{'mean ms':>9} {'max ms':>9}  breaker"
+            f"{'tier':<12} {'served':>7} {'shed':>6} {'failures':>9} "
+            f"{'declines':>9} {'mean ms':>9} {'max ms':>9} "
+            f"{'steps':>8} {'rank':>8} {'aborts':>7}  breaker"
         )
         for tier in self.tiers:
             lines.append(
-                f"{tier.name:<12} {tier.served:>7} {tier.failures:>9} "
-                f"{tier.declines:>9} {tier.mean_elapsed * 1000:>9.3f} "
-                f"{tier.max_elapsed * 1000:>9.3f}  {tier.breaker_state}"
+                f"{tier.name:<12} {tier.served:>7} {tier.shed_served:>6} "
+                f"{tier.failures:>9} {tier.declines:>9} "
+                f"{tier.mean_elapsed * 1000:>9.3f} "
+                f"{tier.max_elapsed * 1000:>9.3f} "
+                f"{tier.automaton_steps:>8} {tier.rank_calls:>8} "
+                f"{tier.deadline_aborts:>7}  {tier.breaker_state}"
             )
         for pattern, reason in self.unanswered[:10]:
             lines.append(f"UNANSWERED {pattern!r}: {reason}")
         lines.append("serve-check PASS" if self.ok else "serve-check FAIL")
         return "\n".join(lines)
+
+
+def _snapshot_engine(service: ResilientEstimator) -> Dict[str, EngineStats]:
+    return {tier.name: tier.engine_stats.copy() for tier in service.tiers}
+
+
+def _finalize(
+    service: ResilientEstimator,
+    stats: Dict[str, TierHealth],
+    before: Dict[str, EngineStats],
+) -> None:
+    """Fill breaker state and per-tier engine deltas after the workload."""
+    for tier in service.tiers:
+        health = stats[tier.name]
+        health.breaker_state = tier.breaker.state.value
+        delta = tier.engine_stats - before[tier.name]
+        health.automaton_steps = delta.automaton_steps
+        health.rank_calls = delta.rank_calls
+        health.deadline_aborts = delta.deadline_aborts
+
+
+def _record(
+    report: HealthReport,
+    stats: Dict[str, TierHealth],
+    outcome: Union[QueryOutcome, ShedOutcome],
+) -> None:
+    report.answered += 1
+    report.outcomes.append(outcome)
+    if outcome.degraded:
+        report.degraded += 1
+    health = stats[outcome.tier]
+    if outcome.shed:
+        report.shed += 1
+        health.shed_served += 1
+        return
+    health.served += 1
+    health.total_elapsed += outcome.elapsed
+    health.max_elapsed = max(health.max_elapsed, outcome.elapsed)
+    _attribute(stats, outcome.failures)
 
 
 def run_health_probe(
@@ -97,6 +158,7 @@ def run_health_probe(
     report = HealthReport(
         total=len(patterns), answered=0, degraded=0, tiers=list(stats.values())
     )
+    engine_before = _snapshot_engine(service)
     for pattern in patterns:
         try:
             outcome = service.query(pattern)
@@ -104,17 +166,69 @@ def run_health_probe(
             report.unanswered.append((pattern, str(exc)))
             _attribute(stats, exc.failures)
             continue
-        report.answered += 1
-        report.outcomes.append(outcome)
-        if outcome.degraded:
-            report.degraded += 1
-        health = stats[outcome.tier]
-        health.served += 1
-        health.total_elapsed += outcome.elapsed
-        health.max_elapsed = max(health.max_elapsed, outcome.elapsed)
-        _attribute(stats, outcome.failures)
-    for tier in service.tiers:
-        stats[tier.name].breaker_state = tier.breaker.state.value
+        _record(report, stats, outcome)
+    _finalize(service, stats, engine_before)
+    return report
+
+
+def run_concurrent_probe(
+    server,
+    patterns: Sequence[str] | None = None,
+    *,
+    text: Text | str | None = None,
+    seed: int = 0,
+    concurrency: int = 8,
+) -> HealthReport:
+    """Hammer a :class:`~repro.service.server.QueryServer` from N threads.
+
+    The same aggregation as :func:`run_health_probe`, but the workload is
+    drained by ``concurrency`` worker threads through the server's full
+    admission/bulkhead path, so shed answers (reported per tier in the
+    ``shed`` column) and bulkhead-driven degradations show up. Every
+    pattern is answered exactly once — no reply is lost or duplicated.
+    """
+    if patterns is None:
+        if text is None:
+            raise ValueError("run_concurrent_probe needs either patterns or text")
+        patterns = mixed_workload(text, per_length=10, seed=seed)
+    service = server.service
+    stats: Dict[str, TierHealth] = {
+        tier.name: TierHealth(tier.name) for tier in service.tiers
+    }
+    report = HealthReport(
+        total=len(patterns), answered=0, degraded=0, tiers=list(stats.values())
+    )
+    engine_before = _snapshot_engine(service)
+    work: "queue.Queue[str]" = queue.Queue()
+    for pattern in patterns:
+        work.put(pattern)
+    lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            try:
+                pattern = work.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                outcome = server.query(pattern)
+            except AllTiersFailedError as exc:
+                with lock:
+                    report.unanswered.append((pattern, str(exc)))
+                    _attribute(stats, exc.failures)
+                continue
+            with lock:
+                _record(report, stats, outcome)
+
+    threads = [
+        threading.Thread(target=worker, name=f"probe-{i}")
+        for i in range(max(1, concurrency))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    _finalize(service, stats, engine_before)
     return report
 
 

@@ -6,6 +6,12 @@ served it, states the error model that answer *actually* honors (which may
 be weaker than the primary tier's model if the ladder degraded), and
 records latency and the failures met along the way — everything an
 operator needs to audit a degraded response after the fact.
+
+:class:`ShedOutcome` is the admission-control sibling: a query the
+:class:`~repro.service.server.QueryServer` refused to run through the
+ladder (rate-limited, queue full, draining) still receives a *sound*
+answer from the always-available statistics tier, plus the reason it was
+shed — load shedding degrades accuracy, never availability.
 """
 
 from __future__ import annotations
@@ -15,6 +21,38 @@ from typing import Optional, Tuple
 
 from ..core.interface import ErrorModel
 from ..engine import EngineStats
+
+
+def contract_holds(
+    error_model: ErrorModel,
+    count: int,
+    threshold: int,
+    pattern: str,
+    truth: int,
+    text_length: Optional[int] = None,
+) -> bool:
+    """Whether ``count`` satisfies ``error_model`` against the true count.
+
+    The same per-model rules :func:`repro.validation.validate_index`
+    enforces; shared by :class:`QueryOutcome`, :class:`ShedOutcome` and
+    the corruption watchdog's differential probes. ``text_length``
+    tightens the UPPER_BOUND ceiling to ``n - |P| + 1``; without it the
+    model only requires no undercount.
+    """
+    if error_model is ErrorModel.EXACT:
+        return count == truth
+    if error_model is ErrorModel.UNIFORM:
+        return truth <= count <= truth + threshold - 1
+    if error_model is ErrorModel.UPPER_BOUND:
+        if count < truth:
+            return False
+        if text_length is None:
+            return True
+        return count <= max(0, text_length - len(pattern) + 1)
+    # LOWER_SIDED: exact above threshold; anything in [0, l) below it.
+    if truth >= threshold:
+        return count == truth
+    return 0 <= count < threshold
 
 
 @dataclass(frozen=True)
@@ -43,7 +81,16 @@ class QueryOutcome:
     #: steps, rank operations, cache traffic, deadline checks) — the
     #: per-query delta of each tier's counters, not lifetime totals.
     #: ``None`` when served by a pre-engine caller that did not measure.
+    #: Under concurrent callers sharing a tier the delta is best-effort
+    #: (it may include a neighbour's interleaved work).
     engine: Optional[EngineStats] = None
+    #: Whether this answer came from a hedged (speculative) tier attempt.
+    hedged: bool = False
+
+    @property
+    def shed(self) -> bool:
+        """Query outcomes always ran the ladder (cf. :class:`ShedOutcome`)."""
+        return False
 
     @property
     def degraded(self) -> bool:
@@ -58,24 +105,16 @@ class QueryOutcome:
         ``text_length`` tightens the UPPER_BOUND ceiling to
         ``n - |P| + 1``; without it the model only requires no undercount.
         """
-        if self.error_model is ErrorModel.EXACT:
-            return self.count == truth
-        if self.error_model is ErrorModel.UNIFORM:
-            return truth <= self.count <= truth + self.threshold - 1
-        if self.error_model is ErrorModel.UPPER_BOUND:
-            if self.count < truth:
-                return False
-            if text_length is None:
-                return True
-            return self.count <= max(0, text_length - len(self.pattern) + 1)
-        # LOWER_SIDED: exact above threshold; anything in [0, l) below it.
-        if truth >= self.threshold:
-            return self.count == truth
-        return 0 <= self.count < self.threshold
+        return contract_holds(
+            self.error_model, self.count, self.threshold,
+            self.pattern, truth, text_length,
+        )
 
     def summary(self) -> str:
         """One-line operator-facing description."""
         tag = "degraded" if self.degraded else "primary"
+        if self.hedged:
+            tag += ", hedged"
         work = ""
         if self.engine is not None:
             work = (
@@ -86,4 +125,58 @@ class QueryOutcome:
             f"{self.pattern!r}: {self.count} via {self.tier} "
             f"[{self.error_model.value}, l={self.threshold}, {tag}] "
             f"in {self.elapsed * 1000:.2f}ms, {self.attempts} attempt(s){work}"
+        )
+
+
+@dataclass(frozen=True)
+class ShedOutcome:
+    """A query answered by load shedding instead of the ladder.
+
+    The count is still *sound*: it comes from the always-available
+    statistics tier (:data:`~repro.core.interface.ErrorModel.UPPER_BOUND`),
+    so a shed reply never lies — it is merely the least accurate answer
+    the service can give without queueing past the deadline.
+    """
+
+    pattern: str
+    count: int
+    #: Name of the always-available tier that produced the fallback answer.
+    tier: str
+    #: Error model the shed answer honors (UPPER_BOUND for the stats tier).
+    error_model: ErrorModel
+    #: Error threshold of the shedding tier (1 for the stats tier).
+    threshold: int
+    #: Why admission refused the query (e.g. ``"rate limited"``).
+    reason: str
+    #: Wall-clock seconds from arrival to the shed answer.
+    elapsed: float
+
+    @property
+    def shed(self) -> bool:
+        """Always True — the ladder never ran for this reply."""
+        return True
+
+    @property
+    def degraded(self) -> bool:
+        """A shed answer is degraded by definition."""
+        return True
+
+    @property
+    def reliable(self) -> bool:
+        """An upper bound is only exact when it is zero."""
+        return self.error_model is ErrorModel.UPPER_BOUND and self.count == 0
+
+    def contract_holds(self, truth: int, text_length: Optional[int] = None) -> bool:
+        """Same per-model check as :meth:`QueryOutcome.contract_holds`."""
+        return contract_holds(
+            self.error_model, self.count, self.threshold,
+            self.pattern, truth, text_length,
+        )
+
+    def summary(self) -> str:
+        """One-line operator-facing description."""
+        return (
+            f"{self.pattern!r}: {self.count} via {self.tier} "
+            f"[{self.error_model.value}, SHED: {self.reason}] "
+            f"in {self.elapsed * 1000:.2f}ms"
         )

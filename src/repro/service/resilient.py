@@ -39,6 +39,23 @@ from .retry import RetryPolicy
 from .tiers import Tier, TextStatsEstimator, TierDeclined
 
 
+class TierGuard:
+    """Protocol for the ladder's bulkhead hook (duck-typed, not enforced).
+
+    ``acquire(tier)`` returns True to admit a call into ``tier`` (the
+    caller *must* then ``release(tier)`` when the attempt finishes) or
+    False to refuse, making the ladder degrade past the tier immediately.
+    Implementations must be thread-safe; see
+    :class:`repro.service.server.Bulkhead`.
+    """
+
+    def acquire(self, tier: "Tier") -> bool:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def release(self, tier: "Tier") -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
 class ResilientEstimator:
     """Serve substring-count queries through an ordered fallback ladder.
 
@@ -82,7 +99,11 @@ class ResilientEstimator:
         return list(self._tiers)
 
     def query(
-        self, pattern: str, *, deadline: Union[Deadline, float, None] = None
+        self,
+        pattern: str,
+        *,
+        deadline: Union[Deadline, float, None] = None,
+        tier_guard: Optional["TierGuard"] = None,
     ) -> QueryOutcome:
         """Answer one pattern through the ladder.
 
@@ -91,6 +112,18 @@ class ResilientEstimator:
         event). If no tier can serve,
         :class:`~repro.errors.AllTiersFailedError` reports why each one
         failed.
+
+        ``tier_guard`` is the serving front's bulkhead hook: an object
+        with ``acquire(tier) -> bool`` / ``release(tier)``. A guard that
+        refuses admission makes the ladder skip that tier (reason
+        ``"skipped: bulkhead saturated"``) instead of blocking — the
+        always-available tier is never guarded, so shedding work can
+        always land somewhere.
+
+        The method itself is safe for concurrent callers: all per-query
+        state is local, breakers and counters take their own locks, and
+        the retry RNG is lock-protected. Per-query ``engine`` deltas are
+        best-effort under concurrency (see :class:`QueryOutcome`).
         """
         if not isinstance(pattern, str) or not pattern:
             raise PatternError("pattern must be a non-empty string")
@@ -108,6 +141,11 @@ class ResilientEstimator:
         engine_total = EngineStats()
 
         for index, tier in enumerate(self._tiers):
+            if tier.quarantined:
+                failures.append(
+                    (tier.name, f"skipped: quarantined ({tier.quarantine_reason})")
+                )
+                continue
             if (out_of_time or budget.expired()) and not tier.always_available:
                 failures.append((tier.name, "skipped: deadline exceeded"))
                 continue
@@ -116,58 +154,72 @@ class ResilientEstimator:
                     (tier.name, f"skipped: circuit {tier.breaker.state.value}")
                 )
                 continue
-            attempt = 0
-            while True:
-                attempt += 1
-                attempts += 1
-                before = tier.engine_stats.copy()
-                try:
-                    effective = None if tier.always_available else budget
-                    count, model, threshold, reliable = tier.answer(
-                        pattern, effective
-                    )
-                except TierDeclined:
-                    engine_total.merge(tier.engine_stats - before)
-                    # A certified-only tier saying "I don't know" is healthy.
-                    tier.breaker.record_success()
-                    failures.append((tier.name, "declined: cannot certify"))
-                    break
-                except DeadlineExceededError as exc:
-                    engine_total.merge(tier.engine_stats - before)
-                    tier.breaker.record_failure()
-                    failures.append((tier.name, str(exc)))
-                    out_of_time = True
-                    break
-                except Exception as exc:  # noqa: BLE001 - ladder boundary
-                    engine_total.merge(tier.engine_stats - before)
-                    tier.breaker.record_failure()
-                    failures.append((tier.name, f"{type(exc).__name__}: {exc}"))
-                    if not self._retry.should_retry(attempt, exc):
-                        break
-                    backoff = self._retry.delay(attempt)
-                    if backoff >= budget.remaining():
-                        failures.append(
-                            (tier.name, "retry abandoned: backoff exceeds deadline")
+            guarded = tier_guard is not None and not tier.always_available
+            if guarded and not tier_guard.acquire(tier):
+                failures.append((tier.name, "skipped: bulkhead saturated"))
+                continue
+            try:
+                attempt = 0
+                while True:
+                    attempt += 1
+                    attempts += 1
+                    before = tier.engine_stats.copy()
+                    try:
+                        effective = None if tier.always_available else budget
+                        count, model, threshold, reliable = tier.answer(
+                            pattern, effective
                         )
+                    except TierDeclined:
+                        engine_total.merge(tier.engine_stats - before)
+                        # A certified-only tier saying "I don't know" is
+                        # healthy.
+                        tier.breaker.record_success()
+                        failures.append((tier.name, "declined: cannot certify"))
                         break
-                    if backoff > 0:
-                        self._sleep(backoff)
-                else:
-                    engine_total.merge(tier.engine_stats - before)
-                    tier.breaker.record_success()
-                    return QueryOutcome(
-                        pattern=pattern,
-                        count=count,
-                        tier=tier.name,
-                        tier_index=index,
-                        error_model=model,
-                        threshold=threshold,
-                        reliable=reliable,
-                        elapsed=self._clock() - started,
-                        attempts=attempts,
-                        failures=tuple(failures),
-                        engine=engine_total,
-                    )
+                    except DeadlineExceededError as exc:
+                        engine_total.merge(tier.engine_stats - before)
+                        tier.breaker.record_failure()
+                        failures.append((tier.name, str(exc)))
+                        out_of_time = True
+                        break
+                    except Exception as exc:  # noqa: BLE001 - ladder boundary
+                        engine_total.merge(tier.engine_stats - before)
+                        tier.breaker.record_failure()
+                        failures.append(
+                            (tier.name, f"{type(exc).__name__}: {exc}")
+                        )
+                        if not self._retry.should_retry(attempt, exc):
+                            break
+                        # Backoff is capped at the remaining budget so a
+                        # sleep can never overshoot the deadline; a spent
+                        # budget means stop retrying, not sleep-then-fail.
+                        backoff = self._retry.delay(attempt, deadline=budget)
+                        if budget.remaining() <= 0.0:
+                            failures.append(
+                                (tier.name, "retry abandoned: deadline exhausted")
+                            )
+                            break
+                        if backoff > 0:
+                            self._sleep(backoff)
+                    else:
+                        engine_total.merge(tier.engine_stats - before)
+                        tier.breaker.record_success()
+                        return QueryOutcome(
+                            pattern=pattern,
+                            count=count,
+                            tier=tier.name,
+                            tier_index=index,
+                            error_model=model,
+                            threshold=threshold,
+                            reliable=reliable,
+                            elapsed=self._clock() - started,
+                            attempts=attempts,
+                            failures=tuple(failures),
+                            engine=engine_total,
+                        )
+            finally:
+                if guarded:
+                    tier_guard.release(tier)
         raise AllTiersFailedError(pattern, failures)
 
     def query_many(self, patterns: Sequence[str]) -> List[QueryOutcome]:

@@ -14,7 +14,8 @@ backoff advances simulated time instead of blocking).
 from __future__ import annotations
 
 import random
-from typing import Optional
+import threading
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import (
     AlphabetError,
@@ -26,6 +27,9 @@ from ..errors import (
 #: Failures that will recur identically on retry: bad input, spent budget.
 _NON_TRANSIENT = (PatternError, InvalidParameterError, AlphabetError,
                   DeadlineExceededError)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .deadline import Deadline
 
 
 def is_transient(error: BaseException) -> bool:
@@ -70,22 +74,36 @@ class RetryPolicy:
         self._multiplier = multiplier
         self._jitter = jitter
         self._rng = random.Random(seed)
+        # One policy instance may back every tier of a concurrent server;
+        # the lock keeps the seeded jitter stream race-free (the *sequence*
+        # of draws still depends on caller interleaving).
+        self._rng_lock = threading.Lock()
 
     @classmethod
     def none(cls) -> "RetryPolicy":
         """Single attempt, no backoff."""
         return cls(max_attempts=1, base_delay=0.0)
 
-    def delay(self, attempt: int) -> float:
-        """Backoff (seconds) to take after failed attempt number ``attempt``."""
+    def delay(self, attempt: int, deadline: "Deadline | None" = None) -> float:
+        """Backoff (seconds) to take after failed attempt number ``attempt``.
+
+        When ``deadline`` is given the computed delay is capped at
+        :meth:`Deadline.remaining() <repro.service.deadline.Deadline.remaining>`
+        — a backoff sleep must never overshoot the per-query budget. A cap
+        of zero means the budget is spent and the caller should stop
+        retrying.
+        """
         if attempt < 1:
             raise InvalidParameterError(f"attempt numbers start at 1, got {attempt}")
         raw = min(
             self._max_delay, self._base_delay * self._multiplier ** (attempt - 1)
         )
-        if raw <= 0.0 or self._jitter == 0.0:
-            return raw
-        return raw * (1.0 - self._jitter * self._rng.random())
+        if raw > 0.0 and self._jitter != 0.0:
+            with self._rng_lock:
+                raw *= 1.0 - self._jitter * self._rng.random()
+        if deadline is not None:
+            raw = min(raw, max(0.0, deadline.remaining()))
+        return raw
 
     def should_retry(self, attempt: int, error: BaseException) -> bool:
         """Whether to attempt again after failure number ``attempt``."""

@@ -1,0 +1,587 @@
+"""The concurrent serving front: admission, bulkheads, hedging, drain.
+
+:class:`QueryServer` is the thread-safe face of a
+:class:`~repro.service.resilient.ResilientEstimator`. Where the ladder
+decides *which tier* answers a query, the server decides *whether and
+how* the query runs at all:
+
+* **admission control** — a :class:`~repro.service.admission.TokenBucket`
+  rate limiter plus a bounded in-flight pool with a bounded, deadline-aware
+  wait queue. A refused query is not dropped: it is **shed** to the
+  ladder's always-available statistics tier and answered with a sound
+  upper bound, reported as a :class:`~repro.service.outcome.ShedOutcome`
+  naming the reason. Accuracy degrades before availability does.
+* **bulkheads** — one semaphore per tier bounds how many threads may be
+  inside each tier at once, so a stalled CPST cannot exhaust the workers
+  APX or the q-gram table need. A saturated bulkhead makes the ladder
+  degrade past the tier (reason ``"skipped: bulkhead saturated"``), never
+  block on it.
+* **hedged queries** — instead of waiting for the primary to *fail*, the
+  server can fire the next tier after a latency percentile of the
+  current one (tracked per tier, with a configurable floor). First
+  contract-valid answer wins; losers are cancelled cooperatively through
+  :class:`~repro.service.deadline.CancellableDeadline` — their next
+  per-extension deadline check aborts the search. Hedging replaces the
+  retry policy: the next tier *is* the retry.
+* **corruption watchdog** — an optional
+  :class:`~repro.service.watchdog.CorruptionWatchdog` runs low-rate
+  differential probes in the background and quarantines/rebuilds tiers
+  that contradict their error contracts.
+* **graceful drain** — :meth:`QueryServer.drain` sheds new arrivals while
+  in-flight queries finish; :meth:`QueryServer.close` drains, stops the
+  watchdog and the hedge workers, and makes further queries raise
+  :class:`~repro.errors.ServerClosedError`.
+
+Thread-safety contract
+----------------------
+``QueryServer.query`` is safe from any number of threads. Underneath:
+breakers, the admission controller, the token bucket, bulkheads and the
+latency tracker all take internal locks; each tier's planner serialises
+its own walks (parallelism comes from *different* tiers running in
+different threads, bounded per-tier by the bulkheads); the retry RNG is
+lock-protected. Per-query ``engine`` deltas are best-effort under
+concurrency.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..errors import (
+    AllTiersFailedError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    PatternError,
+    ServerClosedError,
+)
+from .admission import AdmissionController, AdmissionStats, TokenBucket
+from .deadline import CancellableDeadline, Clock, Deadline
+from .outcome import QueryOutcome, ShedOutcome
+from .resilient import ResilientEstimator
+from .tiers import Tier, TierDeclined
+from .watchdog import CorruptionWatchdog
+
+
+class Bulkhead:
+    """Per-tier concurrency caps with non-blocking (or bounded) acquisition.
+
+    Implements the ladder's ``TierGuard`` protocol: ``acquire(tier)``
+    returns False — and counts a saturation — when the tier is full,
+    making callers degrade past it instead of piling up behind it.
+    """
+
+    def __init__(
+        self,
+        limits: Mapping[str, int],
+        *,
+        default_limit: Optional[int] = None,
+        wait: float = 0.0,
+    ):
+        for name, limit in limits.items():
+            if limit < 1:
+                raise InvalidParameterError(
+                    f"bulkhead limit for {name!r} must be >= 1, got {limit}"
+                )
+        if default_limit is not None and default_limit < 1:
+            raise InvalidParameterError(
+                f"default_limit must be >= 1 or None, got {default_limit}"
+            )
+        if wait < 0:
+            raise InvalidParameterError(f"wait must be >= 0, got {wait}")
+        self._limits = dict(limits)
+        self._default_limit = default_limit
+        self._wait = wait
+        self._semaphores: Dict[str, threading.BoundedSemaphore] = {}
+        self._lock = threading.Lock()
+        self.saturation: Dict[str, int] = {}
+
+    def _semaphore(self, name: str) -> Optional[threading.BoundedSemaphore]:
+        with self._lock:
+            if name in self._semaphores:
+                return self._semaphores[name]
+            limit = self._limits.get(name, self._default_limit)
+            if limit is None:
+                return None
+            semaphore = threading.BoundedSemaphore(limit)
+            self._semaphores[name] = semaphore
+            return semaphore
+
+    def acquire(self, tier: Tier) -> bool:
+        semaphore = self._semaphore(tier.name)
+        if semaphore is None:
+            return True
+        if self._wait > 0:
+            admitted = semaphore.acquire(timeout=self._wait)
+        else:
+            admitted = semaphore.acquire(blocking=False)
+        if not admitted:
+            with self._lock:
+                self.saturation[tier.name] = (
+                    self.saturation.get(tier.name, 0) + 1
+                )
+        return admitted
+
+    def release(self, tier: Tier) -> None:
+        semaphore = self._semaphore(tier.name)
+        if semaphore is not None:
+            semaphore.release()
+
+
+class LatencyTracker:
+    """Sliding-window latency percentiles per tier (thread-safe)."""
+
+    def __init__(self, window: int = 64):
+        if window < 1:
+            raise InvalidParameterError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._samples: Dict[str, deque] = {}
+        self._lock = threading.Lock()
+
+    def record(self, key: str, seconds: float) -> None:
+        with self._lock:
+            bucket = self._samples.get(key)
+            if bucket is None:
+                bucket = self._samples[key] = deque(maxlen=self._window)
+            bucket.append(seconds)
+
+    def percentile(self, key: str, pct: float, min_samples: int = 8
+                   ) -> Optional[float]:
+        """The ``pct``-th percentile, or None below ``min_samples``."""
+        with self._lock:
+            bucket = self._samples.get(key)
+            if bucket is None or len(bucket) < min_samples:
+                return None
+            ordered = sorted(bucket)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+
+@dataclass
+class ServerStats:
+    """One snapshot of the serving front's counters."""
+
+    admission: AdmissionStats
+    inflight: int
+    bulkhead_saturation: Dict[str, int]
+    hedges_fired: int
+    hedge_wins: int
+    served: int
+    shed: int
+    watchdog_rounds: int
+    watchdog_events: int
+
+    def summary(self) -> str:
+        saturation = (
+            ", ".join(f"{k}={v}" for k, v in
+                      sorted(self.bulkhead_saturation.items())) or "none"
+        )
+        return (
+            f"served {self.served}, shed {self.shed} "
+            f"(rate {self.admission.rate_limited}, "
+            f"queue {self.admission.queue_full + self.admission.queue_timeout}, "
+            f"drain {self.admission.drained}); "
+            f"hedges {self.hedges_fired} fired/{self.hedge_wins} won; "
+            f"bulkhead saturation: {saturation}; "
+            f"watchdog {self.watchdog_rounds} rounds/"
+            f"{self.watchdog_events} events"
+        )
+
+
+class QueryServer:
+    """Thread-safe serving front over a degradation ladder.
+
+    Parameters
+    ----------
+    service:
+        The ladder to serve. It must contain an ``always_available`` tier
+        (the shedding target); :func:`build_default_ladder` provides one.
+    max_concurrent / max_waiting / max_wait:
+        Admission pool size, wait-queue bound and the longest a query may
+        queue (also capped by its own deadline).
+    rate / burst:
+        Token-bucket rate limit in queries/second (None disables).
+    bulkhead_limits / bulkhead_default / bulkhead_wait:
+        Per-tier concurrency caps (name → limit), the cap for unlisted
+        tiers (None = unbounded) and how long to wait for a slot before
+        degrading past the tier (0 = never block).
+    hedge_after / hedge_percentile:
+        Enable hedged queries: fire the next tier once the current one has
+        been running for its ``hedge_percentile``-th latency percentile
+        (floored at ``hedge_after`` seconds). ``None`` disables hedging.
+    watchdog:
+        Optional :class:`CorruptionWatchdog`; started with the server's
+        :meth:`start` and stopped by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        service: ResilientEstimator,
+        *,
+        max_concurrent: int = 8,
+        max_waiting: int = 16,
+        max_wait: float = 0.05,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        bulkhead_limits: Optional[Mapping[str, int]] = None,
+        bulkhead_default: Optional[int] = None,
+        bulkhead_wait: float = 0.0,
+        hedge_after: Optional[float] = None,
+        hedge_percentile: float = 95.0,
+        watchdog: Optional[CorruptionWatchdog] = None,
+        clock: Clock = time.monotonic,
+    ):
+        self._service = service
+        self._shed_tiers = [
+            (index, tier) for index, tier in enumerate(service.tiers)
+            if tier.always_available
+        ]
+        if not self._shed_tiers:
+            raise InvalidParameterError(
+                "QueryServer needs a ladder with an always-available tier "
+                "to shed load onto"
+            )
+        bucket = None
+        if rate is not None:
+            bucket = TokenBucket(rate, burst if burst is not None else
+                                 max(1.0, rate), clock=clock)
+        self._admission = AdmissionController(
+            max_concurrent=max_concurrent,
+            max_waiting=max_waiting,
+            max_wait=max_wait,
+            bucket=bucket,
+        )
+        self._bulkhead = Bulkhead(
+            bulkhead_limits or {},
+            default_limit=bulkhead_default,
+            wait=bulkhead_wait,
+        )
+        if hedge_after is not None and hedge_after <= 0:
+            raise InvalidParameterError(
+                f"hedge_after must be > 0 or None, got {hedge_after}"
+            )
+        self._hedge_after = hedge_after
+        self._hedge_percentile = hedge_percentile
+        self._latency = LatencyTracker()
+        self._watchdog = watchdog
+        self._clock = clock
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._served = 0
+        self._shed = 0
+        self._hedges_fired = 0
+        self._hedge_wins = 0
+        self._closed = False
+        self._draining = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def service(self) -> ResilientEstimator:
+        """The wrapped ladder."""
+        return self._service
+
+    @property
+    def watchdog(self) -> Optional[CorruptionWatchdog]:
+        """The attached corruption watchdog, if any."""
+        return self._watchdog
+
+    def start(self) -> "QueryServer":
+        """Start background machinery (the watchdog thread, if attached)."""
+        if self._watchdog is not None:
+            self._watchdog.start()
+        return self
+
+    def drain(self, timeout: Optional[float] = 5.0) -> bool:
+        """Shed new arrivals and wait for in-flight queries to finish."""
+        self._draining = True
+        self._admission.set_draining(True)
+        return self._admission.wait_idle(timeout)
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = 5.0
+              ) -> None:
+        """Drain (optionally), stop the watchdog and refuse further queries."""
+        if drain:
+            self.drain(timeout)
+        else:
+            self._admission.set_draining(True)
+        if self._watchdog is not None:
+            self._watchdog.stop()
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+                self._executor = None
+        self._closed = True
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- statistics -----------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        """Snapshot of the serving front's counters."""
+        with self._counter_lock:
+            served, shed = self._served, self._shed
+            fired, wins = self._hedges_fired, self._hedge_wins
+        return ServerStats(
+            admission=self._admission.stats(),
+            inflight=self._admission.inflight,
+            bulkhead_saturation=dict(self._bulkhead.saturation),
+            hedges_fired=fired,
+            hedge_wins=wins,
+            served=served,
+            shed=shed,
+            watchdog_rounds=(
+                self._watchdog.rounds if self._watchdog is not None else 0
+            ),
+            watchdog_events=(
+                len(self._watchdog.events) if self._watchdog is not None else 0
+            ),
+        )
+
+    # -- serving --------------------------------------------------------------
+
+    def query(
+        self,
+        pattern: str,
+        *,
+        deadline: Union[Deadline, float, None] = None,
+    ) -> Union[QueryOutcome, ShedOutcome]:
+        """Serve one pattern; never blocks past admission + deadline bounds.
+
+        Returns a :class:`QueryOutcome` when the ladder ran, or a
+        :class:`ShedOutcome` when admission control answered from the
+        always-available tier instead. Raises
+        :class:`~repro.errors.ServerClosedError` after :meth:`close`.
+        """
+        if self._closed:
+            raise ServerClosedError("QueryServer is closed")
+        if not isinstance(pattern, str) or not pattern:
+            raise PatternError("pattern must be a non-empty string")
+        started = self._clock()
+        if isinstance(deadline, Deadline):
+            budget = deadline
+        else:
+            budget = Deadline(deadline, self._clock) if deadline is not None \
+                else Deadline(self._service._deadline_seconds, self._clock)
+        reason = self._admission.admit(budget)
+        if reason is not None:
+            return self._shed_answer(pattern, reason, started)
+        try:
+            if self._hedge_after is not None:
+                outcome = self._query_hedged(pattern, budget, started)
+            else:
+                outcome = self._service.query(
+                    pattern, deadline=budget, tier_guard=self._bulkhead
+                )
+                self._latency.record(outcome.tier, outcome.elapsed)
+            with self._counter_lock:
+                self._served += 1
+            return outcome
+        finally:
+            self._admission.release()
+
+    def query_many(
+        self, patterns: List[str]
+    ) -> List[Union[QueryOutcome, ShedOutcome]]:
+        """Serve a batch sequentially (each under its own admission slot)."""
+        return [self.query(pattern) for pattern in patterns]
+
+    def _shed_answer(
+        self, pattern: str, reason: str, started: float
+    ) -> ShedOutcome:
+        """Answer from the always-available tier without running the ladder."""
+        _, tier = self._shed_tiers[0]
+        count, model, threshold, _reliable = tier.answer(pattern, None)
+        with self._counter_lock:
+            self._shed += 1
+        return ShedOutcome(
+            pattern=pattern,
+            count=count,
+            tier=tier.name,
+            error_model=model,
+            threshold=threshold,
+            reason=reason,
+            elapsed=self._clock() - started,
+        )
+
+    # -- hedged execution -----------------------------------------------------
+
+    def _hedge_delay(self, tier: Tier) -> float:
+        """How long to let ``tier`` run before firing the next tier."""
+        assert self._hedge_after is not None
+        observed = self._latency.percentile(tier.name, self._hedge_percentile)
+        if observed is None:
+            return self._hedge_after
+        return max(self._hedge_after, observed)
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(4, 2 * len(self._service.tiers)),
+                    thread_name_prefix="repro-hedge",
+                )
+            return self._executor
+
+    def _query_hedged(
+        self, pattern: str, budget: Deadline, started: float
+    ) -> QueryOutcome:
+        """Ladder walk with speculative (hedged) tier attempts.
+
+        Tier ``i+1`` launches when tier ``i`` has been running for its
+        hedge delay *or* has definitively failed/declined. The first
+        successful answer wins; every other in-flight attempt is cancelled
+        through its :class:`CancellableDeadline`. Losers finishing after
+        the winner still record their breaker outcome (a genuine success
+        or failure is information regardless of the race) except when they
+        lost purely to cancellation.
+        """
+        tiers = self._service.tiers
+        executor = self._ensure_executor()
+        results: "queue.Queue[Tuple[str, int, object, float]]" = queue.Queue()
+        cancels: List[CancellableDeadline] = []
+        failures: List[Tuple[str, str]] = []
+        launched = 0
+        outstanding = 0
+        next_index = 0
+
+        def try_launch() -> bool:
+            """Launch the next launchable tier; False when none remain."""
+            nonlocal launched, outstanding, next_index
+            while next_index < len(tiers):
+                index = next_index
+                next_index += 1
+                tier = tiers[index]
+                if tier.quarantined:
+                    failures.append((
+                        tier.name,
+                        f"skipped: quarantined ({tier.quarantine_reason})",
+                    ))
+                    continue
+                if not tier.breaker.allow():
+                    failures.append((
+                        tier.name,
+                        f"skipped: circuit {tier.breaker.state.value}",
+                    ))
+                    continue
+                cancel = CancellableDeadline.from_deadline(budget)
+                cancels.append(cancel)
+                executor.submit(
+                    self._hedge_attempt, tier, index, pattern, cancel, results
+                )
+                launched += 1
+                outstanding += 1
+                return True
+            return False
+
+        try_launch()
+        winner: Optional[Tuple[int, tuple, float]] = None
+        while outstanding > 0 or next_index < len(tiers):
+            if outstanding == 0:
+                if not try_launch():
+                    break
+                continue
+            timeout: Optional[float] = None
+            if next_index < len(tiers):
+                # Hedge timer: the *most recently launched* tier's budget.
+                timeout = self._hedge_delay(tiers[next_index - 1])
+            try:
+                kind, index, payload, elapsed = results.get(timeout=timeout)
+            except queue.Empty:
+                # Hedge fires: the running tier is slow, launch the next
+                # one without waiting for it to fail.
+                if try_launch():
+                    with self._counter_lock:
+                        self._hedges_fired += 1
+                continue
+            outstanding -= 1
+            if kind == "ok":
+                winner = (index, payload, elapsed)  # type: ignore[assignment]
+                break
+            if kind != "cancelled":
+                failures.append((tiers[index].name, str(payload)))
+            if outstanding == 0:
+                try_launch()
+        for cancel in cancels:
+            cancel.cancel()
+        if winner is None:
+            raise AllTiersFailedError(pattern, failures)
+        index, payload, _elapsed = winner
+        count, model, threshold, reliable = payload
+        with self._counter_lock:
+            if index > 0:
+                self._hedge_wins += 1
+        return QueryOutcome(
+            pattern=pattern,
+            count=count,
+            tier=tiers[index].name,
+            tier_index=index,
+            error_model=model,
+            threshold=threshold,
+            reliable=reliable,
+            elapsed=self._clock() - started,
+            attempts=launched,
+            failures=tuple(failures),
+            engine=None,  # attempts overlap; per-query deltas would lie
+            hedged=launched > 1,
+        )
+
+    def _hedge_attempt(
+        self,
+        tier: Tier,
+        index: int,
+        pattern: str,
+        cancel: CancellableDeadline,
+        results: "queue.Queue[Tuple[str, int, object, float]]",
+    ) -> None:
+        """One speculative tier attempt, run on the hedge executor."""
+        attempt_started = self._clock()
+        guarded = not tier.always_available
+        if guarded and not self._bulkhead.acquire(tier):
+            results.put(
+                ("skip", index, "skipped: bulkhead saturated", 0.0)
+            )
+            return
+        try:
+            effective = None if tier.always_available else cancel
+            payload = tier.answer(pattern, effective)
+        except TierDeclined:
+            tier.breaker.record_success()
+            results.put((
+                "declined", index, "declined: cannot certify",
+                self._clock() - attempt_started,
+            ))
+        except DeadlineExceededError as exc:
+            if cancel.cancelled:
+                results.put(("cancelled", index, str(exc), 0.0))
+            else:
+                tier.breaker.record_failure()
+                results.put((
+                    "deadline", index, str(exc),
+                    self._clock() - attempt_started,
+                ))
+        except Exception as exc:  # noqa: BLE001 - hedge boundary
+            tier.breaker.record_failure()
+            results.put((
+                "fail", index, f"{type(exc).__name__}: {exc}",
+                self._clock() - attempt_started,
+            ))
+        else:
+            elapsed = self._clock() - attempt_started
+            tier.breaker.record_success()
+            self._latency.record(tier.name, elapsed)
+            results.put(("ok", index, payload, elapsed))
+        finally:
+            if guarded:
+                self._bulkhead.release(tier)

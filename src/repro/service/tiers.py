@@ -16,6 +16,7 @@ sound (if loose) answer, even after the deadline has expired.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Optional, Tuple
 
@@ -95,6 +96,14 @@ class Tier:
     ``[0, n - |P| + 1]``; an out-of-range value (e.g. from a corrupted
     backend) raises :class:`~repro.errors.IndexCorruptedError` and drops
     the tier's memoised cache, so a retry recomputes from scratch.
+
+    A tier can also be **quarantined** (see
+    :class:`~repro.service.watchdog.CorruptionWatchdog`): the ladder skips
+    a quarantined tier unconditionally until :meth:`readmit` is called,
+    and :meth:`replace_estimator` swaps in a freshly rebuilt backend with
+    a clean memo cache. Quarantine flags and estimator swaps are guarded
+    by an internal lock so the watchdog thread and serving threads can
+    race safely.
     """
 
     def __init__(
@@ -112,7 +121,45 @@ class Tier:
         self.certified_only = certified_only
         self.always_available = always_available
         self.breaker = breaker
+        self._max_states = max_states
+        self._lock = threading.RLock()
+        self._quarantined = False
+        self._quarantine_reason = ""
         self._counter = SuffixSharingCounter(estimator, max_states=max_states)
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether the watchdog has pulled this tier out of service."""
+        return self._quarantined
+
+    @property
+    def quarantine_reason(self) -> str:
+        """Why the tier was quarantined (empty when in service)."""
+        return self._quarantine_reason
+
+    def quarantine(self, reason: str) -> None:
+        """Pull the tier out of the ladder until :meth:`readmit`."""
+        with self._lock:
+            self._quarantined = True
+            self._quarantine_reason = reason
+
+    def readmit(self) -> None:
+        """Return the tier to service."""
+        with self._lock:
+            self._quarantined = False
+            self._quarantine_reason = ""
+
+    def replace_estimator(self, estimator: OccurrenceEstimator) -> None:
+        """Swap in a rebuilt backend with a fresh (empty) memo cache.
+
+        In-flight answers from the old backend complete against the old
+        counter; new queries see only the replacement.
+        """
+        with self._lock:
+            self.estimator = estimator
+            self._counter = SuffixSharingCounter(
+                estimator, max_states=self._max_states
+            )
 
     @property
     def engine_stats(self):

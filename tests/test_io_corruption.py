@@ -140,16 +140,29 @@ class TestVersion1Compat:
         index = FMIndex(TEXT)
         path = tmp_path / "legacy.ridx"
         self._write_v1(path, index)
-        with pytest.warns(DeprecationWarning, match="version 1"):
+        with pytest.warns(UserWarning, match="version 1"):
             loaded = load_index(path)
         for pattern in ("quick", "lazy", "absent!"):
             assert loaded.count(pattern) == index.count(pattern)
+
+    def test_strict_mode_rejects_v1(self, tmp_path):
+        index = FMIndex(TEXT)
+        path = tmp_path / "legacy.ridx"
+        self._write_v1(path, index)
+        with pytest.raises(IndexCorruptedError, match="version 1"):
+            load_index(path, strict=True)
+
+    def test_strict_mode_accepts_v2(self, tmp_path):
+        index = FMIndex(TEXT)
+        path = save_index(index, tmp_path / "current.ridx")
+        loaded = load_index(path, strict=True)
+        assert loaded.count("quick") == index.count("quick")
 
     def test_resaving_v1_upgrades_to_v2(self, tmp_path):
         index = FMIndex(TEXT)
         legacy = tmp_path / "legacy.ridx"
         self._write_v1(legacy, index)
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(UserWarning):
             loaded = load_index(legacy)
         upgraded = save_index(loaded, tmp_path / "upgraded.ridx")
         raw = upgraded.read_bytes()

@@ -139,6 +139,88 @@ class TestRetryPolicy:
         assert not policy.should_retry(2, RuntimeError())
         assert not policy.should_retry(1, PatternError("bad"))
 
+    def test_delay_capped_at_remaining_deadline(self):
+        clock = ManualClock()
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=10.0, jitter=0.0, max_delay=60.0,
+        )
+        budget = Deadline(2.0, clock)
+        clock.advance(1.5)
+        assert policy.delay(1, deadline=budget) == pytest.approx(0.5)
+        # An unbounded deadline imposes no cap.
+        assert policy.delay(1, deadline=Deadline(None, clock)) == 10.0
+        assert policy.delay(1) == 10.0
+
+    def test_delay_is_zero_once_deadline_spent(self):
+        clock = ManualClock()
+        policy = RetryPolicy(max_attempts=5, base_delay=10.0, jitter=0.0)
+        budget = Deadline(1.0, clock)
+        clock.advance(2.0)
+        assert policy.delay(1, deadline=budget) == 0.0
+
+    def test_ladder_stops_retrying_when_deadline_spent(self):
+        # The backoff sleep must never overshoot the deadline, and a spent
+        # budget ends the retry loop instead of sleeping first.
+        clock = ManualClock()
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        flaky = StubEstimator(error=RuntimeError("transient"))
+        service = ResilientEstimator(
+            [Tier(flaky, "flaky"),
+             Tier(TextStatsEstimator(TEXT), "stats", always_available=True)],
+            deadline_seconds=1.0,
+            retry=RetryPolicy(
+                max_attempts=10, base_delay=0.6, jitter=0.0, max_delay=5.0,
+            ),
+            clock=clock,
+            sleep=sleep,
+        )
+        outcome = service.query("abra")
+        assert outcome.tier == "stats"
+        # First backoff (0.6s) fits the budget; the capped second sleep
+        # lands exactly on the deadline, then the loop stops retrying.
+        assert sleeps == [pytest.approx(0.6), pytest.approx(0.4)]
+        assert sum(sleeps) <= 1.0
+        # The loop ended because the budget ran out, not by attempt count.
+        assert flaky.calls < 10
+        assert any("deadline" in reason for name, reason in outcome.failures
+                   if name == "flaky")
+
+    def test_retry_abandoned_when_failure_consumes_budget(self):
+        # A tier whose failing call itself burns the whole budget: the
+        # ladder must not sleep at all — it abandons the retry and moves on.
+        clock = ManualClock()
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        class BudgetBurner(StubEstimator):
+            def count(self, pattern):
+                self.calls += 1
+                clock.advance(2.0)
+                raise RuntimeError("transient")
+
+        burner = BudgetBurner()
+        service = ResilientEstimator(
+            [Tier(burner, "burner"),
+             Tier(TextStatsEstimator(TEXT), "stats", always_available=True)],
+            deadline_seconds=1.0,
+            retry=RetryPolicy(max_attempts=10, base_delay=0.6, jitter=0.0),
+            clock=clock,
+            sleep=sleep,
+        )
+        outcome = service.query("abra")
+        assert outcome.tier == "stats"
+        assert burner.calls == 1
+        assert sleeps == []
+        assert ("burner", "retry abandoned: deadline exhausted") in outcome.failures
+
 
 class TestCircuitBreaker:
     def _breaker(self, clock, **overrides):
@@ -205,6 +287,80 @@ class TestCircuitBreaker:
         ):
             with pytest.raises(InvalidParameterError):
                 self._breaker(ManualClock(), **kwargs)
+
+    def test_half_open_admits_exactly_trial_calls_probes(self):
+        clock = ManualClock()
+        breaker = self._breaker(clock, trial_calls=3)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(30.0)
+        # Single-threaded permit accounting: only trial_calls allow()s pass.
+        admitted = sum(1 for _ in range(10) if breaker.allow())
+        assert admitted == 3
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_force_open_and_force_close(self):
+        clock = ManualClock()
+        breaker = self._breaker(clock)
+        breaker.force_open()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        # Unlike a failure-driven open, force_open survives the reset
+        # timeout only as far as half-open — force_close ends it outright.
+        breaker.force_close()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+        assert breaker.failure_rate() == 0.0
+
+
+class TestCircuitBreakerConcurrency:
+    """The half-open state is a concurrency funnel: under N threads
+    hammering allow()/record(), exactly trial_calls probes may pass."""
+
+    def test_n_threads_through_half_open_admit_exactly_trial_calls(self):
+        import threading
+
+        clock = ManualClock()
+        trial_calls = 4
+        breaker = CircuitBreaker(
+            window=8, min_calls=4, failure_threshold=0.5,
+            reset_timeout=1.0, trial_calls=trial_calls, clock=clock,
+        )
+        for _ in range(8):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(1.5)  # cooldown over: next allow() goes half-open
+
+        n_threads = 16
+        attempts_per_thread = 50
+        admitted = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            mine = 0
+            for _ in range(attempts_per_thread):
+                if breaker.allow():
+                    mine += 1
+            with lock:
+                admitted.append(mine)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads)
+        # Exactly trial_calls probes admitted across all threads combined.
+        assert sum(admitted) == trial_calls
+        assert breaker.state is BreakerState.HALF_OPEN
+        # The admitted probes all succeed -> the breaker closes; further
+        # traffic flows freely again.
+        for _ in range(trial_calls):
+            breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
 
 
 class TestTextStatsEstimator:

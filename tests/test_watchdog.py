@@ -1,0 +1,272 @@
+"""Corruption-watchdog tests, ending in the end-to-end acceptance chaos
+test: a silently bit-flipped CPST tier is detected by differential probes,
+quarantined, rebuilt from text and readmitted — while a 16-thread workload
+through the QueryServer keeps returning only contract-valid answers, with
+zero lost or duplicated replies.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.core import CompactPrunedSuffixTree
+from repro.errors import InvalidParameterError
+from repro.service import (
+    BreakerState,
+    CorruptionWatchdog,
+    FaultSpec,
+    FaultyIndex,
+    QueryOutcome,
+    QueryServer,
+    ShedOutcome,
+    build_default_ladder,
+    default_rebuilders,
+    probes_from_text,
+)
+from repro.textutil import Text, mixed_workload
+
+pytestmark = pytest.mark.chaos
+
+SEED = 1234
+TEXT = Text("abracadabra_the_quick_brown_fox_" * 30)
+L = 8
+PROBES = probes_from_text(TEXT, per_length=4, seed=SEED)
+WORKLOAD = mixed_workload(TEXT, per_length=8, seed=SEED)
+TRUTH = {pattern: TEXT.count_naive(pattern) for pattern in WORKLOAD}
+
+
+def _bitflip_primary(seed=7):
+    """A CPST whose every count comes back silently bit-flipped."""
+    spec = FaultSpec(corrupt_rate=1.0, corrupt_mode="bitflip")
+    return FaultyIndex(
+        CompactPrunedSuffixTree(TEXT, L),
+        {"count_or_none": spec, "automaton_count": spec},
+        seed=seed,
+    )
+
+
+def _service(primary=None):
+    return build_default_ladder(TEXT, L, primary=primary, deadline_seconds=5.0)
+
+
+class TestBitflipMode:
+    def test_bitflip_is_silent_but_wrong(self):
+        # The corrupted counts stay feasible (>= 0, near the truth), so the
+        # ladder's feasibility check cannot catch them — only a
+        # differential probe against a recorded truth can. Probe the
+        # certified region (truth >= L), where the uncorrupted CPST is
+        # exact, so any deviation is the injected flip.
+        faulty = _bitflip_primary()
+        checked = 0
+        for pattern, truth in PROBES.items():
+            if truth < L:
+                continue
+            observed = faulty.count_or_none(pattern)
+            if observed is None:
+                continue
+            checked += 1
+            assert observed >= 0
+            assert observed != truth
+            assert abs(observed - truth) in (1, 2, 4)  # a low-bit flip
+        assert checked > 0
+
+    def test_corrupt_mode_validated(self):
+        with pytest.raises(InvalidParameterError, match="corrupt_mode"):
+            FaultSpec(corrupt_rate=0.5, corrupt_mode="nonsense")
+
+
+class TestProbeRounds:
+    def test_healthy_ladder_produces_no_events(self):
+        service = _service()
+        watchdog = CorruptionWatchdog(
+            service, PROBES, probes_per_round=8, seed=SEED
+        )
+        for _ in range(3):
+            findings = watchdog.run_probe_round()
+            assert all(finding.ok for finding in findings)
+        assert watchdog.events == []
+        assert watchdog.rounds == 3
+        assert not any(tier.quarantined for tier in service.tiers)
+
+    def test_corrupt_tier_quarantined_without_rebuilder(self):
+        service = _service(primary=_bitflip_primary())
+        watchdog = CorruptionWatchdog(
+            service, PROBES, probes_per_round=8, seed=SEED
+        )
+        watchdog.run_probe_round()
+        cpst = service.tiers[0]
+        assert cpst.quarantined
+        assert cpst.breaker.state is BreakerState.OPEN
+        (event,) = watchdog.events
+        assert event.tier == "cpst" and not event.rebuilt
+        # The quarantined tier is skipped; queries still get answers.
+        outcome = service.query("abra")
+        assert outcome.tier != "cpst"
+        assert ("cpst", [])[0] in [name for name, _ in outcome.failures]
+
+    def test_quarantine_rebuild_readmit_cycle(self):
+        service = _service(primary=_bitflip_primary())
+        watchdog = CorruptionWatchdog(
+            service, PROBES,
+            rebuilders=default_rebuilders(TEXT, L),
+            probes_per_round=8, seed=SEED,
+        )
+        watchdog.run_probe_round()
+        (event,) = watchdog.events
+        assert event.rebuilt and event.readmitted
+        assert all(finding.ok for finding in event.verification)
+        cpst = service.tiers[0]
+        assert not cpst.quarantined
+        assert cpst.breaker.state is BreakerState.CLOSED
+        # The rebuilt estimator is the genuine article, and cpst serves.
+        assert isinstance(cpst.estimator, CompactPrunedSuffixTree)
+        outcome = service.query("abracadabra")
+        assert outcome.tier == "cpst"
+        assert outcome.count == TEXT.count_naive("abracadabra")
+
+    def test_background_thread_runs_rounds(self):
+        service = _service()
+        watchdog = CorruptionWatchdog(
+            service, PROBES, probes_per_round=2, interval=0.01, seed=SEED
+        )
+        watchdog.start()
+        try:
+            end = threading.Event()
+            for _ in range(100):
+                if watchdog.rounds >= 2:
+                    break
+                end.wait(0.02)
+        finally:
+            watchdog.stop()
+        assert watchdog.rounds >= 2
+        stopped_at = watchdog.rounds
+        threading.Event().wait(0.05)
+        assert watchdog.rounds == stopped_at  # genuinely stopped
+
+    def test_validation(self):
+        service = _service()
+        with pytest.raises(InvalidParameterError):
+            CorruptionWatchdog(service, {})
+        with pytest.raises(InvalidParameterError):
+            CorruptionWatchdog(service, PROBES, probes_per_round=0)
+        with pytest.raises(InvalidParameterError):
+            CorruptionWatchdog(service, PROBES, interval=0.0)
+
+
+class TestWatchdogAcceptance:
+    """The PR's acceptance scenario, end to end.
+
+    Staging (all deterministic, no sleeps on the assertion path):
+
+    1. the watchdog's differential probes catch the silently bit-flipped
+       CPST tier and quarantine it *before any client traffic* — a silent
+       corruption is feasible-looking by construction, so detection must
+       precede serving for the validity claim to be meaningful;
+    2. the rebuild blocks until the 16-thread workload is in flight, so
+       the workload demonstrably runs while the tier is quarantined and
+       being rebuilt (answers come from the healthy lower tiers);
+    3. the rebuild completes, verification passes, the tier is readmitted
+       mid-workload and serves exact answers again.
+    """
+
+    def test_detect_quarantine_rebuild_readmit_under_16_thread_load(self):
+        service = _service(primary=_bitflip_primary())
+        quarantined_now = threading.Event()
+        workload_running = threading.Event()
+        rebuilders = default_rebuilders(TEXT, L)
+        real_cpst_factory = rebuilders["cpst"]
+
+        def gated_cpst_rebuild():
+            # Called inside the watchdog's quarantine path: the tier is
+            # already quarantined. Hold the rebuild until the workload is
+            # demonstrably running through the degraded ladder.
+            quarantined_now.set()
+            assert workload_running.wait(timeout=30.0)
+            return real_cpst_factory()
+
+        rebuilders["cpst"] = gated_cpst_rebuild
+        watchdog = CorruptionWatchdog(
+            service, PROBES,
+            rebuilders=rebuilders,
+            probes_per_round=8, seed=SEED,
+        )
+        server = QueryServer(
+            service,
+            max_concurrent=16,
+            max_waiting=256,
+            max_wait=5.0,
+            watchdog=watchdog,
+        )
+        n_threads = 16
+        per_thread = [list(WORKLOAD) for _ in range(n_threads)]
+        results = [[] for _ in range(n_threads)]
+        errors = []
+        barrier = threading.Barrier(n_threads + 1)
+
+        def worker(index):
+            barrier.wait()
+            for position, pattern in enumerate(per_thread[index]):
+                try:
+                    results[index].append(server.query(pattern))
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append((pattern, exc))
+                if position == 4:
+                    # The workload is demonstrably in flight while the
+                    # tier is quarantined: let the rebuild proceed.
+                    workload_running.set()
+
+        with server:
+            prober = threading.Thread(target=watchdog.run_probe_round)
+            prober.start()
+            # Detection and quarantine happen before any client traffic.
+            assert quarantined_now.wait(timeout=30.0)
+            assert service.tiers[0].quarantined
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            prober.join(timeout=60.0)
+            assert not any(thread.is_alive() for thread in threads)
+            assert not prober.is_alive()
+
+        # 1. The corruption was detected, the tier quarantined, rebuilt
+        #    from text, and readmitted.
+        assert watchdog.events, "watchdog saw no corruption"
+        event = watchdog.events[0]
+        assert event.tier == "cpst"
+        assert event.rebuilt and event.readmitted
+        cpst = service.tiers[0]
+        assert not cpst.quarantined
+        assert cpst.breaker.state is BreakerState.CLOSED
+
+        # 2. Zero lost or duplicated replies: every thread got exactly one
+        #    reply per pattern it sent, in order.
+        assert errors == []
+        for index in range(n_threads):
+            sent = Counter(per_thread[index])
+            got = Counter(reply.pattern for reply in results[index])
+            assert got == sent
+
+        # 3. Every reply is contract-valid: it names its tier and honors
+        #    the error model it declares, against ground truth.
+        tier_names = {tier.name for tier in service.tiers}
+        for index in range(n_threads):
+            for reply in results[index]:
+                assert isinstance(reply, (QueryOutcome, ShedOutcome))
+                assert reply.tier in tier_names
+                assert reply.contract_holds(
+                    TRUTH[reply.pattern], len(TEXT)
+                ), reply.summary()
+
+        # 4. After readmission the rebuilt primary serves exact answers.
+        post = service.query("abracadabra")
+        assert post.tier == "cpst"
+        assert post.count == TEXT.count_naive("abracadabra")
