@@ -103,3 +103,92 @@ def test_verify_suffix_array_linear(benchmark, english):
 
     ok = benchmark(verify_suffix_array, english.text.data, english.sa)
     assert ok
+
+
+def test_build_pipeline_artifact(english, save_report):
+    """Per-index builds vs one shared BuildContext (sequential and
+    ``max_workers=4``) over the default tier set + FM. Persists the
+    comparison — including the pipeline's own per-stage telemetry — as
+    ``results/build_report.json`` for CI to upload.
+
+    Timing uses ``perf_counter`` directly (one round each, like the
+    figure benches): the assertions are on suffix-sort *counts*, which
+    cannot flake, while the wall-clock numbers are reporting only.
+    """
+    import json
+    import time
+
+    import repro.sa as sa_mod
+    from repro.baselines import FMIndex, QGramIndex
+    from repro.build import BuildContext, IndexSpec, build_all, default_tier_specs
+    from repro.core import ApproxIndex, CompactPrunedSuffixTree
+    from repro.service.tiers import TextStatsEstimator
+
+    text = english.text
+    specs = default_tier_specs(THRESHOLD) + [IndexSpec("fm")]
+
+    sorts = []
+    real = sa_mod.suffix_array
+
+    def counting(*args, **kwargs):
+        sorts.append(1)
+        return real(*args, **kwargs)
+
+    sa_mod.suffix_array = counting
+    try:
+        t0 = time.perf_counter()
+        independent = [
+            CompactPrunedSuffixTree(text, THRESHOLD),
+            ApproxIndex(text, max(2, THRESHOLD - THRESHOLD % 2)),
+            QGramIndex(text, q=max(2, min(THRESHOLD, 8))),
+            TextStatsEstimator(text),
+            FMIndex(text),
+        ]
+        independent_seconds = time.perf_counter() - t0
+        independent_sorts = len(sorts)
+
+        sorts.clear()
+        t0 = time.perf_counter()
+        sequential = build_all(BuildContext(text, name="english"), specs)
+        sequential_seconds = time.perf_counter() - t0
+        sequential_sorts = len(sorts)
+
+        sorts.clear()
+        t0 = time.perf_counter()
+        parallel = build_all(
+            BuildContext(text, name="english"), specs, max_workers=4
+        )
+        parallel_seconds = time.perf_counter() - t0
+        parallel_sorts = len(sorts)
+    finally:
+        sa_mod.suffix_array = real
+
+    # The whole point of the pipeline: one sort, however it is driven.
+    assert sequential_sorts == 1
+    assert parallel_sorts == 1
+    assert independent_sorts > sequential_sorts
+    assert len(independent) == len(specs)
+    probe = text.raw[100:108]
+    assert sequential["fm"].count(probe) == parallel["fm"].count(probe)
+
+    payload = {
+        "corpus": "english",
+        "size": len(text),
+        "threshold": THRESHOLD,
+        "suffix_sorts": {
+            "independent": independent_sorts,
+            "shared_sequential": sequential_sorts,
+            "shared_parallel": parallel_sorts,
+        },
+        "wall_seconds": {
+            "independent": round(independent_seconds, 4),
+            "shared_sequential": round(sequential_seconds, 4),
+            "shared_parallel": round(parallel_seconds, 4),
+        },
+        "sequential_report": sequential.report.as_dict(),
+        "parallel_report": parallel.report.as_dict(),
+    }
+    path = save_report("build_report", json.dumps(payload, indent=2))
+    json_path = path.with_suffix(".json")
+    json_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    assert json_path.exists()

@@ -21,6 +21,11 @@ Main entry points:
 * :class:`CompactPrunedSuffixTree` — paper Section 5, lower-sided error.
 * :class:`FMIndex`, :class:`PrunedSuffixTree`, :class:`PrunedPatriciaTrie`
   — the baselines the paper compares against.
+* :mod:`repro.build` — the unified build pipeline: one shared
+  :class:`BuildContext` per text (suffix array, BWT, LCP, pruned
+  structures computed once, memoised, optionally disk-cached), and
+  :func:`build_all` to build many indexes from it, in parallel, with
+  per-stage telemetry.
 * :mod:`repro.engine` — the backward-search engine: the
   :class:`BackwardSearchAutomaton` protocol every index implements, the
   trie-planned batch executor and its work counters.
@@ -32,6 +37,15 @@ Main entry points:
 """
 
 from .batch import SuffixSharingCounter
+from .build import (
+    ArtifactCache,
+    BuildContext,
+    BuildReport,
+    BuildResult,
+    IndexSpec,
+    build_all,
+    default_tier_specs,
+)
 from .collections import DocumentCollection, Occurrence
 from .engine import (
     AutomatonCapabilities,
@@ -114,6 +128,13 @@ __all__ = [
     "validate_index",
     "ThresholdLadder",
     "fit_threshold",
+    "ArtifactCache",
+    "BuildContext",
+    "BuildReport",
+    "BuildResult",
+    "IndexSpec",
+    "build_all",
+    "default_tier_specs",
     "SuffixSharingCounter",
     "AutomatonCapabilities",
     "BackwardSearchAutomaton",

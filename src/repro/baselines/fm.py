@@ -12,7 +12,7 @@ returns ``(first, last)`` with ``last - first`` occurrences.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
 
@@ -20,9 +20,12 @@ from ..bits import HuffmanWaveletTree, WaveletMatrix, bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
 from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
 from ..errors import InvalidParameterError
-from ..sa import bwt_from_sa, counts_array, suffix_array
+from ..sa import counts_array
 from ..space import SpaceReport
 from ..textutil import Alphabet, Text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build import BuildContext
 
 
 class FMIndex(OccurrenceEstimator, BackwardSearchAutomaton):
@@ -36,14 +39,28 @@ class FMIndex(OccurrenceEstimator, BackwardSearchAutomaton):
         wavelet: str = "huffman",  # huffman | matrix | huffman-rrr | matrix-rrr
         sa_sample_rate: int | None = None,
     ):
-        if isinstance(text, str):
-            text = Text(text)
-        data = text.data
-        sa = suffix_array(data)
-        bwt = bwt_from_sa(data, sa)
-        self._init_from_bwt(bwt, text.alphabet, wavelet)
+        from ..build import BuildContext
+
+        ctx = BuildContext.of(text)
+        self._init_from_bwt(ctx.bwt, ctx.text.alphabet, wavelet)
         if sa_sample_rate is not None:
-            self._attach_samples(sa, sa_sample_rate)
+            self._attach_samples(ctx.sa, sa_sample_rate)
+
+    @classmethod
+    def from_context(
+        cls,
+        ctx: "BuildContext",
+        wavelet: str = "huffman",
+        sa_sample_rate: int | None = None,
+    ) -> "FMIndex":
+        """Build from a shared :class:`~repro.build.BuildContext`:
+        consumes the memoised BWT (and, when ``sa_sample_rate`` is given,
+        the memoised suffix array for locate/extract samples)."""
+        instance = cls.__new__(cls)
+        instance._init_from_bwt(ctx.bwt, ctx.text.alphabet, wavelet)
+        if sa_sample_rate is not None:
+            instance._attach_samples(ctx.sa, sa_sample_rate)
+        return instance
 
     @classmethod
     def from_bwt(

@@ -19,18 +19,20 @@ paper's criticism. Space is ``Theta((n/l) log n)`` bits: above the
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
 
 import numpy as np
 
 from ..bits import bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
 from ..errors import InvalidParameterError
-from ..sa import lcp_array, suffix_array
 from ..sa.rmq import RangeMinimum
 from ..space import SpaceReport
 from ..suffixtree.intervals import lcp_intervals
 from ..textutil import Alphabet, Text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build import BuildContext
 
 
 class PrunedPatriciaTrie(OccurrenceEstimator):
@@ -38,7 +40,19 @@ class PrunedPatriciaTrie(OccurrenceEstimator):
 
     error_model = ErrorModel.UNIFORM  # only valid when Count(P) >= l/2
 
-    def __init__(self, text: Text | str, l: int):
+    @classmethod
+    def from_context(cls, ctx: "BuildContext", l: int) -> "PrunedPatriciaTrie":
+        """Build from a shared :class:`~repro.build.BuildContext`
+        (consumes the memoised suffix and LCP arrays)."""
+        return cls(ctx.text, l, sa=ctx.sa, lcp=ctx.lcp)
+
+    def __init__(
+        self,
+        text: Text | str,
+        l: int,
+        sa: np.ndarray | None = None,
+        lcp: np.ndarray | None = None,
+    ):
         if isinstance(text, str):
             text = Text(text)
         if l < 2 or l % 2:
@@ -51,8 +65,11 @@ class PrunedPatriciaTrie(OccurrenceEstimator):
         self._sigma = text.sigma
         self._text_length = len(text)
         data = text.data
-        sa = suffix_array(data)
-        lcp = lcp_array(data, sa)
+        if sa is None or lcp is None:
+            from ..build import BuildContext
+
+            ctx = BuildContext.of(text)
+            sa, lcp = ctx.sa, ctx.lcp
         rmq = RangeMinimum(lcp)
         ranks = np.arange(0, sa.size, self._h, dtype=np.int64)
         num_samples = int(ranks.size)

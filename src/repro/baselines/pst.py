@@ -18,7 +18,7 @@ compact variant.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from ..space import SpaceReport
 from ..suffixtree.pruned import PrunedSuffixTreeStructure
 from ..textutil import Alphabet, Text
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build import BuildContext
+
 
 class PrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
     """Explicit-label pruned suffix tree with lower-sided error."""
@@ -36,8 +39,15 @@ class PrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
     error_model = ErrorModel.LOWER_SIDED
 
     def __init__(self, text: Text | str, l: int):
-        structure = PrunedSuffixTreeStructure(text, l)
-        self._init_from_structure(structure)
+        from ..build import BuildContext
+
+        self._init_from_structure(BuildContext.of(text).structure(l))
+
+    @classmethod
+    def from_context(cls, ctx: "BuildContext", l: int) -> "PrunedSuffixTree":
+        """Build from a shared :class:`~repro.build.BuildContext`:
+        consumes the memoised pruned-tree structure for ``l``."""
+        return cls.from_structure(ctx.structure(l))
 
     @classmethod
     def from_structure(cls, structure: PrunedSuffixTreeStructure) -> "PrunedSuffixTree":

@@ -16,7 +16,7 @@ the blow-up with ``q`` is precisely why the pruned-tree line of work wins.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..bits import bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
@@ -24,11 +24,25 @@ from ..errors import InvalidParameterError
 from ..space import SpaceReport
 from ..textutil import Alphabet, Text
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build import BuildContext
+
 
 class QGramIndex(OccurrenceEstimator):
     """Exact counts for patterns of length <= q; unknown beyond."""
 
     error_model = ErrorModel.LOWER_SIDED  # "reliable or detected", by length
+
+    @classmethod
+    def from_context(cls, ctx: "BuildContext", q: int) -> "QGramIndex":
+        """Build from a shared :class:`~repro.build.BuildContext`.
+
+        The table is a raw-text scan (no suffix sorting), so this exists
+        for pipeline uniformity: every index the
+        :func:`~repro.build.build_all` registry knows offers the same
+        ``from_context`` entry point.
+        """
+        return cls(ctx.text, q)
 
     def __init__(self, text: Text | str, q: int):
         if q < 1:

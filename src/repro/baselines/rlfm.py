@@ -21,16 +21,19 @@ Rank decomposition, with ``r`` the run containing position ``i``::
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..bits import EliasFano, HuffmanWaveletTree, bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
 from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
-from ..sa import bwt_from_sa, counts_array, suffix_array
+from ..sa import counts_array
 from ..space import SpaceReport
 from ..textutil import Alphabet, Text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build import BuildContext
 
 
 class RLFMIndex(OccurrenceEstimator, BackwardSearchAutomaton):
@@ -39,11 +42,16 @@ class RLFMIndex(OccurrenceEstimator, BackwardSearchAutomaton):
     error_model = ErrorModel.EXACT
 
     def __init__(self, text: Text | str):
-        if isinstance(text, str):
-            text = Text(text)
-        data = text.data
-        bwt = bwt_from_sa(data, suffix_array(data))
-        self._init_from_bwt(bwt, text.alphabet)
+        from ..build import BuildContext
+
+        ctx = BuildContext.of(text)
+        self._init_from_bwt(ctx.bwt, ctx.text.alphabet)
+
+    @classmethod
+    def from_context(cls, ctx: "BuildContext") -> "RLFMIndex":
+        """Build from a shared :class:`~repro.build.BuildContext`
+        (consumes only the memoised BWT)."""
+        return cls.from_bwt(ctx.bwt, ctx.text.alphabet)
 
     @classmethod
     def from_bwt(cls, bwt: np.ndarray, alphabet: Alphabet) -> "RLFMIndex":

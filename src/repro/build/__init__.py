@@ -1,0 +1,52 @@
+"""The unified build pipeline: one shared context feeding every index.
+
+Construction used to be the most duplicated path in the library — every
+index sorted the same suffixes independently. This package factors it,
+the way Grossi–Orlandi–Raman's succinct-index framework factors one
+underlying string representation under many query structures:
+
+* :class:`BuildContext` — thread-safe, size-accounted memo of the shared
+  artifacts (suffix array, LCP, BWT, pruned structures by threshold).
+* :class:`ArtifactCache` — optional on-disk cache of those artifacts,
+  keyed by the text's SHA-256 content digest with checksummed framing.
+* :func:`build_all` / :class:`IndexSpec` — build many indexes from one
+  context, optionally on a thread pool, with deterministic results.
+* :class:`BuildReport` / :class:`StageRecord` — per-stage wall time,
+  artifact reuse hits and space totals for every run.
+
+Quick start::
+
+    from repro.build import BuildContext, IndexSpec, build_all
+
+    ctx = BuildContext(text)
+    result = build_all(
+        ctx,
+        [IndexSpec("cpst", params={"l": 64}), IndexSpec("fm")],
+        max_workers=4,
+    )
+    result["cpst"].count_or_none("pattern")
+    print(result.report.format())
+"""
+
+from .cache import ArtifactCache
+from .context import BuildContext
+from .pipeline import (
+    BUILDERS,
+    BuildResult,
+    IndexSpec,
+    build_all,
+    default_tier_specs,
+)
+from .report import BuildReport, StageRecord
+
+__all__ = [
+    "ArtifactCache",
+    "BUILDERS",
+    "BuildContext",
+    "BuildReport",
+    "BuildResult",
+    "IndexSpec",
+    "StageRecord",
+    "build_all",
+    "default_tier_specs",
+]

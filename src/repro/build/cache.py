@@ -1,0 +1,112 @@
+"""On-disk artifact cache: suffix sorting survives process restarts.
+
+The :class:`~repro.build.context.BuildContext` memoises artifacts for one
+process lifetime; :class:`ArtifactCache` extends that across runs. Each
+artifact (suffix array, LCP array, BWT) is stored as a checksummed
+``.npy`` blob (:func:`repro.io.save_artifact` — same SHA-256 framing as
+the v2 index format) under a file name keyed by the **text's content
+digest**, so repeated experiment runs and watchdog rebuilds of the same
+corpus skip suffix sorting entirely, and a changed corpus can never
+collide with a stale artifact.
+
+Corrupted or truncated cache files are treated as misses (and counted),
+never as data: the checksummed framing refuses them before a byte
+reaches an index build.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..errors import IndexCorruptedError, ReproError
+from ..io import load_artifact, save_artifact
+
+
+class ArtifactCache:
+    """A directory of checksummed build artifacts keyed by content digest."""
+
+    def __init__(self, directory: str | Path):
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._rejected = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def path_for(self, digest: str, name: str) -> Path:
+        """Cache file for one artifact of one text."""
+        return self._directory / f"{digest}.{name}.repro"
+
+    def load(self, digest: str, name: str) -> Optional[np.ndarray]:
+        """The cached artifact, or ``None`` on a miss.
+
+        A file that fails its integrity check is deleted and reported as
+        a miss — the caller recomputes and overwrites it.
+        """
+        path = self.path_for(digest, name)
+        if not path.exists():
+            with self._lock:
+                self._misses += 1
+            return None
+        try:
+            artifact = load_artifact(path)
+        except (IndexCorruptedError, ReproError, OSError):
+            with self._lock:
+                self._rejected += 1
+                self._misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        with self._lock:
+            self._hits += 1
+        return artifact
+
+    def store(self, digest: str, name: str, array: np.ndarray) -> Path:
+        """Persist one artifact (atomically: write-then-rename)."""
+        path = self.path_for(digest, name)
+        temporary = path.with_suffix(path.suffix + ".tmp")
+        save_artifact(array, temporary)
+        temporary.replace(path)
+        with self._lock:
+            self._stores += 1
+        return path
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Artifacts served from disk."""
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through to computation."""
+        with self._lock:
+            return self._misses
+
+    @property
+    def stores(self) -> int:
+        """Artifacts written."""
+        with self._lock:
+            return self._stores
+
+    @property
+    def rejected(self) -> int:
+        """Cache files refused (and removed) by the integrity check."""
+        with self._lock:
+            return self._rejected
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactCache({str(self._directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

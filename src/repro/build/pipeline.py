@@ -1,0 +1,235 @@
+"""``build_all``: one context, many indexes, optional parallelism.
+
+The constructors in this library are independent of one another once the
+shared artifacts exist: the CPST consumes ``structure(l)``, the APX / FM /
+RLFM consume the BWT, q-gram tables and text statistics scan the raw
+text. :func:`build_all` exploits that: it pre-warms the shared artifacts
+a spec set needs (each exactly once, via the context's memo), then builds
+every index — sequentially or on a thread pool — and returns the built
+indexes together with a :class:`~repro.build.report.BuildReport` of
+per-stage wall times, artifact reuse hits, and space totals.
+
+Builds are deterministic: ``max_workers=4`` produces bit-identical
+indexes to the sequential path, because every builder is a pure function
+of the (already materialised) shared artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core.interface import OccurrenceEstimator
+from ..errors import InvalidParameterError
+from .context import BuildContext
+from .report import SOURCE_COMPUTED, BuildReport, StageRecord
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """One index to build: a registry kind, a name, and parameters."""
+
+    kind: str
+    name: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """The name the built index is keyed by in the result."""
+        return self.name or self.kind
+
+
+# -- builder registry ---------------------------------------------------------
+#
+# Builders are looked up lazily so this module never imports the index
+# classes at import time (they import the build package themselves).
+
+
+def _build_cpst(ctx: BuildContext, l: int = 64) -> OccurrenceEstimator:
+    from ..core.cpst import CompactPrunedSuffixTree
+
+    return CompactPrunedSuffixTree.from_context(ctx, l)
+
+
+def _build_apx(ctx: BuildContext, l: int = 64) -> OccurrenceEstimator:
+    from ..core.approx import ApproxIndex
+
+    return ApproxIndex.from_context(ctx, l)
+
+
+def _build_apx_ef(ctx: BuildContext, l: int = 64) -> OccurrenceEstimator:
+    from ..core.approx_ef import ApproxIndexEF
+
+    return ApproxIndexEF.from_context(ctx, l)
+
+
+def _build_fm(
+    ctx: BuildContext,
+    wavelet: str = "huffman",
+    sa_sample_rate: Optional[int] = None,
+) -> OccurrenceEstimator:
+    from ..baselines.fm import FMIndex
+
+    return FMIndex.from_context(ctx, wavelet, sa_sample_rate=sa_sample_rate)
+
+
+def _build_rlfm(ctx: BuildContext) -> OccurrenceEstimator:
+    from ..baselines.rlfm import RLFMIndex
+
+    return RLFMIndex.from_context(ctx)
+
+
+def _build_pst(ctx: BuildContext, l: int = 64) -> OccurrenceEstimator:
+    from ..baselines.pst import PrunedSuffixTree
+
+    return PrunedSuffixTree.from_context(ctx, l)
+
+
+def _build_patricia(ctx: BuildContext, l: int = 64) -> OccurrenceEstimator:
+    from ..baselines.patricia import PrunedPatriciaTrie
+
+    return PrunedPatriciaTrie.from_context(ctx, l)
+
+
+def _build_qgram(ctx: BuildContext, q: int = 8) -> OccurrenceEstimator:
+    from ..baselines.qgram import QGramIndex
+
+    return QGramIndex.from_context(ctx, q)
+
+
+def _build_stats(ctx: BuildContext) -> OccurrenceEstimator:
+    from ..service.tiers import TextStatsEstimator
+
+    return TextStatsEstimator.from_context(ctx)
+
+
+BUILDERS: Dict[str, Callable[..., OccurrenceEstimator]] = {
+    "cpst": _build_cpst,
+    "apx": _build_apx,
+    "apx-ef": _build_apx_ef,
+    "fm": _build_fm,
+    "rlfm": _build_rlfm,
+    "pst": _build_pst,
+    "patricia": _build_patricia,
+    "qgram": _build_qgram,
+    "stats": _build_stats,
+}
+
+#: Shared artifacts each kind consumes, for the pre-warm pass.
+_PREWARM: Dict[str, Sequence[str]] = {
+    "cpst": ("sa", "lcp"),
+    "apx": ("bwt",),
+    "apx-ef": ("bwt",),
+    "fm": ("sa", "bwt"),
+    "rlfm": ("bwt",),
+    "pst": ("sa", "lcp"),
+    "patricia": ("sa", "lcp"),
+    "qgram": (),
+    "stats": (),
+}
+
+
+def default_tier_specs(l: int = 64) -> List[IndexSpec]:
+    """The spec set matching :func:`repro.service.build_default_ladder`."""
+    return [
+        IndexSpec("cpst", params={"l": l}),
+        IndexSpec("apx", params={"l": max(2, l - l % 2)}),
+        IndexSpec("qgram", params={"q": max(2, min(l, 8))}),
+        IndexSpec("stats"),
+    ]
+
+
+@dataclass
+class BuildResult:
+    """Built indexes keyed by spec label, plus the run's telemetry."""
+
+    indexes: Dict[str, OccurrenceEstimator]
+    report: BuildReport
+
+    def __getitem__(self, name: str) -> OccurrenceEstimator:
+        return self.indexes[name]
+
+    def __iter__(self):
+        return iter(self.indexes)
+
+    def __len__(self) -> int:
+        return len(self.indexes)
+
+
+def build_all(
+    context: BuildContext | Any,
+    specs: Sequence[IndexSpec],
+    *,
+    max_workers: Optional[int] = None,
+) -> BuildResult:
+    """Build every spec from one shared context, optionally in parallel.
+
+    ``context`` may be a :class:`BuildContext`, a :class:`~repro.textutil.Text`
+    or a plain string. ``max_workers=None`` (or 1) builds sequentially;
+    larger values build independent indexes concurrently on a thread pool
+    — the shared artifacts are pre-warmed first, so workers never
+    duplicate a suffix sort. Spec labels must be unique.
+    """
+    if not specs:
+        raise InvalidParameterError("build_all needs at least one spec")
+    labels = [spec.label for spec in specs]
+    if len(set(labels)) != len(labels):
+        raise InvalidParameterError(f"spec labels must be unique, got {labels}")
+    for spec in specs:
+        if spec.kind not in BUILDERS:
+            raise InvalidParameterError(
+                f"unknown index kind {spec.kind!r} "
+                f"(known: {sorted(BUILDERS)})"
+            )
+    if max_workers is not None and max_workers < 1:
+        raise InvalidParameterError(
+            f"max_workers must be >= 1, got {max_workers}"
+        )
+    ctx = BuildContext.of(context)
+    started = time.perf_counter()
+    ctx.drain_stages()  # this report covers exactly this run
+
+    # Pre-warm the shared artifacts the spec set needs, each exactly once.
+    needed: List[str] = []
+    for spec in specs:
+        for artifact in _PREWARM[spec.kind]:
+            if artifact not in needed:
+                needed.append(artifact)
+    for artifact in needed:
+        getattr(ctx, artifact)
+    # Structures are keyed by threshold: pre-warm per distinct l.
+    for spec in specs:
+        if spec.kind in ("cpst", "pst") :
+            ctx.structure(int(spec.params.get("l", 64)))
+
+    def build_one(spec: IndexSpec) -> tuple:
+        stage_started = time.perf_counter()
+        index = BUILDERS[spec.kind](ctx, **dict(spec.params))
+        return spec.label, index, time.perf_counter() - stage_started
+
+    if max_workers is None or max_workers <= 1 or len(specs) == 1:
+        built = [build_one(spec) for spec in specs]
+        workers = 1
+    else:
+        workers = min(max_workers, len(specs))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-build"
+        ) as pool:
+            built = list(pool.map(build_one, specs))
+
+    indexes: Dict[str, OccurrenceEstimator] = {}
+    report = BuildReport(
+        corpus=ctx.name or ctx.digest[:12],
+        max_workers=workers,
+        stages=ctx.drain_stages(),
+    )
+    for label, index, seconds in built:
+        indexes[label] = index
+        report.stages.append(
+            StageRecord(f"index:{label}", seconds, SOURCE_COMPUTED)
+        )
+        report.spaces[label] = index.space_report()
+    report.wall_seconds = time.perf_counter() - started
+    return BuildResult(indexes=indexes, report=report)

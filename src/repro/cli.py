@@ -72,6 +72,19 @@ def _build_index(args: argparse.Namespace):
     return text, INDEX_BUILDERS[args.index](text, args.l)
 
 
+def _spec_for(kind: str, l: int):
+    """Map a CLI index kind + threshold to a pipeline IndexSpec."""
+    from .build import IndexSpec
+
+    if kind in ("cpst", "pst", "patricia"):
+        return IndexSpec(kind, params={"l": l})
+    if kind == "apx":
+        return IndexSpec(kind, params={"l": max(2, l - l % 2)})
+    if kind == "qgram":
+        return IndexSpec(kind, params={"q": max(2, min(l, 8))})
+    return IndexSpec(kind)  # fm, rlfm: parameter-free
+
+
 def cmd_count(args: argparse.Namespace) -> int:
     from .engine import planner_for
 
@@ -103,13 +116,25 @@ def cmd_count(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
+    from .build import ArtifactCache, BuildContext, build_all
     from .io import save_index
 
-    text, index = _build_index(args)
-    save_index(index, args.output)
-    report = index.space_report()
-    print(report.format(reference_bits=text_bits(len(text), text.sigma)))
-    print(f"saved to {args.output}")
+    text = _load_text(args.text, args.size, args.seed)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    ctx = BuildContext(text, cache=cache, name=args.text)
+    specs = [_spec_for(kind, args.l) for kind in args.index]
+    result = build_all(ctx, specs, max_workers=args.workers)
+    reference = text_bits(len(text), text.sigma)
+    for spec in specs:
+        index = result[spec.label]
+        target = (
+            args.output if len(specs) == 1 else f"{args.output}.{spec.label}"
+        )
+        save_index(index, target)
+        print(index.space_report().format(reference_bits=reference))
+        print(f"saved {spec.label} to {target}")
+    if args.build_report:
+        print(result.report.format())
     return 0
 
 
@@ -182,12 +207,17 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
         run_health_probe,
     )
 
+    from .build import BuildContext
+
     text = _load_text(args.text, args.size, args.seed)
+    # One context serves every tier (and the fault-wrapped primary):
+    # the whole serve-check costs a single suffix sort.
+    ctx = BuildContext(text, name=args.text)
     primary = None
     if args.fault_rate > 0:
         spec = FaultSpec(error_rate=args.fault_rate)
         primary = FaultyIndex(
-            CompactPrunedSuffixTree(text, args.l),
+            CompactPrunedSuffixTree.from_context(ctx, args.l),
             {"count_or_none": spec, "automaton_count": spec},
             seed=args.fault_seed,
         )
@@ -197,6 +227,8 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
         text, args.l,
         deadline_seconds=args.deadline_ms / 1000.0,
         primary=primary,
+        context=ctx,
+        max_workers=args.workers,
     )
     if args.concurrency > 1:
         server = QueryServer(
@@ -280,10 +312,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("patterns", nargs="+")
     p.set_defaults(func=cmd_count)
 
-    p = sub.add_parser("build", help="build an index and save it")
+    p = sub.add_parser(
+        "build",
+        help="build one or more indexes from a shared context and save them",
+    )
     _add_text_arguments(p)
-    _add_index_arguments(p)
-    p.add_argument("--output", "-o", required=True)
+    p.add_argument(
+        "--index", nargs="+", choices=sorted(INDEX_BUILDERS), default=["cpst"],
+        help="index kinds to build; all share one context (one suffix sort)",
+    )
+    p.add_argument("--l", type=int, default=64, help="error threshold")
+    p.add_argument("--output", "-o", required=True,
+                   help="output path (multiple kinds save to PATH.<kind>)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="build independent indexes on N threads")
+    p.add_argument("--build-report", action="store_true",
+                   help="print the per-stage build telemetry table")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact cache directory (SA/BWT reused across runs "
+                        "keyed by the text's content digest)")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("query", help="query a saved index")
@@ -341,6 +388,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=None,
                    help="optional token-bucket rate limit (queries/second) "
                         "for the concurrent server; excess load is shed")
+    p.add_argument("--workers", type=int, default=None,
+                   help="build the ladder tiers on N threads "
+                        "(they share one context either way)")
     p.set_defaults(func=cmd_serve_check)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

@@ -67,9 +67,14 @@ class DocumentCollection:
             self._starts.append(cursor)
             cursor += len(body) + 1
         self._lengths = [len(body) for _, body in items]
-        self._fm = FMIndex(self._text, sa_sample_rate=sa_sample_rate)
+        from ..build import BuildContext
+
+        # Both tiers index the same concatenation: share one suffix sort
+        # (the FM-index consumes ctx.sa/ctx.bwt, the CPST ctx.structure).
+        ctx = BuildContext(self._text)
+        self._fm = FMIndex.from_context(ctx, sa_sample_rate=sa_sample_rate)
         self._cpst = (
-            CompactPrunedSuffixTree(self._text, estimate_threshold)
+            CompactPrunedSuffixTree.from_context(ctx, estimate_threshold)
             if estimate_threshold is not None
             else None
         )

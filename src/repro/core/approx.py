@@ -34,7 +34,7 @@ occurrence may share a block with the preceding sample), block index
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -42,9 +42,12 @@ from ..bits import IntVector, WaveletMatrix, bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
 from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
 from ..errors import InvalidParameterError
-from ..sa import bwt_from_sa, counts_array, suffix_array
+from ..sa import counts_array
 from ..space import SpaceReport
 from ..textutil import Alphabet, Text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build import BuildContext
 
 _EMPTY = (0, -1)  # canonical empty inclusive interval
 
@@ -59,11 +62,19 @@ class ApproxIndex(OccurrenceEstimator, BackwardSearchAutomaton):
     error_model = ErrorModel.UNIFORM
 
     def __init__(self, text: Text | str, l: int):
-        if isinstance(text, str):
-            text = Text(text)
-        data = text.data
-        bwt = bwt_from_sa(data, suffix_array(data))
-        self._init_from_bwt(bwt, text.alphabet, l)
+        from ..build import BuildContext
+
+        ctx = BuildContext.of(text)
+        self._init_from_bwt(ctx.bwt, ctx.text.alphabet, l)
+
+    @classmethod
+    def from_context(cls, ctx: "BuildContext", l: int) -> "ApproxIndex":
+        """Build from a shared :class:`~repro.build.BuildContext`.
+
+        Consumes only the memoised BWT, so building alongside other
+        indexes of the same text never repeats the suffix sort.
+        """
+        return cls.from_bwt(ctx.bwt, ctx.text.alphabet, l)
 
     @classmethod
     def from_bwt(cls, bwt: np.ndarray, alphabet: Alphabet, l: int) -> "ApproxIndex":

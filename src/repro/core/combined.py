@@ -34,10 +34,12 @@ class CombinedIndex(OccurrenceEstimator):
     error_model = ErrorModel.UNIFORM  # worst-case contract; often exact
 
     def __init__(self, text: Text | str, l: int):
-        if isinstance(text, str):
-            text = Text(text)
-        self._cpst = CompactPrunedSuffixTree(text, l)
-        self._apx = ApproxIndex(text, l if l % 2 == 0 else l + 1)
+        from ..build import BuildContext
+
+        # Both components derive from one shared context: one suffix sort.
+        ctx = BuildContext.of(text)
+        self._cpst = CompactPrunedSuffixTree.from_context(ctx, l)
+        self._apx = ApproxIndex.from_context(ctx, l if l % 2 == 0 else l + 1)
         self._l = l
 
     # -- interface ----------------------------------------------------------

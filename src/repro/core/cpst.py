@@ -29,7 +29,7 @@ the rightmost pruned-tree leaf ``z`` of ``u``'s subtree.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -41,6 +41,9 @@ from ..space import SpaceReport
 from ..suffixtree.pruned import PrunedSuffixTreeStructure
 from ..textutil import Alphabet, Text
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build import BuildContext
+
 
 class CompactPrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
     """Lower-sided-error index (paper Theorem 8 / Figure 6)."""
@@ -48,8 +51,16 @@ class CompactPrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
     error_model = ErrorModel.LOWER_SIDED
 
     def __init__(self, text: Text | str, l: int):
-        structure = PrunedSuffixTreeStructure(text, l)
-        self._init_from_structure(structure)
+        from ..build import BuildContext
+
+        self._init_from_structure(BuildContext.of(text).structure(l))
+
+    @classmethod
+    def from_context(cls, ctx: "BuildContext", l: int) -> "CompactPrunedSuffixTree":
+        """Build from a shared :class:`~repro.build.BuildContext`:
+        consumes the memoised pruned-tree structure for ``l`` (and hence
+        the shared suffix and LCP arrays)."""
+        return cls.from_structure(ctx.structure(l))
 
     @classmethod
     def from_structure(cls, structure: PrunedSuffixTreeStructure) -> "CompactPrunedSuffixTree":

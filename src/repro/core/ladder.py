@@ -18,14 +18,17 @@ Two practitioner-facing tools on top of the paper's structures:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Type
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Type
 
 from ..core.cpst import CompactPrunedSuffixTree
 from ..core.interface import ErrorModel, OccurrenceEstimator
 from ..errors import InvalidParameterError
 from ..space import SpaceReport
-from ..suffixtree.pruned import PrunedSuffixTreeStructure
 from ..textutil import Alphabet, Text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build import BuildContext
 
 
 class ThresholdLadder(OccurrenceEstimator):
@@ -33,32 +36,71 @@ class ThresholdLadder(OccurrenceEstimator):
 
     error_model = ErrorModel.LOWER_SIDED
 
-    def __init__(self, text: Text | str, thresholds: Sequence[int]):
+    def __init__(
+        self,
+        text: Text | str,
+        thresholds: Sequence[int],
+        *,
+        max_workers: Optional[int] = None,
+    ):
+        from ..build import BuildContext
+
+        self._init_from_context(BuildContext.of(text), thresholds, max_workers)
+
+    @classmethod
+    def from_context(
+        cls,
+        ctx: "BuildContext",
+        thresholds: Sequence[int],
+        *,
+        max_workers: Optional[int] = None,
+    ) -> "ThresholdLadder":
+        """Build every level from one shared
+        :class:`~repro.build.BuildContext` — one suffix sort total, and
+        with ``max_workers > 1`` the per-level pruned structures and
+        CPSTs are built concurrently."""
+        instance = cls.__new__(cls)
+        instance._init_from_context(ctx, thresholds, max_workers)
+        return instance
+
+    def _init_from_context(
+        self,
+        ctx: "BuildContext",
+        thresholds: Sequence[int],
+        max_workers: Optional[int],
+    ) -> None:
         levels = sorted(set(int(l) for l in thresholds), reverse=True)
         if not levels:
             raise InvalidParameterError("ladder needs at least one threshold")
         if levels[-1] < 2:
             raise InvalidParameterError("every threshold must be >= 2")
-        if isinstance(text, str):
-            text = Text(text)
-        # Share the suffix sorting across all levels.
-        base = PrunedSuffixTreeStructure(text, levels[0])
-        self._levels: List[Tuple[int, CompactPrunedSuffixTree]] = [
-            (levels[0], CompactPrunedSuffixTree.from_structure(base))
-        ]
-        for l in levels[1:]:
-            structure = PrunedSuffixTreeStructure(
-                text, l, sa=base._sa, lcp=base._lcp
-            )
-            self._levels.append(
-                (l, CompactPrunedSuffixTree.from_structure(structure))
-            )
-        self._text_length = len(text)
-        self._alphabet = text.alphabet
+        # Materialise the shared arrays once before any fan-out.
+        ctx.lcp
+
+        def build_level(l: int) -> Tuple[int, CompactPrunedSuffixTree]:
+            return l, CompactPrunedSuffixTree.from_context(ctx, l)
+
+        if max_workers is None or max_workers <= 1 or len(levels) == 1:
+            built = [build_level(l) for l in levels]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(max_workers, len(levels)),
+                thread_name_prefix="repro-ladder",
+            ) as pool:
+                built = list(pool.map(build_level, levels))
+        self._levels: List[Tuple[int, CompactPrunedSuffixTree]] = built
+        self._text_length = len(ctx.text)
+        self._alphabet = ctx.text.alphabet
 
     @classmethod
     def geometric(
-        cls, text: Text | str, coarsest: int = 256, finest: int = 8, factor: int = 4
+        cls,
+        text: Text | str,
+        coarsest: int = 256,
+        finest: int = 8,
+        factor: int = 4,
+        *,
+        max_workers: Optional[int] = None,
     ) -> "ThresholdLadder":
         """Thresholds ``coarsest, coarsest/factor, …, >= finest``."""
         if factor < 2:
@@ -70,7 +112,7 @@ class ThresholdLadder(OccurrenceEstimator):
             l //= factor
         if not thresholds or thresholds[-1] != finest:
             thresholds.append(finest)
-        return cls(text, thresholds)
+        return cls(text, thresholds, max_workers=max_workers)
 
     # -- interface ----------------------------------------------------------
 
@@ -148,8 +190,10 @@ def fit_threshold(
     search; raises if even ``max_threshold`` (default ``n``) busts the
     budget. Returns ``(threshold, built index)``.
     """
-    if isinstance(text, str):
-        text = Text(text)
+    from ..build import BuildContext
+
+    ctx = BuildContext.of(text)
+    text = ctx.text
     if budget_bits < 1:
         raise InvalidParameterError("budget must be positive")
     ceiling = max_threshold if max_threshold is not None else max(2, len(text))
@@ -157,6 +201,11 @@ def fit_threshold(
     def build(l: int) -> OccurrenceEstimator:
         if index_class.__name__ == "ApproxIndex" and l % 2:
             l += 1
+        # Every probe of the search shares one context: the suffix sort
+        # happens once no matter how many thresholds are tried.
+        from_context = getattr(index_class, "from_context", None)
+        if from_context is not None:
+            return from_context(ctx, l)
         return index_class(text, l)  # type: ignore[call-arg]
 
     def fits(l: int) -> Tuple[bool, OccurrenceEstimator]:

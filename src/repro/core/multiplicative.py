@@ -61,13 +61,20 @@ class MultiplicativeIndex(OccurrenceEstimator):
                 f"need epsilon * cutoff >= 2 for the multiplicative bound "
                 f"(got {epsilon * cutoff:.2f}); raise the cutoff or epsilon"
             )
-        if isinstance(text, str):
-            text = Text(text)
+        from ..build import BuildContext
+
+        # The APX and its certifier derive from one shared context: one
+        # suffix sort even when both components are requested.
+        ctx = BuildContext.of(text)
         self._epsilon = epsilon
         self._cutoff = cutoff
-        self._apx = ApproxIndex(text, _additive_threshold(epsilon, cutoff))
+        self._apx = ApproxIndex.from_context(
+            ctx, _additive_threshold(epsilon, cutoff)
+        )
         self._certifier: Optional[CompactPrunedSuffixTree] = (
-            CompactPrunedSuffixTree(text, cutoff) if certify and cutoff >= 2 else None
+            CompactPrunedSuffixTree.from_context(ctx, cutoff)
+            if certify and cutoff >= 2
+            else None
         )
 
     # -- interface ----------------------------------------------------------

@@ -1,45 +1,57 @@
 """Shared infrastructure for the experiment harness.
 
-:class:`CorpusContext` loads one synthetic corpus and caches the expensive
-shared intermediates (suffix array, LCP array, BWT) so that a threshold
-sweep builds each index without re-sorting suffixes.
+:class:`CorpusContext` loads one synthetic corpus and exposes the shared
+intermediates (suffix array, LCP array, BWT) so that a threshold sweep
+builds each index without re-sorting suffixes.
+
+.. deprecated::
+    The memoisation itself now lives in :class:`repro.build.BuildContext`
+    — the thread-safe, cache-aware artifact store every index's
+    ``from_context`` constructor consumes. ``CorpusContext`` remains as a
+    thin facade (corpus generation + workload sampling + the historical
+    ``build_*``/``sa``/``lcp``/``bwt``/``structure`` API) delegating to an
+    internal ``BuildContext``; new code should use ``BuildContext`` and
+    :func:`repro.build.build_all` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..baselines.fm import FMIndex
 from ..baselines.patricia import PrunedPatriciaTrie
 from ..baselines.pst import PrunedSuffixTree
+from ..build import BuildContext
 from ..core.approx import ApproxIndex
 from ..core.cpst import CompactPrunedSuffixTree
 from ..datasets import generate
-from ..sa import bwt_from_sa, lcp_array, suffix_array
-from ..suffixtree.pruned import PrunedSuffixTreeStructure
 from ..textutil import Text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..suffixtree.pruned import PrunedSuffixTreeStructure
 
 
 @dataclass
 class CorpusContext:
-    """One corpus plus memoised intermediates and index builders."""
+    """One corpus plus a shared :class:`~repro.build.BuildContext`.
+
+    Facade: artifact memoisation delegates to ``BuildContext`` (exposed
+    as :attr:`build_context`), so experiment code and pipeline code
+    warming the same context never duplicate a suffix sort.
+    """
 
     name: str
     size: int
     seed: int = 0
     text: Text = field(init=False)
-    _sa: np.ndarray | None = field(init=False, default=None)
-    _lcp: np.ndarray | None = field(init=False, default=None)
-    _bwt: np.ndarray | None = field(init=False, default=None)
-    _structures: Dict[int, PrunedSuffixTreeStructure] = field(
-        init=False, default_factory=dict
-    )
+    _ctx: BuildContext = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.text = Text(generate(self.name, self.size, self.seed))
+        self._ctx = BuildContext(self.text, name=self.name)
 
     @classmethod
     def from_text(cls, text: Text | str, name: str = "custom") -> "CorpusContext":
@@ -52,56 +64,49 @@ class CorpusContext:
         instance.size = len(text)
         instance.seed = 0
         instance.text = text
-        instance._sa = None
-        instance._lcp = None
-        instance._bwt = None
-        instance._structures = {}
+        instance._ctx = BuildContext(text, name=name)
         return instance
 
     # -- cached intermediates -------------------------------------------------
 
     @property
+    def build_context(self) -> BuildContext:
+        """The underlying shared artifact store (pass it to
+        :func:`repro.build.build_all` to reuse this corpus's artifacts)."""
+        return self._ctx
+
+    @property
     def sa(self) -> np.ndarray:
-        if self._sa is None:
-            self._sa = suffix_array(self.text.data)
-        return self._sa
+        return self._ctx.sa
 
     @property
     def lcp(self) -> np.ndarray:
-        if self._lcp is None:
-            self._lcp = lcp_array(self.text.data, self.sa)
-        return self._lcp
+        return self._ctx.lcp
 
     @property
     def bwt(self) -> np.ndarray:
-        if self._bwt is None:
-            self._bwt = bwt_from_sa(self.text.data, self.sa)
-        return self._bwt
+        return self._ctx.bwt
 
-    def structure(self, l: int) -> PrunedSuffixTreeStructure:
+    def structure(self, l: int) -> "PrunedSuffixTreeStructure":
         """The pruned-tree structure for threshold ``l`` (memoised)."""
-        if l not in self._structures:
-            self._structures[l] = PrunedSuffixTreeStructure(
-                self.text, l, sa=self.sa, lcp=self.lcp
-            )
-        return self._structures[l]
+        return self._ctx.structure(l)
 
     # -- index builders --------------------------------------------------------
 
     def build_fm(self, wavelet: str = "huffman") -> FMIndex:
-        return FMIndex.from_bwt(self.bwt, self.text.alphabet, wavelet)  # type: ignore[arg-type]
+        return FMIndex.from_context(self._ctx, wavelet)
 
     def build_apx(self, l: int) -> ApproxIndex:
-        return ApproxIndex.from_bwt(self.bwt, self.text.alphabet, l)
+        return ApproxIndex.from_context(self._ctx, l)
 
     def build_cpst(self, l: int) -> CompactPrunedSuffixTree:
-        return CompactPrunedSuffixTree.from_structure(self.structure(l))
+        return CompactPrunedSuffixTree.from_context(self._ctx, l)
 
     def build_pst(self, l: int) -> PrunedSuffixTree:
-        return PrunedSuffixTree.from_structure(self.structure(l))
+        return PrunedSuffixTree.from_context(self._ctx, l)
 
     def build_patricia(self, l: int) -> PrunedPatriciaTrie:
-        return PrunedPatriciaTrie(self.text, l)
+        return PrunedPatriciaTrie.from_context(self._ctx, l)
 
     # -- workload -----------------------------------------------------------------
 

@@ -28,12 +28,26 @@ import warnings
 from pathlib import Path
 from typing import BinaryIO, Set
 
+import numpy as np
+
 from .core.interface import OccurrenceEstimator
 from .errors import IndexCorruptedError, InvalidParameterError, ReproError
 
 MAGIC = b"REPROIDX"
+ARTIFACT_MAGIC = b"REPROART"
 FORMAT_VERSION = 2
 _DIGEST_SIZE = hashlib.sha256().digest_size
+
+
+def content_digest(data: bytes) -> str:
+    """The SHA-256 hex digest this format family keys integrity on.
+
+    The same digest function checks index payloads (format v2) and keys
+    the build layer's on-disk artifact cache
+    (:class:`repro.build.ArtifactCache`), so one text always maps to one
+    cache identity regardless of which layer computed it.
+    """
+    return hashlib.sha256(data).hexdigest()
 
 #: Module prefixes a persisted index may pull classes from. ``builtins`` is
 #: deliberately absent — builtins go through the explicit allowlist below.
@@ -189,3 +203,63 @@ def load_index(path: str | Path, *, strict: bool = False) -> OccurrenceEstimator
     if not isinstance(index, OccurrenceEstimator):
         raise ReproError("persisted object is not an OccurrenceEstimator")
     return index
+
+
+def save_artifact(array: np.ndarray, path: str | Path) -> Path:
+    """Persist one numpy build artifact with the checksummed v2 framing.
+
+    ``ARTIFACT_MAGIC | version:2 | payload_len:8 | sha256:32 | payload``
+    where the payload is the ``.npy`` serialisation (``allow_pickle`` is
+    off at both ends, so an artifact file can never smuggle objects the
+    way a pickle stream could). Used by the build layer's artifact cache.
+    """
+    target = Path(path)
+    buffer = _io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
+    payload = buffer.getvalue()
+    with open(target, "wb") as handle:
+        handle.write(ARTIFACT_MAGIC)
+        handle.write(FORMAT_VERSION.to_bytes(2, "big"))
+        handle.write(len(payload).to_bytes(8, "big"))
+        handle.write(hashlib.sha256(payload).digest())
+        handle.write(payload)
+    return target
+
+
+def load_artifact(path: str | Path) -> np.ndarray:
+    """Load an artifact saved by :func:`save_artifact`, verifying its digest.
+
+    Raises :class:`~repro.errors.IndexCorruptedError` on truncation or a
+    digest mismatch — a corrupted cached suffix array must never silently
+    feed an index build.
+    """
+    source = Path(path)
+    with open(source, "rb") as handle:
+        magic = _read_exact(handle, len(ARTIFACT_MAGIC), "magic")
+        if magic != ARTIFACT_MAGIC:
+            raise ReproError(
+                f"{source} is not a repro artifact file (bad magic {magic!r})"
+            )
+        version = int.from_bytes(_read_exact(handle, 2, "format version"), "big")
+        if version != FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported artifact format version {version} "
+                f"(this library reads version {FORMAT_VERSION})"
+            )
+        payload_length = int.from_bytes(
+            _read_exact(handle, 8, "payload length"), "big"
+        )
+        digest = _read_exact(handle, _DIGEST_SIZE, "payload digest")
+        payload = _read_exact(handle, payload_length, "payload")
+        if handle.read(1):
+            raise IndexCorruptedError(
+                f"{source} has trailing bytes after the declared payload"
+            )
+        actual = hashlib.sha256(payload).digest()
+        if actual != digest:
+            raise IndexCorruptedError(
+                f"{source} failed its integrity check: payload digest "
+                f"{actual.hex()[:16]}… does not match stored "
+                f"{digest.hex()[:16]}…"
+            )
+    return np.load(_io.BytesIO(payload), allow_pickle=False)

@@ -43,6 +43,7 @@ from .watchdog import (
     CorruptionWatchdog,
     ProbeFinding,
     QuarantineEvent,
+    WatchdogReport,
     default_rebuilders,
     probes_from_text,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "TierGuard",
     "TierHealth",
     "TokenBucket",
+    "WatchdogReport",
     "build_default_ladder",
     "contract_holds",
     "default_rebuilders",

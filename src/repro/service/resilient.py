@@ -21,7 +21,7 @@ always available). :func:`build_default_ladder` assembles exactly that.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 
 from ..core.interface import OccurrenceEstimator
 from ..engine import EngineStats
@@ -36,7 +36,10 @@ from .breaker import CircuitBreaker
 from .deadline import Clock, Deadline
 from .outcome import QueryOutcome
 from .retry import RetryPolicy
-from .tiers import Tier, TextStatsEstimator, TierDeclined
+from .tiers import Tier, TierDeclined
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build import BuildContext
 
 
 class TierGuard:
@@ -245,6 +248,8 @@ def build_default_ladder(
     clock: Clock = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
     primary: Optional[OccurrenceEstimator] = None,
+    context: Optional["BuildContext"] = None,
+    max_workers: Optional[int] = None,
 ) -> ResilientEstimator:
     """The paper's accuracy hierarchy as a four-tier availability ladder.
 
@@ -255,17 +260,27 @@ def build_default_ladder(
     what. ``primary`` substitutes the first tier's estimator — the hook
     chaos tests and ``repro serve-check --fault-rate`` use to inject
     faults without touching the rest of the ladder.
-    """
-    from ..baselines import QGramIndex
-    from ..core import ApproxIndex, CompactPrunedSuffixTree
 
-    t = text if isinstance(text, Text) else Text(text)
-    cpst = primary if primary is not None else CompactPrunedSuffixTree(t, l)
+    All tiers are built from **one** shared
+    :class:`~repro.build.BuildContext` (pass ``context`` to share it
+    further, e.g. with the watchdog's rebuilders or an artifact cache):
+    the whole ladder costs a single suffix-array construction.
+    ``max_workers > 1`` builds the tiers concurrently via
+    :func:`repro.build.build_all`.
+    """
+    from ..build import BuildContext, build_all, default_tier_specs
+
+    ctx = BuildContext.of(context if context is not None else text)
+    specs = default_tier_specs(l)
+    if primary is not None:
+        specs = [spec for spec in specs if spec.kind != "cpst"]
+    built = build_all(ctx, specs, max_workers=max_workers)
+    cpst = primary if primary is not None else built["cpst"]
     tiers = [
         Tier(cpst, "cpst", certified_only=True),
-        Tier(ApproxIndex(t, max(2, l - l % 2)), "apx"),
-        Tier(QGramIndex(t, q=max(2, min(l, 8))), "qgram", certified_only=True),
-        Tier(TextStatsEstimator(t), "stats", always_available=True),
+        Tier(built["apx"], "apx"),
+        Tier(built["qgram"], "qgram", certified_only=True),
+        Tier(built["stats"], "stats", always_available=True),
     ]
     return ResilientEstimator(
         tiers,

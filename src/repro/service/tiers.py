@@ -56,6 +56,13 @@ class TextStatsEstimator(OccurrenceEstimator):
         self._text_length = len(text)
         self._frequencies = Counter(text.raw)
 
+    @classmethod
+    def from_context(cls, ctx) -> "TextStatsEstimator":
+        """Build from a shared :class:`~repro.build.BuildContext` (pure
+        character statistics — no shared artifact consumed, present for
+        pipeline uniformity)."""
+        return cls(ctx.text)
+
     @property
     def alphabet(self) -> Alphabet:
         return self._alphabet

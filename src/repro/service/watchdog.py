@@ -32,7 +32,16 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.interface import ErrorModel, OccurrenceEstimator
 from ..errors import InvalidParameterError
@@ -40,6 +49,9 @@ from ..textutil import Text, mixed_workload
 from .outcome import contract_holds
 from .resilient import ResilientEstimator
 from .tiers import Tier, TierDeclined
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build import ArtifactCache, BuildContext
 
 
 @dataclass(frozen=True)
@@ -66,6 +78,8 @@ class QuarantineEvent:
     readmitted: bool = False
     #: Probe findings from the post-rebuild verification pass.
     verification: List[ProbeFinding] = field(default_factory=list)
+    #: Wall time the rebuild factory took (0.0 when no rebuilder ran).
+    rebuild_seconds: float = 0.0
 
     def summary(self) -> str:
         state = (
@@ -79,6 +93,32 @@ class QuarantineEvent:
             if first else ""
         )
         return f"watchdog: tier {self.tier!r} {state}{detail}"
+
+
+@dataclass(frozen=True)
+class WatchdogReport:
+    """Operator-facing rollup of a watchdog's activity so far."""
+
+    rounds: int
+    events: int
+    rebuilt: int
+    readmitted: int
+    #: Tiers currently out of service (quarantined, not yet readmitted).
+    quarantined_tiers: Tuple[str, ...]
+    #: Total wall time spent inside rebuild factories.
+    rebuild_seconds: float
+
+    def format(self) -> str:
+        lines = [
+            f"watchdog report: {self.rounds} rounds, {self.events} events "
+            f"({self.rebuilt} rebuilt, {self.readmitted} readmitted)",
+            f"  rebuild wall time: {self.rebuild_seconds * 1e3:.1f} ms",
+        ]
+        if self.quarantined_tiers:
+            lines.append(
+                "  still quarantined: " + ", ".join(self.quarantined_tiers)
+            )
+        return "\n".join(lines)
 
 
 def probes_from_text(
@@ -101,19 +141,37 @@ def probes_from_text(
 
 
 def default_rebuilders(
-    text: Text | str, l: int = 64
+    text: Text | str,
+    l: int = 64,
+    *,
+    context: Optional["BuildContext"] = None,
+    cache: Optional["ArtifactCache"] = None,
 ) -> Dict[str, Callable[[], OccurrenceEstimator]]:
-    """Rebuild-from-text factories matching :func:`build_default_ladder`."""
+    """Rebuild-from-text factories matching :func:`build_default_ladder`.
+
+    All factories share one :class:`~repro.build.BuildContext`, so a
+    rebuild reuses the suffix array / BWT already materialised at serve
+    time instead of re-sorting the text. Pass the ``context`` the ladder
+    was built from to make rebuilds near-instant, or a ``cache``
+    (:class:`~repro.build.ArtifactCache`) to recover the artifacts from
+    disk after a restart.
+    """
     from ..baselines import QGramIndex
+    from ..build import BuildContext
     from ..core import ApproxIndex, CompactPrunedSuffixTree
     from .tiers import TextStatsEstimator
 
-    t = text if isinstance(text, Text) else Text(text)
+    if context is not None:
+        ctx = context
+    else:
+        ctx = BuildContext(
+            text if isinstance(text, Text) else Text(text), cache=cache
+        )
     return {
-        "cpst": lambda: CompactPrunedSuffixTree(t, l),
-        "apx": lambda: ApproxIndex(t, max(2, l - l % 2)),
-        "qgram": lambda: QGramIndex(t, q=max(2, min(l, 8))),
-        "stats": lambda: TextStatsEstimator(t),
+        "cpst": lambda: CompactPrunedSuffixTree.from_context(ctx, l),
+        "apx": lambda: ApproxIndex.from_context(ctx, max(2, l - l % 2)),
+        "qgram": lambda: QGramIndex.from_context(ctx, q=max(2, min(l, 8))),
+        "stats": lambda: TextStatsEstimator.from_context(ctx),
     }
 
 
@@ -174,6 +232,23 @@ class CorruptionWatchdog:
         """Probe rounds completed."""
         with self._lock:
             return self._rounds
+
+    def report(self) -> WatchdogReport:
+        """Rollup of rounds, interventions and rebuild wall time so far."""
+        with self._lock:
+            events = list(self._events)
+            rounds = self._rounds
+        quarantined = tuple(
+            tier.name for tier in self._service.tiers if tier.quarantined
+        )
+        return WatchdogReport(
+            rounds=rounds,
+            events=len(events),
+            rebuilt=sum(1 for e in events if e.rebuilt),
+            readmitted=sum(1 for e in events if e.readmitted),
+            quarantined_tiers=quarantined,
+            rebuild_seconds=sum(e.rebuild_seconds for e in events),
+        )
 
     # -- probing --------------------------------------------------------------
 
@@ -245,7 +320,10 @@ class CorruptionWatchdog:
         rebuilder = self._rebuilders.get(tier.name)
         if rebuilder is None:
             return
-        tier.replace_estimator(rebuilder())
+        rebuild_started = time.perf_counter()
+        rebuilt_estimator = rebuilder()
+        event.rebuild_seconds = time.perf_counter() - rebuild_started
+        tier.replace_estimator(rebuilt_estimator)
         event.rebuilt = True
         # Verify the rebuild against *every* probe before readmission.
         verification = [

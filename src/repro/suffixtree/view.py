@@ -21,7 +21,8 @@ from typing import Iterator, List, Optional
 import numpy as np
 
 from ..errors import InvalidParameterError, PatternError
-from ..sa import inverse_suffix_array, lcp_array, suffix_array
+from .. import sa as sa_mod
+from ..sa import inverse_suffix_array, lcp_array
 from ..sa.rmq import RangeMinimum
 from ..textutil import Text
 
@@ -52,7 +53,7 @@ class SuffixTreeView:
             text = Text(text)
         self._text = text
         self._data = text.data
-        self._sa = suffix_array(self._data)
+        self._sa = sa_mod.suffix_array(self._data)
         self._lcp = lcp_array(self._data, self._sa)
         self._isa = inverse_suffix_array(self._sa)
         self._rmq = RangeMinimum(self._lcp)

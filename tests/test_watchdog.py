@@ -156,6 +156,96 @@ class TestProbeRounds:
             CorruptionWatchdog(service, PROBES, interval=0.0)
 
 
+class TestContextBackedRebuild:
+    """Rebuilders sharing the serve-time BuildContext re-sort nothing.
+
+    "Faster" is asserted by counting suffix-array constructions (the
+    dominant rebuild cost), not wall clock, so the test cannot flake on a
+    loaded machine.
+    """
+
+    def _count_sa(self, monkeypatch):
+        import repro.sa as sa_mod
+
+        calls = []
+        real = sa_mod.suffix_array
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(sa_mod, "suffix_array", counting)
+        return calls
+
+    def test_cached_rebuild_performs_no_new_suffix_sort(self, monkeypatch):
+        from repro.build import BuildContext
+
+        ctx = BuildContext(TEXT)
+        service = build_default_ladder(
+            TEXT, L, primary=_bitflip_primary(),
+            context=ctx, deadline_seconds=5.0,
+        )
+        calls = self._count_sa(monkeypatch)
+        watchdog = CorruptionWatchdog(
+            service, PROBES,
+            rebuilders=default_rebuilders(TEXT, L, context=ctx),
+            probes_per_round=8, seed=SEED,
+        )
+        watchdog.run_probe_round()
+        (event,) = watchdog.events
+        assert event.rebuilt and event.readmitted
+        assert event.rebuild_seconds > 0.0
+        # The rebuild consumed the context's memoised artifacts: zero
+        # fresh suffix sorts, versus >= 1 for a from-text rebuild (below).
+        assert calls == []
+        post = service.query("abracadabra")
+        assert post.tier == "cpst"
+        assert post.count == TEXT.count_naive("abracadabra")
+
+    def test_fresh_rebuild_pays_a_suffix_sort(self, monkeypatch):
+        service = build_default_ladder(
+            TEXT, L, primary=_bitflip_primary(), deadline_seconds=5.0
+        )
+        calls = self._count_sa(monkeypatch)
+        watchdog = CorruptionWatchdog(
+            service, PROBES,
+            rebuilders=default_rebuilders(TEXT, L),  # no shared context
+            probes_per_round=8, seed=SEED,
+        )
+        watchdog.run_probe_round()
+        (event,) = watchdog.events
+        assert event.rebuilt and event.readmitted
+        assert len(calls) >= 1
+
+    def test_watchdog_report_rollup(self, monkeypatch):
+        from repro.build import BuildContext
+        from repro.service import WatchdogReport
+
+        ctx = BuildContext(TEXT)
+        service = build_default_ladder(
+            TEXT, L, primary=_bitflip_primary(),
+            context=ctx, deadline_seconds=5.0,
+        )
+        watchdog = CorruptionWatchdog(
+            service, PROBES,
+            rebuilders=default_rebuilders(TEXT, L, context=ctx),
+            probes_per_round=8, seed=SEED,
+        )
+        empty = watchdog.report()
+        assert isinstance(empty, WatchdogReport)
+        assert empty.rounds == 0 and empty.events == 0
+        assert empty.rebuild_seconds == 0.0
+
+        watchdog.run_probe_round()
+        report = watchdog.report()
+        assert report.rounds == 1
+        assert report.events == 1
+        assert report.rebuilt == 1 and report.readmitted == 1
+        assert report.quarantined_tiers == ()
+        assert report.rebuild_seconds == watchdog.events[0].rebuild_seconds
+        assert "1 rebuilt" in report.format()
+
+
 class TestWatchdogAcceptance:
     """The PR's acceptance scenario, end to end.
 
