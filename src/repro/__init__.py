@@ -30,6 +30,10 @@ Main entry points:
   :class:`BackwardSearchAutomaton` protocol every index implements, the
   trie-planned batch executor and its work counters.
 * :mod:`repro.selectivity` — KVI / MO / MOL LIKE-predicate estimators.
+* :mod:`repro.shard` — the sharded corpus plane: document-aligned
+  partitions (:class:`ShardPlan`), per-shard indexes fanned out and
+  merged under an explicit error algebra (:class:`ShardedEstimator`),
+  with shard-granular quarantine in the serving layer.
 * :mod:`repro.service` — resilient serving: degradation ladder, deadlines,
   circuit breakers, fault injection.
 * :mod:`repro.datasets` — synthetic Pizza&Chili stand-in corpora.
@@ -94,6 +98,14 @@ from .service import (
     build_default_ladder,
     run_health_probe,
 )
+from .shard import (
+    MergePolicy,
+    MergedCount,
+    ShardPlan,
+    ShardedEstimator,
+    build_sharded,
+    build_sharded_ladder,
+)
 from .space import SpaceReport, text_bits
 from .validation import ValidationReport, validate_all, validate_index
 from .textutil import Alphabet, Text
@@ -144,6 +156,12 @@ __all__ = [
     "planner_for",
     "DocumentCollection",
     "Occurrence",
+    "MergePolicy",
+    "MergedCount",
+    "ShardPlan",
+    "ShardedEstimator",
+    "build_sharded",
+    "build_sharded_ladder",
     "CircuitBreaker",
     "Deadline",
     "FaultSpec",

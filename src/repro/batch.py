@@ -138,9 +138,12 @@ class SuffixSharingCounter:
         index's ``count_or_none`` would return ``None``.
 
         Requires a lower-sided index (a dead/``None`` automaton state is
-        precisely the below-threshold outcome for the CPST family).
+        precisely the below-threshold outcome for the CPST family). An
+        index whose automaton is *not* lower-sided (e.g. the sharded
+        product automaton) but which implements ``count_or_none`` itself
+        is served through that direct interface instead.
         """
-        if self._planner is not None:
+        if self._planner is not None and self._planner.capabilities.lower_sided:
             return self._planner.count_or_none(pattern, deadline)
         if not hasattr(self._index, "count_or_none"):
             raise PatternError(

@@ -36,6 +36,7 @@ from .pipeline import (
     IndexSpec,
     build_all,
     default_tier_specs,
+    spec_for,
 )
 from .report import BuildReport, StageRecord
 
@@ -49,4 +50,5 @@ __all__ = [
     "StageRecord",
     "build_all",
     "default_tier_specs",
+    "spec_for",
 ]

@@ -131,6 +131,26 @@ _PREWARM: Dict[str, Sequence[str]] = {
 }
 
 
+def spec_for(kind: str, l: int = 64) -> IndexSpec:
+    """The canonical :class:`IndexSpec` for one index kind at threshold ``l``.
+
+    One place owns the kind -> parameter mapping (the APX evenness floor,
+    the q-gram horizon clamp), shared by the CLI and the shard builder so
+    the two cannot parameterise the same kind differently.
+    """
+    if kind not in BUILDERS:
+        raise InvalidParameterError(
+            f"unknown index kind {kind!r} (known: {sorted(BUILDERS)})"
+        )
+    if kind in ("cpst", "pst", "patricia"):
+        return IndexSpec(kind, params={"l": l})
+    if kind in ("apx", "apx-ef"):
+        return IndexSpec(kind, params={"l": max(2, l - l % 2)})
+    if kind == "qgram":
+        return IndexSpec(kind, params={"q": max(2, min(l, 8))})
+    return IndexSpec(kind)  # fm, rlfm, stats: parameter-free
+
+
 def default_tier_specs(l: int = 64) -> List[IndexSpec]:
     """The spec set matching :func:`repro.service.build_default_ladder`."""
     return [

@@ -6,7 +6,8 @@ Commands
                  count one or more patterns (``--json`` for machine output,
                  ``--engine-stats`` for the engine's work counters).
 ``build``        build an index and save it (versioned format, repro.io)
-                 with a space report.
+                 with a space report; ``--shards N`` partitions the
+                 corpus and builds one index per shard.
 ``query``        load a saved index and count patterns.
 ``stats``        text statistics: sigma, entropy profile, PST sizes.
 ``selectivity``  LIKE-predicate estimation (CPST + KVI/MO/MOC/MOL/MOLC).
@@ -16,9 +17,10 @@ Commands
 ``report``       run every experiment into one markdown document.
 ``serve-check``  build the resilient degradation ladder, run a health
                  probe workload, print a tier/latency/engine-work report
-                 (optionally with injected faults on the primary tier, or
+                 (optionally with injected faults on the primary tier,
                  ``--concurrency N`` to hammer a QueryServer from N
-                 threads through admission control and bulkheads).
+                 threads through admission control and bulkheads, or
+                 ``--shards K`` to serve through sharded upper tiers).
 """
 
 from __future__ import annotations
@@ -72,17 +74,23 @@ def _build_index(args: argparse.Namespace):
     return text, INDEX_BUILDERS[args.index](text, args.l)
 
 
-def _spec_for(kind: str, l: int):
-    """Map a CLI index kind + threshold to a pipeline IndexSpec."""
-    from .build import IndexSpec
+def _shard_plan(text: Text, shards: int):
+    """Partition a CLI text into a document-aligned :class:`ShardPlan`.
 
-    if kind in ("cpst", "pst", "patricia"):
-        return IndexSpec(kind, params={"l": l})
-    if kind == "apx":
-        return IndexSpec(kind, params={"l": max(2, l - l % 2)})
-    if kind == "qgram":
-        return IndexSpec(kind, params={"q": max(2, min(l, 8))})
-    return IndexSpec(kind)  # fm, rlfm: parameter-free
+    Non-empty input lines are the documents; corpora without enough line
+    structure fall back to ``shards`` contiguous chunks.
+    """
+    from .shard import ShardPlan
+
+    rows = [line for line in text.raw.splitlines() if line]
+    if len(rows) < shards:
+        n = len(text.raw)
+        rows = [
+            text.raw[i * n // shards : (i + 1) * n // shards]
+            for i in range(shards)
+        ]
+        rows = [row for row in rows if row]
+    return ShardPlan.for_rows(rows, shards)
 
 
 def cmd_count(args: argparse.Namespace) -> int:
@@ -116,15 +124,17 @@ def cmd_count(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    from .build import ArtifactCache, BuildContext, build_all
+    from .build import ArtifactCache, BuildContext, build_all, spec_for
     from .io import save_index
 
     text = _load_text(args.text, args.size, args.seed)
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
-    ctx = BuildContext(text, cache=cache, name=args.text)
-    specs = [_spec_for(kind, args.l) for kind in args.index]
-    result = build_all(ctx, specs, max_workers=args.workers)
     reference = text_bits(len(text), text.sigma)
+    if args.shards > 1:
+        return _cmd_build_sharded(args, text, cache, reference)
+    ctx = BuildContext(text, cache=cache, name=args.text)
+    specs = [spec_for(kind, args.l) for kind in args.index]
+    result = build_all(ctx, specs, max_workers=args.workers)
     for spec in specs:
         index = result[spec.label]
         target = (
@@ -135,6 +145,31 @@ def cmd_build(args: argparse.Namespace) -> int:
         print(f"saved {spec.label} to {target}")
     if args.build_report:
         print(result.report.format())
+    return 0
+
+
+def _cmd_build_sharded(args, text, cache, reference) -> int:
+    from .io import save_index
+    from .shard import build_sharded
+
+    plan = _shard_plan(text, args.shards)
+    print(plan.format())
+    for kind in args.index:
+        estimator, report = build_sharded(
+            plan, kind, args.l,
+            policy=args.merge_policy,
+            cache=cache,
+            max_workers=args.workers,
+        )
+        base = args.output if len(args.index) == 1 else f"{args.output}.{kind}"
+        for name in plan.names:
+            target = f"{base}.{name}"
+            save_index(estimator.estimator_for(name), target)
+            print(f"saved {kind} shard {name} to {target}")
+        # The merged rollup: one SpaceReport summed across all shards.
+        print(estimator.space_report().format(reference_bits=reference))
+        if args.build_report:
+            print(report.format())
     return 0
 
 
@@ -210,26 +245,54 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
     from .build import BuildContext
 
     text = _load_text(args.text, args.size, args.seed)
-    # One context serves every tier (and the fault-wrapped primary):
-    # the whole serve-check costs a single suffix sort.
-    ctx = BuildContext(text, name=args.text)
-    primary = None
-    if args.fault_rate > 0:
-        spec = FaultSpec(error_rate=args.fault_rate)
-        primary = FaultyIndex(
-            CompactPrunedSuffixTree.from_context(ctx, args.l),
-            {"count_or_none": spec, "automaton_count": spec},
-            seed=args.fault_seed,
+    patterns = None
+    if args.shards > 1:
+        if args.fault_rate > 0:
+            raise ReproError(
+                "--fault-rate targets the monolithic primary tier; "
+                "with --shards use the watchdog's shard quarantine instead"
+            )
+        from .shard import build_sharded_ladder
+        from .textutil import ROW_SEPARATOR, mixed_workload
+
+        plan = _shard_plan(text, args.shards)
+        print(f"sharded ladder: {plan.k} shards, "
+              f"merge policy {args.merge_policy}")
+        service = build_sharded_ladder(
+            plan, args.l,
+            policy=args.merge_policy,
+            deadline_seconds=args.deadline_ms / 1000.0,
+            max_workers=args.workers,
         )
-        print(f"injecting transient faults on the primary tier "
-              f"at rate {args.fault_rate:.0%} (seed {args.fault_seed})")
-    service = build_default_ladder(
-        text, args.l,
-        deadline_seconds=args.deadline_ms / 1000.0,
-        primary=primary,
-        context=ctx,
-        max_workers=args.workers,
-    )
+        # The probe workload must be shard-meaningful: a pattern crossing
+        # a document boundary has different truths in the sharded and
+        # monolithic concatenations, so drop separator-containing probes.
+        patterns = [
+            pattern
+            for pattern in mixed_workload(text, per_length=10, seed=args.seed)
+            if ROW_SEPARATOR not in pattern
+        ]
+    else:
+        # One context serves every tier (and the fault-wrapped primary):
+        # the whole serve-check costs a single suffix sort.
+        ctx = BuildContext(text, name=args.text)
+        primary = None
+        if args.fault_rate > 0:
+            spec = FaultSpec(error_rate=args.fault_rate)
+            primary = FaultyIndex(
+                CompactPrunedSuffixTree.from_context(ctx, args.l),
+                {"count_or_none": spec, "automaton_count": spec},
+                seed=args.fault_seed,
+            )
+            print(f"injecting transient faults on the primary tier "
+                  f"at rate {args.fault_rate:.0%} (seed {args.fault_seed})")
+        service = build_default_ladder(
+            text, args.l,
+            deadline_seconds=args.deadline_ms / 1000.0,
+            primary=primary,
+            context=ctx,
+            max_workers=args.workers,
+        )
     if args.concurrency > 1:
         server = QueryServer(
             service,
@@ -241,13 +304,13 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
             print(f"hammering the query server with "
                   f"{args.concurrency} worker threads")
             report = run_concurrent_probe(
-                server, text=text, seed=args.seed,
+                server, patterns, text=text, seed=args.seed,
                 concurrency=args.concurrency,
             )
             print(report.format())
             print("server: " + server.stats().summary())
     else:
-        report = run_health_probe(service, text=text, seed=args.seed)
+        report = run_health_probe(service, patterns, text=text, seed=args.seed)
         print(report.format())
     return 0 if report.ok else 1
 
@@ -331,6 +394,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="artifact cache directory (SA/BWT reused across runs "
                         "keyed by the text's content digest)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="N > 1: partition the corpus into N document-aligned "
+                        "shards and build one index per shard "
+                        "(saved to OUTPUT.<shard>)")
+    p.add_argument("--merge-policy", choices=["split", "widen"],
+                   default="split",
+                   help="sharded error budget: 'split' divides l across "
+                        "shards (merged error stays < l), 'widen' keeps l "
+                        "per shard and reports the widened merged bound")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("query", help="query a saved index")
@@ -391,6 +463,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="build the ladder tiers on N threads "
                         "(they share one context either way)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="N > 1: serve through sharded upper tiers "
+                        "(per-shard CPST/APX fan-out with merged bounds)")
+    p.add_argument("--merge-policy", choices=["split", "widen"],
+                   default="split",
+                   help="sharded error budget: 'split' divides l across "
+                        "shards, 'widen' keeps l per shard")
     p.set_defaults(func=cmd_serve_check)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

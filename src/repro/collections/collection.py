@@ -57,7 +57,17 @@ class DocumentCollection:
             raise InvalidParameterError("document names must be unique")
         if any(not body for _, body in items):
             raise InvalidParameterError("documents must be non-empty")
+        # A body containing the separator would silently shift every
+        # document boundary after it, corrupting per-document mapping and
+        # counts — reject it up front, naming the offending document.
+        for name, body in items:
+            if separator in body:
+                raise InvalidParameterError(
+                    f"document {name!r} contains the separator character "
+                    f"{separator!r}"
+                )
         self._names = names
+        self._separator = separator
         self._text = Text.from_rows([body for _, body in items], separator=separator)
         # Document boundaries in the concatenation ▷D1▷D2▷…▷:
         # document k occupies [starts[k], starts[k] + len(Dk)).
@@ -149,6 +159,22 @@ class DocumentCollection:
             start_in_text + context,
         )
         return self._fm.extract(lo, hi - lo)
+
+    # -- sharding -------------------------------------------------------------
+
+    def to_shard_plan(self, shards: int) -> "ShardPlan":
+        """A document-aligned :class:`~repro.shard.plan.ShardPlan` over this
+        collection's documents (size-balanced greedy bin-packing), ready
+        for :func:`repro.shard.build_sharded`."""
+        from ..shard import ShardPlan
+
+        bodies = [
+            self._text.raw[start : start + length]
+            for start, length in zip(self._starts, self._lengths)
+        ]
+        return ShardPlan.for_documents(
+            list(zip(self._names, bodies)), shards, separator=self._separator
+        )
 
     # -- space ---------------------------------------------------------------
 

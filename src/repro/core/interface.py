@@ -89,6 +89,23 @@ class OccurrenceEstimator(abc.ABC):
         """Total payload bits (shorthand for the space report total)."""
         return self.space_report().payload_bits
 
+    def count_interval(self, pattern: str) -> "tuple[int, int]":
+        """Sound ``[lo, hi]`` interval on the true count, derived from the
+        error model: exact pins both ends, uniform subtracts the additive
+        budget, lower-sided certifies above the threshold and brackets
+        ``[0, l - 1]`` below it, upper-bound gives ``[0, count]``.
+        Estimators with tighter per-query information (e.g. the sharded
+        merge) override this."""
+        value = int(self.count(pattern))
+        t = self.threshold
+        if self.error_model is ErrorModel.EXACT:
+            return (value, value)
+        if self.error_model is ErrorModel.UNIFORM:
+            return (max(0, value - (t - 1)), value)
+        if self.error_model is ErrorModel.LOWER_SIDED:
+            return (value, value) if value >= t else (0, t - 1)
+        return (0, value)
+
     def is_reliable(self, pattern: str) -> bool:
         """Whether :meth:`count` is exact for this pattern.
 

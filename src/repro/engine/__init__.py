@@ -10,6 +10,11 @@ accounting (:class:`EngineStats`) live in exactly one code path.
 Resolve an arbitrary index to its automaton with :func:`automaton_of`
 (``None`` for indexes without one), or get a ready planner with
 :func:`planner_for`.
+
+The abstraction composes: :class:`repro.shard.ShardedAutomaton` is a
+*product* of per-shard automata — one engine state advances ``k`` shard
+states in lockstep — so trie-planned batching works unchanged over a
+partitioned corpus.
 """
 
 from .automaton import (

@@ -22,6 +22,7 @@ from . import (
     figure8,
     figure9,
     scaling,
+    sharding,
 )
 
 
@@ -99,6 +100,12 @@ def run_engine(size: int, seed: int) -> str:
     return engine.format_results(rows) + "\n" + _render_checks(checks)
 
 
+def run_sharding(size: int, seed: int) -> str:
+    rows = sharding.run(size=min(size, 20_000), seed=seed)
+    checks = sharding.headline_checks(rows)
+    return sharding.format_results(rows) + "\n" + _render_checks(checks)
+
+
 def run_errordist(size: int, seed: int) -> str:
     rows = errordist.run(size=min(size, 30_000), seed=seed)
     status = "PASS" if errordist.all_within_bound(rows) else "FAIL"
@@ -117,6 +124,7 @@ EXPERIMENTS: Dict[str, Callable[[int, int], str]] = {
     "estimators": run_estimators,
     "budget": run_budget,
     "engine": run_engine,
+    "sharding": run_sharding,
 }
 
 

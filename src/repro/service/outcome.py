@@ -86,6 +86,16 @@ class QueryOutcome:
     engine: Optional[EngineStats] = None
     #: Whether this answer came from a hedged (speculative) tier attempt.
     hedged: bool = False
+    #: For sharded tiers: names of the serving tier's shards that were
+    #: quarantined when this answer was produced (empty otherwise). A
+    #: non-empty value means the answer's model degraded to the tier's
+    #: declared fallback (UPPER_BOUND for the sharded merge) while the
+    #: remaining shards kept serving.
+    shards_degraded: Tuple[str, ...] = field(default=())
+    #: Sound ``[lo, hi]`` interval on the true count, reported when the
+    #: serving tier could compute one for a degraded answer (the widened
+    #: bound the sharded merge still guarantees); ``None`` otherwise.
+    count_interval: Optional[Tuple[int, int]] = None
 
     @property
     def shed(self) -> bool:
@@ -95,7 +105,11 @@ class QueryOutcome:
     @property
     def degraded(self) -> bool:
         """True when the primary tier did not serve this answer cleanly."""
-        return self.tier_index > 0 or bool(self.failures)
+        return (
+            self.tier_index > 0
+            or bool(self.failures)
+            or bool(self.shards_degraded)
+        )
 
     def contract_holds(self, truth: int, text_length: Optional[int] = None) -> bool:
         """Whether ``count`` satisfies the declared error model against the
@@ -115,6 +129,11 @@ class QueryOutcome:
         tag = "degraded" if self.degraded else "primary"
         if self.hedged:
             tag += ", hedged"
+        if self.shards_degraded:
+            tag += f", shards down: {'+'.join(self.shards_degraded)}"
+            if self.count_interval is not None:
+                lo, hi = self.count_interval
+                tag += f", true count in [{lo}, {hi}]"
         work = ""
         if self.engine is not None:
             work = (

@@ -21,7 +21,7 @@ always available). :func:`build_default_ladder` assembles exactly that.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple, Union
 
 from ..core.interface import OccurrenceEstimator
 from ..engine import EngineStats
@@ -207,6 +207,20 @@ class ResilientEstimator:
                     else:
                         engine_total.merge(tier.engine_stats - before)
                         tier.breaker.record_success()
+                        # Sharded tiers keep serving through quarantined
+                        # shards; surface which shards degraded and the
+                        # widened-but-sound interval the merge still
+                        # guarantees for this answer.
+                        shards_degraded = tuple(
+                            getattr(tier.estimator, "degraded_shards", ())
+                        )
+                        interval: Optional[Tuple[int, int]] = None
+                        if shards_degraded:
+                            try:
+                                lo, hi = tier.estimator.count_interval(pattern)
+                                interval = (int(lo), int(hi))
+                            except Exception:  # noqa: BLE001 - telemetry only
+                                interval = None
                         return QueryOutcome(
                             pattern=pattern,
                             count=count,
@@ -219,6 +233,8 @@ class ResilientEstimator:
                             attempts=attempts,
                             failures=tuple(failures),
                             engine=engine_total,
+                            shards_degraded=shards_degraded,
+                            count_interval=interval,
                         )
             finally:
                 if guarded:

@@ -69,11 +69,14 @@ class ProbeFinding:
 
 @dataclass
 class QuarantineEvent:
-    """One watchdog intervention on one tier."""
+    """One watchdog intervention on one tier (or one shard of one tier)."""
 
     tier: str
     #: The findings that convicted the tier.
     findings: List[ProbeFinding]
+    #: For shard-granular interventions: the convicted shard's name
+    #: (empty for whole-tier quarantines).
+    shard: str = ""
     rebuilt: bool = False
     readmitted: bool = False
     #: Probe findings from the post-rebuild verification pass.
@@ -81,18 +84,42 @@ class QuarantineEvent:
     #: Wall time the rebuild factory took (0.0 when no rebuilder ran).
     rebuild_seconds: float = 0.0
 
+    @property
+    def target(self) -> str:
+        """The quarantined unit: ``tier`` or ``tier/shard``."""
+        return f"{self.tier}/{self.shard}" if self.shard else self.tier
+
     def summary(self) -> str:
         state = (
             "readmitted" if self.readmitted
             else ("rebuilt, still quarantined" if self.rebuilt else "quarantined")
         )
+        unit = f"shard {self.target!r}" if self.shard else f"tier {self.tier!r}"
         first = self.findings[0] if self.findings else None
         detail = (
             f" (first: {first.pattern!r} expected {first.expected}, "
             f"{first.reason or f'observed {first.observed}'})"
             if first else ""
         )
-        return f"watchdog: tier {self.tier!r} {state}{detail}"
+        return f"watchdog: {unit} {state}{detail}"
+
+    def as_dict(self) -> dict:
+        """JSON-safe view of this intervention (for the report export)."""
+        first = self.findings[0] if self.findings else None
+        return {
+            "tier": self.tier,
+            "shard": self.shard,
+            "target": self.target,
+            "findings": len(self.findings),
+            "first_reason": first.reason if first is not None else "",
+            "rebuilt": self.rebuilt,
+            "readmitted": self.readmitted,
+            "verification_passed": (
+                all(f.ok for f in self.verification)
+                if self.verification else None
+            ),
+            "rebuild_seconds": self.rebuild_seconds,
+        }
 
 
 @dataclass(frozen=True)
@@ -107,6 +134,10 @@ class WatchdogReport:
     quarantined_tiers: Tuple[str, ...]
     #: Total wall time spent inside rebuild factories.
     rebuild_seconds: float
+    #: Per-event detail (one :meth:`QuarantineEvent.as_dict` per
+    #: intervention, oldest first) — the quarantine history
+    #: :meth:`to_json` exports, including shard-granular events.
+    history: Tuple[dict, ...] = ()
 
     def format(self) -> str:
         lines = [
@@ -118,7 +149,30 @@ class WatchdogReport:
             lines.append(
                 "  still quarantined: " + ", ".join(self.quarantined_tiers)
             )
+        for entry in self.history:
+            lines.append(
+                f"  event: {entry['target']} "
+                f"(rebuilt={entry['rebuilt']}, readmitted={entry['readmitted']})"
+            )
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-safe view (parity with :meth:`repro.build.BuildReport.as_dict`)."""
+        return {
+            "rounds": self.rounds,
+            "events": self.events,
+            "rebuilt": self.rebuilt,
+            "readmitted": self.readmitted,
+            "quarantined_tiers": list(self.quarantined_tiers),
+            "rebuild_seconds": self.rebuild_seconds,
+            "history": [dict(entry) for entry in self.history],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as JSON, for dashboards and benchmark artifacts."""
+        import json
+
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
 
 def probes_from_text(
@@ -248,6 +302,7 @@ class CorruptionWatchdog:
             readmitted=sum(1 for e in events if e.readmitted),
             quarantined_tiers=quarantined,
             rebuild_seconds=sum(e.rebuild_seconds for e in events),
+            history=tuple(e.as_dict() for e in events),
         )
 
     # -- probing --------------------------------------------------------------
@@ -311,6 +366,13 @@ class CorruptionWatchdog:
     # -- quarantine / rebuild / readmit ---------------------------------------
 
     def _quarantine(self, tier: Tier, violations: List[ProbeFinding]) -> None:
+        # Shard-granular first: a sharded estimator that can localise the
+        # contradiction to individual shards loses only those shards — the
+        # tier stays in service (no tier quarantine, breaker untouched) and
+        # the other k-1 shards keep answering under the merge's declared
+        # degraded model while the convicted shard is rebuilt in place.
+        if self._quarantine_shards(tier, violations):
+            return
         tier.quarantine(
             f"differential probe contradiction ({violations[0].reason})"
         )
@@ -335,6 +397,67 @@ class CorruptionWatchdog:
             tier.readmit()
             tier.breaker.force_close()
             event.readmitted = True
+
+    def _quarantine_shards(
+        self, tier: Tier, violations: List[ProbeFinding]
+    ) -> bool:
+        """Try to localise the contradiction to individual shards.
+
+        Returns True when at least one shard was convicted and handled
+        (quarantine -> rebuild -> verify -> readmit, per shard); False
+        when the tier is not sharded, cannot localise, or no single shard
+        explains the violations — the caller then falls back to
+        whole-tier quarantine.
+        """
+        estimator = tier.estimator
+        convict = getattr(estimator, "convict_shards", None)
+        can_localize = getattr(estimator, "can_localize", None)
+        if convict is None or can_localize is None or not can_localize():
+            return False
+        convicted: List[str] = []
+        for finding in violations:
+            try:
+                names = convict(finding.pattern)
+            except Exception:  # noqa: BLE001 - localisation is best-effort
+                return False
+            for name in names:
+                if name not in convicted:
+                    convicted.append(name)
+        if not convicted:
+            return False
+        patterns = [pattern for pattern, _ in self._probes]
+        for name in convicted:
+            estimator.quarantine_shard(
+                name,
+                f"differential probe contradiction ({violations[0].reason})",
+            )
+            event = QuarantineEvent(
+                tier=tier.name, shard=name, findings=list(violations)
+            )
+            self._events.append(event)
+            try:
+                started = time.perf_counter()
+                estimator.rebuild_shard(name)
+                event.rebuild_seconds = time.perf_counter() - started
+                event.rebuilt = True
+            except Exception:  # noqa: BLE001 - no builder: stays quarantined
+                continue
+            probes = estimator.verify_shard(name, patterns)
+            event.verification = [
+                ProbeFinding(
+                    f"{tier.name}/{name}", probe.pattern, probe.expected,
+                    probe.observed, probe.ok, probe.reason,
+                )
+                for probe in probes
+            ]
+            if probes and all(probe.ok for probe in probes):
+                estimator.readmit_shard(name)
+                event.readmitted = True
+        # The tier served throughout; flush its memo cache so answers
+        # computed through the corrupt shard (and the quarantine-period
+        # ceilings) do not outlive the intervention.
+        tier.replace_estimator(estimator)
+        return True
 
     # -- background thread ----------------------------------------------------
 

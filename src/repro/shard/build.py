@@ -1,0 +1,245 @@
+"""Building a :class:`~repro.shard.estimator.ShardedEstimator` from a plan.
+
+Every shard gets its own :class:`~repro.build.BuildContext` (so a rebuild
+of one shard reuses that shard's memoised suffix array instead of
+re-sorting) and runs through the standard :func:`~repro.build.build_all`
+pipeline; shards build in parallel on a thread pool. An optional
+:class:`~repro.build.ArtifactCache` is shared across shards — artifacts
+are keyed by each shard text's content digest, so **re-sharding reuses
+unchanged shards**: only shards whose document set changed pay a suffix
+sort.
+
+:func:`build_sharded` returns the estimator plus a
+:class:`ShardBuildReport` aggregating per-shard
+:class:`~repro.build.report.BuildReport` telemetry (wall clock, cache
+hits, space). :func:`build_sharded_ladder` assembles the serving-layer
+degradation ladder whose upper tiers are sharded (used by
+``repro serve-check --shards N``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from ..build import ArtifactCache, BuildContext, build_all, spec_for
+from ..build.report import BuildReport
+from ..core.interface import OccurrenceEstimator
+from ..errors import InvalidParameterError
+from ..space import SpaceReport
+from .estimator import ShardedEstimator
+from .merge import MergePolicy, merged_threshold, shard_threshold
+from .plan import ShardPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.resilient import ResilientEstimator
+
+#: Index kinds whose constructor takes the error threshold ``l`` (and
+#: therefore participate in the merge policy's budget arithmetic).
+_THRESHOLDED_KINDS = ("cpst", "apx", "apx-ef", "pst", "patricia")
+
+
+@dataclass
+class ShardBuildReport:
+    """Telemetry of one sharded build: per-shard reports plus the algebra."""
+
+    kind: str
+    policy: str
+    requested_threshold: int
+    shard_threshold: int
+    merged_threshold: int
+    wall_seconds: float = 0.0
+    #: Per-shard pipeline telemetry, keyed by shard name.
+    reports: Dict[str, BuildReport] = field(default_factory=dict)
+    space: Optional[SpaceReport] = None
+
+    @property
+    def reuse_hits(self) -> int:
+        """Artifact stages served from a memo or the on-disk cache,
+        summed across shards (nonzero on a re-shard with a warm cache)."""
+        return sum(report.reuse_hits for report in self.reports.values())
+
+    def format(self) -> str:
+        lines = [
+            f"sharded build — kind {self.kind}, {len(self.reports)} shard(s), "
+            f"policy {self.policy}: l={self.requested_threshold} -> "
+            f"l_shard={self.shard_threshold} "
+            f"(merged uniform threshold {self.merged_threshold})",
+            f"  wall: {self.wall_seconds * 1e3:.1f} ms, "
+            f"artifact reuse hits: {self.reuse_hits}",
+        ]
+        for name, report in self.reports.items():
+            lines.append(
+                f"  {name:<10} {report.wall_seconds * 1e3:>8.1f} ms, "
+                f"{report.reuse_hits} reuse hit(s), "
+                f"{report.total_payload_bits} payload bits"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (the shard benchmark artifact)."""
+        return {
+            "kind": self.kind,
+            "policy": self.policy,
+            "requested_threshold": self.requested_threshold,
+            "shard_threshold": self.shard_threshold,
+            "merged_threshold": self.merged_threshold,
+            "wall_seconds": self.wall_seconds,
+            "reuse_hits": self.reuse_hits,
+            "shards": {
+                name: report.as_dict() for name, report in self.reports.items()
+            },
+        }
+
+
+def effective_shard_threshold(
+    kind: str, l: int, k: int, policy: "MergePolicy | str"
+) -> int:
+    """The per-shard threshold a build uses (``1`` for exact kinds)."""
+    if kind not in _THRESHOLDED_KINDS:
+        return 1
+    return shard_threshold(l, k, MergePolicy.parse(policy))
+
+
+def build_sharded(
+    plan: ShardPlan,
+    kind: str = "cpst",
+    l: int = 64,
+    *,
+    policy: "MergePolicy | str" = MergePolicy.SPLIT_BUDGET,
+    cache: Optional[ArtifactCache] = None,
+    max_workers: Optional[int] = None,
+    keep_texts: bool = True,
+) -> "tuple[ShardedEstimator, ShardBuildReport]":
+    """Build one index ``kind`` per shard and merge behind one estimator.
+
+    ``policy`` decides the per-shard threshold (see
+    :func:`~repro.shard.merge.shard_threshold`); exact kinds (``fm``,
+    ``rlfm``, ...) ignore it. ``keep_texts=False`` drops the per-shard
+    source texts (saves memory, but disables the watchdog's per-shard
+    differential localisation). Each shard keeps a rebuild factory bound
+    to its own context, so :meth:`ShardedEstimator.rebuild_shard` reuses
+    the memoised artifacts instead of re-sorting.
+    """
+    policy = MergePolicy.parse(policy)
+    l_shard = effective_shard_threshold(kind, l, plan.k, policy)
+    spec = spec_for(kind, l_shard)
+    started = time.perf_counter()
+
+    contexts = {
+        shard.name: BuildContext(shard.text, cache=cache, name=shard.name)
+        for shard in plan.shards
+    }
+
+    def build_one(shard_name: str) -> "tuple[str, OccurrenceEstimator, BuildReport]":
+        result = build_all(contexts[shard_name], [spec])
+        return shard_name, result[spec.label], result.report
+
+    names = plan.names
+    if max_workers is None:
+        max_workers = min(plan.k, 8)
+    if max_workers < 1:
+        raise InvalidParameterError(f"max_workers must be >= 1, got {max_workers}")
+    if max_workers == 1 or plan.k == 1:
+        built = [build_one(name) for name in names]
+    else:
+        with ThreadPoolExecutor(
+            max_workers=min(max_workers, plan.k),
+            thread_name_prefix="repro-shard-build",
+        ) as pool:
+            built = list(pool.map(build_one, names))
+
+    builders: Dict[str, Callable[[], OccurrenceEstimator]] = {
+        shard.name: _rebuilder(contexts[shard.name], spec)
+        for shard in plan.shards
+    }
+    texts = (
+        {shard.name: shard.text for shard in plan.shards} if keep_texts else {}
+    )
+    estimator = ShardedEstimator(
+        [(name, index) for name, index, _ in built],
+        texts=texts,
+        builders=builders,
+    )
+    report = ShardBuildReport(
+        kind=kind,
+        policy=policy.value,
+        requested_threshold=l,
+        shard_threshold=l_shard,
+        merged_threshold=merged_threshold([l_shard] * plan.k)
+        if kind in _THRESHOLDED_KINDS
+        else 1,
+        wall_seconds=time.perf_counter() - started,
+        reports={name: shard_report for name, _, shard_report in built},
+        space=estimator.space_report(),
+    )
+    return estimator, report
+
+
+def _rebuilder(ctx: BuildContext, spec) -> Callable[[], OccurrenceEstimator]:
+    from ..build.pipeline import BUILDERS
+
+    def rebuild() -> OccurrenceEstimator:
+        return BUILDERS[spec.kind](ctx, **dict(spec.params))
+
+    return rebuild
+
+
+def build_sharded_ladder(
+    plan: ShardPlan,
+    l: int = 64,
+    *,
+    policy: "MergePolicy | str" = MergePolicy.SPLIT_BUDGET,
+    deadline_seconds: Optional[float] = 0.5,
+    cache: Optional[ArtifactCache] = None,
+    max_workers: Optional[int] = None,
+    primary: Optional[OccurrenceEstimator] = None,
+) -> "ResilientEstimator":
+    """The default degradation ladder with sharded upper tiers.
+
+    Mirrors :func:`repro.service.build_default_ladder`: a certified-only
+    sharded CPST tier, a sharded APX tier, then a monolithic q-gram tier
+    and the always-available statistics tier built over the full
+    concatenation (last-resort tiers must not depend on shard health).
+    ``primary`` substitutes the first tier's estimator — the hook chaos
+    tests and fault injection use.
+    """
+    from ..baselines.qgram import QGramIndex
+    from ..service.resilient import ResilientEstimator
+    from ..service.tiers import TextStatsEstimator, Tier
+    from ..textutil import Text
+
+    cpst_sharded, _ = build_sharded(
+        plan, "cpst", l, policy=policy, cache=cache, max_workers=max_workers
+    )
+    apx_sharded, _ = build_sharded(
+        plan, "apx", l, policy=policy, cache=cache, max_workers=max_workers
+    )
+    whole = Text.from_rows(
+        [
+            body
+            for shard in plan.shards
+            for body in _shard_bodies(shard, plan.separator)
+        ],
+        separator=plan.separator,
+    )
+    tiers = [
+        Tier(
+            primary if primary is not None else cpst_sharded,
+            "cpst-sharded",
+            certified_only=True,
+        ),
+        Tier(apx_sharded, "apx-sharded"),
+        Tier(
+            QGramIndex(whole, q=max(2, min(l, 8))), "qgram", certified_only=True
+        ),
+        Tier(TextStatsEstimator(whole), "stats", always_available=True),
+    ]
+    return ResilientEstimator(tiers, deadline_seconds=deadline_seconds)
+
+
+def _shard_bodies(shard, separator: str) -> List[str]:
+    """Recover a shard's document bodies from its separator-joined text."""
+    return [row for row in shard.text.raw.split(separator) if row]

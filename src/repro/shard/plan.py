@@ -1,0 +1,250 @@
+"""Shard plans: document-aligned partitions of a corpus.
+
+A :class:`ShardPlan` splits a collection of named documents into ``k``
+per-shard :class:`~repro.textutil.Text` objects, each the standard
+separator-joined concatenation (``Text.from_rows``), plus a manifest
+mapping every document name to its shard. Because query patterns never
+contain the separator, no occurrence crosses a document boundary — so the
+true corpus count of any pattern is exactly the sum of the per-shard true
+counts, whichever way documents are assigned (the property every merge
+rule in :mod:`repro.shard.merge` rests on).
+
+Partitioners:
+
+* :meth:`ShardPlan.for_documents` — size-balanced greedy bin-packing
+  (longest document first onto the least-loaded shard), the default for
+  collections;
+* :meth:`ShardPlan.for_rows` — the same, for anonymous rows (CLI input
+  split by lines);
+* :meth:`ShardPlan.explicit` — caller-specified assignment, for tests
+  and migrations.
+
+Plans are deterministic: the same documents and ``k`` always produce the
+same shard texts, so per-shard build artifacts cached by content digest
+(:class:`~repro.build.ArtifactCache`) are reused across re-shards that
+leave a shard's document set unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import InvalidParameterError
+from ..textutil import ROW_SEPARATOR, Text
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One shard: its name, its documents (insertion order), its text."""
+
+    name: str
+    documents: Tuple[str, ...]
+    text: Text
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard({self.name!r}, documents={len(self.documents)}, "
+            f"chars={len(self.text)})"
+        )
+
+
+def _validated_items(
+    documents: "Mapping[str, str] | Sequence[Tuple[str, str]]",
+    separator: str,
+) -> List[Tuple[str, str]]:
+    items = (
+        list(documents.items())
+        if isinstance(documents, Mapping)
+        else list(documents)
+    )
+    if not items:
+        raise InvalidParameterError("a shard plan needs at least one document")
+    names = [name for name, _ in items]
+    if len(set(names)) != len(names):
+        raise InvalidParameterError("document names must be unique")
+    for name, body in items:
+        if not body:
+            raise InvalidParameterError(f"document {name!r} is empty")
+        if separator in body:
+            raise InvalidParameterError(
+                f"document {name!r} contains the separator character "
+                f"{separator!r}; separator-aligned counts would be wrong"
+            )
+    return items
+
+
+class ShardPlan:
+    """An immutable assignment of documents to ``k`` shards."""
+
+    def __init__(self, shards: Sequence[Shard], separator: str = ROW_SEPARATOR):
+        if not shards:
+            raise InvalidParameterError("a shard plan needs at least one shard")
+        names = [shard.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(f"shard names must be unique: {names}")
+        manifest: Dict[str, str] = {}
+        for shard in shards:
+            for document in shard.documents:
+                if document in manifest:
+                    raise InvalidParameterError(
+                        f"document {document!r} assigned to both "
+                        f"{manifest[document]!r} and {shard.name!r}"
+                    )
+                manifest[document] = shard.name
+        self._shards = tuple(shards)
+        self._manifest = manifest
+        self._separator = separator
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def for_documents(
+        cls,
+        documents: "Mapping[str, str] | Sequence[Tuple[str, str]]",
+        shards: int = 2,
+        *,
+        separator: str = ROW_SEPARATOR,
+    ) -> "ShardPlan":
+        """Size-balanced greedy bin-packing of named documents.
+
+        Documents are placed longest-first onto the currently
+        least-loaded shard (ties broken by shard index, so the plan is
+        deterministic); within each shard, documents keep their original
+        insertion order.
+        """
+        items = _validated_items(documents, separator)
+        if not 1 <= shards <= len(items):
+            raise InvalidParameterError(
+                f"shard count must be in [1, {len(items)}] "
+                f"(one non-empty document per shard), got {shards}"
+            )
+        loads = [0] * shards
+        assigned: List[List[int]] = [[] for _ in range(shards)]
+        order = sorted(
+            range(len(items)), key=lambda i: (-len(items[i][1]), i)
+        )
+        for index in order:
+            target = min(range(shards), key=lambda s: (loads[s], s))
+            loads[target] += len(items[index][1])
+            assigned[target].append(index)
+        built = []
+        for s in range(shards):
+            members = sorted(assigned[s])
+            built.append(
+                Shard(
+                    name=f"shard{s}",
+                    documents=tuple(items[i][0] for i in members),
+                    text=Text.from_rows(
+                        [items[i][1] for i in members], separator=separator
+                    ),
+                )
+            )
+        return cls(built, separator)
+
+    @classmethod
+    def for_rows(
+        cls,
+        rows: Sequence[str],
+        shards: int = 2,
+        *,
+        separator: str = ROW_SEPARATOR,
+    ) -> "ShardPlan":
+        """Bin-pack anonymous rows (named ``row000000``, ``row000001``, ...)."""
+        return cls.for_documents(
+            [(f"row{i:06d}", row) for i, row in enumerate(rows)],
+            shards,
+            separator=separator,
+        )
+
+    @classmethod
+    def explicit(
+        cls,
+        documents: "Mapping[str, str] | Sequence[Tuple[str, str]]",
+        assignment: Mapping[str, str],
+        *,
+        separator: str = ROW_SEPARATOR,
+    ) -> "ShardPlan":
+        """Caller-specified ``document name -> shard name`` assignment.
+
+        Every document must be assigned; shard insertion order follows
+        first appearance in ``assignment`` values (deterministic for
+        dict literals in tests).
+        """
+        items = _validated_items(documents, separator)
+        missing = [name for name, _ in items if name not in assignment]
+        if missing:
+            raise InvalidParameterError(f"unassigned documents: {missing}")
+        unknown = sorted(set(assignment) - {name for name, _ in items})
+        if unknown:
+            raise InvalidParameterError(f"assignment names unknown documents: {unknown}")
+        shard_order: List[str] = []
+        for name, _ in items:
+            shard = assignment[name]
+            if shard not in shard_order:
+                shard_order.append(shard)
+        built = []
+        for shard in shard_order:
+            members = [(n, b) for n, b in items if assignment[n] == shard]
+            built.append(
+                Shard(
+                    name=shard,
+                    documents=tuple(n for n, _ in members),
+                    text=Text.from_rows(
+                        [b for _, b in members], separator=separator
+                    ),
+                )
+            )
+        return cls(built, separator)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[Shard, ...]:
+        """The shards, in shard-name insertion order."""
+        return self._shards
+
+    @property
+    def k(self) -> int:
+        """Number of shards."""
+        return len(self._shards)
+
+    @property
+    def names(self) -> List[str]:
+        """Shard names in order."""
+        return [shard.name for shard in self._shards]
+
+    @property
+    def manifest(self) -> Dict[str, str]:
+        """``document name -> shard name`` for every document."""
+        return dict(self._manifest)
+
+    @property
+    def separator(self) -> str:
+        """The row separator every shard text uses."""
+        return self._separator
+
+    def shard_of(self, document: str) -> str:
+        """The shard a document was assigned to."""
+        if document not in self._manifest:
+            raise InvalidParameterError(f"unknown document {document!r}")
+        return self._manifest[document]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __iter__(self):
+        return iter(self._shards)
+
+    def format(self) -> str:
+        """Human-readable per-shard load summary."""
+        lines = [f"shard plan: {self.k} shard(s), {len(self._manifest)} document(s)"]
+        for shard in self._shards:
+            lines.append(
+                f"  {shard.name:<10} {len(shard.documents):>5} docs "
+                f"{len(shard.text):>10} chars"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ShardPlan(k={self.k}, documents={len(self._manifest)})"

@@ -58,6 +58,38 @@ class SpaceReport:
         overhead.update({f"{other.name}.{k}": v for k, v in other.overhead.items()})
         return SpaceReport(name or f"{self.name}+{other.name}", components, overhead)
 
+    def __add__(self, other: "SpaceReport") -> "SpaceReport":
+        """Roll two reports into one (see :meth:`merge` for many)."""
+        if not isinstance(other, SpaceReport):
+            return NotImplemented
+        return SpaceReport.merge((self, other))
+
+    @classmethod
+    def merge(
+        cls, reports: Iterable["SpaceReport"], name: str = "merged"
+    ) -> "SpaceReport":
+        """One corpus-level report from many part reports (e.g. per shard).
+
+        Component keys are prefixed with each part's name; parts sharing
+        a name have their same-keyed components summed, so ``merge`` is
+        total regardless of naming discipline.
+        """
+        components: Dict[str, int] = {}
+        overhead: Dict[str, int] = {}
+        seen = 0
+        for index, report in enumerate(reports):
+            seen += 1
+            prefix = report.name or f"part{index}"
+            for key, bits in report.components.items():
+                full = f"{prefix}.{key}"
+                components[full] = components.get(full, 0) + bits
+            for key, bits in report.overhead.items():
+                full = f"{prefix}.{key}"
+                overhead[full] = overhead.get(full, 0) + bits
+        if seen == 0:
+            raise ValueError("SpaceReport.merge needs at least one report")
+        return cls(name, components, overhead)
+
     def format(self, reference_bits: int | None = None) -> str:
         """Human-readable multi-line breakdown."""
         lines = [f"{self.name}: {self.payload_bits} payload bits "

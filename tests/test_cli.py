@@ -62,6 +62,45 @@ class TestBuildAndQuery:
         assert "'AC':" in out
 
 
+class TestShardedCli:
+    def test_build_with_shards_saves_one_index_per_shard(self, capsys, tmp_path):
+        index_file = tmp_path / "sharded.pkl"
+        out = run_cli(
+            capsys, "build", "english", "--size", "3000",
+            "--index", "apx", "--l", "8", "--shards", "3",
+            "-o", str(index_file),
+        )
+        assert "shard plan: 3 shard(s)" in out
+        for name in ("shard0", "shard1", "shard2"):
+            assert f"saved apx shard {name}" in out
+            saved = tmp_path / f"sharded.pkl.{name}"
+            assert saved.exists()
+        assert "payload bits" in out  # merged space rollup
+
+    def test_serve_check_with_shards_passes(self, capsys):
+        out = run_cli(
+            capsys, "serve-check", "english", "--size", "3000",
+            "--l", "8", "--shards", "3",
+        )
+        assert "sharded ladder: 3 shards" in out
+        assert "serve-check PASS" in out
+
+    def test_serve_check_shards_with_widen_policy(self, capsys):
+        out = run_cli(
+            capsys, "serve-check", "dna", "--size", "2000",
+            "--l", "8", "--shards", "2", "--merge-policy", "widen",
+            "--concurrency", "4",
+        )
+        assert "serve-check PASS" in out
+
+    def test_shards_reject_fault_injection(self, capsys):
+        assert main([
+            "serve-check", "dna", "--size", "2000",
+            "--l", "8", "--shards", "2", "--fault-rate", "0.5",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_stats(self, capsys):
         out = run_cli(capsys, "stats", "english", "--size", "2000", "--l", "8")

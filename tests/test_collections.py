@@ -37,6 +37,36 @@ class TestConstruction:
         assert len(coll) == 4
         assert coll.names == list(docs)
 
+    def test_rejects_separator_in_document_body(self):
+        # A body containing the separator would shift every later
+        # document's offsets and make counts straddle document borders.
+        from repro.textutil import ROW_SEPARATOR
+
+        with pytest.raises(InvalidParameterError) as excinfo:
+            DocumentCollection({"ok": "abc", "bad": f"x{ROW_SEPARATOR}y"})
+        assert "bad" in str(excinfo.value)
+        assert "separator" in str(excinfo.value)
+
+
+class TestShardPlanExport:
+    def test_to_shard_plan_covers_every_document(self, library):
+        docs, coll = library
+        plan = coll.to_shard_plan(2)
+        assert len(plan.shards) == 2
+        assert sorted(plan.manifest) == sorted(docs)
+        # per-document bodies survive the round trip
+        for shard in plan.shards:
+            for name in shard.documents:
+                assert docs[name] in shard.text.raw
+
+    def test_to_shard_plan_counts_match_collection(self, library):
+        docs, coll = library
+        from repro.shard import build_sharded
+
+        sharded, _ = build_sharded(coll.to_shard_plan(2), "fm", 2)
+        for pattern in ("banana", "carrot", "an", "zzz"):
+            assert sharded.count(pattern) == coll.count(pattern)
+
 
 class TestCounting:
     def test_total_counts(self, library):

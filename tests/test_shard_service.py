@@ -1,0 +1,199 @@
+"""Shard-granular fault isolation through the serving layer.
+
+Corrupting or killing one shard must degrade only that shard: the
+watchdog convicts, rebuilds and readmits it while the other k-1 shards
+keep answering, and every served outcome names the degraded shards and
+the widened-but-sound bound.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.service.watchdog import CorruptionWatchdog, probes_from_text
+from repro.shard import MergePolicy, ShardPlan, build_sharded_ladder
+from repro.textutil import ROW_SEPARATOR, Text
+
+L = 8
+K = 4
+
+
+class LyingEstimator:
+    """Wraps a per-shard estimator and silently overcounts.
+
+    Exposes no automaton protocol, so the lie reaches the fan-out path
+    and the sharded product automaton is vetoed rather than bypassed.
+    """
+
+    def __init__(self, inner, offset=1000):
+        self._inner = inner
+        self._offset = offset
+
+    def count(self, pattern):
+        return self._inner.count(pattern) + self._offset
+
+    @property
+    def error_model(self):
+        return self._inner.error_model
+
+    @property
+    def threshold(self):
+        return self._inner.threshold
+
+    @property
+    def text_length(self):
+        return self._inner.text_length
+
+    @property
+    def alphabet(self):
+        return self._inner.alphabet
+
+    def space_report(self):
+        return self._inner.space_report()
+
+
+@pytest.fixture()
+def setting():
+    rng = random.Random(7)
+    rows = ["".join(rng.choice("abcd") for _ in range(500)) for _ in range(12)]
+    plan = ShardPlan.for_rows(rows, K)
+    service = build_sharded_ladder(plan, L, deadline_seconds=None)
+    mono = Text.from_rows(rows)
+    probes = {
+        pattern: truth
+        for pattern, truth in probes_from_text(mono, seed=3).items()
+        if ROW_SEPARATOR not in pattern
+    }
+    return plan, service, mono, probes
+
+
+def _corrupt_shard(service, shard_name):
+    tier = next(t for t in service.tiers if t.name == "apx-sharded")
+    sharded = tier.estimator
+    sharded.replace_shard(
+        shard_name, LyingEstimator(sharded.estimator_for(shard_name))
+    )
+    tier.replace_estimator(sharded)  # flush the tier's memo
+    return tier, sharded
+
+
+class TestShardGranularWatchdog:
+    def test_convicts_only_the_lying_shard(self, setting):
+        plan, service, mono, probes = setting
+        tier, _ = _corrupt_shard(service, "shard2")
+        watchdog = CorruptionWatchdog(
+            service, probes, probes_per_round=len(probes), seed=1
+        )
+        findings = watchdog.run_probe_round()
+        assert any(not f.ok and f.tier == "apx-sharded" for f in findings)
+        events = watchdog.events
+        assert len(events) == 1
+        event = events[0]
+        assert event.tier == "apx-sharded"
+        assert event.shard == "shard2"
+        assert event.target == "apx-sharded/shard2"
+        # shard-granular: the tier itself never left service
+        assert not tier.quarantined
+        assert tier.breaker.allow()
+
+    def test_rebuilds_verifies_and_readmits(self, setting):
+        plan, service, mono, probes = setting
+        tier, sharded = _corrupt_shard(service, "shard1")
+        watchdog = CorruptionWatchdog(
+            service, probes, probes_per_round=len(probes), seed=1
+        )
+        watchdog.run_probe_round()
+        event = watchdog.events[0]
+        assert event.rebuilt and event.readmitted
+        assert event.rebuild_seconds >= 0.0
+        assert event.verification and all(f.ok for f in event.verification)
+        assert all(
+            f.tier == "apx-sharded/shard1" for f in event.verification
+        )
+        assert sharded.degraded_shards == ()
+        # the rebuilt shard answers honestly again
+        for pattern in list(probes)[:5]:
+            truth = mono.count_naive(pattern)
+            assert truth <= sharded.count(pattern) <= truth + sharded.threshold - 1
+
+    def test_other_shards_keep_serving_during_quarantine(self, setting):
+        plan, service, mono, probes = setting
+        tier = next(t for t in service.tiers if t.name == "apx-sharded")
+        sharded = tier.estimator
+        sharded.quarantine_shard("shard3", "chaos")
+        tier.replace_estimator(sharded)
+        # knock the certified primary out so the sharded APX tier serves
+        service.tiers[0].quarantine("chaos")
+        for pattern in list(probes)[:8]:
+            outcome = service.query(pattern)
+            assert outcome.tier == "apx-sharded"
+            assert outcome.shards_degraded == ("shard3",)
+            assert outcome.degraded
+            lo, hi = outcome.count_interval
+            assert lo <= mono.count_naive(pattern) <= hi
+        sharded.readmit_shard("shard3")
+        service.tiers[0].readmit()
+
+    def test_healthy_outcome_reports_no_shards(self, setting):
+        plan, service, mono, probes = setting
+        outcome = service.query(next(iter(probes)))
+        assert outcome.shards_degraded == ()
+        assert outcome.count_interval is None
+
+    def test_report_to_json_includes_shard_history(self, setting):
+        plan, service, mono, probes = setting
+        _corrupt_shard(service, "shard0")
+        watchdog = CorruptionWatchdog(
+            service, probes, probes_per_round=len(probes), seed=1
+        )
+        watchdog.run_probe_round()
+        report = watchdog.report()
+        payload = json.loads(report.to_json())
+        assert payload["events"] == 1
+        entry = payload["history"][0]
+        assert entry["shard"] == "shard0"
+        assert entry["target"] == "apx-sharded/shard0"
+        assert entry["rebuilt"] is True
+        assert entry["readmitted"] is True
+        assert entry["verification_passed"] is True
+        assert "shard0" in report.format()
+
+    def test_whole_tier_path_still_works_for_unsharded_tiers(self, setting):
+        plan, service, mono, probes = setting
+        # Corrupt the monolithic qgram tier: no shard localisation there,
+        # so the watchdog must fall back to whole-tier quarantine.
+        qgram_tier = next(t for t in service.tiers if t.name == "qgram")
+        qgram_tier.replace_estimator(
+            LyingEstimator(qgram_tier.estimator, offset=7)
+        )
+        # make the qgram tier serve by quarantining everything above it
+        for tier in service.tiers[:2]:
+            tier.quarantine("chaos")
+        watchdog = CorruptionWatchdog(
+            service, probes, probes_per_round=len(probes), seed=1
+        )
+        watchdog.run_probe_round()
+        events = [e for e in watchdog.events if e.tier == "qgram"]
+        assert events and events[0].shard == ""
+        assert qgram_tier.quarantined
+
+
+class TestMergePolicyThroughLadder:
+    @pytest.mark.parametrize(
+        "policy", [MergePolicy.SPLIT_BUDGET, MergePolicy.WIDEN_INTERVAL]
+    )
+    def test_served_answers_sound_under_both_policies(self, policy):
+        rng = random.Random(11)
+        rows = ["".join(rng.choice("ab") for _ in range(300)) for _ in range(8)]
+        plan = ShardPlan.for_rows(rows, 4)
+        service = build_sharded_ladder(
+            plan, L, policy=policy, deadline_seconds=None
+        )
+        mono = Text.from_rows(rows)
+        for pattern in ("ab", "ba", "aab", "bbbb"):
+            outcome = service.query(pattern)
+            truth = mono.count_naive(pattern)
+            assert outcome.contract_holds(truth, len(mono))
