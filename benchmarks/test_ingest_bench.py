@@ -1,0 +1,160 @@
+"""Live corpus plane benchmarks: ingest, recovery, compaction reuse.
+
+Measures the crash-safe ingest path end to end and persists the
+telemetry as ``results/ingest_report.json`` for CI to upload:
+
+* **ingest throughput** — durably acknowledged appends per second
+  (every append pays a WAL fsync before it returns);
+* **recovery time** — wall-clock to re-open the directory (newest valid
+  manifest + segment digest checks + WAL tail replay), both clean and
+  with a torn WAL tail to heal;
+* **compaction reuse** — fraction of shards an incremental compaction
+  serves from the artifact cache instead of re-sorting.
+
+The assertions are on counts, convergence and cache reuse — things that
+cannot flake; the wall-clock numbers are reporting only.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.live import LiveCorpus, WalRecord
+
+THRESHOLD = 16
+SHARDS = 4
+DOCUMENTS = 24
+
+
+@pytest.fixture(scope="module")
+def documents(contexts):
+    raw = contexts["english"].text.raw
+    n = len(raw)
+    return {
+        f"doc{i:02d}": raw[i * n // DOCUMENTS : (i + 1) * n // DOCUMENTS]
+        for i in range(DOCUMENTS)
+    }
+
+
+def test_ingest_report_artifact(documents, tmp_path_factory, save_report):
+    base = tmp_path_factory.mktemp("live") / "corpus"
+
+    # -- ingest: durable appends ------------------------------------------
+    corpus = LiveCorpus.create(base, l=THRESHOLD, shards=SHARDS)
+    ingested_bytes = 0
+    t0 = time.perf_counter()
+    for name, body in documents.items():
+        corpus.append(name, body)
+        ingested_bytes += len(body)
+    ingest_wall = time.perf_counter() - t0
+    assert len(corpus) == DOCUMENTS
+
+    # -- cold compaction ---------------------------------------------------
+    t0 = time.perf_counter()
+    cold = corpus.compact()
+    cold_wall = time.perf_counter() - t0
+    assert cold.committed and len(cold.shards) == SHARDS
+
+    # -- incremental compaction: small delta, most shards unchanged --------
+    corpus.append("fresh", "an incremental document about suffix trees")
+    corpus.delete("doc00")
+    t0 = time.perf_counter()
+    warm = corpus.compact()
+    warm_wall = time.perf_counter() - t0
+    assert warm.committed
+    reused_shards = [
+        name
+        for name, report in warm.build.reports.items()
+        if report.reuse_hits > 0
+    ]
+    assert warm.reuse_hits > 0, "incremental compaction must reuse artifacts"
+    reuse_ratio = len(reused_shards) / len(warm.shards)
+
+    # -- recovery: clean reopen -------------------------------------------
+    expected = corpus.documents()
+    intervals = {p: corpus.count_interval(p) for p in ("the", "an", "ing")}
+    corpus.close()
+    t0 = time.perf_counter()
+    recovered = LiveCorpus.open(base)
+    clean_recovery_wall = time.perf_counter() - t0
+    assert recovered.documents() == expected
+    for pattern, interval in intervals.items():
+        assert recovered.count_interval(pattern) == interval
+    recovered.close()
+
+    # -- recovery: torn WAL tail to heal ----------------------------------
+    wal_path = base / "wal.log"
+    with open(wal_path, "ab") as handle:
+        handle.write(WalRecord("append", 999, "torn", "lost").encode()[:9])
+    t0 = time.perf_counter()
+    healed = LiveCorpus.open(base)
+    torn_recovery_wall = time.perf_counter() - t0
+    assert healed.documents() == expected
+    healed.close()
+
+    payload = {
+        "documents": DOCUMENTS,
+        "shards": SHARDS,
+        "threshold": THRESHOLD,
+        "ingest": {
+            "appends": DOCUMENTS,
+            "bytes": ingested_bytes,
+            "wall_seconds": round(ingest_wall, 6),
+            "appends_per_second": round(DOCUMENTS / ingest_wall, 2),
+            "bytes_per_second": round(ingested_bytes / ingest_wall, 1),
+        },
+        "compaction": {
+            "cold_wall_seconds": round(cold_wall, 6),
+            "warm_wall_seconds": round(warm_wall, 6),
+            "warm_reuse_hits": warm.reuse_hits,
+            "warm_reused_shards": sorted(reused_shards),
+            "reuse_ratio": round(reuse_ratio, 3),
+            "verified_probes": warm.verified_probes,
+        },
+        "recovery": {
+            "clean_wall_seconds": round(clean_recovery_wall, 6),
+            "torn_tail_wall_seconds": round(torn_recovery_wall, 6),
+        },
+    }
+    path = save_report("ingest_report", json.dumps(payload, indent=2))
+    # save_report appends .txt; mirror to the canonical .json name too.
+    json_path = path.with_suffix(".json")
+    json_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    assert json_path.exists()
+
+
+def test_recovery_convergence_after_interrupted_compaction(
+    documents, tmp_path_factory
+):
+    """A compaction killed right before its manifest rename converges on
+    the uninterrupted digests when retried after recovery."""
+    from repro.service import (
+        DiskFaultInjector,
+        DiskFaultSpec,
+        SimulatedCrashError,
+    )
+
+    subset = dict(list(documents.items())[:6])
+    base = tmp_path_factory.mktemp("live-crash") / "corpus"
+    injector = DiskFaultInjector(DiskFaultSpec(site="manifest_rename", at=2))
+    corpus = LiveCorpus.create(
+        base, l=THRESHOLD, shards=2, injector=injector
+    )
+    for name, body in subset.items():
+        corpus.append(name, body)
+    with pytest.raises(SimulatedCrashError):
+        corpus.compact()
+    corpus.close()
+
+    with LiveCorpus.open(base) as recovered:
+        retried = recovered.compact()
+
+    straight_base = tmp_path_factory.mktemp("live-straight") / "corpus"
+    with LiveCorpus.create(straight_base, l=THRESHOLD, shards=2) as straight:
+        for name, body in subset.items():
+            straight.append(name, body)
+        reference = straight.compact()
+    assert retried.shard_digests == reference.shard_digests

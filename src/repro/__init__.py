@@ -36,6 +36,9 @@ Main entry points:
   with shard-granular quarantine in the serving layer.
 * :mod:`repro.service` — resilient serving: degradation ladder, deadlines,
   circuit breakers, fault injection.
+* :mod:`repro.live` — the live corpus plane: crash-safe incremental
+  ingest (WAL-backed delta shard, atomically committed manifests,
+  fault-tolerant compaction; :class:`LiveCorpus`).
 * :mod:`repro.datasets` — synthetic Pizza&Chili stand-in corpora.
 * :mod:`repro.experiments` — regenerate every table/figure of the paper.
 """
@@ -98,6 +101,7 @@ from .service import (
     build_default_ladder,
     run_health_probe,
 )
+from .live import CompactionReport, Compactor, DeltaShard, LiveCorpus
 from .shard import (
     MergePolicy,
     MergedCount,
@@ -156,6 +160,10 @@ __all__ = [
     "planner_for",
     "DocumentCollection",
     "Occurrence",
+    "CompactionReport",
+    "Compactor",
+    "DeltaShard",
+    "LiveCorpus",
     "MergePolicy",
     "MergedCount",
     "ShardPlan",

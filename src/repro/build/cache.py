@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import IndexCorruptedError, ReproError
-from ..io import load_artifact, save_artifact
+from ..io import artifact_bytes, atomic_write_bytes, load_artifact
 
 
 class ArtifactCache:
@@ -70,11 +70,15 @@ class ArtifactCache:
         return artifact
 
     def store(self, digest: str, name: str, array: np.ndarray) -> Path:
-        """Persist one artifact (atomically: write-then-rename)."""
+        """Persist one artifact atomically and durably.
+
+        Write-temp + fsync + ``os.replace`` + directory fsync
+        (:func:`repro.io.atomic_write_bytes`): a crash mid-write can at
+        worst leave an orphaned temp file — never a torn entry under the
+        cache name that a later run would reject as a truncation error.
+        """
         path = self.path_for(digest, name)
-        temporary = path.with_suffix(path.suffix + ".tmp")
-        save_artifact(array, temporary)
-        temporary.replace(path)
+        atomic_write_bytes(path, artifact_bytes(array))
         with self._lock:
             self._stores += 1
         return path

@@ -19,8 +19,13 @@ Commands
                  probe workload, print a tier/latency/engine-work report
                  (optionally with injected faults on the primary tier,
                  ``--concurrency N`` to hammer a QueryServer from N
-                 threads through admission control and bulkheads, or
-                 ``--shards K`` to serve through sharded upper tiers).
+                 threads through admission control and bulkheads,
+                 ``--shards K`` to serve through sharded upper tiers, or
+                 ``--live DIR`` to serve a live corpus directory).
+``ingest``       mutate a live corpus directory (crash-safe WAL-backed
+                 appends/deletes, compaction, status) — see repro.live.
+``space``        space rollup: a live corpus directory (resident +
+                 durable bytes) or a saved index file.
 """
 
 from __future__ import annotations
@@ -244,9 +249,59 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
 
     from .build import BuildContext
 
-    text = _load_text(args.text, args.size, args.seed)
+    text = None
+    if args.text is not None:
+        text = _load_text(args.text, args.size, args.seed)
     patterns = None
-    if args.shards > 1:
+    if args.live:
+        if text is not None:
+            raise ReproError(
+                "--live serves the corpus directory's own documents; "
+                "drop the text argument"
+            )
+        if args.shards > 1 or args.fault_rate > 0:
+            raise ReproError(
+                "--live serves the corpus's own shard set; "
+                "it does not combine with --shards or --fault-rate"
+            )
+        from .live import LiveCorpus
+        from .service import ResilientEstimator, TextStatsEstimator, Tier
+        from .textutil import mixed_workload
+
+        corpus = LiveCorpus.open(args.live)
+        bodies = list(corpus.documents().values())
+        if not bodies:
+            raise ReproError(
+                f"live corpus {args.live} holds no documents; ingest first"
+            )
+        # Ground truth for the probe is the live concatenation; patterns
+        # crossing a document boundary have no corpus-side meaning, so
+        # drop separator-containing probes.
+        separator = corpus.config.separator
+        text = Text.from_rows(bodies, separator=separator)
+        patterns = [
+            pattern
+            for pattern in mixed_workload(text, per_length=10, seed=args.seed)
+            if separator not in pattern
+        ]
+        print(
+            f"live ladder: generation {corpus.generation}, "
+            f"{len(bodies)} document(s), "
+            f"{corpus.delta_pending} pending mutation(s)"
+        )
+        service = ResilientEstimator(
+            [
+                Tier(corpus, "live"),
+                Tier(TextStatsEstimator(text), "stats", always_available=True),
+            ],
+            deadline_seconds=args.deadline_ms / 1000.0,
+        )
+    elif text is None:
+        raise ReproError(
+            "serve-check needs a text source (builtin corpus or file) "
+            "or --live DIR"
+        )
+    elif args.shards > 1:
         if args.fault_rate > 0:
             raise ReproError(
                 "--fault-rate targets the monolithic primary tier; "
@@ -340,6 +395,121 @@ def cmd_selectivity(args: argparse.Namespace) -> int:
         tag = "exact" if certified else "estimated"
         print(f"{pattern!r}: {estimate:.2f} occurrences "
               f"({estimator.selectivity(pattern):.4%} selectivity, {tag})")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from .live import LiveCorpus
+
+    corpus = LiveCorpus.attach(
+        args.directory,
+        kind=args.kind,
+        l=args.l,
+        shards=args.shards,
+        policy=args.merge_policy,
+    )
+    compaction = None
+    try:
+        actions = []
+        for spec in args.append:
+            name, eq, body = spec.partition("=")
+            if not eq or not name:
+                raise ReproError(f"--append expects NAME=BODY, got {spec!r}")
+            actions.append(("append", name, corpus.append(name, body)))
+        for spec in args.append_file:
+            name, eq, source = spec.partition("=")
+            if not eq or not name:
+                raise ReproError(
+                    f"--append-file expects NAME=PATH, got {spec!r}"
+                )
+            path = Path(source)
+            if not path.exists():
+                raise ReproError(f"--append-file: no such file: {source!r}")
+            body = path.read_text(encoding="utf-8", errors="replace")
+            actions.append(("append", name, corpus.append(name, body)))
+        for name in args.delete:
+            actions.append(("delete", name, corpus.delete(name)))
+        if args.compact:
+            compaction = corpus.compact()
+        counts = {
+            pattern: corpus.count_interval(pattern) for pattern in args.count
+        }
+        status = corpus.status()
+    finally:
+        corpus.close()
+    if args.json:
+        import json
+
+        payload: dict = {
+            "actions": [
+                {"op": op, "name": name, "seq": seq}
+                for op, name, seq in actions
+            ],
+            "counts": {p: list(interval) for p, interval in counts.items()},
+            "status": status,
+        }
+        if compaction is not None:
+            payload["compaction"] = compaction.as_dict()
+        print(json.dumps(payload, ensure_ascii=False))
+        return 0
+    for op, name, seq in actions:
+        print(f"{op} {name!r} -> wal seq {seq}")
+    if compaction is not None:
+        print(compaction.format())
+    for pattern, (lo, hi) in counts.items():
+        tag = "exact" if lo == hi else "interval"
+        print(f"{pattern!r}: [{lo}, {hi}] ({tag})")
+    print(
+        f"generation {status['generation']}: {status['documents']} "
+        f"document(s), {status['delta_pending']} pending mutation(s), "
+        f"{status['durable_bytes']} durable byte(s)"
+    )
+    return 0
+
+
+def cmd_space(args: argparse.Namespace) -> int:
+    target = Path(args.target)
+    if target.is_dir():
+        from .live import LiveCorpus
+
+        corpus = LiveCorpus.open(target)
+        try:
+            report = corpus.space_report()
+            durable = corpus.durable_bytes()
+            status = corpus.status()
+        finally:
+            corpus.close()
+        if args.json:
+            import json
+
+            print(json.dumps({
+                "components": report.components,
+                "overhead": report.overhead,
+                "total_bits": report.total_bits,
+                "durable_bytes": durable,
+                "status": status,
+            }, ensure_ascii=False))
+            return 0
+        print(report.format())
+        rows = ", ".join(
+            f"{role}={size}" for role, size in sorted(durable.items())
+        )
+        print(f"durable bytes: {rows} (total {sum(durable.values())})")
+        return 0
+    from .io import load_index
+
+    index = load_index(target)
+    report = index.space_report()
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "components": report.components,
+            "overhead": report.overhead,
+            "total_bits": report.total_bits,
+        }, ensure_ascii=False))
+        return 0
+    print(report.format())
     return 0
 
 
@@ -446,7 +616,15 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-check",
         help="run a health probe through the resilient degradation ladder",
     )
-    _add_text_arguments(p)
+    p.add_argument("text", nargs="?", default=None,
+                   help="builtin corpus name or path to a text file "
+                        "(omit when probing a live corpus via --live)")
+    p.add_argument("--size", type=int, default=50_000,
+                   help="size when generating a builtin corpus")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--live", default=None, metavar="DIR",
+                   help="serve a live corpus directory (repro ingest) "
+                        "instead of building a ladder from a text")
     p.add_argument("--l", type=int, default=64, help="ladder error threshold")
     p.add_argument("--deadline-ms", type=float, default=500.0,
                    help="per-query soft deadline in milliseconds")
@@ -471,6 +649,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sharded error budget: 'split' divides l across "
                         "shards, 'widen' keeps l per shard")
     p.set_defaults(func=cmd_serve_check)
+
+    p = sub.add_parser(
+        "ingest",
+        help="mutate a crash-safe live corpus directory (see repro.live)",
+    )
+    p.add_argument("directory", help="live corpus directory (created if new)")
+    p.add_argument("--append", action="append", default=[], metavar="NAME=BODY",
+                   help="durably append one document (repeatable)")
+    p.add_argument("--append-file", action="append", default=[],
+                   metavar="NAME=PATH",
+                   help="durably append one document read from a file "
+                        "(repeatable)")
+    p.add_argument("--delete", action="append", default=[], metavar="NAME",
+                   help="durably delete one live document (repeatable)")
+    p.add_argument("--compact", action="store_true",
+                   help="fold the delta into a new immutable shard generation")
+    p.add_argument("--count", action="append", default=[], metavar="PATTERN",
+                   help="report the served count interval for a pattern "
+                        "after the mutations (repeatable)")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("--kind", choices=["apx", "cpst"], default="cpst",
+                   help="shard index kind (new corpus only)")
+    p.add_argument("--l", type=int, default=64,
+                   help="error threshold (new corpus only)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="compaction shard count (new corpus only)")
+    p.add_argument("--merge-policy", choices=["split", "widen"],
+                   default="split",
+                   help="sharded error budget (new corpus only)")
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser(
+        "space",
+        help="space rollup for a live corpus directory or a saved index file",
+    )
+    p.add_argument("target",
+                   help="live corpus directory, or a saved index file")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_space)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import hashlib
 import io as _io
+import os
 import pickle
+import threading
 import warnings
 from pathlib import Path
 from typing import BinaryIO, Set
@@ -205,24 +207,81 @@ def load_index(path: str | Path, *, strict: bool = False) -> OccurrenceEstimator
     return index
 
 
-def save_artifact(array: np.ndarray, path: str | Path) -> Path:
-    """Persist one numpy build artifact with the checksummed v2 framing.
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory's entry table to stable storage (best-effort).
+
+    After an ``os.replace`` the new directory entry lives in the page
+    cache; a power cut can still lose it. POSIX answers with a directory
+    fsync; platforms that refuse to open directories (Windows) skip it.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: str | Path, data: bytes, *, durable: bool = True
+) -> Path:
+    """Write a file so that readers see the old content or the new — never
+    a torn mixture.
+
+    Write-temp / fsync / ``os.replace`` / fsync-directory: the temp name
+    is unique per process and thread, so concurrent writers of the same
+    target cannot collide mid-write, and a crash at any point leaves at
+    worst an orphaned ``*.tmp`` file (never a corrupt entry under the
+    final name). ``durable=False`` skips the fsyncs for tests that only
+    need atomicity.
+    """
+    target = Path(path)
+    temporary = target.with_name(
+        f"{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    with open(temporary, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if durable:
+            os.fsync(handle.fileno())
+    os.replace(temporary, target)
+    if durable:
+        fsync_directory(target.parent)
+    return target
+
+
+def artifact_bytes(array: np.ndarray) -> bytes:
+    """The checksummed v2 artifact framing of one numpy array, as bytes.
 
     ``ARTIFACT_MAGIC | version:2 | payload_len:8 | sha256:32 | payload``
     where the payload is the ``.npy`` serialisation (``allow_pickle`` is
     off at both ends, so an artifact file can never smuggle objects the
-    way a pickle stream could). Used by the build layer's artifact cache.
+    way a pickle stream could).
     """
-    target = Path(path)
     buffer = _io.BytesIO()
     np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
     payload = buffer.getvalue()
+    return (
+        ARTIFACT_MAGIC
+        + FORMAT_VERSION.to_bytes(2, "big")
+        + len(payload).to_bytes(8, "big")
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+
+
+def save_artifact(array: np.ndarray, path: str | Path) -> Path:
+    """Persist one numpy build artifact with the checksummed v2 framing
+    (see :func:`artifact_bytes`). Used by the build layer's artifact
+    cache, which wraps the write in :func:`atomic_write_bytes`.
+    """
+    target = Path(path)
     with open(target, "wb") as handle:
-        handle.write(ARTIFACT_MAGIC)
-        handle.write(FORMAT_VERSION.to_bytes(2, "big"))
-        handle.write(len(payload).to_bytes(8, "big"))
-        handle.write(hashlib.sha256(payload).digest())
-        handle.write(payload)
+        handle.write(artifact_bytes(array))
     return target
 
 

@@ -1,0 +1,67 @@
+"""The live corpus plane: crash-safe incremental ingest.
+
+The static pipeline (:mod:`repro.build`, :mod:`repro.shard`) answers
+"index this corpus"; this package answers "keep indexing it as it
+changes, and survive being killed at any instant". Three cooperating
+pieces:
+
+* :class:`~repro.live.wal.WriteAheadLog` — every append/delete is a
+  CRC-framed record, fsynced before the mutation is acknowledged;
+  replay truncates cleanly at the first torn record;
+* :class:`~repro.live.manifest.Manifest` — the versioned, atomically
+  committed (write-temp/fsync/``os.replace``) description of the
+  immutable shard set and the WAL sequence horizon. Recovery is one
+  sentence: *load the newest valid manifest, replay the WAL tail*;
+* :class:`~repro.live.corpus.LiveCorpus` /
+  :class:`~repro.live.compactor.Compactor` — the serving estimator
+  (exact mutable delta merged with the immutable shards through the
+  error algebra, tombstones widening soundly) and the background
+  re-binning pass that folds the delta into real shards through the
+  cached build pipeline, verifies them against their own segments, and
+  commits — or dies at any point and is simply retried.
+
+Crash boundaries are first-class test surface: the
+:class:`~repro.service.faults.DiskFaultInjector` disk sites tear WAL
+tails, manifest temps and commit renames deterministically, and the
+recovery property the test suite enforces is that after any such crash
+every ``count`` interval is identical to, or a sound widening of, the
+pre-crash answer.
+"""
+
+from .compactor import CompactionReport, Compactor
+from .corpus import LiveCorpus
+from .delta import DeltaShard, count_overlapping
+from .manifest import (
+    LiveConfig,
+    Manifest,
+    ShardEntry,
+    commit_manifest,
+    index_name,
+    latest_manifest,
+    read_segment,
+    segment_name,
+    verify_segments,
+    write_segment,
+)
+from .wal import WalRecord, WriteAheadLog, scan_records
+
+__all__ = [
+    "CompactionReport",
+    "Compactor",
+    "DeltaShard",
+    "LiveConfig",
+    "LiveCorpus",
+    "Manifest",
+    "ShardEntry",
+    "WalRecord",
+    "WriteAheadLog",
+    "commit_manifest",
+    "count_overlapping",
+    "index_name",
+    "latest_manifest",
+    "read_segment",
+    "scan_records",
+    "segment_name",
+    "verify_segments",
+    "write_segment",
+]

@@ -1,0 +1,247 @@
+"""Fault-tolerant compaction: fold the delta into real shards, atomically.
+
+:class:`Compactor` re-bins the live document set into a fresh immutable
+shard generation through the standard
+:func:`~repro.shard.build.build_sharded` pipeline (sharing the corpus's
+content-addressed :class:`~repro.build.ArtifactCache`, so shards whose
+document set did not change are cache hits, not suffix sorts), verifies
+the new shard set with differential probes against its own segments
+*before* anything is published, and only then commits the manifest via
+the atomic write-temp/fsync/``os.replace`` protocol.
+
+Fault tolerance is structural, not exception handling: every step until
+the manifest rename is preparatory — segments, indexes, even a torn
+manifest temp are garbage files the old generation never references — so
+a compaction killed at *any* point leaves the previous manifest fully
+serving and is simply retried. The document set is canonicalised
+(sorted by name) before planning, so a retried compaction over the same
+live set deterministically reproduces the same shard texts and the same
+content digests as the run the crash interrupted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+from ..errors import IndexCorruptedError, InvalidParameterError
+from ..io import content_digest
+from ..service.watchdog import probes_from_text
+from ..shard.build import ShardBuildReport, build_sharded
+from ..shard.plan import ShardPlan
+from .manifest import (
+    Manifest,
+    ShardEntry,
+    commit_manifest,
+    index_name,
+    segment_name,
+    write_segment,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .corpus import LiveCorpus
+
+
+@dataclass
+class CompactionReport:
+    """Telemetry of one compaction attempt."""
+
+    generation: int
+    committed: bool
+    documents: int
+    delta_folded: int
+    tombstones_cleared: int
+    shards: List[str] = field(default_factory=list)
+    #: Content digest of each shard's text — the convergence witness: a
+    #: retried compaction over the same live set reproduces these.
+    shard_digests: Dict[str, str] = field(default_factory=dict)
+    verified_probes: int = 0
+    #: Artifact stages served from cache during the rebuild (unchanged
+    #: shards are reuse hits, not suffix sorts).
+    reuse_hits: int = 0
+    wall_seconds: float = 0.0
+    build: ShardBuildReport | None = None
+
+    def format(self) -> str:
+        state = "committed" if self.committed else "aborted"
+        lines = [
+            f"compaction -> generation {self.generation} ({state}): "
+            f"{self.documents} live document(s) into {len(self.shards)} "
+            f"shard(s), {self.delta_folded} delta doc(s) folded, "
+            f"{self.tombstones_cleared} tombstone(s) cleared",
+            f"  verified {self.verified_probes} probe(s), "
+            f"{self.reuse_hits} artifact reuse hit(s), "
+            f"{self.wall_seconds * 1e3:.1f} ms",
+        ]
+        for name in self.shards:
+            lines.append(f"  {name:<10} {self.shard_digests[name][:16]}…")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "generation": self.generation,
+            "committed": self.committed,
+            "documents": self.documents,
+            "delta_folded": self.delta_folded,
+            "tombstones_cleared": self.tombstones_cleared,
+            "shards": list(self.shards),
+            "shard_digests": dict(self.shard_digests),
+            "verified_probes": self.verified_probes,
+            "reuse_hits": self.reuse_hits,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class Compactor:
+    """One compaction pass over a :class:`~repro.live.corpus.LiveCorpus`.
+
+    ``probes_per_length`` sizes the pre-commit verification workload
+    (differential probes per pattern length per shard, ground-truthed
+    against the shard's own text). ``max_workers`` caps the parallel
+    shard builds.
+    """
+
+    def __init__(
+        self,
+        corpus: "LiveCorpus",
+        *,
+        probes_per_length: int = 2,
+        max_workers: int | None = None,
+    ):
+        if probes_per_length < 0:
+            raise InvalidParameterError(
+                f"probes_per_length must be >= 0, got {probes_per_length}"
+            )
+        self._corpus = corpus
+        self._probes_per_length = probes_per_length
+        self._max_workers = max_workers
+
+    def run(self) -> CompactionReport:
+        """Build, verify, commit — or die retryably at any point.
+
+        Returns the committed report. A crash (including an injected
+        :class:`~repro.service.faults.SimulatedCrashError`) anywhere
+        before the manifest rename leaves the old generation serving and
+        the next :meth:`run` simply does the work again; the artifact
+        cache makes the retry cheap.
+        """
+        corpus = self._corpus
+        started = time.perf_counter()
+        (
+            documents,
+            horizon,
+            generation,
+            delta_folded,
+            tombstones_cleared,
+        ) = corpus._snapshot()
+        config = corpus.config
+
+        if not documents:
+            # Nothing live: the new generation is an empty shard set.
+            manifest = Manifest(
+                generation=generation,
+                wal_start_seq=horizon,
+                config=config,
+                shards=(),
+            )
+            commit_manifest(
+                corpus.directory, manifest, injector=corpus._injector
+            )
+            corpus._commit(manifest, None, {}, horizon)
+            return CompactionReport(
+                generation=generation,
+                committed=True,
+                documents=0,
+                delta_folded=delta_folded,
+                tombstones_cleared=tombstones_cleared,
+                wall_seconds=time.perf_counter() - started,
+            )
+
+        # Canonical order: the plan (hence every shard text and digest)
+        # is a pure function of the live document *set*, independent of
+        # the insertion/recovery order this process happened to see — a
+        # retried compaction converges on identical shard digests.
+        ordered = sorted(documents.items())
+        k = min(config.shards, len(ordered))
+        plan = ShardPlan.for_documents(
+            ordered, k, separator=config.separator
+        )
+        estimator, build_report = build_sharded(
+            plan,
+            config.kind,
+            config.l,
+            policy=config.policy,
+            cache=corpus.cache,
+            max_workers=self._max_workers,
+        )
+
+        # Verify before publishing: every shard must honor its own error
+        # contract against its own text on a differential probe workload.
+        verified = 0
+        for shard in plan.shards:
+            if self._probes_per_length == 0:
+                break
+            probes = probes_from_text(
+                shard.text,
+                per_length=self._probes_per_length,
+                seed=generation,
+            )
+            findings = estimator.verify_shard(shard.name, list(probes))
+            bad = [probe for probe in findings if not probe.ok]
+            if bad:
+                raise IndexCorruptedError(
+                    f"compaction aborted: rebuilt shard {shard.name!r} failed "
+                    f"{len(bad)}/{len(findings)} probe(s) "
+                    f"(first: {bad[0].reason}); the previous generation "
+                    f"keeps serving"
+                )
+            verified += len(findings)
+
+        # Persist the new generation's files. All writes are atomic and
+        # none are referenced until the manifest commits; orphans from a
+        # crashed attempt are overwritten by the retry.
+        entries = []
+        digests: Dict[str, str] = {}
+        for shard in plan.shards:
+            seg = segment_name(generation, shard.name)
+            idx = index_name(generation, shard.name)
+            digest = write_segment(corpus.directory / seg, shard.text.raw)
+            corpus.save_shard_index(
+                corpus.directory / idx, estimator.estimator_for(shard.name)
+            )
+            digests[shard.name] = digest
+            entries.append(
+                ShardEntry(
+                    name=shard.name,
+                    documents=shard.documents,
+                    segment=seg,
+                    segment_digest=digest,
+                    index=idx,
+                )
+            )
+        manifest = Manifest(
+            generation=generation,
+            wal_start_seq=horizon,
+            config=config,
+            shards=tuple(entries),
+        )
+
+        # The commit point. Before the rename: old generation serves.
+        # After: the new one is the corpus, crash or no crash.
+        commit_manifest(corpus.directory, manifest, injector=corpus._injector)
+        corpus._commit(manifest, estimator, dict(ordered), horizon)
+
+        return CompactionReport(
+            generation=generation,
+            committed=True,
+            documents=len(ordered),
+            delta_folded=delta_folded,
+            tombstones_cleared=tombstones_cleared,
+            shards=plan.names,
+            shard_digests=digests,
+            verified_probes=verified,
+            reuse_hits=build_report.reuse_hits,
+            wall_seconds=time.perf_counter() - started,
+            build=build_report,
+        )

@@ -1,0 +1,154 @@
+"""The mutable delta shard: exact counts over not-yet-compacted mutations.
+
+Between compactions the live corpus holds its uncompacted tail in memory
+as a :class:`DeltaShard`: recently appended documents (counted exactly by
+direct scan — the delta is small by design, that is what compaction
+enforces) plus *tombstones* for deleted documents that are still baked
+into the immutable shard set.
+
+A tombstoned document cannot be subtracted exactly from the merged
+shard answer (the shards only report interval-valued counts), so each
+tombstone contributes a sound **widening**: a document of length ``m``
+can contain at most ``max(0, m - |P| + 1)`` occurrences of ``P``, so
+subtracting the tombstone total from the interval's lower end (clamped
+at zero) keeps the interval sound without touching the upper end. The
+widening disappears at the next compaction, when tombstoned documents
+physically leave the shard set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import InvalidParameterError
+
+
+def count_overlapping(body: str, pattern: str) -> int:
+    """Occurrences of ``pattern`` in ``body``, overlaps included
+    (``str.count`` skips overlapping matches, which would undercount)."""
+    if not pattern or len(pattern) > len(body):
+        return 0
+    total = 0
+    position = body.find(pattern)
+    while position != -1:
+        total += 1
+        position = body.find(pattern, position + 1)
+    return total
+
+
+class DeltaShard:
+    """Uncompacted appends and tombstones, with exact counting.
+
+    Documents preserve insertion order (so re-materialising the delta
+    from a WAL replay and from live mutation produce identical state).
+    Not an :class:`~repro.core.interface.OccurrenceEstimator` — the
+    :class:`~repro.live.corpus.LiveCorpus` is; the delta is its exact
+    in-memory tier.
+    """
+
+    def __init__(self):
+        self._documents: Dict[str, str] = {}
+        #: Deleted-but-still-compacted documents: name -> length.
+        self._tombstones: Dict[str, int] = {}
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def documents(self) -> Dict[str, str]:
+        """Uncompacted documents, insertion-ordered (a copy)."""
+        return dict(self._documents)
+
+    @property
+    def tombstones(self) -> Dict[str, int]:
+        """Tombstoned base documents: name -> original length (a copy)."""
+        return dict(self._tombstones)
+
+    @property
+    def pending(self) -> int:
+        """Mutations awaiting compaction (delta documents + tombstones)."""
+        return len(self._documents) + len(self._tombstones)
+
+    @property
+    def chars(self) -> int:
+        """Total characters held by delta documents."""
+        return sum(len(body) for body in self._documents.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._documents.items())
+
+    def is_tombstoned(self, name: str) -> bool:
+        return name in self._tombstones
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, name: str, body: str) -> None:
+        if name in self._documents:
+            raise InvalidParameterError(
+                f"delta already holds a document named {name!r}"
+            )
+        self._documents[name] = body
+
+    def remove(self, name: str) -> None:
+        if name not in self._documents:
+            raise InvalidParameterError(f"delta holds no document {name!r}")
+        del self._documents[name]
+
+    def tombstone(self, name: str, length: int) -> None:
+        if name in self._tombstones:
+            raise InvalidParameterError(f"document {name!r} already tombstoned")
+        if length < 1:
+            raise InvalidParameterError(f"tombstone length must be >= 1, got {length}")
+        self._tombstones[name] = length
+
+    def clear(self) -> None:
+        """Drop all state (the delta was just compacted away)."""
+        self._documents.clear()
+        self._tombstones.clear()
+
+    # -- counting ------------------------------------------------------------
+
+    def count(self, pattern: str) -> int:
+        """Exact occurrences of ``pattern`` across the delta documents.
+
+        Documents never contain the corpus separator, so no occurrence
+        can straddle two delta documents — summing per-document scans is
+        exact, the same alignment argument the shard merge rests on.
+        """
+        return sum(
+            count_overlapping(body, pattern)
+            for body in self._documents.values()
+        )
+
+    def widening(self, pattern_length: int) -> int:
+        """The sound tombstone widening for patterns of this length:
+        ``sum over tombstones of max(0, m - |P| + 1)`` — the most
+        occurrences the deleted documents could have contributed to the
+        immutable shards' answer."""
+        if pattern_length < 1:
+            raise InvalidParameterError(
+                f"pattern length must be >= 1, got {pattern_length}"
+            )
+        return sum(
+            max(0, length - pattern_length + 1)
+            for length in self._tombstones.values()
+        )
+
+    def character_set(self) -> set:
+        """Distinct characters across the delta documents."""
+        characters: set = set()
+        for body in self._documents.values():
+            characters.update(body)
+        return characters
+
+    def document_items(self) -> List[Tuple[str, str]]:
+        """``(name, body)`` pairs in insertion order."""
+        return list(self._documents.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaShard(documents={len(self._documents)}, "
+            f"tombstones={len(self._tombstones)}, chars={self.chars})"
+        )

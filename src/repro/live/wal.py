@@ -1,0 +1,227 @@
+"""The write-ahead log: every accepted mutation is durable before it is
+acknowledged.
+
+One append-only file of CRC-framed records:
+
+``RECORD_MAGIC (4) | payload_len:4 | crc32:4 | payload``
+
+All integers are big-endian; the CRC covers exactly the payload, which is
+a compact JSON object ``{"op", "seq", "name", "body"?}`` (``body`` only
+for appends). The framing follows the :mod:`repro.io` discipline — length
+before checksum before payload — so a reader can always decide, without
+heuristics, whether the next record is whole.
+
+Crash semantics:
+
+* :meth:`WriteAheadLog.append` flushes **and fsyncs** before returning,
+  so a record the caller saw acknowledged survives any later crash;
+* replay (:func:`scan_records`) walks records in order and stops at the
+  first frame that is short, mis-magiced, or fails its CRC — the *torn
+  tail* a crash mid-append leaves. :meth:`WriteAheadLog.open` truncates
+  the file back to the last whole record, so one torn write can never
+  poison later generations of the log;
+* after a compaction commits, :meth:`WriteAheadLog.rewrite` atomically
+  replaces the log with only the still-relevant suffix (records at or
+  after the new manifest's WAL horizon). The rewrite goes through
+  write-temp/fsync/``os.replace``: a crash mid-rewrite leaves the old log
+  intact and the committed manifest simply filters the prefix by
+  sequence number on replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+from ..errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.faults import DiskFaultInjector
+
+RECORD_MAGIC = b"WREC"
+_HEADER_SIZE = len(RECORD_MAGIC) + 4 + 4
+
+#: Mutations the log records.
+OPS = ("append", "delete")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable mutation: operation, global sequence number, document."""
+
+    op: str
+    seq: int
+    name: str
+    body: Optional[str] = None
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise InvalidParameterError(
+                f"unknown WAL op {self.op!r}; valid: {OPS}"
+            )
+        if self.seq < 0:
+            raise InvalidParameterError(f"seq must be >= 0, got {self.seq}")
+        if self.op == "append" and self.body is None:
+            raise InvalidParameterError("append records need a body")
+
+    def encode(self) -> bytes:
+        """The framed on-disk bytes of this record."""
+        fields = {"op": self.op, "seq": self.seq, "name": self.name}
+        if self.body is not None:
+            fields["body"] = self.body
+        payload = json.dumps(
+            fields, ensure_ascii=False, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        return (
+            RECORD_MAGIC
+            + len(payload).to_bytes(4, "big")
+            + zlib.crc32(payload).to_bytes(4, "big")
+            + payload
+        )
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "WalRecord":
+        fields = json.loads(payload.decode("utf-8"))
+        return cls(
+            op=fields["op"],
+            seq=int(fields["seq"]),
+            name=fields["name"],
+            body=fields.get("body"),
+        )
+
+
+def scan_records(data: bytes) -> Tuple[List[WalRecord], int]:
+    """Decode the longest valid record prefix of ``data``.
+
+    Returns ``(records, valid_length)``: every whole, CRC-clean record in
+    order, plus the byte offset where validity ends. Anything after that
+    offset — a torn frame, a bad magic, a CRC mismatch, undecodable JSON —
+    is unreachable (framing is sequential) and treated as the torn tail.
+    """
+    records: List[WalRecord] = []
+    offset = 0
+    total = len(data)
+    while offset + _HEADER_SIZE <= total:
+        if data[offset : offset + 4] != RECORD_MAGIC:
+            break
+        length = int.from_bytes(data[offset + 4 : offset + 8], "big")
+        crc = int.from_bytes(data[offset + 8 : offset + 12], "big")
+        start = offset + _HEADER_SIZE
+        end = start + length
+        if end > total:
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            record = WalRecord.decode_payload(payload)
+        except (ValueError, KeyError, TypeError, InvalidParameterError):
+            break
+        records.append(record)
+        offset = end
+    return records, offset
+
+
+class WriteAheadLog:
+    """The append-only durable log backing one live corpus directory."""
+
+    def __init__(self, path: str | Path, *, injector: Optional["DiskFaultInjector"] = None):
+        self._path = Path(path)
+        self._injector = injector
+        self._handle = None
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    # -- recovery -------------------------------------------------------------
+
+    def open(self) -> List[WalRecord]:
+        """Open for appending, replaying and healing the existing log.
+
+        Reads every valid record, truncates the file back to the last
+        whole record (dropping a torn tail a crash left), and positions
+        the append handle after it. Returns the replayed records.
+        """
+        self.close()
+        if self._path.exists():
+            data = self._path.read_bytes()
+        else:
+            data = b""
+        records, valid = scan_records(data)
+        if valid != len(data):
+            # Heal: drop the torn tail so it cannot shadow future appends.
+            with open(self._path, "r+b") as handle:
+                handle.truncate(valid)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._handle = open(self._path, "ab")
+        return records
+
+    # -- appending ------------------------------------------------------------
+
+    def append(self, record: WalRecord) -> None:
+        """Durably append one record: write, flush, fsync — then return.
+
+        The caller must not acknowledge the mutation before this returns.
+        """
+        if self._handle is None:
+            raise InvalidParameterError("WAL is not open (call open() first)")
+        frame = record.encode()
+        if self._injector is not None:
+            self._injector.crash_write("wal_append", self._handle, frame)
+        else:
+            self._handle.write(frame)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # -- compaction -----------------------------------------------------------
+
+    def rewrite(self, records: Iterable[WalRecord]) -> None:
+        """Atomically replace the log with just ``records``.
+
+        Called after a manifest commit to drop the compacted prefix.
+        Write-temp / fsync / ``os.replace``: a crash mid-rewrite leaves
+        the old (longer) log, which the committed manifest's sequence
+        horizon filters correctly on replay.
+        """
+        data = b"".join(record.encode() for record in records)
+        temporary = self._path.with_name(self._path.name + ".rewrite.tmp")
+        self.close()
+        try:
+            with open(temporary, "wb") as handle:
+                if self._injector is not None:
+                    self._injector.crash_write("wal_rewrite", handle, data)
+                else:
+                    handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, self._path)
+            from ..io import fsync_directory
+
+            fsync_directory(self._path.parent)
+        finally:
+            if not self._path.exists() or temporary.exists():
+                temporary.unlink(missing_ok=True)
+            self._handle = open(self._path, "ab")
+
+    def size_bytes(self) -> int:
+        """Current on-disk footprint of the log."""
+        try:
+            return self._path.stat().st_size
+        except OSError:
+            return 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __repr__(self) -> str:
+        return f"WriteAheadLog({str(self._path)!r}, bytes={self.size_bytes()})"

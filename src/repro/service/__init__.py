@@ -27,7 +27,17 @@ provable in tests.
 from .admission import AdmissionController, AdmissionStats, TokenBucket
 from .breaker import BreakerState, CircuitBreaker
 from .deadline import CancellableDeadline, Deadline, ManualClock
-from .faults import CORRUPT_MODES, SITES, FaultSpec, FaultyIndex, InjectedFault
+from .faults import (
+    CORRUPT_MODES,
+    DISK_SITES,
+    SITES,
+    DiskFaultInjector,
+    DiskFaultSpec,
+    FaultSpec,
+    FaultyIndex,
+    InjectedFault,
+    SimulatedCrashError,
+)
 from .health import (
     HealthReport,
     TierHealth,
@@ -57,7 +67,10 @@ __all__ = [
     "CancellableDeadline",
     "CircuitBreaker",
     "CorruptionWatchdog",
+    "DISK_SITES",
     "Deadline",
+    "DiskFaultInjector",
+    "DiskFaultSpec",
     "FaultSpec",
     "FaultyIndex",
     "HealthReport",
@@ -73,6 +86,7 @@ __all__ = [
     "SITES",
     "ServerStats",
     "ShedOutcome",
+    "SimulatedCrashError",
     "TextStatsEstimator",
     "Tier",
     "TierDeclined",

@@ -66,6 +66,141 @@ class InjectedFault(ReproError, RuntimeError):
     """The failure raised by an injected error fault (transient by design)."""
 
 
+class SimulatedCrashError(ReproError, RuntimeError):
+    """A simulated process kill fired by a :class:`DiskFaultInjector`.
+
+    Raised *after* the injector has written whatever partial bytes the
+    scenario calls for, so the on-disk state is exactly what a real power
+    cut at that boundary would leave. Tests catch it and re-open the
+    directory to exercise recovery.
+    """
+
+
+#: Durability-layer boundaries a :class:`DiskFaultSpec` can crash at.
+#: Each maps to one step of the live corpus plane's write protocols:
+#:
+#: ====================== ==================================================
+#: site                   simulated failure
+#: ====================== ==================================================
+#: ``wal_append``         torn WAL tail: only a prefix of the record frame
+#:                        reaches the log before the crash
+#: ``wal_rewrite``        crash mid WAL compaction rewrite (temp file torn,
+#:                        the old log is still intact)
+#: ``manifest_temp``      partial manifest write: the temp file is torn,
+#:                        the previous manifest still serves
+#: ``manifest_rename``    crash between writing the manifest temp and the
+#:                        atomic ``os.replace``
+#: ``manifest_committed`` crash immediately after the rename, before any
+#:                        WAL truncation or old-generation cleanup
+#: ====================== ==================================================
+DISK_SITES = (
+    "wal_append",
+    "wal_rewrite",
+    "manifest_temp",
+    "manifest_rename",
+    "manifest_committed",
+)
+
+
+@dataclass(frozen=True)
+class DiskFaultSpec:
+    """One scheduled crash at a durability boundary.
+
+    ``site`` names the boundary (see :data:`DISK_SITES`); ``at`` is the
+    1-based occurrence of that site at which the crash fires (every
+    earlier pass through the site completes normally); ``partial`` is the
+    fraction of the in-flight payload actually written before the
+    simulated power cut — 0.0 writes nothing, 1.0 writes the full payload
+    (the crash then separates the write from whatever durability step
+    follows it).
+    """
+
+    site: str
+    at: int = 1
+    partial: float = 0.5
+
+    def __post_init__(self):
+        if self.site not in DISK_SITES:
+            raise InvalidParameterError(
+                f"unknown disk fault site {self.site!r}; valid: {DISK_SITES}"
+            )
+        if self.at < 1:
+            raise InvalidParameterError(f"at must be >= 1, got {self.at}")
+        if not 0.0 <= self.partial <= 1.0:
+            raise InvalidParameterError(
+                f"partial must be in [0, 1], got {self.partial}"
+            )
+
+
+class DiskFaultInjector:
+    """Deterministic crash scheduler for the live corpus durability layer.
+
+    Holds any number of :class:`DiskFaultSpec` schedules and counts every
+    pass through every site. The durability code calls :meth:`firing`
+    right before each protected write; a returned spec means "tear this
+    write per ``partial`` and die". After a crash fires, the injector is
+    spent (further sites pass through) — one injector simulates one
+    process lifetime.
+    """
+
+    def __init__(self, specs: "Sequence[DiskFaultSpec] | DiskFaultSpec"):
+        if isinstance(specs, DiskFaultSpec):
+            specs = [specs]
+        self._specs = list(specs)
+        self.counts: Counter = Counter()
+        self.fired: Optional[DiskFaultSpec] = None
+
+    def firing(self, site: str) -> Optional[DiskFaultSpec]:
+        """The spec scheduled to crash at this pass of ``site``, if any."""
+        if site not in DISK_SITES:
+            raise InvalidParameterError(
+                f"unknown disk fault site {site!r}; valid: {DISK_SITES}"
+            )
+        self.counts[site] += 1
+        if self.fired is not None:
+            return None
+        for spec in self._specs:
+            if spec.site == site and spec.at == self.counts[site]:
+                self.fired = spec
+                return spec
+        return None
+
+    def crash_write(self, site: str, handle, data: bytes) -> None:
+        """Write ``data`` to a binary ``handle``, crashing if scheduled.
+
+        On a scheduled crash only ``int(len(data) * partial)`` bytes are
+        written (flushed and fsynced, so the torn prefix really is what a
+        reader sees) before :class:`SimulatedCrashError` is raised.
+        """
+        spec = self.firing(site)
+        if spec is None:
+            handle.write(data)
+            return
+        torn = data[: int(len(data) * spec.partial)]
+        if torn:
+            handle.write(torn)
+        handle.flush()
+        try:
+            import os
+
+            os.fsync(handle.fileno())
+        except (OSError, ValueError):  # pragma: no cover - non-file handles
+            pass
+        raise SimulatedCrashError(
+            f"simulated crash at {site!r} (occurrence {spec.at}, "
+            f"{len(torn)}/{len(data)} bytes written)"
+        )
+
+    def crash_point(self, site: str) -> None:
+        """A pure crash boundary with no write (e.g. between temp-write
+        and rename): raises :class:`SimulatedCrashError` when scheduled."""
+        spec = self.firing(site)
+        if spec is not None:
+            raise SimulatedCrashError(
+                f"simulated crash at {site!r} (occurrence {spec.at})"
+            )
+
+
 #: Recognised :attr:`FaultSpec.corrupt_mode` values.
 CORRUPT_MODES = ("out_of_range", "bitflip")
 

@@ -96,6 +96,12 @@ class QueryOutcome:
     #: serving tier could compute one for a degraded answer (the widened
     #: bound the sharded merge still guarantees); ``None`` otherwise.
     count_interval: Optional[Tuple[int, int]] = None
+    #: For live-corpus tiers: documents (appends and pending tombstones)
+    #: sitting in the mutable delta shard, not yet compacted into the
+    #: immutable shard set, when this answer was produced. Non-zero means
+    #: the answer merged the exact delta tier under the error algebra;
+    #: 0 for static tiers.
+    delta_pending: int = 0
 
     @property
     def shed(self) -> bool:
@@ -134,6 +140,8 @@ class QueryOutcome:
             if self.count_interval is not None:
                 lo, hi = self.count_interval
                 tag += f", true count in [{lo}, {hi}]"
+        if self.delta_pending:
+            tag += f", {self.delta_pending} delta doc(s) pending"
         work = ""
         if self.engine is not None:
             work = (

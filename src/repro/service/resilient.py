@@ -214,8 +214,16 @@ class ResilientEstimator:
                         shards_degraded = tuple(
                             getattr(tier.estimator, "degraded_shards", ())
                         )
+                        # Live tiers: how much of the corpus is still in
+                        # the mutable delta shard (0 for static tiers).
+                        try:
+                            delta_pending = int(
+                                getattr(tier.estimator, "delta_pending", 0)
+                            )
+                        except (TypeError, ValueError):
+                            delta_pending = 0
                         interval: Optional[Tuple[int, int]] = None
-                        if shards_degraded:
+                        if shards_degraded or delta_pending:
                             try:
                                 lo, hi = tier.estimator.count_interval(pattern)
                                 interval = (int(lo), int(hi))
@@ -235,6 +243,7 @@ class ResilientEstimator:
                             engine=engine_total,
                             shards_degraded=shards_degraded,
                             count_interval=interval,
+                            delta_pending=delta_pending,
                         )
             finally:
                 if guarded:

@@ -212,3 +212,41 @@ class TestArtifactCache:
         a.sa, b.sa
         fresh_a = BuildContext(Text("banana_band_" * 20), cache=cache)
         np.testing.assert_array_equal(fresh_a.sa, a.sa)
+
+    def test_crash_mid_store_never_tears_the_entry(self, tmp_path, monkeypatch):
+        """A crash between temp-write and rename leaves no cache entry at
+        all (the store is atomic), and the retry completes cleanly."""
+        import os as _os
+
+        import repro.io as rio
+
+        cache = ArtifactCache(tmp_path)
+        array = np.arange(64, dtype=np.int64)
+
+        real_replace = _os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated power cut before rename")
+
+        monkeypatch.setattr(rio.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.store("digest00", "sa", array)
+        monkeypatch.setattr(rio.os, "replace", real_replace)
+
+        # Nothing under the cache name: the torn write is invisible.
+        assert cache.load("digest00", "sa") is None
+        assert cache.rejected == 0  # a clean miss, not a rejected tear
+
+        # The retry overwrites any orphaned temp and completes.
+        path = cache.store("digest00", "sa", array)
+        assert path.exists()
+        np.testing.assert_array_equal(cache.load("digest00", "sa"), array)
+
+    def test_truncated_entry_is_a_counted_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        array = np.arange(16, dtype=np.int64)
+        path = cache.store("digest00", "sa", array)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.load("digest00", "sa") is None
+        assert cache.rejected == 1
+        assert not path.exists()  # the tear was evicted, not kept

@@ -157,3 +157,133 @@ class TestJsonOutput:
         payload = json.loads(out)
         assert set(payload) == {"AC", "GT"}
         assert all(isinstance(v, int) for v in payload.values())
+
+
+class TestIngest:
+    def test_create_append_count(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        out = run_cli(
+            capsys, "ingest", str(corpus),
+            "--append", "a=abracadabra", "--append", "b=banana",
+            "--count", "ana",
+        )
+        assert "append 'a' -> wal seq 0" in out
+        assert "'ana': [2, 2] (exact)" in out
+        assert "2 document(s)" in out
+
+    def test_compact_then_delete_json(self, capsys, tmp_path):
+        import json
+
+        corpus = tmp_path / "corpus"
+        run_cli(
+            capsys, "ingest", str(corpus), "--l", "8",
+            "--append", "a=abracadabra", "--append", "b=banana",
+            "--compact",
+        )
+        out = run_cli(
+            capsys, "ingest", str(corpus), "--delete", "b", "--json",
+        )
+        payload = json.loads(out)
+        assert payload["actions"] == [
+            {"op": "delete", "name": "b", "seq": 2}
+        ]
+        assert payload["status"]["generation"] == 1
+        assert payload["status"]["tombstones"] == 1
+
+    def test_append_file(self, capsys, tmp_path):
+        source = tmp_path / "doc.txt"
+        source.write_text("from a file")
+        out = run_cli(
+            capsys, "ingest", str(tmp_path / "corpus"),
+            "--append-file", f"doc={source}",
+            "--count", "file",
+        )
+        assert "'file': [1, 1] (exact)" in out
+
+    def test_bad_specs_error(self, capsys, tmp_path):
+        assert main(["ingest", str(tmp_path / "c"), "--append", "nobody"]) == 1
+        assert "NAME=BODY" in capsys.readouterr().err
+        assert main(
+            ["ingest", str(tmp_path / "c2"), "--append-file", "a=/no/such"]
+        ) == 1
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestSpace:
+    def test_live_corpus_rollup(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        run_cli(
+            capsys, "ingest", str(corpus), "--l", "8",
+            "--append", "a=abracadabra", "--append", "b=banana",
+            "--compact",
+        )
+        out = run_cli(capsys, "space", str(corpus))
+        assert "LiveCorpus" in out
+        assert "durable bytes:" in out
+        assert "segments=" in out
+
+    def test_live_corpus_rollup_json(self, capsys, tmp_path):
+        import json
+
+        corpus = tmp_path / "corpus"
+        run_cli(
+            capsys, "ingest", str(corpus), "--append", "a=abracadabra",
+        )
+        payload = json.loads(run_cli(capsys, "space", str(corpus), "--json"))
+        assert payload["durable_bytes"]["wal"] > 0
+        assert payload["status"]["documents"] == 1
+
+    def test_saved_index_file(self, capsys, tmp_path):
+        target = tmp_path / "index.bin"
+        run_cli(
+            capsys, "build", "dna", "--size", "2000",
+            "--index", "cpst", "--l", "16", "-o", str(target),
+        )
+        out = run_cli(capsys, "space", str(target))
+        assert "payload bits" in out
+
+    def test_non_corpus_directory_errors(self, capsys, tmp_path):
+        assert main(["space", str(tmp_path)]) == 1
+        assert "manifest" in capsys.readouterr().err
+
+
+class TestServeCheckLive:
+    def test_probe_over_live_corpus(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        run_cli(
+            capsys, "ingest", str(corpus), "--l", "8",
+            "--append", "a=abracadabra abracadabra",
+            "--append", "b=banana bandana banana",
+            "--compact",
+        )
+        out = run_cli(capsys, "serve-check", "--live", str(corpus))
+        assert "live ladder: generation 1" in out
+        assert "serve-check PASS" in out
+
+    def test_uncompacted_delta_is_served(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        run_cli(
+            capsys, "ingest", str(corpus),
+            "--append", "a=abracadabra abracadabra",
+        )
+        out = run_cli(capsys, "serve-check", "--live", str(corpus))
+        assert "1 pending mutation(s)" in out
+        assert "serve-check PASS" in out
+
+    def test_live_excludes_other_modes(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        run_cli(capsys, "ingest", str(corpus), "--append", "a=xyz")
+        assert main(["serve-check", "dna", "--live", str(corpus)]) == 1
+        assert "drop the text" in capsys.readouterr().err
+        assert main(
+            ["serve-check", "--live", str(corpus), "--shards", "2"]
+        ) == 1
+        capsys.readouterr()
+        assert main(["serve-check"]) == 1
+        assert "needs a text source" in capsys.readouterr().err
+
+    def test_empty_live_corpus_errors(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        run_cli(capsys, "ingest", str(corpus))
+        assert main(["serve-check", "--live", str(corpus)]) == 1
+        assert "no documents" in capsys.readouterr().err

@@ -164,3 +164,91 @@ def _true_count(body: str, pattern: str) -> int:
 
 def _true_total(docs, pattern: str) -> int:
     return sum(_true_count(body, pattern) for body in docs.values())
+
+
+class TestMutableOverlay:
+    """append/delete/compact on a built collection stay exact."""
+
+    DOCS = {
+        "fruit": "banana apple banana cherry",
+        "veg": "carrot potato carrot",
+        "mixed": "banana carrot banana banana",
+    }
+
+    def fresh(self):
+        return dict(self.DOCS), DocumentCollection(
+            self.DOCS, estimate_threshold=2
+        )
+
+    def test_append_counts_immediately_and_exactly(self):
+        docs, coll = self.fresh()
+        coll.append("new", "banana boat bananas")
+        docs["new"] = "banana boat bananas"
+        assert len(coll) == 4
+        assert coll.names[-1] == "new"
+        assert coll.count("banana") == _true_total(docs, "banana")
+        assert coll.count_in_document("banana", "new") == 2
+        assert "new" in coll.documents_containing("banana")
+        occ = [o for o in coll.occurrences("boat") if o.document == "new"]
+        assert occ and "boat" in coll.snippet(occ[0], context=8)
+
+    def test_append_validation(self):
+        _, coll = self.fresh()
+        with pytest.raises(InvalidParameterError):
+            coll.append("fruit", "dup")  # live name already exists
+        with pytest.raises(InvalidParameterError):
+            coll.append("x", "")
+        from repro.textutil import ROW_SEPARATOR
+
+        with pytest.raises(InvalidParameterError):
+            coll.append("x", f"a{ROW_SEPARATOR}b")
+
+    def test_delete_of_uncompacted_doc_is_exact(self):
+        docs, coll = self.fresh()
+        coll.append("new", "kiwi kiwi")
+        coll.delete("new")
+        assert len(coll) == 3
+        assert coll.count("kiwi") == 0
+        # No tombstones: the estimated tier is still available.
+        assert coll.count_estimated("banana") == _true_total(docs, "banana")
+
+    def test_tombstone_keeps_counts_exact(self):
+        docs, coll = self.fresh()
+        coll.delete("mixed")
+        del docs["mixed"]
+        assert len(coll) == 2
+        assert "mixed" not in coll.names
+        for pattern in ("banana", "carrot", "apple"):
+            assert coll.count(pattern) == _true_total(docs, pattern)
+        assert all(
+            o.document != "mixed" for o in coll.occurrences("banana")
+        )
+        assert "mixed" not in coll.documents_containing("banana")
+        # The estimate tier cannot locate-filter: it declines.
+        assert coll.count_estimated("banana") is None
+        with pytest.raises(InvalidParameterError):
+            coll.count_in_document("banana", "mixed")
+        with pytest.raises(InvalidParameterError):
+            coll.delete("mixed")  # no longer live
+
+    def test_compact_folds_overlay_and_restores_tiers(self):
+        docs, coll = self.fresh()
+        coll.delete("veg")
+        del docs["veg"]
+        coll.append("new", "dragonfruit")
+        docs["new"] = "dragonfruit"
+        assert coll.pending == 2
+        coll.compact()
+        assert coll.pending == 0
+        assert coll.names == list(docs)
+        assert coll.get_documents() == docs
+        for pattern in ("banana", "dragonfruit", "carrot"):
+            assert coll.count(pattern) == _true_total(docs, pattern)
+        assert coll.count_estimated("banana") == _true_total(docs, "banana")
+
+    def test_space_report_shows_overlay(self):
+        _, coll = self.fresh()
+        coll.append("new", "dragonfruit")
+        report = coll.space_report()
+        assert report.components["delta.text"] == 8 * len("dragonfruit")
+        assert "pending=1" in repr(coll)

@@ -1,0 +1,323 @@
+"""Crash-recovery properties of the live corpus plane.
+
+The contract under test: **a crash at any durability boundary loses
+nothing that was acknowledged**, and every ``count`` interval served
+after recovery is identical to — or a sound widening of — the answer the
+pre-crash corpus gave. Crashes are injected deterministically with
+:class:`~repro.service.faults.DiskFaultInjector` at every WAL record
+boundary and every manifest-commit boundary, including partial (torn)
+writes, and a killed compaction must converge on identical shard digests
+when retried.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.live import LiveCorpus
+from repro.service import DiskFaultInjector, DiskFaultSpec, SimulatedCrashError
+
+from conftest import naive_count
+
+POOL = {
+    "alpha": "abracadabra",
+    "beta": "banana bandana",
+    "gamma": "the quick brown fox jumps over the lazy dog",
+    "delta": "mississippi",
+    "epsilon": "how much wood would a woodchuck chuck",
+    "zeta": "she sells sea shells by the sea shore",
+}
+
+PROBES = ("a", "an", "ana", "the", "ss", "ch", "sea shells", "zzz")
+
+
+def live_truth(documents: dict, pattern: str) -> int:
+    return sum(naive_count(body, pattern) for body in documents.values())
+
+
+def assert_sound(corpus: LiveCorpus, documents: dict) -> dict:
+    """Every probe interval brackets the live truth; returns the intervals."""
+    intervals = {}
+    for pattern in PROBES:
+        lo, hi = corpus.count_interval(pattern)
+        truth = live_truth(documents, pattern)
+        assert lo <= truth <= hi, (
+            f"{pattern!r}: [{lo}, {hi}] misses truth {truth}"
+        )
+        certified = corpus.count_or_none(pattern)
+        if certified is not None:
+            assert certified == truth
+        intervals[pattern] = (lo, hi)
+    return intervals
+
+
+def apply_ops(corpus: LiveCorpus, ops, shadow: dict) -> None:
+    """Apply scripted ops, mirroring acknowledged ones into ``shadow``."""
+    for op in ops:
+        if op[0] == "append":
+            corpus.append(op[1], op[2])
+            shadow[op[1]] = op[2]
+        elif op[0] == "delete":
+            corpus.delete(op[1])
+            del shadow[op[1]]
+        else:
+            corpus.compact()
+
+
+MUTATIONS = [
+    ("append", "alpha", POOL["alpha"]),
+    ("append", "beta", POOL["beta"]),
+    ("append", "gamma", POOL["gamma"]),
+    ("delete", "beta"),
+    ("append", "delta", POOL["delta"]),
+    ("append", "epsilon", POOL["epsilon"]),
+]
+
+
+class TestKillAtEveryWalBoundary:
+    """Crash on every mutation's WAL append, with torn partial frames."""
+
+    @pytest.mark.parametrize("at", range(1, len(MUTATIONS) + 1))
+    @pytest.mark.parametrize("partial", [0.0, 0.5, 1.0])
+    def test_recovery_keeps_exactly_the_acked_prefix(
+        self, tmp_path, at, partial
+    ):
+        base = tmp_path / "corpus"
+        LiveCorpus.create(base, l=8, shards=2).close()
+        injector = DiskFaultInjector(
+            DiskFaultSpec(site="wal_append", at=at, partial=partial)
+        )
+        corpus = LiveCorpus.open(base, injector=injector)
+        shadow: dict = {}
+        with pytest.raises(SimulatedCrashError):
+            apply_ops(corpus, MUTATIONS, shadow)
+        corpus.close()
+        assert len(shadow) == len(
+            [op for op in MUTATIONS[: at - 1] if op[0] == "append"]
+        ) - len([op for op in MUTATIONS[: at - 1] if op[0] == "delete"])
+
+        # What may survive: every acked mutation, plus — only when the
+        # full frame reached the disk before the crash (partial == 1.0)
+        # — the single in-flight, never-acknowledged one. Nothing else.
+        in_flight = dict(shadow)
+        op = MUTATIONS[at - 1]
+        if op[0] == "append":
+            in_flight[op[1]] = op[2]
+        else:
+            del in_flight[op[1]]
+        acceptable = [shadow] if partial < 1.0 else [shadow, in_flight]
+
+        with LiveCorpus.open(base) as recovered:
+            survived = recovered.documents()
+            assert survived in acceptable
+            applied = at - 1 if survived == shadow else at
+            intervals = assert_sound(recovered, survived)
+            # No compaction ran, so recovery must reproduce exactly the
+            # answers a crashless corpus with the same mutations gives.
+            reference_dir = tmp_path / "reference"
+            with LiveCorpus.create(reference_dir, l=8, shards=2) as ref:
+                apply_ops(ref, MUTATIONS[:applied], {})
+                for pattern in PROBES:
+                    assert ref.count_interval(pattern) == intervals[pattern]
+            shadow = survived
+            # The healed log accepts new writes on a clean boundary.
+            recovered.append("omega", "post recovery doc")
+            shadow["omega"] = "post recovery doc"
+        with LiveCorpus.open(base) as reopened:
+            assert reopened.documents() == shadow
+
+
+class TestKillAtEveryCompactionBoundary:
+    """Crash at every boundary of the compaction commit protocol.
+
+    ``manifest_temp``/``manifest_rename`` fire *before* the atomic
+    rename: the old generation must keep serving, with the whole delta
+    intact. ``manifest_committed``/``wal_rewrite`` fire *after*: the new
+    generation is durable and the untrimmed WAL must be filtered by the
+    sequence horizon. In every case a retried compaction converges on
+    the digests of an uninterrupted run.
+    """
+
+    # (site, occurrence): create() itself commits the generation-0
+    # manifest, so the compaction's manifest sites are occurrence 2.
+    BOUNDARIES = [
+        ("manifest_temp", 2, 0.0),
+        ("manifest_temp", 2, 0.5),
+        ("manifest_rename", 2, 1.0),
+        ("manifest_committed", 2, 1.0),
+        ("wal_rewrite", 1, 0.5),
+    ]
+
+    @pytest.mark.parametrize("site,at,partial", BOUNDARIES)
+    def test_killed_compaction_serves_then_retries(
+        self, tmp_path, site, at, partial
+    ):
+        base = tmp_path / "corpus"
+        documents = {k: POOL[k] for k in ("alpha", "beta", "gamma", "delta")}
+        injector = DiskFaultInjector(
+            DiskFaultSpec(site=site, at=at, partial=partial)
+        )
+        corpus = LiveCorpus.create(base, l=8, shards=2, injector=injector)
+        for name, body in documents.items():
+            corpus.append(name, body)
+        pre_crash = assert_sound(corpus, documents)
+        with pytest.raises(SimulatedCrashError):
+            corpus.compact()
+        corpus.close()
+
+        committed = site in ("manifest_committed", "wal_rewrite")
+        with LiveCorpus.open(base) as recovered:
+            assert recovered.documents() == documents
+            assert recovered.generation == (1 if committed else 0)
+            if not committed:
+                # Old generation serving: the delta still holds all
+                # documents and answers are identical to pre-crash.
+                assert recovered.delta_pending == len(documents)
+                for pattern in PROBES:
+                    assert (
+                        recovered.count_interval(pattern)
+                        == pre_crash[pattern]
+                    )
+            assert_sound(recovered, documents)
+            # The retry commits and converges on the same digests as an
+            # uninterrupted compaction of the same live set.
+            retried = recovered.compact()
+            assert retried.committed
+            assert_sound(recovered, documents)
+        with LiveCorpus.create(tmp_path / "straight", l=8, shards=2) as ref:
+            for name, body in documents.items():
+                ref.append(name, body)
+            straight = ref.compact()
+        assert retried.shard_digests == straight.shard_digests
+
+    def test_torn_manifest_temp_is_counted_not_trusted(self, tmp_path):
+        base = tmp_path / "corpus"
+        injector = DiskFaultInjector(
+            DiskFaultSpec(site="manifest_rename", at=2)
+        )
+        corpus = LiveCorpus.create(base, l=8, shards=1, injector=injector)
+        corpus.append("alpha", POOL["alpha"])
+        with pytest.raises(SimulatedCrashError):
+            corpus.compact()
+        corpus.close()
+        # The orphaned temp never shadows the serving manifest.
+        with LiveCorpus.open(base) as recovered:
+            assert recovered.generation == 0
+            assert recovered.names == ["alpha"]
+
+    def test_corrupt_index_file_is_rebuilt_from_segment(self, tmp_path):
+        base = tmp_path / "corpus"
+        with LiveCorpus.create(base, l=8, shards=2) as corpus:
+            for name in ("alpha", "beta", "gamma"):
+                corpus.append(name, POOL[name])
+            corpus.compact()
+            documents = corpus.documents()
+            expected = {p: corpus.count_interval(p) for p in PROBES}
+        for index_file in base.glob("idx-*.ridx"):
+            index_file.write_bytes(b"garbage" * 10)
+        with LiveCorpus.open(base) as recovered:
+            assert recovered.indexes_rebuilt == 2
+            assert recovered.documents() == documents
+            for pattern in PROBES:
+                assert recovered.count_interval(pattern) == expected[pattern]
+
+
+class TestDifferentialIngestStream:
+    """Random interleavings of append/delete/compact/crash vs a
+    from-scratch rebuild of the surviving document set.
+
+    After the stream (including one recovery mid-way), compacting the
+    survivor and a freshly created corpus over the same documents must
+    yield identical shard digests and identical count intervals — the
+    canonical re-binning makes the corpus state a pure function of the
+    live document set.
+    """
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("policy", ["split", "widen"])
+    def test_stream_matches_from_scratch_rebuild(
+        self, tmp_path, shards, policy
+    ):
+        rng = random.Random(1000 * shards + len(policy))
+        base = tmp_path / "corpus"
+        corpus = LiveCorpus.create(base, l=16, shards=shards, policy=policy)
+        shadow: dict = {}
+        names = list(POOL)
+
+        in_flight: list = []
+
+        def random_op(corpus):
+            roll = rng.random()
+            absent = [n for n in names if n not in shadow]
+            if roll < 0.5 and absent:
+                name = rng.choice(absent)
+                in_flight[:] = [("append", name)]
+                corpus.append(name, POOL[name])
+                shadow[name] = POOL[name]
+            elif roll < 0.75 and shadow:
+                name = rng.choice(sorted(shadow))
+                in_flight[:] = [("delete", name)]
+                corpus.delete(name)
+                del shadow[name]
+            else:
+                in_flight[:] = []
+                corpus.compact()
+
+        for _ in range(10):
+            random_op(corpus)
+        assert_sound(corpus, shadow)
+        corpus.close()
+
+        # Crash at a random WAL boundary mid-stream, then recover.
+        injector = DiskFaultInjector(
+            DiskFaultSpec(
+                site="wal_append",
+                at=rng.randint(1, 3),
+                partial=rng.choice([0.0, 0.5, 1.0]),
+            )
+        )
+        corpus = LiveCorpus.open(base, injector=injector)
+        assert corpus.documents() == shadow
+        try:
+            for _ in range(10):
+                random_op(corpus)
+        except SimulatedCrashError:
+            pass  # the crashed op was never acked, so never shadowed
+        corpus.close()
+        corpus = LiveCorpus.open(base)
+        # Recovery holds the acknowledged mutations, plus at most the
+        # single in-flight one when its full frame hit the disk first.
+        survived = corpus.documents()
+        if survived != shadow:
+            assert len(in_flight) == 1
+            op, name = in_flight[0]
+            if op == "append":
+                shadow[name] = POOL[name]
+            else:
+                del shadow[name]
+        assert survived == shadow
+        for _ in range(6):
+            random_op(corpus)
+        assert_sound(corpus, shadow)
+        if not shadow:  # ensure the final comparison is non-trivial
+            corpus.append("alpha", POOL["alpha"])
+            shadow["alpha"] = POOL["alpha"]
+        final = corpus.compact()
+        stream_intervals = {p: corpus.count_interval(p) for p in PROBES}
+        corpus.close()
+
+        with LiveCorpus.create(
+            tmp_path / "scratch", l=16, shards=shards, policy=policy
+        ) as scratch:
+            for name, body in shadow.items():
+                scratch.append(name, body)
+            rebuilt = scratch.compact()
+            assert rebuilt.shard_digests == final.shard_digests
+            for pattern in PROBES:
+                assert (
+                    scratch.count_interval(pattern)
+                    == stream_intervals[pattern]
+                )
+            assert_sound(scratch, shadow)
