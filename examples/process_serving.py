@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Zero-copy process-parallel serving.
+
+Operations question: "I want `k` CPU cores searching `k` shards, but I
+refuse to hold `k` copies of the index." This example walks the whole
+process plane:
+
+1. build per-shard indexes once, export each as a checksummed segment,
+   and publish the segments into shared memory (one copy per host);
+2. spawn worker processes that *attach* read-only views — the handshake
+   telemetry shows attaching allocates bookkeeping bytes, not payload;
+3. compare merged intervals against the in-process thread executor
+   (they are identical, query for query);
+4. SIGKILL a worker mid-service: its shard is quarantined, the merged
+   answer degrades honestly to an upper bound, the other shards keep
+   serving — then respawn against the same segment and recover parity;
+5. put the asyncio serving front over the ladder and drain a workload.
+
+Run:  python examples/process_serving.py
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+from repro.datasets import generate
+from repro.parallel import AsyncQueryServer
+from repro.service import ResilientEstimator, Tier
+from repro.service.tiers import TextStatsEstimator
+from repro.shard import ShardPlan, build_process_sharded, build_sharded
+from repro.textutil import ROW_SEPARATOR, Text, mixed_workload
+
+CORPUS_SIZE = 12_000
+DOCUMENTS = 8
+WORKERS = 2
+L = 16
+
+
+def main() -> None:
+    raw = generate("english", CORPUS_SIZE, seed=4)
+    docs = [
+        (f"doc{i}", raw[i * CORPUS_SIZE // DOCUMENTS:
+                        (i + 1) * CORPUS_SIZE // DOCUMENTS])
+        for i in range(DOCUMENTS)
+    ]
+    plan = ShardPlan.for_documents(docs, WORKERS)
+    patterns = [
+        p
+        for p in mixed_workload(raw, per_length=6, seed=9)
+        if ROW_SEPARATOR not in p
+    ]
+
+    # -- 1+2: segments in shared memory, workers attached -----------------
+    started = time.perf_counter()
+    process_est, report = build_process_sharded(plan, "cpst", L)
+    print(f"built + spawned {WORKERS} workers in "
+          f"{time.perf_counter() - started:.2f}s")
+    for name, slot in process_est.attach_telemetry().items():
+        print(f"  {name}: segment {slot['segment_bytes']} bytes shared, "
+              f"attach allocated {slot['attach_alloc_bytes']} bytes")
+
+    thread_est, _ = build_sharded(plan, "cpst", L)
+
+    try:
+        # -- 3: interval parity with the thread executor ------------------
+        mismatches = 0
+        for pattern in patterns:
+            a = process_est.merged_count(pattern)
+            b = thread_est.merged_count(pattern)
+            mismatches += (a.lo, a.hi) != (b.lo, b.hi)
+        print(f"\nparity: {len(patterns)} patterns, {mismatches} interval "
+              f"mismatches vs thread executor")
+
+        batch = process_est.merged_count_many(patterns)
+        print(f"batched: {len(batch)} answers in one protocol round "
+              f"per shard")
+
+        # -- 4: kill a worker; honest degradation; respawn ----------------
+        victim = process_est.shard_names[0]
+        os.kill(process_est.worker_pid(victim), signal.SIGKILL)
+        deadline = time.time() + 5.0
+        while time.time() < deadline and not process_est.degraded_shards:
+            merged = process_est.merged_count(patterns[0])
+        print(f"\nkilled {victim}: degraded={process_est.degraded_shards}, "
+              f"merged model {merged.error_model.value}, "
+              f"interval [{merged.lo}, {merged.hi}]")
+        process_est.respawn_shard(victim)
+        merged = process_est.merged_count(patterns[0])
+        reference = thread_est.merged_count(patterns[0])
+        print(f"respawned {victim}: interval [{merged.lo}, {merged.hi}] "
+              f"(thread executor says [{reference.lo}, {reference.hi}])")
+
+        print("\n" + process_est.space_report().format())
+
+        # -- 5: the asyncio front over the process ladder -----------------
+        service = ResilientEstimator(
+            [
+                Tier(process_est, "cpst-procs", certified_only=True),
+                Tier(TextStatsEstimator(Text(raw)), "stats",
+                     always_available=True),
+            ],
+            deadline_seconds=2.0,
+        )
+
+        async def drive() -> None:
+            async with AsyncQueryServer(
+                service,
+                max_concurrent=8,
+                max_waiting=len(patterns),
+                max_wait=30.0,
+            ) as server:
+                outcomes = await server.query_many(patterns)
+                by_tier: dict = {}
+                for outcome in outcomes:
+                    by_tier[outcome.tier] = by_tier.get(outcome.tier, 0) + 1
+                print(f"\nasync front answered {len(outcomes)} queries: "
+                      f"{by_tier}")
+                print("server: " + server.stats().summary())
+
+        asyncio.run(drive())
+    finally:
+        process_est.close()
+
+
+if __name__ == "__main__":
+    main()

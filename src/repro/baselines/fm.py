@@ -16,7 +16,16 @@ from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
 
-from ..bits import HuffmanWaveletTree, WaveletMatrix, bits_needed
+from ..bits import (
+    BitVector,
+    HuffmanWaveletTree,
+    IntVector,
+    StorageBundle,
+    WaveletMatrix,
+    attach_structure,
+    bits_needed,
+    register_structure,
+)
 from ..core.interface import ErrorModel, OccurrenceEstimator
 from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
 from ..errors import InvalidParameterError
@@ -265,5 +274,52 @@ class FMIndex(OccurrenceEstimator, BackwardSearchAutomaton):
             overhead["sample_mark_directories"] = self._marked.overhead_in_bits()
         return SpaceReport(name="FMIndex", components=components, overhead=overhead)
 
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> StorageBundle:
+        """Scalars, the C array, the occ wavelet, and (when attached) the
+        SA/ISA sample structures as child bundles."""
+        children = {"occ": self._occ.export_storage()}
+        if self._marked is not None:
+            children["marked"] = self._marked.export_storage()
+            children["sa_samples"] = self._sa_samples.export_storage()
+            children["isa_samples"] = self._isa_samples.export_storage()
+        return StorageBundle(
+            kind="FMIndex",
+            meta={
+                "text_length": self._text_length,
+                "sigma": self._sigma,
+                "characters": self._alphabet.characters,
+                "sample_rate": self._sample_rate,
+            },
+            arrays={"c": np.ascontiguousarray(self._c, dtype=np.int64)},
+            children=children,
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: StorageBundle) -> "FMIndex":
+        """Rebuild from a bundle without copying any packed array."""
+        inst = cls.__new__(cls)
+        meta = bundle.meta
+        inst._text_length = int(meta["text_length"])
+        inst._alphabet = Alphabet(meta["characters"])
+        inst._sigma = int(meta["sigma"])
+        rate = meta.get("sample_rate")
+        inst._sample_rate = None if rate is None else int(rate)
+        inst._c = bundle.arrays["c"]
+        inst._occ = attach_structure(bundle.children["occ"])
+        if "marked" in bundle.children:
+            inst._marked = attach_structure(bundle.children["marked"])
+            inst._sa_samples = attach_structure(bundle.children["sa_samples"])
+            inst._isa_samples = attach_structure(bundle.children["isa_samples"])
+        else:
+            inst._marked = None
+            inst._sa_samples = None
+            inst._isa_samples = None
+        return inst
+
     def __repr__(self) -> str:
         return f"FMIndex(n={self._text_length}, sigma={self._sigma})"
+
+
+register_structure("FMIndex", FMIndex.attach_storage)

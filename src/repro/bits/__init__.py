@@ -1,11 +1,17 @@
 """Succinct bit-level building blocks: packed arrays, bitvectors with
-rank/select, Elias–Fano sequences and wavelet trees."""
+rank/select, Elias–Fano sequences and wavelet trees.
+
+Every structure here implements the buffer-backed storage protocol
+(:mod:`repro.bits.storage`): ``export_storage()`` describes the object as
+scalars plus flat numpy arrays, and ``attach_storage(bundle)`` rebuilds it
+as zero-copy views over an external buffer (shared memory, mmap)."""
 
 from .bitvector import BitVector
 from .eliasfano import EliasFano, SparseBitVector
 from .huffman import HuffmanCode, canonical_code, code_lengths
 from .intvector import IntVector, bits_needed
 from .rrr import RRRBitVector
+from .storage import StorageBundle, attach_structure, register_structure
 from .wavelet import HuffmanWaveletTree, WaveletMatrix
 
 __all__ = [
@@ -18,6 +24,9 @@ __all__ = [
     "IntVector",
     "bits_needed",
     "RRRBitVector",
+    "StorageBundle",
+    "attach_structure",
+    "register_structure",
     "HuffmanWaveletTree",
     "WaveletMatrix",
 ]

@@ -17,6 +17,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from .storage import StorageBundle, expected_array, register_structure
 
 _WORD = 64
 _U64 = np.uint64
@@ -176,6 +177,35 @@ class BitVector:
 
     def __repr__(self) -> str:
         return f"BitVector(n={self._n}, ones={self._ones})"
+
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> StorageBundle:
+        """Scalars plus the packed words *and* the rank directory.
+
+        The directory travels with the words so attaching never recomputes
+        popcounts (and never allocates anything proportional to ``n``).
+        """
+        return StorageBundle(
+            kind="BitVector",
+            meta={"n": self._n, "ones": self._ones},
+            arrays={"words": self._words, "rank_dir": self._rank_dir},
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: StorageBundle) -> "BitVector":
+        """Rebuild from a bundle; the arrays are adopted as-is (no copies)."""
+        bv = cls.__new__(cls)
+        bv._words = expected_array(bundle, "words", "uint64")
+        bv._rank_dir = expected_array(bundle, "rank_dir", "int64")
+        bv._n = int(bundle.meta["n"])
+        bv._ones = int(bundle.meta["ones"])
+        if bv._rank_dir.size != bv._words.size + 1 or int(bv._rank_dir[-1]) != bv._ones:
+            raise InvalidParameterError("corrupt BitVector bundle header")
+        return bv
+
+
+register_structure("BitVector", BitVector.attach_storage)
 
 
 def _select_in_word(word: int, k: int) -> int:

@@ -21,6 +21,7 @@ import numpy as np
 from ..errors import InvalidParameterError
 from .bitvector import BitVector
 from .intvector import IntVector
+from .storage import StorageBundle, attach_structure, register_structure
 
 
 class EliasFano(Sequence[int]):
@@ -178,6 +179,40 @@ class EliasFano(Sequence[int]):
         """Rank/select directory overhead of the high bitvector."""
         return self._high.overhead_in_bits()
 
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> StorageBundle:
+        """Scalars plus the low/high halves as child bundles."""
+        children = {"high": self._high.export_storage()}
+        if self._low is not None:
+            children["low"] = self._low.export_storage()
+        return StorageBundle(
+            kind="EliasFano",
+            meta={
+                "m": self._m,
+                "universe": self._universe,
+                "low_width": self._low_width,
+            },
+            children=children,
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: StorageBundle) -> "EliasFano":
+        """Rebuild from a bundle; child structures attach recursively."""
+        ef = cls.__new__(cls)
+        ef._m = int(bundle.meta["m"])
+        ef._universe = int(bundle.meta["universe"])
+        ef._low_width = int(bundle.meta["low_width"])
+        ef._high = attach_structure(bundle.children["high"])
+        low = bundle.children.get("low")
+        ef._low = attach_structure(low) if low is not None else None
+        if (ef._low is None) != (ef._low_width == 0):
+            raise InvalidParameterError("corrupt EliasFano bundle header")
+        return ef
+
+
+register_structure("EliasFano", EliasFano.attach_storage)
+
 
 class SparseBitVector:
     """A long bitvector with few ones, stored as Elias–Fano positions.
@@ -254,3 +289,24 @@ class SparseBitVector:
 
     def __repr__(self) -> str:
         return f"SparseBitVector(n={self._n}, ones={self.num_ones})"
+
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> StorageBundle:
+        """Length plus the position sequence as a child bundle."""
+        return StorageBundle(
+            kind="SparseBitVector",
+            meta={"n": self._n},
+            children={"ef": self._ef.export_storage()},
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: StorageBundle) -> "SparseBitVector":
+        """Rebuild from a bundle; the Elias–Fano core attaches zero-copy."""
+        sbv = cls.__new__(cls)
+        sbv._n = int(bundle.meta["n"])
+        sbv._ef = attach_structure(bundle.children["ef"])
+        return sbv
+
+
+register_structure("SparseBitVector", SparseBitVector.attach_storage)

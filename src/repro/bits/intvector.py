@@ -18,6 +18,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from .storage import StorageBundle, expected_array, register_structure
 
 _WORD = 64
 _U64 = np.uint64
@@ -167,3 +168,32 @@ class IntVector(Sequence[int]):
     def size_in_bits(self) -> int:
         """Logical payload size: ``n * width`` bits."""
         return self._n * self._width
+
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> "StorageBundle":
+        """Describe this vector as scalars + its packed word array."""
+        return StorageBundle(
+            kind="IntVector",
+            meta={"n": self._n, "width": self._width},
+            arrays={"words": self._words},
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: "StorageBundle") -> "IntVector":
+        """Rebuild from a bundle without copying the word array.
+
+        Bypasses ``__init__`` (whose ``ascontiguousarray`` would copy a
+        buffer-backed view) and sets the slots directly.
+        """
+        iv = cls.__new__(cls)
+        iv._words = expected_array(bundle, "words", "uint64")
+        iv._n = int(bundle.meta["n"])
+        iv._width = int(bundle.meta["width"])
+        if iv._width < 1 or iv._width > 64 or iv._n < 0:
+            raise InvalidParameterError("corrupt IntVector bundle header")
+        iv._mask = (1 << iv._width) - 1
+        return iv
+
+
+register_structure("IntVector", IntVector.attach_storage)

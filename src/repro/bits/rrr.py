@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from .intvector import IntVector, bits_needed
+from .storage import StorageBundle, attach_structure, expected_array, register_structure
 
 BLOCK = 15
 SUPERBLOCK = 32  # blocks per superblock
@@ -242,3 +243,37 @@ class RRRBitVector:
 
     def __repr__(self) -> str:
         return f"RRRBitVector(n={self._n}, ones={self._ones})"
+
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> StorageBundle:
+        """Scalars, the offset bitstream, both superblock directories, and
+        the class nibbles as a child :class:`IntVector` bundle."""
+        return StorageBundle(
+            kind="RRRBitVector",
+            meta={"n": self._n, "ones": self._ones, "offsets": self._offsets},
+            arrays={
+                "offset_words": self._offset_words,
+                "sb_rank": self._sb_rank,
+                "sb_offset_pos": self._sb_offset_pos,
+            },
+            children={"classes": self._classes.export_storage()},
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: StorageBundle) -> "RRRBitVector":
+        """Rebuild from a bundle; all arrays are adopted as-is."""
+        rrr = cls.__new__(cls)
+        rrr._n = int(bundle.meta["n"])
+        rrr._ones = int(bundle.meta["ones"])
+        rrr._offsets = int(bundle.meta["offsets"])
+        rrr._offset_words = expected_array(bundle, "offset_words", "uint64")
+        rrr._sb_rank = expected_array(bundle, "sb_rank", "int64")
+        rrr._sb_offset_pos = expected_array(bundle, "sb_offset_pos", "int64")
+        rrr._classes = attach_structure(bundle.children["classes"])
+        if not isinstance(rrr._classes, IntVector):
+            raise InvalidParameterError("RRR classes child must be an IntVector")
+        return rrr
+
+
+register_structure("RRRBitVector", RRRBitVector.attach_storage)

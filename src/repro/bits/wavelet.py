@@ -27,6 +27,7 @@ from ..errors import InvalidParameterError
 from .bitvector import BitVector
 from .huffman import canonical_code
 from .rrr import RRRBitVector
+from .storage import StorageBundle, attach_structure, register_structure
 
 
 def _bitvector_factory(compressed: bool):
@@ -156,6 +157,45 @@ class WaveletMatrix:
 
     def __repr__(self) -> str:
         return f"WaveletMatrix(n={self._n}, sigma={self._sigma}, levels={self._nbits})"
+
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> StorageBundle:
+        """Scalars plus one child bundle per level bitvector.
+
+        Each level records its own kind (plain or RRR), so mixed layouts
+        round-trip without a separate ``compressed`` flag.
+        """
+        return StorageBundle(
+            kind="WaveletMatrix",
+            meta={
+                "n": self._n,
+                "sigma": self._sigma,
+                "nbits": self._nbits,
+                "zeros": [int(z) for z in self._zeros],
+            },
+            children={
+                f"level{i}": bv.export_storage() for i, bv in enumerate(self._levels)
+            },
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: StorageBundle) -> "WaveletMatrix":
+        """Rebuild from a bundle; per-level bitvectors attach zero-copy."""
+        wm = cls.__new__(cls)
+        wm._n = int(bundle.meta["n"])
+        wm._sigma = int(bundle.meta["sigma"])
+        wm._nbits = int(bundle.meta["nbits"])
+        wm._zeros = [int(z) for z in bundle.meta["zeros"]]
+        wm._levels = [
+            attach_structure(bundle.children[f"level{i}"]) for i in range(wm._nbits)
+        ]
+        if len(wm._zeros) != wm._nbits:
+            raise InvalidParameterError("corrupt WaveletMatrix bundle header")
+        return wm
+
+
+register_structure("WaveletMatrix", WaveletMatrix.attach_storage)
 
 
 class _HWTNode:
@@ -339,3 +379,71 @@ class HuffmanWaveletTree:
 
     def __repr__(self) -> str:
         return f"HuffmanWaveletTree(n={self._n}, sigma={self._sigma})"
+
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> StorageBundle:
+        """Scalars, per-symbol frequencies, and the tree in preorder.
+
+        ``meta["nodes"]`` lists one entry per node (preorder); internal
+        nodes carry ``symbol: None`` and a child bundle ``node<j>`` holding
+        their bitvector. The canonical code is *not* serialised — it is a
+        pure function of the frequencies and is recomputed on attach.
+        """
+        nodes: List[Optional[int]] = []
+        children: Dict[str, StorageBundle] = {}
+
+        def walk(node: _HWTNode) -> None:
+            j = len(nodes)
+            nodes.append(node.symbol)
+            if node.symbol is None:
+                assert node.bv is not None and node.left and node.right
+                children[f"node{j}"] = node.bv.export_storage()
+                walk(node.left)
+                walk(node.right)
+
+        walk(self._root)
+        return StorageBundle(
+            kind="HuffmanWaveletTree",
+            meta={
+                "n": self._n,
+                "sigma": self._sigma,
+                "compressed": self._factory is RRRBitVector,
+                "nodes": nodes,
+            },
+            arrays={"freqs": np.ascontiguousarray(self._freqs, dtype=np.int64)},
+            children=children,
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: StorageBundle) -> "HuffmanWaveletTree":
+        """Rebuild from a bundle; node bitvectors attach zero-copy."""
+        hwt = cls.__new__(cls)
+        hwt._n = int(bundle.meta["n"])
+        hwt._sigma = int(bundle.meta["sigma"])
+        hwt._factory = _bitvector_factory(bool(bundle.meta["compressed"]))
+        hwt._freqs = bundle.arrays["freqs"]
+        hwt._code = canonical_code(hwt._freqs)
+        nodes = bundle.meta["nodes"]
+        cursor = [0]
+
+        def build() -> _HWTNode:
+            j = cursor[0]
+            cursor[0] += 1
+            node = _HWTNode()
+            symbol = nodes[j]
+            if symbol is not None:
+                node.symbol = int(symbol)
+                return node
+            node.bv = attach_structure(bundle.children[f"node{j}"])
+            node.left = build()
+            node.right = build()
+            return node
+
+        hwt._root = build()
+        if cursor[0] != len(nodes):
+            raise InvalidParameterError("corrupt HuffmanWaveletTree node list")
+        return hwt
+
+
+register_structure("HuffmanWaveletTree", HuffmanWaveletTree.attach_storage)

@@ -39,6 +39,7 @@ from .pipeline import (
     spec_for,
 )
 from .report import BuildReport, StageRecord
+from .segments import export_segment, export_sharded_segments, load_segments
 
 __all__ = [
     "ArtifactCache",
@@ -50,5 +51,8 @@ __all__ = [
     "StageRecord",
     "build_all",
     "default_tier_specs",
+    "export_segment",
+    "export_sharded_segments",
+    "load_segments",
     "spec_for",
 ]

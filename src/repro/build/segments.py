@@ -1,0 +1,67 @@
+"""Build stage: export built indexes as shared-memory-ready segments.
+
+The last step of a process-parallel deployment's build: take the
+per-shard estimators a :func:`~repro.shard.build.build_sharded` run
+produced and persist each as one :mod:`repro.parallel.segment` blob —
+checksummed, 8-aligned, relocatable — that a
+:class:`~repro.parallel.executor.ProcessShardedEstimator` (on this host
+or another) can publish into shared memory and serve without ever
+deserialising.
+
+Segment files are written atomically next to each other as
+``<shard>.seg`` and round-trip byte-identically (the segment format is
+deterministic given the estimator's exported bundles).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..shard.estimator import ShardedEstimator
+
+
+def export_segment(estimator, name: str, directory: "str | Path") -> Path:
+    """Write one estimator as ``<directory>/<name>.seg``; returns the path."""
+    from ..parallel.segment import write_estimator_segment
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    blob = write_estimator_segment(estimator, name)
+    path = directory / f"{name}.seg"
+    from ..io import atomic_write_bytes
+
+    atomic_write_bytes(path, blob)
+    return path
+
+
+def export_sharded_segments(
+    sharded: "ShardedEstimator", directory: "str | Path"
+) -> Tuple[Dict[str, Path], float]:
+    """Export every shard of a built sharded estimator as a segment file.
+
+    Returns ``(shard name -> path, wall_seconds)`` — the stage telemetry
+    callers fold into their build reports.
+    """
+    started = time.perf_counter()
+    paths = {
+        name: export_segment(sharded.estimator_for(name), name, directory)
+        for name in sharded.shard_names
+    }
+    return paths, time.perf_counter() - started
+
+
+def load_segments(
+    paths: "Dict[str, Path] | List[Tuple[str, Path]]",
+) -> List[Tuple[str, bytes]]:
+    """Read segment files back as the ``(name, blob)`` pairs a
+    :class:`~repro.parallel.executor.ProcessShardedEstimator` consumes.
+    Integrity is verified at publish time (the pool parses every blob)."""
+    items = list(paths.items()) if isinstance(paths, dict) else list(paths)
+    if not items:
+        raise InvalidParameterError("load_segments needs at least one path")
+    return [(name, Path(path).read_bytes()) for name, path in items]

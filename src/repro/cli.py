@@ -253,6 +253,12 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
     if args.text is not None:
         text = _load_text(args.text, args.size, args.seed)
     patterns = None
+    process_estimator = None
+    if args.processes > 1 and (args.live or args.shards > 1 or args.fault_rate > 0):
+        raise ReproError(
+            "--processes builds its own shard set; it does not combine "
+            "with --live, --shards or --fault-rate"
+        )
     if args.live:
         if text is not None:
             raise ReproError(
@@ -301,6 +307,36 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
             "serve-check needs a text source (builtin corpus or file) "
             "or --live DIR"
         )
+    elif args.processes > 1:
+        from .service import ResilientEstimator, TextStatsEstimator, Tier
+        from .shard import build_process_sharded
+        from .textutil import ROW_SEPARATOR, mixed_workload
+
+        plan = _shard_plan(text, args.processes)
+        print(f"process-sharded ladder: {plan.k} worker processes over "
+              f"shared segments, merge policy {args.merge_policy}")
+        process_estimator, build_report = build_process_sharded(
+            plan, "cpst", args.l, policy=args.merge_policy,
+            max_workers=args.workers,
+        )
+        telemetry = process_estimator.attach_telemetry()
+        shared_bytes = sum(t["segment_bytes"] for t in telemetry.values())
+        attach_bytes = sum(t["attach_alloc_bytes"] for t in telemetry.values())
+        print(f"segments: {shared_bytes} shared bytes (one copy per host), "
+              f"{attach_bytes} bytes allocated attaching across "
+              f"{plan.k} workers")
+        service = ResilientEstimator(
+            [
+                Tier(process_estimator, "cpst-procs", certified_only=True),
+                Tier(TextStatsEstimator(text), "stats", always_available=True),
+            ],
+            deadline_seconds=args.deadline_ms / 1000.0,
+        )
+        patterns = [
+            pattern
+            for pattern in mixed_workload(text, per_length=10, seed=args.seed)
+            if ROW_SEPARATOR not in pattern
+        ]
     elif args.shards > 1:
         if args.fault_rate > 0:
             raise ReproError(
@@ -348,25 +384,49 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
             context=ctx,
             max_workers=args.workers,
         )
-    if args.concurrency > 1:
-        server = QueryServer(
-            service,
-            max_concurrent=args.concurrency,
-            max_waiting=4 * args.concurrency,
-            rate=args.rate,
-        )
-        with server:
-            print(f"hammering the query server with "
-                  f"{args.concurrency} worker threads")
-            report = run_concurrent_probe(
-                server, patterns, text=text, seed=args.seed,
+    try:
+        if args.concurrency > 1 and process_estimator is not None:
+            from .parallel import AsyncQueryServer
+            from .service import run_async_probe
+
+            aserver = AsyncQueryServer(
+                service,
+                max_concurrent=args.concurrency,
+                max_waiting=4 * args.concurrency,
+                rate=args.rate,
+            )
+            print(f"hammering the asyncio server with "
+                  f"{args.concurrency} concurrent tasks")
+            report = run_async_probe(
+                aserver, patterns, text=text, seed=args.seed,
                 concurrency=args.concurrency,
             )
             print(report.format())
-            print("server: " + server.stats().summary())
-    else:
-        report = run_health_probe(service, patterns, text=text, seed=args.seed)
-        print(report.format())
+            print("server: " + aserver.stats().summary())
+        elif args.concurrency > 1:
+            server = QueryServer(
+                service,
+                max_concurrent=args.concurrency,
+                max_waiting=4 * args.concurrency,
+                rate=args.rate,
+            )
+            with server:
+                print(f"hammering the query server with "
+                      f"{args.concurrency} worker threads")
+                report = run_concurrent_probe(
+                    server, patterns, text=text, seed=args.seed,
+                    concurrency=args.concurrency,
+                )
+                print(report.format())
+                print("server: " + server.stats().summary())
+        else:
+            report = run_health_probe(
+                service, patterns, text=text, seed=args.seed
+            )
+            print(report.format())
+    finally:
+        if process_estimator is not None:
+            process_estimator.close()
     return 0 if report.ok else 1
 
 
@@ -644,6 +704,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1,
                    help="N > 1: serve through sharded upper tiers "
                         "(per-shard CPST/APX fan-out with merged bounds)")
+    p.add_argument("--processes", type=int, default=1,
+                   help="N > 1: serve N shards from worker processes "
+                        "attached to shared-memory segments (zero-copy); "
+                        "with --concurrency > 1 the front is the asyncio "
+                        "server instead of the thread server")
     p.add_argument("--merge-policy", choices=["split", "widen"],
                    default="split",
                    help="sharded error budget: 'split' divides l across "

@@ -38,7 +38,14 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from ..bits import IntVector, WaveletMatrix, bits_needed
+from ..bits import (
+    IntVector,
+    StorageBundle,
+    WaveletMatrix,
+    attach_structure,
+    bits_needed,
+    register_structure,
+)
 from ..core.interface import ErrorModel, OccurrenceEstimator
 from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
 from ..errors import InvalidParameterError
@@ -304,8 +311,57 @@ class ApproxIndex(OccurrenceEstimator, BackwardSearchAutomaton):
             overhead={"B_directories": self._b.overhead_in_bits()},
         )
 
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> StorageBundle:
+        """Scalars plus the B/V discriminant encoding as child bundles."""
+        return StorageBundle(
+            kind="ApproxIndex",
+            meta=self._storage_meta(),
+            arrays={"c": np.ascontiguousarray(self._c, dtype=np.int64)},
+            children={
+                "b": self._b.export_storage(),
+                "v": self._v.export_storage(),
+            },
+        )
+
+    def _storage_meta(self) -> dict:
+        """Scalar header shared by the B/V and Elias–Fano encodings."""
+        return {
+            "l": self._l,
+            "sigma": self._sigma,
+            "text_length": self._text_length,
+            "n_rows": self._n_rows,
+            "num_discriminants": self._num_discriminants,
+            "characters": self._alphabet.characters,
+        }
+
+    def _attach_scalars(self, bundle: StorageBundle) -> None:
+        meta = bundle.meta
+        self._l = int(meta["l"])
+        self._h = self._l // 2
+        self._alphabet = Alphabet(meta["characters"])
+        self._sigma = int(meta["sigma"])
+        self._text_length = int(meta["text_length"])
+        self._n_rows = int(meta["n_rows"])
+        self._num_discriminants = int(meta["num_discriminants"])
+        self._c = bundle.arrays["c"]
+
+    @classmethod
+    def attach_storage(cls, bundle: StorageBundle) -> "ApproxIndex":
+        """Rebuild from a bundle without copying any packed array."""
+        inst = cls.__new__(cls)
+        inst._attach_scalars(bundle)
+        inst._b = attach_structure(bundle.children["b"])
+        inst._v = attach_structure(bundle.children["v"])
+        inst._hash_sym = inst._sigma
+        return inst
+
     def __repr__(self) -> str:
         return (
             f"ApproxIndex(n={self._text_length}, sigma={self._sigma}, "
             f"l={self._l}, discriminants={self._num_discriminants})"
         )
+
+
+register_structure("ApproxIndex", ApproxIndex.attach_storage)

@@ -21,7 +21,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..bits import EliasFano, bits_needed
+from ..bits import EliasFano, StorageBundle, attach_structure, bits_needed, register_structure
 from ..space import SpaceReport
 from .approx import ApproxIndex
 
@@ -87,8 +87,38 @@ class ApproxIndexEF(ApproxIndex):
             },
         )
 
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> StorageBundle:
+        """Scalars plus one Elias–Fano child bundle per symbol's ``D_c``."""
+        meta = self._storage_meta()
+        meta["symbols"] = sorted(self._positions)
+        return StorageBundle(
+            kind="ApproxIndexEF",
+            meta=meta,
+            arrays={"c": np.ascontiguousarray(self._c, dtype=np.int64)},
+            children={
+                f"pos{c}": self._positions[c].export_storage()
+                for c in sorted(self._positions)
+            },
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: StorageBundle) -> "ApproxIndexEF":
+        """Rebuild from a bundle without copying any packed array."""
+        inst = cls.__new__(cls)
+        inst._attach_scalars(bundle)
+        inst._positions = {
+            int(c): attach_structure(bundle.children[f"pos{c}"])
+            for c in bundle.meta["symbols"]
+        }
+        return inst
+
     def __repr__(self) -> str:
         return (
             f"ApproxIndexEF(n={self._text_length}, sigma={self._sigma}, "
             f"l={self._l}, discriminants={self._num_discriminants})"
         )
+
+
+register_structure("ApproxIndexEF", ApproxIndexEF.attach_storage)

@@ -99,5 +99,36 @@ class CombinedIndex(OccurrenceEstimator):
             self._apx.space_report(), name=f"Combined-{self._l}"
         )
 
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> "StorageBundle":
+        """The threshold plus both component indexes as child bundles."""
+        from ..bits import StorageBundle
+
+        return StorageBundle(
+            kind="CombinedIndex",
+            meta={"l": self._l},
+            children={
+                "cpst": self._cpst.export_storage(),
+                "apx": self._apx.export_storage(),
+            },
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: "StorageBundle") -> "CombinedIndex":
+        """Rebuild from a bundle; both components attach zero-copy."""
+        from ..bits import attach_structure
+
+        inst = cls.__new__(cls)
+        inst._l = int(bundle.meta["l"])
+        inst._cpst = attach_structure(bundle.children["cpst"])
+        inst._apx = attach_structure(bundle.children["apx"])
+        return inst
+
     def __repr__(self) -> str:
         return f"CombinedIndex(n={self.text_length}, l={self._l})"
+
+
+from ..bits import register_structure  # noqa: E402  (after class definition)
+
+register_structure("CombinedIndex", CombinedIndex.attach_storage)

@@ -33,7 +33,14 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from ..bits import EliasFano, WaveletMatrix, bits_needed
+from ..bits import (
+    EliasFano,
+    StorageBundle,
+    WaveletMatrix,
+    attach_structure,
+    bits_needed,
+    register_structure,
+)
 from ..core.interface import ErrorModel, OccurrenceEstimator
 from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
 from ..errors import InvalidParameterError
@@ -215,8 +222,49 @@ class CompactPrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
             },
         )
 
+    # -- buffer-backed storage ---------------------------------------------
+
+    def export_storage(self) -> StorageBundle:
+        """Describe the index as scalars + the S/G structures (zero-copy
+        attachable; see :mod:`repro.bits.storage`)."""
+        return StorageBundle(
+            kind="CompactPrunedSuffixTree",
+            meta={
+                "l": self._l,
+                "sigma": self._sigma,
+                "text_length": self._text_length,
+                "m": self._m,
+                "hash_sym": self._hash_sym,
+                "characters": self._alphabet.characters,
+            },
+            arrays={"c": np.ascontiguousarray(self._c, dtype=np.int64)},
+            children={
+                "s": self._s.export_storage(),
+                "g_prefix": self._g_prefix.export_storage(),
+            },
+        )
+
+    @classmethod
+    def attach_storage(cls, bundle: StorageBundle) -> "CompactPrunedSuffixTree":
+        """Rebuild from a bundle without copying any packed array."""
+        inst = cls.__new__(cls)
+        meta = bundle.meta
+        inst._l = int(meta["l"])
+        inst._alphabet = Alphabet(meta["characters"])
+        inst._sigma = int(meta["sigma"])
+        inst._text_length = int(meta["text_length"])
+        inst._m = int(meta["m"])
+        inst._hash_sym = int(meta["hash_sym"])
+        inst._c = bundle.arrays["c"]
+        inst._s = attach_structure(bundle.children["s"])
+        inst._g_prefix = attach_structure(bundle.children["g_prefix"])
+        return inst
+
     def __repr__(self) -> str:
         return (
             f"CompactPrunedSuffixTree(n={self._text_length}, "
             f"sigma={self._sigma}, l={self._l}, m={self._m})"
         )
+
+
+register_structure("CompactPrunedSuffixTree", CompactPrunedSuffixTree.attach_storage)

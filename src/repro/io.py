@@ -38,6 +38,13 @@ from .errors import IndexCorruptedError, InvalidParameterError, ReproError
 MAGIC = b"REPROIDX"
 ARTIFACT_MAGIC = b"REPROART"
 FORMAT_VERSION = 2
+#: Artifact framing version. v3 pads the fixed header to 56 bytes (a
+#: multiple of 8) so the ``.npy`` payload — and hence the array data, whose
+#: offset inside the payload numpy aligns to 64 — starts on an 8-byte
+#: boundary. A reader that maps the file can then view the words in place
+#: without realignment copies. v2 files (50-byte header) still load.
+ARTIFACT_VERSION = 3
+_ARTIFACT_PAD = 6  # bytes after the digest that bring the header to 56
 _DIGEST_SIZE = hashlib.sha256().digest_size
 
 
@@ -255,27 +262,30 @@ def atomic_write_bytes(
 
 
 def artifact_bytes(array: np.ndarray) -> bytes:
-    """The checksummed v2 artifact framing of one numpy array, as bytes.
+    """The checksummed v3 artifact framing of one numpy array, as bytes.
 
-    ``ARTIFACT_MAGIC | version:2 | payload_len:8 | sha256:32 | payload``
+    ``ARTIFACT_MAGIC | version:2 | payload_len:8 | sha256:32 | pad:6 | payload``
     where the payload is the ``.npy`` serialisation (``allow_pickle`` is
     off at both ends, so an artifact file can never smuggle objects the
-    way a pickle stream could).
+    way a pickle stream could). The six zero pad bytes round the header up
+    to 56 bytes so the payload sits on an 8-byte boundary — mmap-friendly:
+    a mapped reader can view the array data in place.
     """
     buffer = _io.BytesIO()
     np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
     payload = buffer.getvalue()
     return (
         ARTIFACT_MAGIC
-        + FORMAT_VERSION.to_bytes(2, "big")
+        + ARTIFACT_VERSION.to_bytes(2, "big")
         + len(payload).to_bytes(8, "big")
         + hashlib.sha256(payload).digest()
+        + bytes(_ARTIFACT_PAD)
         + payload
     )
 
 
 def save_artifact(array: np.ndarray, path: str | Path) -> Path:
-    """Persist one numpy build artifact with the checksummed v2 framing
+    """Persist one numpy build artifact with the checksummed v3 framing
     (see :func:`artifact_bytes`). Used by the build layer's artifact
     cache, which wraps the write in :func:`atomic_write_bytes`.
     """
@@ -300,15 +310,22 @@ def load_artifact(path: str | Path) -> np.ndarray:
                 f"{source} is not a repro artifact file (bad magic {magic!r})"
             )
         version = int.from_bytes(_read_exact(handle, 2, "format version"), "big")
-        if version != FORMAT_VERSION:
+        if version not in (FORMAT_VERSION, ARTIFACT_VERSION):
             raise ReproError(
                 f"unsupported artifact format version {version} "
-                f"(this library reads version {FORMAT_VERSION})"
+                f"(this library reads versions "
+                f"{FORMAT_VERSION}..{ARTIFACT_VERSION})"
             )
         payload_length = int.from_bytes(
             _read_exact(handle, 8, "payload length"), "big"
         )
         digest = _read_exact(handle, _DIGEST_SIZE, "payload digest")
+        if version >= 3:
+            pad = _read_exact(handle, _ARTIFACT_PAD, "header padding")
+            if pad != bytes(_ARTIFACT_PAD):
+                raise IndexCorruptedError(
+                    f"{source} has non-zero header padding"
+                )
         payload = _read_exact(handle, payload_length, "payload")
         if handle.read(1):
             raise IndexCorruptedError(

@@ -1,0 +1,684 @@
+"""Process-parallel sharded serving over shared-memory segments.
+
+:class:`ProcessShardedEstimator` is the multiprocess sibling of
+:class:`~repro.shard.estimator.ShardedEstimator`: the same
+:class:`~repro.core.interface.OccurrenceEstimator` interface, the same
+per-shard answer semantics, the same
+:func:`~repro.shard.merge.merge_answers` error algebra — but each shard's
+index lives in a **worker process** that attached the shard's shared
+segment (:mod:`repro.parallel.pool`) as zero-copy views. The parent holds
+no index at all: only the segment headers' serving metadata (error model,
+threshold, text length, alphabet), which is exactly what the merge needs.
+
+Protocol (one duplex pipe per worker; requests and replies are plain
+tuples):
+
+======================================  =======================================
+request                                 reply
+======================================  =======================================
+``("count", id, pattern, remaining)``   ``(id, "ok", value)`` — the shard's
+                                        raw answer under its own model
+                                        (``count_or_none`` for lower-sided
+                                        shards, ``count`` otherwise)
+``("count_many", id, patterns, rem)``   ``(id, "ok", [value, ...])`` — the
+                                        whole batch in one round trip,
+                                        memoised through the worker's
+                                        :class:`~repro.batch.SuffixSharingCounter`
+``("ping", id)``                        ``(id, "ok", "pong")``
+``("stop",)``                           worker exits
+======================================  =======================================
+
+A worker that raises replies ``(id, "err", type_name, message)`` and the
+parent re-raises (mirroring the thread executor: a live shard's failure
+propagates, it never silently degrades). A worker that **dies** — pipe
+EOF, poll timeout, process gone — is quarantined through the same
+lifecycle the thread version exposes: its contribution degrades to the
+trivial ceiling, the merged model drops to ``UPPER_BOUND``, and the
+remaining shards keep serving. :meth:`ProcessShardedEstimator.respawn_shard`
+starts a fresh worker against the same shared segment (nothing to
+rebuild: the index bytes never left shared memory).
+
+Workers are started with the ``spawn`` method: nothing is inherited from
+the parent, so the only way a worker can answer is through the shared
+segment — which is the zero-copy claim the differential tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+from multiprocessing.connection import Connection
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..errors import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    PatternError,
+    ReproError,
+)
+from ..service.deadline import Deadline
+from ..space import SpaceReport
+from ..shard.merge import MergedCount, ShardAnswer, merge_answers, merged_threshold
+from ..textutil import Alphabet
+from .pool import SegmentPool, attach_shared_segment
+from .segment import write_estimator_segment
+
+#: Extra wall-clock granted past a query's own deadline before the parent
+#: declares the worker dead rather than merely slow.
+_DEADLINE_GRACE = 0.25
+
+#: Errors a worker may legitimately report; re-raised by name in the parent.
+_ERROR_TYPES: Dict[str, type] = {
+    "DeadlineExceededError": DeadlineExceededError,
+    "PatternError": PatternError,
+    "InvalidParameterError": InvalidParameterError,
+}
+
+
+def _worker_main(shm_name: str, conn: Connection, max_states: int) -> None:
+    """Worker entry point: attach the segment, serve the pipe protocol.
+
+    Runs in a spawned process. ``tracemalloc`` brackets the attach so the
+    handshake can report how many bytes attaching actually allocated —
+    the zero-copy acceptance test asserts this stays far below the
+    segment payload size.
+    """
+    import tracemalloc
+
+    from ..batch import SuffixSharingCounter
+
+    try:
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        shm, segment = attach_shared_segment(shm_name)
+        estimator = segment.attach("index")
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        counter = SuffixSharingCounter(estimator, max_states=max_states)
+        lower_sided = estimator.error_model is ErrorModel.LOWER_SIDED
+        report = estimator.space_report()
+        conn.send((
+            "ready",
+            {
+                "segment_bytes": segment.nbytes,
+                "attach_alloc_bytes": max(0, after - before),
+                "space_name": report.name,
+                "space_components": dict(report.components),
+                "space_overhead": dict(report.overhead),
+            },
+        ))
+    except Exception as exc:  # noqa: BLE001 - handshake boundary
+        try:
+            conn.send(("failed", type(exc).__name__, str(exc)))
+        finally:
+            conn.close()
+        return
+
+    def answer_one(pattern: str, remaining: Optional[float]) -> Optional[int]:
+        sub = None if remaining is None else Deadline(remaining)
+        if lower_sided:
+            return counter.count_or_none(pattern, sub)
+        return counter.count(pattern, sub)
+
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "stop":
+                break
+            req_id = msg[1]
+            try:
+                if op == "count":
+                    _, _, pattern, remaining = msg
+                    result: Any = answer_one(pattern, remaining)
+                elif op == "count_many":
+                    _, _, patterns, remaining = msg
+                    result = [answer_one(p, remaining) for p in patterns]
+                elif op == "ping":
+                    result = "pong"
+                else:
+                    raise InvalidParameterError(f"unknown op {op!r}")
+            except Exception as exc:  # noqa: BLE001 - protocol boundary
+                conn.send((req_id, "err", type(exc).__name__, str(exc)))
+            else:
+                conn.send((req_id, "ok", result))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away (or is tearing us down): just exit
+    finally:
+        conn.close()
+        # The attached structures hold live views into shm — a regular
+        # interpreter teardown would trip over the exported buffers
+        # (BufferError from SharedMemory.close). The process is done
+        # serving; exit immediately and let the OS drop the mapping.
+        import os
+
+        os._exit(0)
+
+
+class _WorkerSlot:
+    """One shard's serving state: segment handle, worker process, pipe."""
+
+    __slots__ = (
+        "name", "shm_name", "segment_bytes", "model", "threshold",
+        "text_length", "characters", "process", "conn", "quarantined",
+        "reason", "handshake",
+    )
+
+    def __init__(self, name: str, shm_name: str, meta: Mapping[str, Any]):
+        self.name = name
+        self.shm_name = shm_name
+        self.segment_bytes = 0
+        self.model = ErrorModel(meta["error_model"])
+        self.threshold = int(meta["threshold"])
+        self.text_length = int(meta["text_length"])
+        self.characters = str(meta["characters"])
+        self.process: Optional[mp.process.BaseProcess] = None
+        self.conn: Optional[Connection] = None
+        self.quarantined = False
+        self.reason = ""
+        self.handshake: Dict[str, Any] = {}
+
+    def ceiling(self, pattern_length: int) -> int:
+        return max(0, self.text_length - pattern_length + 1)
+
+    def alive(self) -> bool:
+        return (
+            self.process is not None
+            and self.process.is_alive()
+            and self.conn is not None
+        )
+
+
+class ProcessShardedEstimator(OccurrenceEstimator):
+    """``k`` shard indexes served by worker processes over shared segments.
+
+    Construct from serialised segments (``name -> bytes``, e.g. from
+    :func:`~repro.parallel.segment.write_estimator_segment` or loaded
+    from disk), or directly from live estimators via
+    :meth:`from_estimators`. Intervals, scalars and the error-model
+    algebra are identical to the thread-pooled
+    :class:`~repro.shard.estimator.ShardedEstimator` over the same shard
+    indexes — the differential tests and the parallel benchmark assert
+    exactly that.
+
+    Always :meth:`close` (or use as a context manager): the estimator
+    owns worker processes and shared-memory blocks.
+    """
+
+    def __init__(
+        self,
+        segments: "Mapping[str, bytes] | Sequence[Tuple[str, bytes]]",
+        *,
+        max_states: int = 4096,
+        worker_timeout: float = 60.0,
+        start_method: str = "spawn",
+    ):
+        items = (
+            list(segments.items())
+            if isinstance(segments, Mapping)
+            else list(segments)
+        )
+        if not items:
+            raise InvalidParameterError(
+                "a process-sharded estimator needs >= 1 segment"
+            )
+        names = [name for name, _ in items]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(f"shard names must be unique: {names}")
+        if worker_timeout <= 0:
+            raise InvalidParameterError(
+                f"worker_timeout must be > 0, got {worker_timeout}"
+            )
+        self._ctx = mp.get_context(start_method)
+        self._max_states = max_states
+        self._worker_timeout = worker_timeout
+        self._pool = SegmentPool()
+        self._slots: List[_WorkerSlot] = []
+        self._alphabet: Optional[Alphabet] = None
+        self._closed = False
+        self._req_counter = 0
+        try:
+            for name, blob in items:
+                published = self._pool.publish(name, blob)
+                slot = _WorkerSlot(name, published.shm_name, published.meta)
+                slot.segment_bytes = published.nbytes
+                self._slots.append(slot)
+            for slot in self._slots:
+                self._spawn(slot)
+        except Exception:
+            self.close()
+            raise
+
+    @classmethod
+    def from_estimators(
+        cls,
+        estimators: "Mapping[str, OccurrenceEstimator] | Sequence[Tuple[str, OccurrenceEstimator]]",
+        **kwargs: Any,
+    ) -> "ProcessShardedEstimator":
+        """Export each estimator to a segment and serve it from workers."""
+        items = (
+            list(estimators.items())
+            if isinstance(estimators, Mapping)
+            else list(estimators)
+        )
+        segments = [
+            (name, write_estimator_segment(est, name)) for name, est in items
+        ]
+        return cls(segments, **kwargs)
+
+    # -- worker lifecycle -----------------------------------------------------
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(slot.shm_name, child_conn, self._max_states),
+            name=f"repro-shard-{slot.name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(self._worker_timeout):
+            process.terminate()
+            raise ReproError(
+                f"worker for shard {slot.name!r} did not complete its "
+                "attach handshake"
+            )
+        try:
+            reply = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            process.join(timeout=1.0)
+            raise ReproError(
+                f"worker for shard {slot.name!r} died during its attach "
+                f"handshake (exit code {process.exitcode})"
+            ) from exc
+        if reply[0] != "ready":
+            process.join(timeout=1.0)
+            raise ReproError(
+                f"worker for shard {slot.name!r} failed to attach: "
+                f"{reply[1]}: {reply[2]}"
+            )
+        slot.process = process
+        slot.conn = parent_conn
+        slot.handshake = reply[1]
+        slot.quarantined = False
+        slot.reason = ""
+
+    def _kill(self, slot: _WorkerSlot) -> None:
+        if slot.conn is not None:
+            try:
+                slot.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            slot.conn.close()
+            slot.conn = None
+        if slot.process is not None:
+            slot.process.join(timeout=1.0)
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=1.0)
+            slot.process = None
+
+    def close(self) -> None:
+        """Stop every worker and unlink the shared segments. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            self._kill(slot)
+        self._pool.close()
+
+    def __enter__(self) -> "ProcessShardedEstimator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- estimator interface --------------------------------------------------
+
+    @property
+    def error_model(self) -> ErrorModel:  # type: ignore[override]
+        """Same dynamic algebra as the thread executor: any quarantined
+        shard forces UPPER_BOUND; all-exact shards merge exactly."""
+        if any(slot.quarantined for slot in self._slots):
+            return ErrorModel.UPPER_BOUND
+        models = [slot.model for slot in self._slots]
+        if any(m is ErrorModel.UPPER_BOUND for m in models):
+            return ErrorModel.UPPER_BOUND
+        if all(m is ErrorModel.EXACT for m in models):
+            return ErrorModel.EXACT
+        return ErrorModel.UNIFORM
+
+    @property
+    def threshold(self) -> int:
+        return merged_threshold([slot.threshold for slot in self._slots])
+
+    @property
+    def alphabet(self) -> Alphabet:
+        if self._alphabet is None:
+            characters: set = set()
+            for slot in self._slots:
+                characters.update(slot.characters)
+            self._alphabet = Alphabet(characters)
+        return self._alphabet
+
+    @property
+    def text_length(self) -> int:
+        return sum(slot.text_length for slot in self._slots)
+
+    @property
+    def shard_names(self) -> List[str]:
+        return [slot.name for slot in self._slots]
+
+    @property
+    def k(self) -> int:
+        return len(self._slots)
+
+    @property
+    def degraded_shards(self) -> Tuple[str, ...]:
+        return tuple(slot.name for slot in self._slots if slot.quarantined)
+
+    # -- shard lifecycle ------------------------------------------------------
+
+    def _slot(self, name: str) -> _WorkerSlot:
+        for slot in self._slots:
+            if slot.name == name:
+                return slot
+        raise InvalidParameterError(
+            f"unknown shard {name!r} (have {self.shard_names})"
+        )
+
+    def quarantine_shard(self, name: str, reason: str = "") -> None:
+        """Pull one shard out of service; the others keep answering."""
+        slot = self._slot(name)
+        slot.quarantined = True
+        slot.reason = reason
+
+    def readmit_shard(self, name: str) -> None:
+        """Return a (still-alive) shard to service.
+
+        Liveness is proven by a protocol ping, not by process state: a
+        freshly SIGKILLed worker can report alive for a moment (its pipe
+        is at EOF before the zombie is reapable), and a wedged worker is
+        alive but useless. Only a worker that answers gets readmitted.
+        """
+        slot = self._slot(name)
+        if not slot.alive() or not self._ping(slot):
+            raise InvalidParameterError(
+                f"shard {name!r} has no responsive worker; use respawn_shard"
+            )
+        slot.quarantined = False
+        slot.reason = ""
+
+    def _ping(self, slot: _WorkerSlot, timeout: float = 1.0) -> bool:
+        """One health round trip; quarantines (and reports False) on death."""
+        self._req_counter += 1
+        req_id = self._req_counter
+        if not self._dispatch(slot, ("ping", req_id)):
+            return False
+        try:
+            return self._collect(slot, req_id, timeout) == "pong"
+        except ReproError:
+            return False
+
+    def respawn_shard(self, name: str) -> None:
+        """Replace a dead or wedged worker with a fresh one attached to
+        the *same* shared segment (the index bytes never left memory)."""
+        slot = self._slot(name)
+        self._kill(slot)
+        self._spawn(slot)
+
+    def worker_pid(self, name: str) -> Optional[int]:
+        """The shard worker's OS pid (fault-injection tests kill it)."""
+        slot = self._slot(name)
+        return None if slot.process is None else slot.process.pid
+
+    # -- counting -------------------------------------------------------------
+
+    @staticmethod
+    def _remaining(deadline: Optional[Deadline]) -> Optional[float]:
+        if deadline is None:
+            return None
+        remaining = deadline.remaining()
+        return None if not math.isfinite(remaining) else remaining
+
+    def _degraded_answer(
+        self, slot: _WorkerSlot, pattern_length: int, reason: str
+    ) -> ShardAnswer:
+        return ShardAnswer(
+            shard=slot.name,
+            model=None,
+            threshold=slot.threshold,
+            value=None,
+            ceiling=slot.ceiling(pattern_length),
+            degraded=True,
+            reason=reason,
+        )
+
+    def _dispatch(
+        self, slot: _WorkerSlot, request: Tuple[Any, ...]
+    ) -> bool:
+        """Send one request; on a dead pipe, quarantine and report False."""
+        assert slot.conn is not None
+        try:
+            slot.conn.send(request)
+            return True
+        except (BrokenPipeError, OSError) as exc:
+            self.quarantine_shard(
+                slot.name, f"worker pipe broken: {type(exc).__name__}"
+            )
+            return False
+
+    def _collect(
+        self, slot: _WorkerSlot, req_id: int, timeout: float
+    ) -> Any:
+        """Receive the reply for ``req_id``; quarantine on death/timeout.
+
+        Returns the payload, or ``None`` with the slot quarantined. Worker
+        *errors* re-raise (a live shard's failure must propagate, exactly
+        as in the thread executor).
+        """
+        assert slot.conn is not None
+        try:
+            if not slot.conn.poll(timeout):
+                alive = slot.process is not None and slot.process.is_alive()
+                self.quarantine_shard(
+                    slot.name,
+                    "worker timed out" if alive else "worker died mid-query",
+                )
+                return None
+            reply = slot.conn.recv()
+        except (EOFError, OSError):
+            self.quarantine_shard(slot.name, "worker died mid-query")
+            return None
+        if reply[0] != req_id:
+            self.quarantine_shard(
+                slot.name, f"protocol desync (reply {reply[0]}, want {req_id})"
+            )
+            return None
+        if reply[1] == "err":
+            _, _, type_name, message = reply
+            raise _ERROR_TYPES.get(type_name, ReproError)(
+                f"shard {slot.name}: {message}"
+            )
+        return reply[2]
+
+    def _fan_out(
+        self,
+        op: str,
+        payload: Any,
+        deadline: Optional[Deadline],
+    ) -> List[Tuple[_WorkerSlot, Optional[Any], str]]:
+        """One protocol round over every live shard.
+
+        Sends to all workers first, then collects — the k shard searches
+        run concurrently in k processes. Returns per-slot
+        ``(slot, value_or_None, degraded_reason)`` triples.
+        """
+        remaining = self._remaining(deadline)
+        self._req_counter += 1
+        req_id = self._req_counter
+        pending: List[_WorkerSlot] = []
+        results: Dict[str, Tuple[Optional[Any], str]] = {}
+        for slot in self._slots:
+            if slot.quarantined:
+                results[slot.name] = (None, slot.reason or "quarantined")
+                continue
+            if not slot.alive():
+                self.quarantine_shard(slot.name, "worker not running")
+                results[slot.name] = (None, slot.reason)
+                continue
+            if self._dispatch(slot, (op, req_id, payload, remaining)):
+                pending.append(slot)
+            else:
+                results[slot.name] = (None, slot.reason)
+        timeout = self._worker_timeout
+        if remaining is not None:
+            timeout = min(timeout, remaining + _DEADLINE_GRACE)
+        for slot in pending:
+            value = self._collect(slot, req_id, timeout)
+            if slot.quarantined:
+                results[slot.name] = (None, slot.reason)
+            else:
+                results[slot.name] = (value, "")
+        return [
+            (slot, results[slot.name][0], results[slot.name][1])
+            for slot in self._slots
+        ]
+
+    def merged_count(
+        self, pattern: str, deadline: Optional[Deadline] = None
+    ) -> MergedCount:
+        """Fan one pattern out to every shard worker and merge."""
+        if not isinstance(pattern, str) or not pattern:
+            raise PatternError("pattern must be a non-empty string")
+        if self._closed:
+            raise ReproError("ProcessShardedEstimator is closed")
+        p = len(pattern)
+        answers = []
+        for slot, value, reason in self._fan_out("count", pattern, deadline):
+            if slot.quarantined:
+                answers.append(self._degraded_answer(slot, p, reason))
+            else:
+                answers.append(
+                    ShardAnswer(
+                        shard=slot.name,
+                        model=slot.model,
+                        threshold=slot.threshold,
+                        value=value,
+                        ceiling=slot.ceiling(p),
+                    )
+                )
+        return merge_answers(answers)
+
+    def merged_count_many(
+        self, patterns: Sequence[str], deadline: Optional[Deadline] = None
+    ) -> List[MergedCount]:
+        """A whole workload in **one protocol round per shard**.
+
+        This is the throughput path: each worker answers its entire batch
+        through its memoising counter before replying, so the per-query
+        cost is one local search, not one IPC round trip. Scalars and
+        intervals are identical to ``k`` :meth:`merged_count` calls.
+        """
+        patterns = list(patterns)
+        for pattern in patterns:
+            if not isinstance(pattern, str) or not pattern:
+                raise PatternError("patterns must be non-empty strings")
+        if self._closed:
+            raise ReproError("ProcessShardedEstimator is closed")
+        if not patterns:
+            return []
+        per_slot = self._fan_out("count_many", patterns, deadline)
+        merged: List[MergedCount] = []
+        for qi, pattern in enumerate(patterns):
+            p = len(pattern)
+            answers = []
+            for slot, values, reason in per_slot:
+                if slot.quarantined or values is None:
+                    answers.append(
+                        self._degraded_answer(slot, p, reason or "no batch answer")
+                    )
+                else:
+                    answers.append(
+                        ShardAnswer(
+                            shard=slot.name,
+                            model=slot.model,
+                            threshold=slot.threshold,
+                            value=values[qi],
+                            ceiling=slot.ceiling(p),
+                        )
+                    )
+            merged.append(merge_answers(answers))
+        return merged
+
+    def count(self, pattern: str) -> int:
+        """The merged scalar (sound upper end of the merged interval)."""
+        return self.merged_count(pattern).count
+
+    def count_interval(
+        self, pattern: str, deadline: Optional[Deadline] = None
+    ) -> Tuple[int, int]:
+        merged = self.merged_count(pattern, deadline)
+        return (merged.lo, merged.hi)
+
+    def count_or_none(
+        self, pattern: str, deadline: Optional[Deadline] = None
+    ) -> Optional[int]:
+        merged = self.merged_count(pattern, deadline)
+        return merged.lo if merged.exact else None
+
+    def is_reliable(self, pattern: str) -> bool:
+        return self.count_or_none(pattern) is not None
+
+    # -- space ----------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        """Per-shard reports (from the attach handshakes) rolled up, with
+        every shard's segment accounted **once per host** under ``shared``
+        and the worker count recorded — so ``resident_per_worker`` shows
+        what each process actually adds beyond the shared maps."""
+        parts = []
+        shared: Dict[str, int] = {}
+        for slot in self._slots:
+            components = dict(slot.handshake.get("space_components", {}))
+            overhead = dict(slot.handshake.get("space_overhead", {}))
+            parts.append(SpaceReport(slot.name, components, overhead))
+            shared[f"{slot.name}.segment"] = slot.segment_bytes * 8
+        merged = SpaceReport.merge(parts, name="ProcessShardedEstimator")
+        return SpaceReport(
+            merged.name,
+            dict(merged.components),
+            dict(merged.overhead),
+            shared,
+            len(self._slots),
+        )
+
+    def attach_telemetry(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard zero-copy evidence from the worker handshakes:
+        ``segment_bytes`` mapped vs ``attach_alloc_bytes`` the attach
+        actually allocated in the worker."""
+        return {
+            slot.name: {
+                "segment_bytes": int(slot.handshake.get("segment_bytes", 0)),
+                "attach_alloc_bytes": int(
+                    slot.handshake.get("attach_alloc_bytes", 0)
+                ),
+            }
+            for slot in self._slots
+        }
+
+    def __repr__(self) -> str:
+        degraded = len(self.degraded_shards)
+        return (
+            f"ProcessShardedEstimator(k={self.k}, chars={self.text_length}"
+            + (f", degraded={degraded}" if degraded else "")
+            + ")"
+        )

@@ -41,6 +41,7 @@ from .faults import (
 from .health import (
     HealthReport,
     TierHealth,
+    run_async_probe,
     run_concurrent_probe,
     run_health_probe,
 )
@@ -99,6 +100,7 @@ __all__ = [
     "default_rebuilders",
     "is_transient",
     "probes_from_text",
+    "run_async_probe",
     "run_concurrent_probe",
     "run_health_probe",
 ]

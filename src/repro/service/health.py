@@ -232,6 +232,58 @@ def run_concurrent_probe(
     return report
 
 
+def run_async_probe(
+    server,
+    patterns: Sequence[str] | None = None,
+    *,
+    text: Text | str | None = None,
+    seed: int = 0,
+    concurrency: int = 8,
+) -> HealthReport:
+    """Drain the workload through an
+    :class:`~repro.parallel.asyncserver.AsyncQueryServer`.
+
+    The same aggregation as :func:`run_concurrent_probe`, but the load is
+    ``concurrency`` in-flight coroutines on one event loop (started here
+    via ``asyncio.run``; call from synchronous code without a running
+    loop). The server is drained and closed before this returns.
+    """
+    import asyncio
+
+    if patterns is None:
+        if text is None:
+            raise ValueError("run_async_probe needs either patterns or text")
+        patterns = mixed_workload(text, per_length=10, seed=seed)
+    service = server.service
+    stats: Dict[str, TierHealth] = {
+        tier.name: TierHealth(tier.name) for tier in service.tiers
+    }
+    report = HealthReport(
+        total=len(patterns), answered=0, degraded=0, tiers=list(stats.values())
+    )
+    engine_before = _snapshot_engine(service)
+
+    async def drive() -> None:
+        gate = asyncio.Semaphore(max(1, concurrency))
+
+        async def one(pattern: str) -> None:
+            async with gate:
+                try:
+                    outcome = await server.query(pattern)
+                except AllTiersFailedError as exc:
+                    report.unanswered.append((pattern, str(exc)))
+                    _attribute(stats, exc.failures)
+                    return
+            _record(report, stats, outcome)
+
+        async with server:
+            await asyncio.gather(*(one(pattern) for pattern in patterns))
+
+    asyncio.run(drive())
+    _finalize(service, stats, engine_before)
+    return report
+
+
 def _attribute(stats: Dict[str, TierHealth], failures) -> None:
     """Credit each recorded failure/decline to its tier's health row."""
     for tier_name, reason in failures:

@@ -28,6 +28,7 @@ threshold honestly.
 
 from .build import (
     ShardBuildReport,
+    build_process_sharded,
     build_sharded,
     build_sharded_ladder,
     effective_shard_threshold,
@@ -53,6 +54,7 @@ __all__ = [
     "ShardProbe",
     "ShardedAutomaton",
     "ShardedEstimator",
+    "build_process_sharded",
     "build_sharded",
     "build_sharded_ladder",
     "effective_shard_threshold",

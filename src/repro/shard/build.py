@@ -178,6 +178,52 @@ def build_sharded(
     return estimator, report
 
 
+def build_process_sharded(
+    plan: ShardPlan,
+    kind: str = "cpst",
+    l: int = 64,
+    *,
+    policy: "MergePolicy | str" = MergePolicy.SPLIT_BUDGET,
+    cache: Optional[ArtifactCache] = None,
+    max_workers: Optional[int] = None,
+    segment_dir: "Optional[str]" = None,
+    **executor_kwargs,
+):
+    """Build per-shard indexes, export them as segments and serve them
+    from worker processes.
+
+    The thread-pooled build (:func:`build_sharded`) runs first — same
+    artifacts, same cache reuse — then each shard is exported through the
+    segment stage (written under ``segment_dir`` when given, otherwise
+    kept in memory) and handed to a
+    :class:`~repro.parallel.executor.ProcessShardedEstimator`. Returns
+    ``(process_estimator, report)`` with the export stage's wall clock
+    added to the report. The in-process build products are released; only
+    the shared segments (one copy per host) and the workers' private
+    state remain resident.
+    """
+    from ..build.segments import export_sharded_segments, load_segments
+    from ..parallel.executor import ProcessShardedEstimator
+    from ..parallel.segment import write_estimator_segment
+
+    estimator, report = build_sharded(
+        plan, kind, l, policy=policy, cache=cache,
+        max_workers=max_workers, keep_texts=False,
+    )
+    started = time.perf_counter()
+    if segment_dir is not None:
+        paths, _ = export_sharded_segments(estimator, segment_dir)
+        segments = load_segments(paths)
+    else:
+        segments = [
+            (name, write_estimator_segment(estimator.estimator_for(name), name))
+            for name in estimator.shard_names
+        ]
+    process_estimator = ProcessShardedEstimator(segments, **executor_kwargs)
+    report.wall_seconds += time.perf_counter() - started
+    return process_estimator, report
+
+
 def _rebuilder(ctx: BuildContext, spec) -> Callable[[], OccurrenceEstimator]:
     from ..build.pipeline import BUILDERS
 

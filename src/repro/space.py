@@ -15,11 +15,21 @@ from typing import Dict, Iterable, Mapping
 
 @dataclass(frozen=True)
 class SpaceReport:
-    """Bit-level size breakdown of one data structure."""
+    """Bit-level size breakdown of one data structure.
+
+    ``shared`` names the subset of the total that lives in process-shared
+    segments (:mod:`repro.parallel`): those bits exist **once per host**
+    no matter how many worker processes map them, so multi-process
+    deployments must not multiply them by ``workers``. The remainder
+    (``total_bits - shared_bits``) is private state duplicated in every
+    worker — :attr:`resident_per_worker_bits`.
+    """
 
     name: str
     components: Dict[str, int] = field(default_factory=dict)
     overhead: Dict[str, int] = field(default_factory=dict)
+    shared: Dict[str, int] = field(default_factory=dict)
+    workers: int = 1
 
     @property
     def payload_bits(self) -> int:
@@ -33,8 +43,18 @@ class SpaceReport:
 
     @property
     def total_bits(self) -> int:
-        """Payload plus overhead."""
+        """Payload plus overhead — one host-resident copy."""
         return self.payload_bits + self.overhead_bits
+
+    @property
+    def shared_bits(self) -> int:
+        """Bits mapped from shared segments: one physical copy per host."""
+        return sum(self.shared.values())
+
+    @property
+    def resident_per_worker_bits(self) -> int:
+        """Bits each worker process holds privately (not in shared maps)."""
+        return max(0, self.total_bits - self.shared_bits)
 
     @property
     def payload_bytes(self) -> float:
@@ -56,7 +76,12 @@ class SpaceReport:
         components.update({f"{other.name}.{k}": v for k, v in other.components.items()})
         overhead = {f"{self.name}.{k}": v for k, v in self.overhead.items()}
         overhead.update({f"{other.name}.{k}": v for k, v in other.overhead.items()})
-        return SpaceReport(name or f"{self.name}+{other.name}", components, overhead)
+        shared = {f"{self.name}.{k}": v for k, v in self.shared.items()}
+        shared.update({f"{other.name}.{k}": v for k, v in other.shared.items()})
+        return SpaceReport(
+            name or f"{self.name}+{other.name}", components, overhead,
+            shared, max(self.workers, other.workers),
+        )
 
     def __add__(self, other: "SpaceReport") -> "SpaceReport":
         """Roll two reports into one (see :meth:`merge` for many)."""
@@ -76,6 +101,8 @@ class SpaceReport:
         """
         components: Dict[str, int] = {}
         overhead: Dict[str, int] = {}
+        shared: Dict[str, int] = {}
+        workers = 1
         seen = 0
         for index, report in enumerate(reports):
             seen += 1
@@ -86,9 +113,13 @@ class SpaceReport:
             for key, bits in report.overhead.items():
                 full = f"{prefix}.{key}"
                 overhead[full] = overhead.get(full, 0) + bits
+            for key, bits in report.shared.items():
+                full = f"{prefix}.{key}"
+                shared[full] = shared.get(full, 0) + bits
+            workers = max(workers, report.workers)
         if seen == 0:
             raise ValueError("SpaceReport.merge needs at least one report")
-        return cls(name, components, overhead)
+        return cls(name, components, overhead, shared, workers)
 
     def format(self, reference_bits: int | None = None) -> str:
         """Human-readable multi-line breakdown."""
@@ -98,6 +129,16 @@ class SpaceReport:
             lines.append(f"  {key:<28} {bits:>12} bits")
         if self.overhead_bits:
             lines.append(f"  {'[rank/select overhead]':<28} {self.overhead_bits:>12} bits")
+        if self.shared:
+            lines.append(
+                f"  {'[shared segments]':<28} {self.shared_bits:>12} bits "
+                f"(one copy per host, {self.workers} worker"
+                f"{'s' if self.workers != 1 else ''})"
+            )
+            lines.append(
+                f"  {'resident_per_worker':<28} "
+                f"{self.resident_per_worker_bits:>12} bits"
+            )
         if reference_bits:
             lines.append(
                 f"  payload = {100 * self.payload_bits / reference_bits:.3f}% of reference"

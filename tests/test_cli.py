@@ -62,6 +62,42 @@ class TestBuildAndQuery:
         assert "'AC':" in out
 
 
+class TestProcessCli:
+    @pytest.mark.slow
+    def test_serve_check_with_processes_passes(self, capsys):
+        out = run_cli(
+            capsys, "serve-check", "dna", "--size", "3000",
+            "--l", "8", "--processes", "2",
+        )
+        assert "2 worker processes over shared segments" in out
+        assert "shared bytes (one copy per host)" in out
+        assert "serve-check PASS" in out
+
+    @pytest.mark.slow
+    def test_serve_check_processes_with_async_front(self, capsys):
+        out = run_cli(
+            capsys, "serve-check", "dna", "--size", "3000",
+            "--l", "8", "--processes", "2", "--concurrency", "4",
+        )
+        assert "asyncio server" in out
+        assert "serve-check PASS" in out
+        assert "server: served" in out
+
+    def test_processes_reject_shards_combination(self, capsys):
+        assert main([
+            "serve-check", "dna", "--size", "2000",
+            "--l", "8", "--processes", "2", "--shards", "2",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_processes_reject_fault_injection(self, capsys):
+        assert main([
+            "serve-check", "dna", "--size", "2000",
+            "--l", "8", "--processes", "2", "--fault-rate", "0.5",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestShardedCli:
     def test_build_with_shards_saves_one_index_per_shard(self, capsys, tmp_path):
         index_file = tmp_path / "sharded.pkl"

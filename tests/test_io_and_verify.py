@@ -8,8 +8,22 @@ import numpy as np
 import pytest
 
 from repro import ApproxIndex, CompactPrunedSuffixTree, FMIndex
-from repro.errors import InvalidParameterError, ReproError
-from repro.io import FORMAT_VERSION, MAGIC, load_index, save_index
+from repro.errors import (
+    IndexCorruptedError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.io import (
+    ARTIFACT_MAGIC,
+    ARTIFACT_VERSION,
+    FORMAT_VERSION,
+    MAGIC,
+    artifact_bytes,
+    load_artifact,
+    load_index,
+    save_artifact,
+    save_index,
+)
 from repro.sa import suffix_array, suffix_array_naive
 from repro.sa.verify import verify_suffix_array
 from repro.textutil import Text
@@ -126,3 +140,62 @@ class TestSuffixArrayVerifier:
 
     def test_empty(self):
         assert verify_suffix_array(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+
+
+class TestArtifactAlignment:
+    """The v3 artifact framing: 56-byte (8-aligned) header + zero pad."""
+
+    def test_header_is_56_bytes_and_aligned(self):
+        array = np.arange(17, dtype=np.int64)
+        blob = artifact_bytes(array)
+        assert blob.startswith(ARTIFACT_MAGIC)
+        version = int.from_bytes(blob[8:10], "big")
+        assert version == ARTIFACT_VERSION
+        # magic(8) + version(2) + length(8) + sha256(32) + pad(6) = 56
+        header_len = 8 + 2 + 8 + 32 + 6
+        assert header_len == 56 and header_len % 8 == 0
+        assert blob[50:56] == bytes(6)
+        # The npy payload's array data starts at a 64-byte offset inside
+        # the payload, so the words land 8-aligned in the file.
+        payload_len = int.from_bytes(blob[10:18], "big")
+        assert len(blob) == header_len + payload_len
+
+    def test_padding_roundtrip(self, tmp_path):
+        for array in (
+            np.arange(100, dtype=np.uint64),
+            np.array([], dtype=np.int32),
+            np.arange(7, dtype=np.uint8),
+        ):
+            path = save_artifact(array, tmp_path / "a.rart")
+            loaded = load_artifact(path)
+            assert loaded.dtype == array.dtype
+            assert np.array_equal(loaded, array)
+
+    def test_nonzero_padding_rejected(self, tmp_path):
+        array = np.arange(10, dtype=np.int64)
+        blob = bytearray(artifact_bytes(array))
+        blob[52] = 0xAB  # scribble inside the pad region
+        path = tmp_path / "bad.rart"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(IndexCorruptedError):
+            load_artifact(path)
+
+    def test_v2_unpadded_artifacts_still_load(self, tmp_path):
+        # A legacy v2 file has a 50-byte header and no pad bytes.
+        import hashlib
+        import io as stdio
+
+        array = np.arange(23, dtype=np.int64)
+        buffer = stdio.BytesIO()
+        np.save(buffer, array, allow_pickle=False)
+        payload = buffer.getvalue()
+        legacy = (
+            ARTIFACT_MAGIC
+            + FORMAT_VERSION.to_bytes(2, "big")
+            + len(payload).to_bytes(8, "big")
+            + hashlib.sha256(payload).digest()
+            + payload
+        )
+        path = tmp_path / "legacy.rart"
+        path.write_bytes(legacy)
+        assert np.array_equal(load_artifact(path), array)

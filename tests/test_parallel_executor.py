@@ -1,0 +1,256 @@
+"""Process-sharded executor: parity with the thread executor, fault
+tolerance, and the zero-copy attach telemetry.
+
+One worker-process fleet is spawned per test class (spawn costs ~1s per
+worker), and every merged interval is compared against the thread-pooled
+:class:`~repro.shard.estimator.ShardedEstimator` built over the *same*
+shard plan — the two executors must be answer-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.baselines.fm import FMIndex
+from repro.core.interface import ErrorModel
+from repro.errors import (
+    InvalidParameterError,
+    PatternError,
+    ReproError,
+)
+from repro.parallel import ProcessShardedEstimator
+from repro.service.deadline import Deadline
+from repro.shard import ShardPlan, build_process_sharded, build_sharded
+from repro.textutil import mixed_workload
+
+pytestmark = pytest.mark.slow
+
+
+def _rows(seed: int = 11, n: int = 60):
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice("abcab") for _ in range(rng.randint(25, 70)))
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return ShardPlan.for_rows(_rows(), 2)
+
+
+@pytest.fixture(scope="module")
+def thread_estimator(plan):
+    estimator, _ = build_sharded(plan, "cpst", l=8)
+    return estimator
+
+
+@pytest.fixture(scope="module")
+def process_estimator(plan):
+    estimator, report = build_process_sharded(plan, "cpst", l=8)
+    assert report.kind == "cpst"
+    with estimator:
+        yield estimator
+
+
+@pytest.fixture(scope="module")
+def patterns(plan):
+    whole = "".join(shard.text.raw for shard in plan.shards)
+    return [
+        p
+        for p in mixed_workload(whole, per_length=8, seed=3)
+        if "\x1e" not in p
+    ]
+
+
+def _assert_same_answer(process_est, thread_est, pattern):
+    mp_ = process_est.merged_count(pattern)
+    mt = thread_est.merged_count(pattern)
+    assert (mp_.count, mp_.lo, mp_.hi) == (mt.count, mt.lo, mt.hi), pattern
+    assert mp_.error_model == mt.error_model, pattern
+    assert mp_.threshold == mt.threshold, pattern
+
+
+class TestProcessThreadParity:
+    def test_merged_count_identical(
+        self, process_estimator, thread_estimator, patterns
+    ):
+        for pattern in patterns:
+            _assert_same_answer(process_estimator, thread_estimator, pattern)
+
+    def test_merged_count_many_identical(
+        self, process_estimator, thread_estimator, patterns
+    ):
+        batched = process_estimator.merged_count_many(patterns)
+        for pattern, merged in zip(patterns, batched):
+            reference = thread_estimator.merged_count(pattern)
+            assert (merged.lo, merged.hi) == (reference.lo, reference.hi)
+            assert merged.error_model == reference.error_model
+
+    def test_scalar_surface(
+        self, process_estimator, thread_estimator, patterns
+    ):
+        for pattern in patterns[:10]:
+            assert process_estimator.count(pattern) == thread_estimator.count(
+                pattern
+            )
+            assert process_estimator.count_interval(
+                pattern
+            ) == thread_estimator.count_interval(pattern)
+            assert process_estimator.count_or_none(
+                pattern
+            ) == thread_estimator.count_or_none(pattern)
+            assert process_estimator.is_reliable(
+                pattern
+            ) == thread_estimator.is_reliable(pattern)
+
+    def test_estimator_metadata(self, process_estimator, thread_estimator):
+        assert process_estimator.k == thread_estimator.k
+        assert (
+            process_estimator.text_length == thread_estimator.text_length
+        )
+        assert process_estimator.threshold == thread_estimator.threshold
+        assert process_estimator.error_model in tuple(ErrorModel)
+
+    def test_pattern_validation(self, process_estimator):
+        with pytest.raises(PatternError):
+            process_estimator.merged_count("")
+        with pytest.raises(PatternError):
+            process_estimator.merged_count_many(["ab", ""])
+
+    def test_out_of_alphabet_parity(
+        self, process_estimator, thread_estimator
+    ):
+        # Characters outside the shard alphabet are only seen inside the
+        # worker; the merged answer must match the thread executor's.
+        _assert_same_answer(process_estimator, thread_estimator, "\x00\x01")
+
+    def test_generous_deadline_changes_nothing(
+        self, process_estimator, thread_estimator
+    ):
+        relaxed = process_estimator.merged_count("ab", Deadline(30.0))
+        reference = thread_estimator.merged_count("ab")
+        assert (relaxed.lo, relaxed.hi) == (reference.lo, reference.hi)
+        assert not relaxed.degraded_shards
+
+    def test_empty_batch(self, process_estimator):
+        assert process_estimator.merged_count_many([]) == []
+
+
+class TestWorkerDeath:
+    """Kill a worker mid-flight: its shard degrades, the rest serve."""
+
+    def test_kill_quarantine_respawn(self, plan, thread_estimator):
+        estimator, _ = build_process_sharded(plan, "cpst", l=8)
+        with estimator:
+            victim = estimator.shard_names[0]
+            _assert_same_answer(estimator, thread_estimator, "ab")
+
+            os.kill(estimator.worker_pid(victim), signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                merged = estimator.merged_count("ab")
+                if estimator.degraded_shards:
+                    break
+            assert estimator.degraded_shards == (victim,)
+            # The degraded merge is honest: one shard contributes its
+            # trivial ceiling, so the merged model is an upper bound and
+            # the surviving shards still bound the answer.
+            assert merged.degraded_shards == (victim,)
+            assert merged.error_model is ErrorModel.UPPER_BOUND
+            reference = thread_estimator.merged_count("ab")
+            assert merged.lo <= reference.lo
+            assert merged.hi >= reference.hi
+
+            # Batched queries survive a quarantined shard too.
+            batch = estimator.merged_count_many(["ab", "ba"])
+            assert all(m.degraded_shards == (victim,) for m in batch)
+
+            # Respawn against the *same* shared segment: full parity back.
+            estimator.respawn_shard(victim)
+            assert estimator.degraded_shards == ()
+            for pattern in ("ab", "ba", "abc"):
+                _assert_same_answer(estimator, thread_estimator, pattern)
+
+    def test_manual_quarantine_and_readmit(self, process_estimator):
+        victim = process_estimator.shard_names[1]
+        process_estimator.quarantine_shard(victim, "maintenance")
+        merged = process_estimator.merged_count("ab")
+        assert merged.degraded_shards == (victim,)
+        process_estimator.readmit_shard(victim)
+        assert process_estimator.degraded_shards == ()
+        assert process_estimator.merged_count("ab").degraded_shards == ()
+
+    def test_readmit_dead_worker_rejected(self, plan):
+        estimator, _ = build_process_sharded(plan, "cpst", l=8)
+        with estimator:
+            victim = estimator.shard_names[0]
+            os.kill(estimator.worker_pid(victim), signal.SIGKILL)
+            deadline = time.time() + 5.0
+            while time.time() < deadline and not estimator.degraded_shards:
+                estimator.merged_count("ab")  # notices the death
+            assert estimator.degraded_shards == (victim,)
+            with pytest.raises(InvalidParameterError):
+                estimator.readmit_shard(victim)
+
+    def test_unknown_shard_rejected(self, process_estimator):
+        with pytest.raises(InvalidParameterError):
+            process_estimator.quarantine_shard("no-such-shard")
+
+
+class TestZeroCopyTelemetry:
+    def test_attach_allocation_is_constant_not_proportional(self):
+        # A worker attaching a large shared segment must allocate only
+        # protocol-sized bookkeeping, never a copy of the payload: the
+        # per-worker attach allocation stays far below the segment size.
+        random.seed(5)
+        text = "".join(random.choice("acgt") for _ in range(120_000))
+        fm = FMIndex(text)
+        estimator = ProcessShardedEstimator.from_estimators([("s0", fm)])
+        with estimator:
+            telemetry = estimator.attach_telemetry()["s0"]
+            assert telemetry["segment_bytes"] > 60_000
+            assert telemetry["attach_alloc_bytes"] < 64_000
+            assert (
+                telemetry["attach_alloc_bytes"]
+                < telemetry["segment_bytes"]
+            )
+            assert estimator.count("acgt") == fm.count("acgt")
+
+    def test_space_report_counts_segments_once_per_host(
+        self, process_estimator
+    ):
+        report = process_estimator.space_report()
+        assert len(report.shared) == process_estimator.k
+        assert report.workers == process_estimator.k
+        telemetry = process_estimator.attach_telemetry()
+        for name, slot in telemetry.items():
+            assert report.shared[f"{name}.segment"] == (
+                slot["segment_bytes"] * 8
+            )
+        assert "resident_per_worker" in report.format()
+        assert report.shared_bits == sum(report.shared.values())
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self, plan):
+        estimator, _ = build_process_sharded(plan, "cpst", l=8)
+        estimator.close()
+        estimator.close()
+        with pytest.raises(ReproError):
+            estimator.merged_count("ab")
+
+    def test_rejects_empty_and_duplicate_segments(self):
+        with pytest.raises(InvalidParameterError):
+            ProcessShardedEstimator([])
+        fm = FMIndex("abracadabra")
+        from repro.parallel import write_estimator_segment
+
+        blob = write_estimator_segment(fm, "s0")
+        with pytest.raises(InvalidParameterError):
+            ProcessShardedEstimator([("s0", blob), ("s0", blob)])

@@ -1,0 +1,266 @@
+"""Differential tests for the buffer-backed storage protocol and segments.
+
+Every succinct structure and every index family must answer queries
+bit-identically after a round trip through ``export_storage`` →
+:class:`~repro.parallel.SegmentWriter` → :meth:`~repro.parallel.Segment.parse`
+→ ``attach`` — and the attached object must be a **zero-copy view** over
+the segment buffer (read-only, sharing memory with the blob, no payload
+reallocation).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.fm import FMIndex
+from repro.bits import (
+    BitVector,
+    EliasFano,
+    HuffmanWaveletTree,
+    IntVector,
+    RRRBitVector,
+    SparseBitVector,
+    WaveletMatrix,
+)
+from repro.bits.storage import StorageBundle, attach_structure
+from repro.core.approx import ApproxIndex
+from repro.core.approx_ef import ApproxIndexEF
+from repro.core.combined import CombinedIndex
+from repro.core.cpst import CompactPrunedSuffixTree
+from repro.errors import (
+    IndexCorruptedError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.parallel import (
+    ALIGNMENT,
+    Segment,
+    SegmentWriter,
+    write_estimator_segment,
+)
+from repro.textutil import mixed_workload
+
+from conftest import naive_count
+
+
+def _roundtrip(obj, key: str = "s"):
+    """Export → segment bytes → parse → attach; returns (attached, blob)."""
+    writer = SegmentWriter("test")
+    writer.add(key, obj)
+    blob = writer.to_bytes()
+    segment = Segment.parse(blob)
+    return segment.attach(key), blob
+
+
+def _segment_views(blob: bytes, key: str = "s"):
+    """All arrays of the attached bundle, as resolved views."""
+    segment = Segment.parse(blob)
+    bundle = segment.bundle(key)
+    return [arr for _, arr in bundle.walk_arrays()]
+
+
+class TestBitStructureDifferential:
+    """attach(segment) must be query-identical to the owning structure."""
+
+    def _bits(self, rng, n=700, p=0.4):
+        return (rng.random(n) < p).astype(np.uint8)
+
+    def test_bitvector(self, rng):
+        bits = self._bits(rng)
+        owning = BitVector(bits)
+        attached, _ = _roundtrip(owning)
+        n = len(bits)
+        assert all(attached.rank1(i) == owning.rank1(i) for i in range(n + 1))
+        ones = owning.rank1(n)
+        assert all(
+            attached.select1(k) == owning.select1(k) for k in range(1, ones + 1)
+        )
+        assert all(attached[i] == owning[i] for i in range(n))
+
+    def test_rrr(self, rng):
+        bits = self._bits(rng, p=0.15)
+        owning = RRRBitVector(bits)
+        attached, _ = _roundtrip(owning)
+        n = len(bits)
+        assert all(attached.rank1(i) == owning.rank1(i) for i in range(n + 1))
+        ones = owning.rank1(n)
+        assert all(
+            attached.select1(k) == owning.select1(k) for k in range(1, ones + 1)
+        )
+
+    def test_eliasfano(self, rng):
+        values = np.sort(rng.integers(0, 10_000, size=400))
+        owning = EliasFano(values, universe=10_000)
+        attached, _ = _roundtrip(owning)
+        assert list(attached) == list(owning)
+        for x in rng.integers(0, 10_000, size=50):
+            assert attached.predecessor(int(x)) == owning.predecessor(int(x))
+            assert attached.successor(int(x)) == owning.successor(int(x))
+
+    def test_sparse_bitvector(self, rng):
+        positions = np.unique(rng.integers(0, 2_000, size=120))
+        owning = SparseBitVector(positions, length=2_000)
+        attached, _ = _roundtrip(owning)
+        for i in range(0, 2_001, 7):
+            assert attached.rank1(i) == owning.rank1(i)
+
+    def test_intvector(self, rng):
+        values = rng.integers(0, 1 << 17, size=500)
+        owning = IntVector.from_array(values)
+        attached, _ = _roundtrip(owning)
+        assert list(attached) == list(owning)
+        idx = rng.integers(0, 500, size=64)
+        assert np.array_equal(attached.get_many(idx), owning.get_many(idx))
+
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_wavelet_matrix(self, rng, compressed):
+        data = rng.integers(0, 11, size=600)
+        owning = WaveletMatrix(data, compressed=compressed)
+        attached, _ = _roundtrip(owning)
+        for c in range(11):
+            for i in range(0, 601, 13):
+                assert attached.rank(c, i) == owning.rank(c, i)
+
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_huffman_wavelet(self, rng, compressed):
+        data = rng.integers(0, 7, size=600)
+        owning = HuffmanWaveletTree(data, compressed=compressed)
+        attached, _ = _roundtrip(owning)
+        for c in range(7):
+            for i in range(0, 601, 13):
+                assert attached.rank(c, i) == owning.rank(c, i)
+
+
+class TestIndexFamilyDifferential:
+    """All five index families survive the segment round trip."""
+
+    @pytest.fixture(scope="class")
+    def text(self):
+        random.seed(41)
+        return "".join(
+            random.choice("abcd" if i % 97 else "xyz") for i in range(3_000)
+        )
+
+    @pytest.fixture(scope="class")
+    def patterns(self, text):
+        return [p for p in mixed_workload(text, per_length=6, seed=5)]
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda t: CompactPrunedSuffixTree(t, l=16),
+            lambda t: ApproxIndex(t, l=16),
+            lambda t: ApproxIndexEF(t, l=16),
+            lambda t: CombinedIndex(t, l=16),
+            lambda t: FMIndex(t),
+        ],
+        ids=["cpst", "apx", "apx-ef", "combined", "fm"],
+    )
+    def test_estimator_roundtrip(self, factory, text, patterns):
+        owning = factory(text)
+        blob = write_estimator_segment(owning, "shard-0")
+        segment = Segment.parse(blob)
+        attached = segment.attach("index")
+        assert segment.meta["kind"] == type(owning).__name__
+        assert segment.meta["text_length"] == owning.text_length
+        for pattern in patterns:
+            assert attached.count(pattern) == owning.count(pattern), pattern
+            assert attached.count_interval(pattern) == owning.count_interval(
+                pattern
+            ), pattern
+            if hasattr(owning, "count_or_none"):
+                assert attached.count_or_none(
+                    pattern
+                ) == owning.count_or_none(pattern), pattern
+
+    def test_exact_attach_matches_naive(self, text):
+        owning = FMIndex(text)
+        attached, _ = _roundtrip(owning)
+        for pattern in ["ab", "xyz", "dcba", "aaa"]:
+            assert attached.count(pattern) == naive_count(text, pattern)
+
+
+class TestSegmentFormat:
+    def _sample_blob(self):
+        writer = SegmentWriter("fmt", meta={"note": "format test"})
+        writer.add("bv", BitVector(np.arange(300) % 3 == 0))
+        writer.add("iv", IntVector.from_array(np.arange(123)))
+        return writer.to_bytes()
+
+    def test_offsets_are_aligned(self):
+        blob = self._sample_blob()
+        segment = Segment.parse(blob)
+        for entry in segment.header["relocation"]:
+            assert entry["offset"] % ALIGNMENT == 0
+        assert segment._payload_start % ALIGNMENT == 0
+        assert segment.nbytes <= len(blob)
+
+    def test_views_are_read_only_and_zero_copy(self):
+        blob = self._sample_blob()
+        raw = np.frombuffer(blob, dtype=np.uint8)
+        for arr in _segment_views(blob, "bv") + _segment_views(blob, "iv"):
+            assert not arr.flags.writeable
+            assert np.shares_memory(arr, raw)
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[...] = 0
+
+    def test_second_attach_shares_the_same_bytes(self):
+        blob = self._sample_blob()
+        segment = Segment.parse(blob)
+        first = segment.attach("bv")
+        second = segment.attach("bv")
+        assert first is not second
+        assert np.shares_memory(
+            first._words, second._words  # noqa: SLF001 - the point of the test
+        )
+
+    def test_header_corruption_detected(self):
+        blob = bytearray(self._sample_blob())
+        blob[60] ^= 0xFF  # inside the header JSON
+        with pytest.raises(IndexCorruptedError):
+            Segment.parse(bytes(blob))
+
+    def test_payload_corruption_detected(self):
+        blob = bytearray(self._sample_blob())
+        blob[-1] ^= 0x01
+        with pytest.raises(IndexCorruptedError):
+            Segment.parse(bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = self._sample_blob()
+        with pytest.raises(IndexCorruptedError):
+            Segment.parse(blob[: len(blob) - 16])
+        with pytest.raises(IndexCorruptedError):
+            Segment.parse(blob[:40])
+
+    def test_bad_magic_rejected(self):
+        blob = b"NOTASEGM" + self._sample_blob()[8:]
+        with pytest.raises(ReproError):
+            Segment.parse(blob)
+
+    def test_verify_false_skips_digests(self):
+        blob = bytearray(self._sample_blob())
+        blob[-1] ^= 0x01
+        segment = Segment.parse(bytes(blob), verify=False)
+        assert segment.keys == ["bv", "iv"]
+
+    def test_duplicate_and_bad_keys_rejected(self):
+        writer = SegmentWriter("bad")
+        writer.add("ok", BitVector([1, 0, 1]))
+        with pytest.raises(InvalidParameterError):
+            writer.add("ok", BitVector([1]))
+        with pytest.raises(InvalidParameterError):
+            writer.add("dotted.key", BitVector([1]))
+        with pytest.raises(InvalidParameterError):
+            SegmentWriter("empty").to_bytes()
+
+    def test_bundle_header_mismatch_rejected(self):
+        bundle = StorageBundle(kind="BitVector")
+        with pytest.raises(InvalidParameterError):
+            attach_structure(
+                StorageBundle(kind="NoSuchStructure", meta={}, arrays={})
+            )
+        assert bundle.kind == "BitVector"
