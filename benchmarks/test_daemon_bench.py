@@ -1,0 +1,177 @@
+"""Serving daemon benchmarks: startup, flip latency, recovery time.
+
+Measures the supervised serving plane end to end and persists the
+telemetry as ``results/daemon_report.json`` for CI to upload:
+
+* **startup** — wall-clock from corpus directory to a serving fleet
+  (publish + spawn + attach for every segment);
+* **query latency** — single-pattern and batched round trips through
+  the worker fleet's merge path;
+* **hot reload** — wall-clock of an ingest→publish→flip cycle, and how
+  many queries a concurrent client got answered while the flips ran
+  (availability during reload is the whole point of the design);
+* **crash recovery** — wall-clock from SIGKILLing a worker to the
+  monitor restoring exact (non-degraded) answers.
+
+Assertions are on soundness, error-freedom and convergence — things
+that cannot flake; the wall-clock numbers are reporting only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.daemon import BackoffPolicy, Supervisor
+from repro.live import LiveCorpus
+
+THRESHOLD = 16
+SHARDS = 2
+DOCUMENTS = 12
+RELOAD_CYCLES = 6
+PROBES = ("the", "an", "ing", "ou")
+
+
+@pytest.fixture(scope="module")
+def documents(contexts):
+    raw = contexts["english"].text.raw
+    n = len(raw)
+    return {
+        f"doc{i:02d}": raw[i * n // DOCUMENTS : (i + 1) * n // DOCUMENTS]
+        for i in range(DOCUMENTS)
+    }
+
+
+def test_daemon_report_artifact(documents, tmp_path_factory, save_report):
+    base = tmp_path_factory.mktemp("daemon") / "corpus"
+    corpus = LiveCorpus.create(base, l=THRESHOLD, shards=SHARDS)
+    for name, body in documents.items():
+        corpus.append(name, body)
+    corpus.compact()
+
+    # -- startup: directory -> serving fleet -------------------------------
+    t0 = time.perf_counter()
+    supervisor = Supervisor(
+        corpus,
+        owns_corpus=True,
+        heartbeat_interval=0.1,
+        backoff=BackoffPolicy(base=0.02, cap=0.2, max_failures=10),
+    )
+    supervisor.start()
+    startup_wall = time.perf_counter() - t0
+    try:
+        workers = len(supervisor.status()["workers"])
+        truth = {
+            pattern: corpus.count_interval(pattern) for pattern in PROBES
+        }
+        for pattern in PROBES:
+            assert supervisor.count_interval(pattern) == truth[pattern]
+
+        # -- query latency --------------------------------------------------
+        rounds = 30
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            for pattern in PROBES:
+                supervisor.merged_count(pattern)
+        single_wall = time.perf_counter() - t0
+        singles = rounds * len(PROBES)
+
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            supervisor.merged_count_many(list(PROBES))
+        batch_wall = time.perf_counter() - t0
+
+        # -- hot reload under concurrent fire -------------------------------
+        stop = threading.Event()
+        served = []
+        errors = []
+
+        def hammer():
+            i = 0
+            while not stop.is_set():
+                try:
+                    answer = supervisor.merged_count(
+                        PROBES[i % len(PROBES)]
+                    )
+                    served.append(answer.generation)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(repr(exc))
+                i += 1
+
+        client = threading.Thread(target=hammer)
+        client.start()
+        reload_walls = []
+        try:
+            for cycle in range(RELOAD_CYCLES):
+                corpus.append(
+                    f"reload{cycle}", f"hot reload cycle body {cycle}"
+                )
+                t0 = time.perf_counter()
+                supervisor.reload(compact=False)
+                reload_walls.append(time.perf_counter() - t0)
+        finally:
+            stop.set()
+            client.join(timeout=30.0)
+        assert not errors, errors[:3]
+        assert served, "client starved during hot reloads"
+        assert len(set(served)) >= 2, "flips never became visible"
+
+        # -- crash recovery: SIGKILL -> exact answers again -----------------
+        os.kill(supervisor.worker_pid(0), signal.SIGKILL)
+        t0 = time.perf_counter()
+        deadline = t0 + 60.0
+        while time.perf_counter() < deadline:
+            if not supervisor.merged_count("the").degraded:
+                break
+        recovery_wall = time.perf_counter() - t0
+        assert not supervisor.merged_count("the").degraded
+        assert supervisor.stats["respawns"] >= 1
+        stats = dict(supervisor.stats)
+        generation = supervisor.generation.number
+    finally:
+        supervisor.close()
+
+    payload = {
+        "documents": DOCUMENTS,
+        "shards": SHARDS,
+        "threshold": THRESHOLD,
+        "workers": workers,
+        "startup": {"wall_seconds": round(startup_wall, 6)},
+        "query": {
+            "single_queries": singles,
+            "single_wall_seconds": round(single_wall, 6),
+            "single_ms_per_query": round(1000 * single_wall / singles, 3),
+            "batch_rounds": rounds,
+            "batch_wall_seconds": round(batch_wall, 6),
+            "batch_ms_per_query": round(
+                1000 * batch_wall / singles, 3
+            ),
+        },
+        "reload": {
+            "cycles": RELOAD_CYCLES,
+            "wall_seconds": [round(w, 6) for w in reload_walls],
+            "mean_wall_seconds": round(
+                sum(reload_walls) / len(reload_walls), 6
+            ),
+            "queries_served_during_reloads": len(served),
+            "generations_observed": len(set(served)),
+            "query_errors": len(errors),
+        },
+        "recovery": {
+            "sigkill_to_exact_seconds": round(recovery_wall, 6),
+        },
+        "final_generation": generation,
+        "stats": stats,
+    }
+    path = save_report("daemon_report", json.dumps(payload, indent=2))
+    # save_report appends .txt; mirror to the canonical .json name too.
+    json_path = path.with_suffix(".json")
+    json_path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    assert json_path.exists()

@@ -24,6 +24,11 @@ Commands
                  ``--live DIR`` to serve a live corpus directory).
 ``ingest``       mutate a live corpus directory (crash-safe WAL-backed
                  appends/deletes, compaction, status) — see repro.live.
+``daemon``       run the supervised serving daemon over a live corpus
+                 directory (worker fleet over shared-memory generations,
+                 heartbeats, hot reload on commit), or — with --status /
+                 --reload / --drain / --resume / --revive / --count /
+                 --stop — control a running one via its socket.
 ``space``        space rollup: a live corpus directory (resident +
                  durable bytes) or a saved index file.
 """
@@ -237,6 +242,69 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _daemon_smoke(args: argparse.Namespace) -> int:
+    """Rehearse the full daemon cycle against a live corpus directory.
+
+    Starts a real :class:`~repro.daemon.ServingDaemon` (worker fleet,
+    shared-memory generations, control socket), then drives one
+    ingest -> hot reload -> query cycle entirely through the control
+    socket — the same path an operator and the init system use. Exits 0
+    only if every step answered and the final counts are sound.
+    """
+    import json
+    import tempfile
+
+    from .daemon import ServingDaemon, send_control
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as sockdir:
+        daemon = ServingDaemon(
+            args.live, socket_path=Path(sockdir) / "daemon.sock"
+        )
+        daemon.start()
+        try:
+            socket_path = daemon.socket_path
+            status = send_control(socket_path, {"op": "status"})
+            print(
+                f"daemon up: generation {status['generation']['number']}, "
+                f"{len(status['workers'])} worker(s), "
+                f"{len(status['generation']['segments'])} segment(s)"
+            )
+            name = f"__smoke__{args.seed}"
+            send_control(
+                socket_path,
+                {"op": "append", "name": name, "body": "daemon smoke body"},
+            )
+            reloaded = send_control(
+                socket_path, {"op": "reload", "compact": False}
+            )
+            print(f"hot reload: now serving generation {reloaded['number']}")
+            probes = ["smoke", "daemon", "zz-absent"]
+            answers = {
+                pattern: send_control(
+                    socket_path, {"op": "count", "pattern": pattern}
+                )
+                for pattern in probes
+            }
+            for pattern, answer in answers.items():
+                print(f"  {pattern!r}: count={answer['count']} "
+                      f"[{answer['lo']}, {answer['hi']}] ({answer['model']})")
+            send_control(socket_path, {"op": "delete", "name": name})
+            send_control(socket_path, {"op": "reload", "compact": False})
+            final = send_control(socket_path, {"op": "status"})
+            print(f"rehearsal done: generation "
+                  f"{final['generation']['number']}, "
+                  f"stats {json.dumps(final['stats'])}")
+            sound = all(a["lo"] <= a["hi"] for a in answers.values())
+            smoke_seen = answers["smoke"]["hi"] >= 1
+            if not (sound and smoke_seen):
+                print("daemon smoke FAILED: unsound or missing answers")
+                return 1
+        finally:
+            daemon.stop()
+    print("daemon smoke OK")
+    return 0
+
+
 def cmd_serve_check(args: argparse.Namespace) -> int:
     from .service import (
         FaultSpec,
@@ -254,10 +322,15 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
         text = _load_text(args.text, args.size, args.seed)
     patterns = None
     process_estimator = None
-    if args.processes > 1 and (args.live or args.shards > 1 or args.fault_rate > 0):
+    if args.daemon_smoke:
+        if not args.live:
+            raise ReproError("--daemon-smoke rehearses a live corpus "
+                             "directory; pass --live DIR")
+        return _daemon_smoke(args)
+    if args.processes > 1 and (args.shards > 1 or args.fault_rate > 0):
         raise ReproError(
             "--processes builds its own shard set; it does not combine "
-            "with --live, --shards or --fault-rate"
+            "with --shards or --fault-rate"
         )
     if args.live:
         if text is not None:
@@ -277,6 +350,7 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
         corpus = LiveCorpus.open(args.live)
         bodies = list(corpus.documents().values())
         if not bodies:
+            corpus.close()
             raise ReproError(
                 f"live corpus {args.live} holds no documents; ingest first"
             )
@@ -290,18 +364,45 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
             for pattern in mixed_workload(text, per_length=10, seed=args.seed)
             if separator not in pattern
         ]
-        print(
-            f"live ladder: generation {corpus.generation}, "
-            f"{len(bodies)} document(s), "
-            f"{corpus.delta_pending} pending mutation(s)"
-        )
-        service = ResilientEstimator(
-            [
-                Tier(corpus, "live"),
-                Tier(TextStatsEstimator(text), "stats", always_available=True),
-            ],
-            deadline_seconds=args.deadline_ms / 1000.0,
-        )
+        if args.processes > 1:
+            # Serve the corpus through the supervised daemon plane: shard
+            # and delta segments in shared memory, one worker process per
+            # segment, heartbeat monitoring, hot reload on commit.
+            from .daemon import Supervisor
+
+            process_estimator = Supervisor(corpus, owns_corpus=True)
+            process_estimator.start()
+            status = process_estimator.status()
+            print(
+                f"daemon ladder: generation "
+                f"{status['generation']['number']} "
+                f"(corpus generation {corpus.generation}), "
+                f"{len(bodies)} document(s), "
+                f"{len(status['workers'])} worker process(es) over "
+                f"{len(status['generation']['segments'])} shared segment(s)"
+            )
+            service = ResilientEstimator(
+                [
+                    Tier(process_estimator, "daemon"),
+                    Tier(TextStatsEstimator(text), "stats",
+                         always_available=True),
+                ],
+                deadline_seconds=args.deadline_ms / 1000.0,
+            )
+        else:
+            print(
+                f"live ladder: generation {corpus.generation}, "
+                f"{len(bodies)} document(s), "
+                f"{corpus.delta_pending} pending mutation(s)"
+            )
+            service = ResilientEstimator(
+                [
+                    Tier(corpus, "live"),
+                    Tier(TextStatsEstimator(text), "stats",
+                         always_available=True),
+                ],
+                deadline_seconds=args.deadline_ms / 1000.0,
+            )
     elif text is None:
         raise ReproError(
             "serve-check needs a text source (builtin corpus or file) "
@@ -573,6 +674,95 @@ def cmd_space(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_daemon(args: argparse.Namespace) -> int:
+    from .daemon import ServingDaemon, default_socket_path, send_control
+
+    socket_path = (
+        Path(args.socket)
+        if args.socket is not None
+        else default_socket_path(args.directory)
+    )
+    client_ops = []
+    if args.status:
+        client_ops.append({"op": "status"})
+    if args.reload:
+        client_ops.append({"op": "reload", "compact": not args.no_compact})
+    if args.drain:
+        client_ops.append({"op": "drain"})
+    if args.resume:
+        client_ops.append({"op": "resume"})
+    if args.revive is not None:
+        client_ops.append({"op": "revive", "index": args.revive})
+    for pattern in args.count:
+        client_ops.append({"op": "count", "pattern": pattern})
+    if args.stop:
+        client_ops.append({"op": "stop"})
+    if client_ops:
+        # Client mode: each flag is one control round trip against the
+        # running daemon's socket; nothing is started here.
+        import json
+
+        for request in client_ops:
+            result = send_control(socket_path, request)
+            if args.json:
+                print(json.dumps(
+                    {"op": request["op"], "result": result},
+                    ensure_ascii=False,
+                ))
+            elif request["op"] == "count":
+                print(f"{request['pattern']!r}: count={result['count']} "
+                      f"[{result['lo']}, {result['hi']}] "
+                      f"({result['model']}, generation "
+                      f"{result['generation']})")
+            elif request["op"] == "status":
+                generation = result["generation"]
+                workers = result["workers"]
+                serving = sum(
+                    1 for w in workers
+                    if w["alive"] and not w["quarantined"]
+                )
+                print(f"generation {generation['number']} "
+                      f"(corpus {result['corpus_generation']}, "
+                      f"{result['delta_pending']} pending mutation(s))")
+                print(f"workers: {serving}/{len(workers)} serving; "
+                      f"segments: "
+                      + ", ".join(s["name"] for s in generation["segments"]))
+                print(f"stats: {json.dumps(result['stats'])}")
+            else:
+                print(f"{request['op']}: {result}")
+        return 0
+    # Server mode: run the daemon in the foreground until SIGTERM/SIGINT
+    # (graceful drain) — SIGHUP forces a compacting reload.
+    corpus_config = {
+        "kind": args.kind,
+        "l": args.l,
+        "shards": args.shards,
+        "policy": args.merge_policy,
+    }
+    daemon = ServingDaemon(
+        args.directory,
+        socket_path=socket_path,
+        create=args.create,
+        corpus_config=corpus_config if args.create else None,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        drain_timeout=args.drain_timeout,
+    )
+    daemon.start()
+    try:
+        status = daemon.supervisor.status()
+        generation = status["generation"]
+        print(f"serving {args.directory} at generation "
+              f"{generation['number']}: "
+              f"{len(status['workers'])} worker(s), control socket "
+              f"{daemon.socket_path}")
+        daemon.serve_forever()
+    finally:
+        daemon.stop()
+    print("daemon stopped")
+    return 0
+
+
 def _add_text_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("text", help="builtin corpus name or path to a text file")
     parser.add_argument("--size", type=int, default=50_000,
@@ -713,6 +903,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="split",
                    help="sharded error budget: 'split' divides l across "
                         "shards, 'widen' keeps l per shard")
+    p.add_argument("--daemon-smoke", action="store_true",
+                   help="with --live DIR: rehearse the serving daemon "
+                        "(worker fleet, control socket, one "
+                        "ingest -> hot reload -> query cycle) and exit")
     p.set_defaults(func=cmd_serve_check)
 
     p = sub.add_parser(
@@ -753,6 +947,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="live corpus directory, or a saved index file")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=cmd_space)
+
+    p = sub.add_parser(
+        "daemon",
+        help="run (or control) the supervised serving daemon over a live "
+             "corpus directory (see repro.daemon)",
+    )
+    p.add_argument("directory", help="live corpus directory")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="control socket path (default: DIR/daemon.sock)")
+    p.add_argument("--create", action="store_true",
+                   help="create the corpus directory if it does not exist")
+    p.add_argument("--kind", choices=["apx", "cpst"], default="cpst",
+                   help="shard index kind (with --create on a new corpus)")
+    p.add_argument("--l", type=int, default=64,
+                   help="error threshold (with --create on a new corpus)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="compaction shard count (with --create)")
+    p.add_argument("--merge-policy", choices=["split", "widen"],
+                   default="split",
+                   help="sharded error budget (with --create)")
+    p.add_argument("--heartbeat-interval", type=float, default=0.25,
+                   help="seconds between worker heartbeats")
+    p.add_argument("--heartbeat-timeout", type=float, default=2.0,
+                   help="heartbeat reply deadline before a worker is "
+                        "counted as failed")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="bound on waiting for in-flight queries when "
+                        "retiring a generation")
+    p.add_argument("--status", action="store_true",
+                   help="client: print the running daemon's status")
+    p.add_argument("--reload", action="store_true",
+                   help="client: publish and hot-flip a new generation")
+    p.add_argument("--no-compact", action="store_true",
+                   help="with --reload: export the delta as-is instead of "
+                        "compacting first")
+    p.add_argument("--drain", action="store_true",
+                   help="client: stop admitting queries")
+    p.add_argument("--resume", action="store_true",
+                   help="client: resume admitting queries")
+    p.add_argument("--revive", type=int, default=None, metavar="INDEX",
+                   help="client: clear a condemned worker's quarantine "
+                        "and respawn it")
+    p.add_argument("--count", action="append", default=[], metavar="PATTERN",
+                   help="client: probe one pattern through the daemon "
+                        "(repeatable)")
+    p.add_argument("--stop", action="store_true",
+                   help="client: ask the daemon to shut down gracefully")
+    p.add_argument("--json", action="store_true",
+                   help="client: machine-readable output")
+    p.set_defaults(func=cmd_daemon)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])

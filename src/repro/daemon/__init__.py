@@ -1,0 +1,35 @@
+"""Supervised serving daemon: crash-only control plane with hot reload.
+
+This package turns the process-parallel serving plane (:mod:`repro.parallel`)
+and the live corpus plane (:mod:`repro.live`) into one long-lived
+service: a :class:`Supervisor` owns shared-memory **generations**
+published from the corpus (:class:`GenerationPublisher`), a fleet of
+worker processes serves them, heartbeats and budgeted respawns absorb
+worker crashes, and manifest commits hot-reload the fleet without
+dropping a query. :class:`ServingDaemon` adds the control socket and the
+SIGTERM/SIGINT/SIGHUP semantics ``repro daemon`` runs under.
+"""
+
+from .control import ControlServer, send_control
+from .generation import (
+    DELTA_SEGMENT,
+    Generation,
+    GenerationPublisher,
+    SegmentRef,
+)
+from .service import ServingDaemon, default_socket_path
+from .supervisor import BackoffPolicy, DaemonAnswer, Supervisor
+
+__all__ = [
+    "BackoffPolicy",
+    "ControlServer",
+    "DELTA_SEGMENT",
+    "DaemonAnswer",
+    "Generation",
+    "GenerationPublisher",
+    "SegmentRef",
+    "ServingDaemon",
+    "Supervisor",
+    "default_socket_path",
+    "send_control",
+]

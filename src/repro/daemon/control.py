@@ -1,0 +1,187 @@
+"""Control socket: operator commands for a running serving daemon.
+
+One ``AF_UNIX`` stream socket per daemon, JSON-lines framing: a client
+connects, sends one ``{"op": ...}`` object terminated by a newline,
+reads one JSON reply, and disconnects. Replies are
+``{"ok": true, "result": ...}`` or ``{"ok": false, "error": ...,
+"type": ...}`` — the transport never raises an operator's mistake back
+as a daemon crash.
+
+This is deliberately minimal (no framing negotiation, no streaming): the
+daemon's data plane is the query server; the control plane only carries
+``status`` / ``reload`` / ``drain`` / ``resume`` / ``revive`` / ``stop``
+and ad-hoc ``count`` probes, all tiny request/response bodies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import InvalidParameterError, ReproError
+
+#: Largest accepted control request/reply body (sanity bound, not a
+#: protocol feature).
+MAX_MESSAGE = 1 << 20
+
+
+def send_control(
+    socket_path: "str | Path",
+    request: Dict[str, Any],
+    *,
+    timeout: float = 10.0,
+) -> Dict[str, Any]:
+    """One control round trip; raises :class:`ReproError` on ``ok=false``."""
+    path = str(socket_path)
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(timeout)
+    try:
+        client.connect(path)
+        client.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        chunks = []
+        while True:
+            chunk = client.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+            if sum(len(c) for c in chunks) > MAX_MESSAGE:
+                raise ReproError("control reply exceeds the message bound")
+    finally:
+        client.close()
+    body = b"".join(chunks).strip()
+    if not body:
+        raise ReproError("control connection closed without a reply")
+    reply = json.loads(body.decode("utf-8"))
+    if not reply.get("ok", False):
+        raise ReproError(
+            f"control command {request.get('op')!r} failed: "
+            f"{reply.get('type', 'error')}: {reply.get('error', '')}"
+        )
+    return reply.get("result")
+
+
+class ControlServer:
+    """Accept-loop thread answering control requests via a handler.
+
+    The handler receives the decoded request dict and returns a
+    JSON-safe result; exceptions it raises become ``ok=false`` replies.
+    The server owns the socket file: it unlinks a stale one on bind and
+    removes its own on :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        socket_path: "str | Path",
+        handler: Callable[[Dict[str, Any]], Any],
+    ):
+        self._path = str(socket_path)
+        self._handler = handler
+        self._sock: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def start(self) -> None:
+        if self._sock is not None:
+            raise ReproError("control server already started")
+        if len(self._path.encode()) > 100:
+            raise InvalidParameterError(
+                f"control socket path too long for AF_UNIX: {self._path!r}"
+            )
+        try:
+            os.unlink(self._path)
+        except FileNotFoundError:
+            pass
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(self._path)
+        sock.listen(8)
+        sock.settimeout(0.2)  # so the accept loop notices stop()
+        self._sock = sock
+        self._stopping.clear()
+        self._thread = threading.Thread(
+            target=self._serve, name="repro-daemon-control", daemon=True
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        assert self._sock is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                self._handle(conn)
+            finally:
+                conn.close()
+
+    def _handle(self, conn: socket.socket) -> None:
+        conn.settimeout(5.0)
+        chunks = []
+        try:
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+                if sum(len(c) for c in chunks) > MAX_MESSAGE:
+                    break
+        except (socket.timeout, OSError):
+            return
+        body = b"".join(chunks).strip()
+        if not body:
+            return
+        try:
+            request = json.loads(body.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise InvalidParameterError(
+                    "control request must be a JSON object"
+                )
+            result = self._handler(request)
+            reply = {"ok": True, "result": result}
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            reply = {
+                "ok": False,
+                "type": type(exc).__name__,
+                "error": str(exc),
+            }
+        try:
+            conn.sendall(json.dumps(reply).encode("utf-8") + b"\n")
+        except (BrokenPipeError, OSError):
+            pass
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        try:
+            os.unlink(self._path)
+        except (FileNotFoundError, OSError):
+            pass
+
+    def __enter__(self) -> "ControlServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

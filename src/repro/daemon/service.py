@@ -1,0 +1,244 @@
+"""The serving daemon: supervisor + control socket + signal semantics.
+
+:class:`ServingDaemon` is what ``repro daemon DIR`` runs: it opens (or
+creates) the live corpus directory, starts a :class:`~repro.daemon.supervisor.Supervisor`
+over it, binds the control socket, and loops until told to stop. Signal
+semantics:
+
+========  ==================================================================
+SIGTERM   graceful shutdown: stop admitting, drain in-flight queries,
+SIGINT    stop workers, unlink generations, remove the control socket
+SIGHUP    forced reload: compact a pending delta, publish, hot-flip the
+          fleet (the classic "re-read your state" daemon convention)
+========  ==================================================================
+
+The installed handlers only set flags — the actual work happens on the
+:meth:`serve_forever` loop's thread, so a signal landing mid-flip cannot
+re-enter the supervisor. Tests (and the control socket) call
+:meth:`handle_signal` directly for the synchronous equivalent.
+
+Control operations (see :mod:`repro.daemon.control` for the wire form):
+``status``, ``reload`` (``{"compact": bool}``), ``drain``, ``resume``,
+``revive`` (``{"index": int}``), ``stop``, ``count``/``count_many``
+probe queries, and ``append``/``delete``/``compact`` corpus mutations —
+so one socket is enough to drive the full ingest → reload → query cycle.
+"""
+
+from __future__ import annotations
+
+import signal
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..errors import InvalidParameterError, ReproError
+from ..live.corpus import LiveCorpus
+from .control import ControlServer
+from .supervisor import Supervisor
+
+#: Default control socket file name inside the corpus directory.
+SOCKET_NAME = "daemon.sock"
+
+
+def default_socket_path(directory: "str | Path") -> Path:
+    """The daemon's control socket path for a corpus directory.
+
+    ``AF_UNIX`` paths are limited to ~107 bytes; when the corpus lives
+    too deep for that, fall back to a short path under the system temp
+    directory (derived per daemon start, advertised via ``status``).
+    """
+    candidate = Path(directory) / SOCKET_NAME
+    if len(str(candidate).encode()) <= 100:
+        return candidate
+    return Path(tempfile.mkdtemp(prefix="repro-daemon-")) / SOCKET_NAME
+
+
+class ServingDaemon:
+    """A long-lived serving process over one live corpus directory.
+
+    Use as a context manager, or :meth:`start` / :meth:`stop` explicitly.
+    :meth:`serve_forever` blocks (installing signal handlers when asked)
+    until :meth:`request_stop` — from a signal, the control socket's
+    ``stop`` op, or another thread.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        *,
+        socket_path: "str | Path | None" = None,
+        create: bool = False,
+        corpus_config: Optional[Dict[str, Any]] = None,
+        **supervisor_kwargs: Any,
+    ):
+        self._directory = Path(directory)
+        self._socket_path = (
+            Path(socket_path)
+            if socket_path is not None
+            else default_socket_path(self._directory)
+        )
+        self._create = create
+        self._corpus_config = dict(corpus_config or {})
+        self._supervisor_kwargs = supervisor_kwargs
+        self._supervisor: Optional[Supervisor] = None
+        self._control: Optional[ControlServer] = None
+        self._stop_event = threading.Event()
+        self._hup_event = threading.Event()
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def supervisor(self) -> Supervisor:
+        if self._supervisor is None:
+            raise ReproError("daemon is not started")
+        return self._supervisor
+
+    @property
+    def socket_path(self) -> Path:
+        return self._socket_path
+
+    def start(self) -> "ServingDaemon":
+        if self._started:
+            raise ReproError("daemon already started")
+        self._started = True
+        if self._create:
+            corpus = LiveCorpus.attach(
+                self._directory, **self._corpus_config
+            )
+        else:
+            corpus = LiveCorpus.open(self._directory)
+        try:
+            self._supervisor = Supervisor(
+                corpus, owns_corpus=True, **self._supervisor_kwargs
+            )
+            self._supervisor.start()
+            self._control = ControlServer(self._socket_path, self._handle)
+            self._control.start()
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain, then tear everything down."""
+        self._stop_event.set()
+        if self._control is not None:
+            self._control.stop()
+            self._control = None
+        if self._supervisor is not None:
+            try:
+                self._supervisor.drain()
+            except Exception:
+                pass
+            self._supervisor.close()
+            self._supervisor = None
+
+    def __enter__(self) -> "ServingDaemon":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def request_stop(self) -> None:
+        self._stop_event.set()
+
+    # -- signals --------------------------------------------------------------
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to graceful stop, SIGHUP to forced
+        reload. Only callable from the main thread (CPython rule)."""
+        signal.signal(signal.SIGTERM, self._on_signal)
+        signal.signal(signal.SIGINT, self._on_signal)
+        signal.signal(signal.SIGHUP, self._on_signal)
+
+    def _on_signal(self, signum: int, frame: Any) -> None:
+        # Flag only: the serve_forever loop does the work outside the
+        # handler, so a signal mid-flip cannot re-enter the supervisor.
+        if signum == signal.SIGHUP:
+            self._hup_event.set()
+        else:
+            self._stop_event.set()
+
+    def handle_signal(self, signum: int) -> None:
+        """The synchronous action behind one signal (tests call this)."""
+        if signum == signal.SIGHUP:
+            self.supervisor.reload(compact=True)
+        elif signum in (signal.SIGTERM, signal.SIGINT):
+            self.request_stop()
+        else:
+            raise InvalidParameterError(
+                f"daemon has no semantics for signal {signum}"
+            )
+
+    def serve_forever(
+        self, *, install_signals: bool = True, poll_interval: float = 0.2
+    ) -> None:
+        """Block until stopped; process deferred SIGHUP reloads."""
+        if install_signals:
+            self.install_signal_handlers()
+        try:
+            while not self._stop_event.wait(poll_interval):
+                if self._hup_event.is_set():
+                    self._hup_event.clear()
+                    self.handle_signal(signal.SIGHUP)
+        finally:
+            self.stop()
+
+    # -- control dispatch -----------------------------------------------------
+
+    def _handle(self, request: Dict[str, Any]) -> Any:
+        op = request.get("op")
+        supervisor = self.supervisor
+        if op == "status":
+            status = supervisor.status()
+            status["socket"] = str(self._socket_path)
+            return status
+        if op == "reload":
+            generation = supervisor.reload(
+                compact=bool(request.get("compact", True))
+            )
+            return generation.as_dict()
+        if op == "drain":
+            return {"was_inflight": supervisor.drain(), "draining": True}
+        if op == "resume":
+            supervisor.resume()
+            return {"draining": False}
+        if op == "revive":
+            supervisor.revive_worker(int(request["index"]))
+            return {"revived": int(request["index"])}
+        if op == "stop":
+            self.request_stop()
+            return {"stopping": True}
+        if op == "count":
+            answer = supervisor.merged_count(str(request["pattern"]))
+            return {
+                "generation": answer.generation,
+                "count": answer.count,
+                "lo": answer.lo,
+                "hi": answer.hi,
+                "model": answer.error_model.value,
+                "degraded": list(answer.degraded),
+            }
+        if op == "count_many":
+            answers = supervisor.merged_count_many(
+                [str(p) for p in request["patterns"]]
+            )
+            return [
+                {"count": a.count, "lo": a.lo, "hi": a.hi} for a in answers
+            ]
+        if op == "append":
+            seq = supervisor.corpus.append(
+                str(request["name"]), str(request["body"])
+            )
+            return {"seq": seq}
+        if op == "delete":
+            return {"seq": supervisor.corpus.delete(str(request["name"]))}
+        if op == "compact":
+            report = supervisor.corpus.compact()
+            return {
+                "generation": supervisor.corpus.generation,
+                "seconds": getattr(report, "seconds", None),
+            }
+        raise InvalidParameterError(f"unknown control op {op!r}")

@@ -1,0 +1,1039 @@
+"""The serving supervisor: crash-only control plane over a live corpus.
+
+:class:`Supervisor` is the long-lived owner of the serving side of a
+:class:`~repro.live.corpus.LiveCorpus`: it publishes **generations**
+(immutable shared-memory segment sets, :mod:`repro.daemon.generation`),
+runs a fleet of worker processes that attach them
+(:mod:`repro.daemon.worker`), monitors the fleet with heartbeats, and
+swaps generations under live traffic with a drain barrier. It implements
+:class:`~repro.core.interface.OccurrenceEstimator`, so it drops into the
+existing service ladder (``Tier(supervisor, "daemon")`` behind a
+:class:`~repro.service.server.QueryServer` or
+:class:`~repro.service.server.AsyncQueryServer`) unchanged.
+
+Generation flip ordering (the invariants the chaos suite pins down)::
+
+    publish   pool G+1 created, blobs digest-verified on the way in
+    attach    every worker parses + attaches G+1 (G still serving)
+    activate  admission pointer moves to G+1 (one assignment, under lock)
+    release   wait: in-flight queries admitted under G reach zero
+              then workers drop G, then G's pool is unlinked
+
+A crash *before* activate leaves G serving and G+1 at worst as orphaned
+shared blocks (reclaimed by pool cleanup / the resource tracker); a crash
+*after* activate leaves G+1 serving. There is no point at which a query
+can observe half of each — admission is a single pointer move, and
+workers verify every segment digest at attach, so a torn export can
+never be admitted at all.
+
+Failure policy (crash-only): the supervisor holds **no durable state**.
+Everything it serves is re-derivable from the corpus directory — restart
+is :meth:`Supervisor.open`, which recovers the latest committed manifest
+plus the WAL tail and republishes. Worker crashes are absorbed: the dead
+worker's segments degrade to their sound ceilings (merged model
+``UPPER_BOUND``) while a monitor thread respawns it under capped,
+jittered exponential backoff; a worker that keeps dying is *condemned*
+(quarantined for good, answers stay degraded-but-sound) instead of being
+respawned in a hot loop.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import random
+import threading
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.interface import ErrorModel, OccurrenceEstimator
+from ..errors import InvalidParameterError, PatternError, ReproError
+from ..live.corpus import LiveCorpus
+from ..service.deadline import Deadline
+from ..service.faults import SimulatedCrashError
+from ..shard.merge import ShardAnswer, merge_answers
+from ..space import SpaceReport
+from ..textutil import Alphabet
+from .generation import DELTA_SEGMENT, Generation, GenerationPublisher
+from .worker import ERROR_TYPES, daemon_worker_main
+
+#: Extra wall-clock granted past a query's own deadline before the
+#: supervisor declares a worker dead rather than merely slow.
+_DEADLINE_GRACE = 0.25
+
+
+class BackoffPolicy:
+    """Capped, jittered exponential backoff with a condemnation budget.
+
+    Attempt ``i`` (0-based) sleeps ``min(cap, base * 2**i) * U[0.5, 1]``.
+    Once more than ``max_failures`` failures land inside ``window``
+    seconds the worker is condemned — no further respawns, permanently
+    degraded answers — which is the "converges instead of respawn-storms"
+    guarantee the acceptance criteria name.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        cap: float = 1.0,
+        max_failures: int = 3,
+        window: float = 30.0,
+        seed: int = 0,
+    ):
+        if base < 0 or cap < 0:
+            raise InvalidParameterError("base and cap must be >= 0")
+        if max_failures < 1:
+            raise InvalidParameterError(
+                f"max_failures must be >= 1, got {max_failures}"
+            )
+        if window <= 0:
+            raise InvalidParameterError(f"window must be > 0, got {window}")
+        self.base = base
+        self.cap = cap
+        self.max_failures = max_failures
+        self.window = window
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def delay(self, attempt: int) -> float:
+        with self._lock:
+            jitter = 0.5 + 0.5 * self._rng.random()
+        return min(self.cap, self.base * (2 ** max(0, attempt))) * jitter
+
+
+@dataclass(frozen=True)
+class DaemonAnswer:
+    """One merged answer, stamped with the generation that served it.
+
+    ``lo``/``hi`` bracket the true count of the corpus state the
+    generation froze: the compacted-shard merge widened by the
+    generation's tombstones on the low side, plus the exact delta
+    segment. ``count`` is ``hi`` — the over-count-never-under-count
+    convention every layer of the merge algebra shares.
+    """
+
+    generation: int
+    lo: int
+    hi: int
+    error_model: ErrorModel
+    threshold: int
+    widening: int
+    degraded: Tuple[str, ...]
+
+    @property
+    def count(self) -> int:
+        return self.hi
+
+    @property
+    def exact(self) -> bool:
+        return self.lo == self.hi and not self.degraded
+
+
+class _Worker:
+    """One fleet slot: process handle, pipe, protocol lock, health."""
+
+    __slots__ = (
+        "index", "process", "conn", "lock", "req_seq", "attached",
+        "quarantined", "condemned", "reason", "failures", "respawns",
+        "retry_at",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process: Optional[mp.process.BaseProcess] = None
+        self.conn: Optional[Connection] = None
+        #: Serialises one request/reply round trip on the pipe.
+        self.lock = threading.Lock()
+        self.req_seq = 0
+        #: Generation numbers this worker has attached (parent's view).
+        self.attached: set = set()
+        self.quarantined = False
+        self.condemned = False
+        self.reason = ""
+        self.failures: List[float] = []
+        self.respawns = 0
+        self.retry_at = 0.0
+
+    def serving(self) -> bool:
+        return (
+            not self.quarantined
+            and self.process is not None
+            and self.process.is_alive()
+            and self.conn is not None
+        )
+
+
+class Supervisor(OccurrenceEstimator):
+    """Crash-only serving supervisor with generation-based hot reload.
+
+    Construct over an open :class:`~repro.live.corpus.LiveCorpus` (or via
+    :meth:`open` to recover a directory) and call :meth:`start`; the
+    supervisor publishes the corpus's current state as generation
+    ``corpus.generation``, spawns one worker per segment, registers a
+    manifest-commit listener (every compaction hot-reloads automatically)
+    and starts the heartbeat monitor. :meth:`reload` publishes and flips
+    on demand (e.g. after a batch of appends, without waiting for
+    compaction). Always :meth:`close` — the supervisor owns processes and
+    shared memory.
+    """
+
+    def __init__(
+        self,
+        corpus: LiveCorpus,
+        *,
+        owns_corpus: bool = False,
+        max_states: int = 4096,
+        worker_timeout: float = 30.0,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: float = 2.0,
+        drain_timeout: float = 30.0,
+        backoff: Optional[BackoffPolicy] = None,
+        injector: Optional[Any] = None,
+        start_method: str = "spawn",
+        auto_publish: bool = True,
+    ):
+        if worker_timeout <= 0 or heartbeat_interval <= 0:
+            raise InvalidParameterError(
+                "worker_timeout and heartbeat_interval must be > 0"
+            )
+        self._corpus = corpus
+        self._owns_corpus = owns_corpus
+        self._ctx = mp.get_context(start_method)
+        self._max_states = max_states
+        self._worker_timeout = worker_timeout
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = heartbeat_timeout
+        self._drain_timeout = drain_timeout
+        self._backoff = backoff or BackoffPolicy()
+        self._injector = injector
+        self._auto_publish = auto_publish
+        self._publisher = GenerationPublisher(corpus, injector=injector)
+
+        #: Guards generations/pools/current/in-flight/worker health state.
+        self._lock = threading.RLock()
+        self._drain_cond = threading.Condition(self._lock)
+        #: Serialises publish/flip/retire and fleet growth.
+        self._flip_lock = threading.RLock()
+        self._workers: List[_Worker] = []
+        self._generations: Dict[int, Generation] = {}
+        self._pools: Dict[int, Any] = {}
+        self._current: Optional[int] = None
+        self._inflight: Dict[int, int] = {}
+        self._epoch = corpus.generation - 1
+        self._in_reload = False
+        self._draining = False
+        self._started = False
+        self._closed = False
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self.stats: Dict[str, int] = {
+            "publishes": 0,
+            "flips": 0,
+            "respawns": 0,
+            "condemned": 0,
+            "heartbeat_failures": 0,
+            "queries": 0,
+        }
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, directory: "str | Path", **kwargs: Any
+    ) -> "Supervisor":
+        """Recover a corpus directory and start serving it.
+
+        This *is* the supervisor's crash-recovery path: it holds no
+        durable state of its own, so restart = re-open the corpus (latest
+        committed manifest + WAL tail, every acknowledged mutation
+        included) and republish. The returned supervisor is started.
+        """
+        corpus = LiveCorpus.open(directory)
+        try:
+            supervisor = cls(corpus, owns_corpus=True, **kwargs)
+            supervisor.start()
+        except Exception:
+            corpus.close()
+            raise
+        return supervisor
+
+    def start(self) -> Generation:
+        """Publish the initial generation, spawn the fleet, begin
+        monitoring. Returns the serving generation."""
+        if self._started:
+            raise ReproError("supervisor already started")
+        self._started = True
+        try:
+            generation = self.reload(compact=False)
+        except Exception:
+            self.close()
+            raise
+        if self._auto_publish:
+            self._corpus.add_commit_listener(self._on_commit)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-daemon-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+        return generation
+
+    def close(self) -> None:
+        """Stop monitoring, stop every worker, unlink every generation.
+
+        Idempotent, and tolerant of *any* partial state — including the
+        frozen aftermath of a simulated supervisor crash mid-flip.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._auto_publish:
+            try:
+                self._corpus.remove_commit_listener(self._on_commit)
+            except Exception:
+                pass
+        self._monitor_stop.set()
+        if self._monitor is not None and self._monitor.is_alive():
+            self._monitor.join(timeout=5.0)
+        for worker in self._workers:
+            self._kill_worker(worker)
+        with self._lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+            self._generations.clear()
+            self._current = None
+        for pool in pools:
+            try:
+                pool.close()
+            except Exception:
+                pass
+        if self._owns_corpus:
+            try:
+                self._corpus.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def corpus(self) -> LiveCorpus:
+        return self._corpus
+
+    @property
+    def generation(self) -> Optional[Generation]:
+        """The currently admitting generation (None before start)."""
+        with self._lock:
+            if self._current is None:
+                return None
+            return self._generations[self._current]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def worker_pid(self, index: int) -> Optional[int]:
+        """The worker's OS pid (chaos tests SIGKILL / SIGSTOP it)."""
+        worker = self._workers[index]
+        return None if worker.process is None else worker.process.pid
+
+    def worker_states(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                {
+                    "index": w.index,
+                    "pid": (
+                        None if w.process is None else w.process.pid
+                    ),
+                    "alive": (
+                        w.process is not None and w.process.is_alive()
+                    ),
+                    "quarantined": w.quarantined,
+                    "condemned": w.condemned,
+                    "reason": w.reason,
+                    "respawns": w.respawns,
+                    "window_failures": len(w.failures),
+                    "attached": sorted(w.attached),
+                }
+                for w in self._workers
+            ]
+
+    def status(self) -> Dict[str, Any]:
+        """Operator-facing snapshot (the control socket's ``status``)."""
+        with self._lock:
+            current = (
+                self._generations[self._current].as_dict()
+                if self._current is not None
+                else None
+            )
+            held = sorted(self._generations)
+            inflight = {
+                str(gen): n for gen, n in self._inflight.items() if n
+            }
+        return {
+            "directory": str(self._corpus.directory),
+            "corpus_generation": self._corpus.generation,
+            "delta_pending": self._corpus.delta_pending,
+            "generation": current,
+            "generations_held": held,
+            "inflight": inflight,
+            "draining": self._draining,
+            "workers": self.worker_states(),
+            "stats": dict(self.stats),
+        }
+
+    # -- worker lifecycle -----------------------------------------------------
+
+    def _spawn_worker(self, worker: _Worker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=daemon_worker_main,
+            args=(child_conn, self._max_states),
+            name=f"repro-daemon-w{worker.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(self._worker_timeout):
+            process.terminate()
+            process.join(timeout=1.0)
+            raise ReproError(
+                f"daemon worker {worker.index} did not complete its "
+                "handshake"
+            )
+        try:
+            reply = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            process.join(timeout=1.0)
+            raise ReproError(
+                f"daemon worker {worker.index} died during its handshake "
+                f"(exit code {process.exitcode})"
+            ) from exc
+        if reply[0] != "ready":
+            process.join(timeout=1.0)
+            raise ReproError(
+                f"daemon worker {worker.index} failed its handshake: "
+                f"{reply!r}"
+            )
+        worker.process = process
+        worker.conn = parent_conn
+        worker.attached = set()
+
+    def _kill_worker(self, worker: _Worker) -> None:
+        conn, process = worker.conn, worker.process
+        worker.conn = None
+        worker.process = None
+        worker.attached = set()
+        if conn is not None:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        if process is not None:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+            if process.is_alive():  # wedged (e.g. SIGSTOPped): SIGKILL
+                process.kill()
+                process.join(timeout=5.0)
+
+    def _ensure_workers(self, needed: int) -> None:
+        # Called under the flip lock: the fleet only grows here.
+        while len(self._workers) < needed:
+            worker = _Worker(len(self._workers))
+            self._spawn_worker(worker)
+            self._workers.append(worker)
+
+    # -- pipe protocol --------------------------------------------------------
+
+    def _roundtrip(
+        self,
+        worker: _Worker,
+        op: str,
+        tail: Tuple[Any, ...],
+        timeout: float,
+        lock_timeout: Optional[float] = None,
+    ) -> Tuple[Any, str, bool]:
+        """One request/reply on the worker's pipe.
+
+        Returns ``(value, failure_reason, ok)``. Worker-reported *errors*
+        re-raise in the caller (a live worker's failure must propagate);
+        worker *death* — broken pipe, poll timeout, EOF, desync — reports
+        ``ok=False`` and notes the failure so the monitor respawns.
+        """
+        acquired = worker.lock.acquire(
+            timeout=timeout if lock_timeout is None else lock_timeout
+        )
+        if not acquired:
+            return None, "worker busy past deadline", False
+        try:
+            conn = worker.conn
+            if conn is None:
+                return None, "worker not running", False
+            worker.req_seq += 1
+            req_id = worker.req_seq
+            try:
+                conn.send((op, req_id) + tail)
+            except (BrokenPipeError, OSError):
+                self._note_failure(worker, "worker pipe broken")
+                return None, worker.reason, False
+            try:
+                if not conn.poll(timeout):
+                    alive = (
+                        worker.process is not None
+                        and worker.process.is_alive()
+                    )
+                    self._note_failure(
+                        worker,
+                        "worker wedged (no reply)" if alive
+                        else "worker died mid-request",
+                    )
+                    return None, worker.reason, False
+                reply = conn.recv()
+            except (EOFError, OSError):
+                self._note_failure(worker, "worker died mid-request")
+                return None, worker.reason, False
+            if reply[0] != req_id:
+                self._note_failure(
+                    worker,
+                    f"protocol desync (reply {reply[0]}, want {req_id})",
+                )
+                return None, worker.reason, False
+            if reply[1] == "err":
+                _, _, type_name, message = reply
+                raise ERROR_TYPES.get(type_name, ReproError)(
+                    f"daemon worker {worker.index}: {message}"
+                )
+            return reply[2], "", True
+        finally:
+            worker.lock.release()
+
+    def _attach(self, worker: _Worker, number: int, shm_name: str) -> None:
+        value, reason, ok = self._roundtrip(
+            worker, "attach", (number, shm_name), self._worker_timeout
+        )
+        if not ok:
+            raise ReproError(
+                f"daemon worker {worker.index} could not attach "
+                f"generation {number}: {reason}"
+            )
+        worker.attached.add(number)
+
+    def _release(self, worker: _Worker, number: int) -> None:
+        worker.attached.discard(number)
+        if not worker.serving():
+            return
+        try:
+            self._roundtrip(
+                worker, "release", (number,), self._worker_timeout
+            )
+        except ReproError:
+            pass  # release is best effort: unlink proceeds regardless
+
+    # -- failure handling -----------------------------------------------------
+
+    def _note_failure(self, worker: _Worker, reason: str) -> None:
+        """Record one worker failure and schedule (or refuse) a respawn."""
+        now = time.monotonic()
+        with self._lock:
+            worker.failures = [
+                t for t in worker.failures
+                if now - t < self._backoff.window
+            ]
+            worker.failures.append(now)
+            worker.quarantined = True
+            worker.reason = reason
+            if len(worker.failures) > self._backoff.max_failures:
+                if not worker.condemned:
+                    worker.condemned = True
+                    worker.reason = (
+                        f"condemned: {len(worker.failures)} failures within "
+                        f"{self._backoff.window:.0f}s (last: {reason})"
+                    )
+                    self.stats["condemned"] += 1
+            else:
+                worker.retry_at = now + self._backoff.delay(
+                    len(worker.failures) - 1
+                )
+
+    def _try_respawn(self, worker: _Worker) -> None:
+        """One monitored respawn attempt: fresh process, reattach every
+        generation the supervisor still holds for this slot."""
+        with self._flip_lock:
+            if self._closed or worker.condemned:
+                return
+            if worker.serving():
+                # Someone beat us to it (an operator revive, the flip
+                # path) while we waited on the lock; don't kill their
+                # fresh worker.
+                return
+            self._kill_worker(worker)
+            try:
+                self._spawn_worker(worker)
+                with self._lock:
+                    targets = [
+                        (number, gen.segments[worker.index].shm_name)
+                        for number, gen in self._generations.items()
+                        if worker.index < len(gen.segments)
+                    ]
+                for number, shm_name in targets:
+                    self._attach(worker, number, shm_name)
+            except Exception as exc:
+                self._note_failure(
+                    worker, f"respawn failed: {exc}"
+                )
+                return
+            with self._lock:
+                worker.quarantined = False
+                worker.reason = ""
+                self.stats["respawns"] += 1
+                worker.respawns += 1
+
+    def revive_worker(self, index: int) -> None:
+        """Operator override: clear a condemned worker's history and
+        respawn it (the control socket's ``revive``)."""
+        worker = self._workers[index]
+        with self._lock:
+            worker.condemned = False
+            worker.failures = []
+            worker.retry_at = 0.0
+        self._try_respawn(worker)
+        if worker.quarantined:
+            raise ReproError(
+                f"worker {index} failed to revive: {worker.reason}"
+            )
+
+    def _heartbeat(self, worker: _Worker) -> None:
+        if self._injector is not None and self._injector.dropping(
+            "heartbeat"
+        ):
+            self.stats["heartbeat_failures"] += 1
+            self._note_failure(worker, "heartbeat lost")
+            return
+        try:
+            value, reason, ok = self._roundtrip(
+                worker, "ping", (), self._heartbeat_timeout,
+                lock_timeout=self._heartbeat_interval,
+            )
+        except ReproError:
+            ok, value, reason = False, None, "worker error"
+        if not ok and reason == "worker busy past deadline":
+            return  # a long in-flight query holds the pipe; not a failure
+        if not ok or value != "pong":
+            self.stats["heartbeat_failures"] += 1
+
+    def _monitor_loop(self) -> None:
+        while not self._monitor_stop.wait(self._heartbeat_interval):
+            if self._closed:
+                return
+            with self._lock:
+                workers = list(self._workers)
+            now = time.monotonic()
+            for worker in workers:
+                if worker.condemned:
+                    continue
+                if worker.quarantined:
+                    if now >= worker.retry_at:
+                        self._try_respawn(worker)
+                    continue
+                self._heartbeat(worker)
+
+    # -- generation lifecycle -------------------------------------------------
+
+    def _on_commit(self, manifest: Any) -> None:
+        """Manifest-commit hook: every compaction hot-reloads the fleet."""
+        if self._in_reload or self._closed or not self._started:
+            return
+        self.reload(compact=False)
+
+    def reload(self, compact: bool = True) -> Generation:
+        """Publish the corpus's current state and flip the fleet to it.
+
+        With ``compact=True`` (the SIGHUP semantics) a pending delta is
+        first folded into a new durable shard generation; the flip then
+        serves the compacted form. ``compact=False`` publishes the delta
+        as an extra exact segment without touching disk.
+        """
+        with self._flip_lock:
+            if self._closed:
+                raise ReproError("supervisor is closed")
+            already = self._in_reload
+            self._in_reload = True
+            try:
+                if compact and self._corpus.delta_pending:
+                    self._corpus.compact()
+                with self._lock:
+                    self._epoch = max(
+                        self._epoch + 1, self._corpus.generation
+                    )
+                    number = self._epoch
+                generation, pool = self._publisher.publish(number)
+                self.stats["publishes"] += 1
+                self._flip(generation, pool)
+                self.stats["flips"] += 1
+                return generation
+            finally:
+                self._in_reload = already
+
+    def arm_faults(self, injector: Optional[Any]) -> None:
+        """Swap the control-plane fault injector (chaos tests arm one
+        *after* start so the startup publish/flip does not spend the
+        schedule). ``None`` disarms."""
+        self._injector = injector
+        self._publisher._injector = injector
+
+    def _crash_point(self, site: str) -> None:
+        if self._injector is not None:
+            self._injector.crash_point(site)
+
+    def _flip(self, generation: Generation, pool: Any) -> None:
+        """Attach everywhere, activate atomically, retire the old.
+
+        A *real* attach failure (torn segment, dead worker that cannot be
+        replaced) aborts: already-attached workers release, the new pool
+        unlinks, the old generation keeps serving — the torn generation
+        never existed as far as admission is concerned. A *simulated
+        crash* (chaos injection) propagates with the state frozen
+        as-is: crash-only recovery, not rollback, is the contract then.
+        """
+        self._ensure_workers(len(generation.segments))
+        attached: List[_Worker] = []
+        try:
+            for i, ref in enumerate(generation.segments):
+                self._crash_point("flip_attach")
+                worker = self._workers[i]
+                if not worker.serving():
+                    # A quarantined slot cannot verify the new segment;
+                    # force one respawn attempt so the flip can proceed.
+                    self._try_respawn(worker)
+                if not worker.serving():
+                    raise ReproError(
+                        f"worker {i} unavailable for generation "
+                        f"{generation.number}: {worker.reason}"
+                    )
+                self._attach(worker, generation.number, ref.shm_name)
+                attached.append(worker)
+            self._crash_point("flip_activate")
+        except SimulatedCrashError:
+            raise
+        except Exception:
+            for worker in attached:
+                self._release(worker, generation.number)
+            pool.close()
+            raise
+        with self._lock:
+            old = self._current
+            self._generations[generation.number] = generation
+            self._pools[generation.number] = pool
+            self._current = generation.number
+        self._crash_point("flip_release")
+        if old is not None and old != generation.number:
+            self._retire(old)
+
+    def _retire(self, number: int) -> None:
+        """Drain barrier + release + unlink for one old generation."""
+        deadline = time.monotonic() + self._drain_timeout
+        with self._lock:
+            while self._inflight.get(number, 0) > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break  # bounded: stragglers hit worker errors, not UB
+                self._drain_cond.wait(remaining)
+            generation = self._generations.pop(number, None)
+            pool = self._pools.pop(number, None)
+            self._inflight.pop(number, None)
+        if generation is not None:
+            for i in range(
+                min(len(generation.segments), len(self._workers))
+            ):
+                self._release(self._workers[i], number)
+        if pool is not None:
+            pool.close()
+
+    # -- drain / stop ---------------------------------------------------------
+
+    def drain(self) -> int:
+        """Stop admitting queries; wait for in-flight ones to finish.
+
+        Returns the number of queries that were in flight when the drain
+        began. The fleet stays up (status keeps answering); `resume`
+        re-opens admission.
+        """
+        deadline = time.monotonic() + self._drain_timeout
+        with self._lock:
+            self._draining = True
+            pending = sum(self._inflight.values())
+            while sum(self._inflight.values()) > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._drain_cond.wait(remaining)
+        return pending
+
+    def resume(self) -> None:
+        with self._lock:
+            self._draining = False
+
+    # -- counting -------------------------------------------------------------
+
+    @staticmethod
+    def _remaining(deadline: Optional[Deadline]) -> Optional[float]:
+        if deadline is None:
+            return None
+        remaining = deadline.remaining()
+        return None if not math.isfinite(remaining) else remaining
+
+    def _admit(self) -> Generation:
+        with self._lock:
+            if self._closed:
+                raise ReproError("supervisor is closed")
+            if self._draining:
+                raise ReproError("supervisor is draining")
+            if self._current is None:
+                raise ReproError("supervisor is not started")
+            generation = self._generations[self._current]
+            self._inflight[generation.number] = (
+                self._inflight.get(generation.number, 0) + 1
+            )
+            self.stats["queries"] += 1
+            return generation
+
+    def _finish(self, generation: Generation) -> None:
+        with self._lock:
+            n = self._inflight.get(generation.number, 0)
+            self._inflight[generation.number] = max(0, n - 1)
+            self._drain_cond.notify_all()
+
+    def _segment_answers(
+        self,
+        generation: Generation,
+        op: str,
+        payload: Any,
+        deadline: Optional[Deadline],
+    ) -> List[Tuple[Any, Optional[Any], str]]:
+        """One round over the generation's segments: ``(ref, value |
+        None, degraded_reason)`` per segment."""
+        remaining = self._remaining(deadline)
+        timeout = self._worker_timeout
+        if remaining is not None:
+            timeout = min(timeout, remaining + _DEADLINE_GRACE)
+        out: List[Tuple[Any, Optional[Any], str]] = []
+        for i, ref in enumerate(generation.segments):
+            worker = self._workers[i]
+            if not worker.serving():
+                out.append(
+                    (ref, None, worker.reason or "worker not serving")
+                )
+                continue
+            value, reason, ok = self._roundtrip(
+                worker, op, (generation.number, payload, remaining),
+                timeout,
+            )
+            out.append((ref, value, "" if ok else reason))
+        return out
+
+    def _merge(
+        self,
+        generation: Generation,
+        triples: Sequence[Tuple[Any, Optional[Any], str]],
+        pattern_length: int,
+    ) -> DaemonAnswer:
+        """Fold per-segment answers: shard merge + tombstone widening +
+        exact delta, mirroring ``LiveCorpus.count_interval``."""
+        answers: List[ShardAnswer] = []
+        for ref, value, reason in triples:
+            if reason:
+                answers.append(
+                    ShardAnswer(
+                        shard=ref.name,
+                        model=None,
+                        threshold=ref.threshold,
+                        value=None,
+                        ceiling=ref.ceiling(pattern_length),
+                        degraded=True,
+                        reason=reason,
+                    )
+                )
+            else:
+                answers.append(
+                    ShardAnswer(
+                        shard=ref.name,
+                        model=ref.model,
+                        threshold=ref.threshold,
+                        value=value,
+                        ceiling=ref.ceiling(pattern_length),
+                    )
+                )
+        widening = generation.widening(pattern_length)
+        base = [a for a in answers if a.shard != DELTA_SEGMENT]
+        delta = [a for a in answers if a.shard == DELTA_SEGMENT]
+        if base:
+            merged = merge_answers(base)
+            base_lo, base_hi = merged.lo, merged.hi
+        else:
+            base_lo = base_hi = 0
+        delta_lo = delta_hi = 0
+        if delta:
+            delta_lo, delta_hi = delta[0].bounds
+        lo = max(0, base_lo - widening) + delta_lo
+        hi = base_hi + delta_hi
+        degraded = tuple(a.shard for a in answers if a.degraded)
+        if degraded:
+            model = ErrorModel.UPPER_BOUND
+        elif lo == hi:
+            model = ErrorModel.EXACT
+        else:
+            model = ErrorModel.UNIFORM
+        return DaemonAnswer(
+            generation=generation.number,
+            lo=lo,
+            hi=hi,
+            error_model=model,
+            threshold=generation.threshold,
+            widening=widening,
+            degraded=degraded,
+        )
+
+    def merged_count(
+        self, pattern: str, deadline: Optional[Deadline] = None
+    ) -> DaemonAnswer:
+        """One pattern against the currently admitting generation."""
+        if not isinstance(pattern, str) or not pattern:
+            raise PatternError("pattern must be a non-empty string")
+        generation = self._admit()
+        try:
+            triples = self._segment_answers(
+                generation, "count", pattern, deadline
+            )
+            return self._merge(generation, triples, len(pattern))
+        finally:
+            self._finish(generation)
+
+    def merged_count_many(
+        self, patterns: Sequence[str], deadline: Optional[Deadline] = None
+    ) -> List[DaemonAnswer]:
+        """A batch in one protocol round per segment worker — every
+        answer stamped with the single generation the batch was admitted
+        under (the batch never straddles a flip)."""
+        patterns = list(patterns)
+        for pattern in patterns:
+            if not isinstance(pattern, str) or not pattern:
+                raise PatternError("patterns must be non-empty strings")
+        if not patterns:
+            return []
+        generation = self._admit()
+        try:
+            triples = self._segment_answers(
+                generation, "count_many", patterns, deadline
+            )
+            out: List[DaemonAnswer] = []
+            for qi, pattern in enumerate(patterns):
+                per_query = [
+                    (
+                        ref,
+                        None if values is None else values[qi],
+                        reason or ("" if values is not None else "no batch answer"),
+                    )
+                    for ref, values, reason in triples
+                ]
+                out.append(
+                    self._merge(generation, per_query, len(pattern))
+                )
+            return out
+        finally:
+            self._finish(generation)
+
+    # -- estimator interface --------------------------------------------------
+
+    @property
+    def error_model(self) -> ErrorModel:  # type: ignore[override]
+        generation = self.generation
+        if generation is None:
+            return ErrorModel.UPPER_BOUND
+        with self._lock:
+            degraded = any(
+                not self._workers[i].serving()
+                for i in range(len(generation.segments))
+            )
+        if degraded:
+            return ErrorModel.UPPER_BOUND
+        if generation.tombstones:
+            return ErrorModel.UNIFORM
+        models = [ref.model for ref in generation.segments]
+        if not models or all(m is ErrorModel.EXACT for m in models):
+            return ErrorModel.EXACT
+        if any(m is ErrorModel.UPPER_BOUND for m in models):
+            return ErrorModel.UPPER_BOUND
+        return ErrorModel.UNIFORM
+
+    @property
+    def threshold(self) -> int:
+        generation = self.generation
+        return 1 if generation is None else generation.threshold
+
+    @property
+    def alphabet(self) -> Alphabet:
+        generation = self.generation
+        return Alphabet(set(generation.characters if generation else ""))
+
+    @property
+    def text_length(self) -> int:
+        generation = self.generation
+        return 0 if generation is None else generation.text_length
+
+    def count(self, pattern: str) -> int:
+        return self.merged_count(pattern).count
+
+    def count_many(
+        self, patterns: "list[str] | tuple[str, ...]"
+    ) -> List[int]:
+        return [a.count for a in self.merged_count_many(patterns)]
+
+    def count_interval(
+        self, pattern: str, deadline: Optional[Deadline] = None
+    ) -> Tuple[int, int]:
+        answer = self.merged_count(pattern, deadline)
+        return (answer.lo, answer.hi)
+
+    def count_or_none(
+        self, pattern: str, deadline: Optional[Deadline] = None
+    ) -> Optional[int]:
+        answer = self.merged_count(pattern, deadline)
+        return answer.lo if answer.exact else None
+
+    def is_reliable(self, pattern: str) -> bool:
+        return self.count_or_none(pattern) is not None
+
+    def space_report(self) -> SpaceReport:
+        """Shared blocks once per host; workers add only bookkeeping."""
+        shared: Dict[str, int] = {}
+        generation = self.generation
+        if generation is not None:
+            for ref in generation.segments:
+                shared[f"{ref.name}.segment"] = ref.nbytes * 8
+        return SpaceReport(
+            "Supervisor", {}, {}, shared, len(self._workers)
+        )
+
+    def __repr__(self) -> str:
+        generation = self.generation
+        return (
+            f"Supervisor(generation="
+            f"{None if generation is None else generation.number}, "
+            f"workers={len(self._workers)}, draining={self._draining})"
+        )

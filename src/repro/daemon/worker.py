@@ -1,0 +1,175 @@
+"""Daemon worker process: serve any attached generation over one pipe.
+
+The daemon worker generalises the PR 7 shard worker
+(:func:`repro.parallel.executor._worker_main`) in one dimension: instead
+of attaching a single segment at spawn and serving it forever, it holds
+a **map of generations** — ``generation number -> attached estimator`` —
+and every count request names the generation it was admitted under. That
+is what makes hot reload a flip instead of a fleet restart: the
+supervisor attaches G+1 while G keeps serving, switches admission, and
+releases G only after its last in-flight query finished.
+
+Protocol (requests/replies are plain tuples; replies carry the request
+id so the parent can detect desync):
+
+==============================================  ===============================
+request                                         reply
+==============================================  ===============================
+``("attach", id, gen, shm_name)``               ``(id, "ok", {telemetry})``
+``("release", id, gen)``                        ``(id, "ok", True)``
+``("count", id, gen, pattern, remaining)``      ``(id, "ok", value)``
+``("count_many", id, gen, patterns, rem)``      ``(id, "ok", [value, ...])``
+``("ping", id)``                                ``(id, "ok", "pong")``
+``("stop",)``                                   worker exits
+==============================================  ===============================
+
+An ``attach`` parses the shared segment with full digest verification —
+a torn or corrupt generation is rejected with ``(id, "err", ...)``
+*before* it could ever answer a query, which is the worker-side half of
+the "no torn generation serves" invariant. ``release`` drops the
+attachment and closes the shared-memory mapping (best effort: if numpy
+views are still referenced the mapping stays until process exit, which
+is harmless — the parent's ``unlink`` removes the name either way).
+"""
+
+from __future__ import annotations
+
+import gc
+from multiprocessing.connection import Connection
+from typing import Any, Dict, Optional
+
+from ..errors import (
+    DeadlineExceededError,
+    IndexCorruptedError,
+    InvalidParameterError,
+    PatternError,
+    ReproError,
+)
+
+#: Errors a worker may legitimately report; re-raised by name in the parent.
+ERROR_TYPES: Dict[str, type] = {
+    "DeadlineExceededError": DeadlineExceededError,
+    "PatternError": PatternError,
+    "InvalidParameterError": InvalidParameterError,
+    "IndexCorruptedError": IndexCorruptedError,
+    "ReproError": ReproError,
+}
+
+
+class _Attachment:
+    """One generation's serving state inside the worker."""
+
+    __slots__ = ("shm", "estimator", "counter", "lower_sided")
+
+    def __init__(self, shm, estimator, counter, lower_sided: bool):
+        self.shm = shm
+        self.estimator = estimator
+        self.counter = counter
+        self.lower_sided = lower_sided
+
+
+def daemon_worker_main(conn: Connection, max_states: int) -> None:
+    """Worker entry point (spawned; nothing inherited but the pipe)."""
+    from ..batch import SuffixSharingCounter
+    from ..core.interface import ErrorModel
+    from ..parallel.pool import attach_shared_segment
+    from ..service.deadline import Deadline
+
+    attachments: Dict[int, _Attachment] = {}
+    # Mappings whose close() tripped on exported buffers: keep them
+    # referenced so the views stay valid until process exit.
+    pinned = []
+
+    conn.send(("ready", {}))
+
+    def answer_one(
+        attachment: _Attachment, pattern: str, remaining: Optional[float]
+    ) -> Optional[int]:
+        sub = None if remaining is None else Deadline(remaining)
+        if attachment.lower_sided:
+            return attachment.counter.count_or_none(pattern, sub)
+        return attachment.counter.count(pattern, sub)
+
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "stop":
+                break
+            req_id = msg[1]
+            try:
+                if op == "attach":
+                    _, _, gen, shm_name = msg
+                    if gen in attachments:
+                        raise InvalidParameterError(
+                            f"generation {gen} already attached"
+                        )
+                    shm, segment = attach_shared_segment(
+                        shm_name, verify=True
+                    )
+                    try:
+                        estimator = segment.attach("index")
+                    except Exception:
+                        shm.close()
+                        raise
+                    attachments[gen] = _Attachment(
+                        shm,
+                        estimator,
+                        SuffixSharingCounter(
+                            estimator, max_states=max_states
+                        ),
+                        estimator.error_model is ErrorModel.LOWER_SIDED,
+                    )
+                    result: Any = {
+                        "segment_bytes": segment.nbytes,
+                        "generations": sorted(attachments),
+                    }
+                elif op == "release":
+                    _, _, gen = msg
+                    attachment = attachments.pop(gen, None)
+                    if attachment is not None:
+                        shm = attachment.shm
+                        del attachment
+                        gc.collect()
+                        try:
+                            shm.close()
+                        except BufferError:
+                            pinned.append(shm)
+                    result = True
+                elif op == "count":
+                    _, _, gen, pattern, remaining = msg
+                    result = answer_one(
+                        attachments[gen], pattern, remaining
+                    )
+                elif op == "count_many":
+                    _, _, gen, patterns, remaining = msg
+                    attachment = attachments[gen]
+                    result = [
+                        answer_one(attachment, p, remaining)
+                        for p in patterns
+                    ]
+                elif op == "ping":
+                    result = "pong"
+                else:
+                    raise InvalidParameterError(f"unknown op {op!r}")
+            except KeyError as exc:
+                conn.send((
+                    req_id, "err", "InvalidParameterError",
+                    f"generation {exc} is not attached "
+                    f"(have {sorted(attachments)})",
+                ))
+            except Exception as exc:  # noqa: BLE001 - protocol boundary
+                conn.send((req_id, "err", type(exc).__name__, str(exc)))
+            else:
+                conn.send((req_id, "ok", result))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away (or is tearing us down): just exit
+    finally:
+        conn.close()
+        # Attached structures hold live views into shared memory — a
+        # regular interpreter teardown would trip over the exported
+        # buffers (BufferError from SharedMemory.close). Serving is
+        # done; exit immediately and let the OS drop the mappings.
+        import os
+
+        os._exit(0)

@@ -213,6 +213,7 @@ class LiveCorpus(OccurrenceEstimator):
         self._cache = cache
         self._injector = injector
         self._lock = threading.RLock()
+        self._commit_listeners: List[Callable[[Manifest], None]] = []
         #: Recovery telemetry: how much the last open had to repair.
         self.indexes_rebuilt = indexes_rebuilt
         self.manifests_rejected = manifests_rejected
@@ -467,6 +468,30 @@ class LiveCorpus(OccurrenceEstimator):
 
         return Compactor(self).run()
 
+    # -- commit hook ----------------------------------------------------------
+
+    def add_commit_listener(self, callback: Callable[[Manifest], None]) -> None:
+        """Register a callback fired after every manifest commit.
+
+        The callback runs in the committing thread, *after* the new
+        generation is both durable on disk and swapped in as the serving
+        state (so it may query the corpus), and outside the corpus lock
+        (so it may take its own locks — the serving daemon's generation
+        publisher hangs off this hook). Listener exceptions propagate to
+        the committer: a publisher that cannot keep up must be heard, not
+        silently skipped.
+        """
+        with self._lock:
+            self._commit_listeners.append(callback)
+
+    def remove_commit_listener(
+        self, callback: Callable[[Manifest], None]
+    ) -> None:
+        """Deregister a commit callback (no-op if never registered)."""
+        with self._lock:
+            if callback in self._commit_listeners:
+                self._commit_listeners.remove(callback)
+
     # -- estimator interface --------------------------------------------------
 
     @property
@@ -680,6 +705,25 @@ class LiveCorpus(OccurrenceEstimator):
             f"delta_pending={self.delta_pending})"
         )
 
+    def publish_snapshot(
+        self,
+    ) -> Tuple[Manifest, Optional[ShardedEstimator], List[Tuple[str, str]], Tuple[int, ...]]:
+        """One atomic view for a generation publisher.
+
+        Returns ``(manifest, sharded estimator, delta documents in
+        insertion order, tombstone lengths)`` captured under the corpus
+        lock, so the pieces are mutually consistent — the contract the
+        serving daemon's :class:`~repro.daemon.GenerationPublisher`
+        needs to export a sound generation.
+        """
+        with self._lock:
+            return (
+                self._manifest,
+                self._sharded,
+                self._delta.document_items(),
+                tuple(self._delta.tombstones.values()),
+            )
+
     # -- compaction internals (used by Compactor; same package) ---------------
 
     def _snapshot(self) -> Tuple[Dict[str, str], int, int, int, int]:
@@ -716,6 +760,11 @@ class LiveCorpus(OccurrenceEstimator):
             self._tail = [r for r in self._tail if r.seq >= horizon]
             self._delta = _materialize(base_documents, self._tail)
             self._wal.rewrite(self._tail)
+            listeners = list(self._commit_listeners)
+        # Outside the lock: listeners may query the corpus or take their
+        # own locks (the daemon's publisher flips a generation here).
+        for listener in listeners:
+            listener(manifest)
 
     def save_shard_index(self, path: Path, index: OccurrenceEstimator) -> Path:
         """Persist one shard index through the atomic write discipline."""

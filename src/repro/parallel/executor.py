@@ -47,6 +47,8 @@ from __future__ import annotations
 
 import math
 import multiprocessing as mp
+import random
+import time
 from multiprocessing.connection import Connection
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -162,7 +164,7 @@ class _WorkerSlot:
     __slots__ = (
         "name", "shm_name", "segment_bytes", "model", "threshold",
         "text_length", "characters", "process", "conn", "quarantined",
-        "reason", "handshake",
+        "reason", "handshake", "respawns", "respawn_times",
     )
 
     def __init__(self, name: str, shm_name: str, meta: Mapping[str, Any]):
@@ -178,6 +180,8 @@ class _WorkerSlot:
         self.quarantined = False
         self.reason = ""
         self.handshake: Dict[str, Any] = {}
+        self.respawns = 0
+        self.respawn_times: List[float] = []
 
     def ceiling(self, pattern_length: int) -> int:
         return max(0, self.text_length - pattern_length + 1)
@@ -213,6 +217,11 @@ class ProcessShardedEstimator(OccurrenceEstimator):
         max_states: int = 4096,
         worker_timeout: float = 60.0,
         start_method: str = "spawn",
+        respawn_base: float = 0.05,
+        respawn_cap: float = 2.0,
+        respawn_limit: int = 5,
+        respawn_window: float = 60.0,
+        respawn_seed: int = 0,
     ):
         items = (
             list(segments.items())
@@ -230,9 +239,26 @@ class ProcessShardedEstimator(OccurrenceEstimator):
             raise InvalidParameterError(
                 f"worker_timeout must be > 0, got {worker_timeout}"
             )
+        if respawn_base < 0 or respawn_cap < 0:
+            raise InvalidParameterError(
+                "respawn_base and respawn_cap must be >= 0"
+            )
+        if respawn_limit < 1:
+            raise InvalidParameterError(
+                f"respawn_limit must be >= 1, got {respawn_limit}"
+            )
+        if respawn_window <= 0:
+            raise InvalidParameterError(
+                f"respawn_window must be > 0, got {respawn_window}"
+            )
         self._ctx = mp.get_context(start_method)
         self._max_states = max_states
         self._worker_timeout = worker_timeout
+        self._respawn_base = respawn_base
+        self._respawn_cap = respawn_cap
+        self._respawn_limit = respawn_limit
+        self._respawn_window = respawn_window
+        self._respawn_rng = random.Random(respawn_seed)
         self._pool = SegmentPool()
         self._slots: List[_WorkerSlot] = []
         self._alphabet: Optional[Alphabet] = None
@@ -430,10 +456,60 @@ class ProcessShardedEstimator(OccurrenceEstimator):
 
     def respawn_shard(self, name: str) -> None:
         """Replace a dead or wedged worker with a fresh one attached to
-        the *same* shared segment (the index bytes never left memory)."""
+        the *same* shared segment (the index bytes never left memory).
+
+        Respawns are budgeted: each attempt inside ``respawn_window``
+        seconds sleeps a jittered exponential delay
+        (``min(cap, base * 2^attempt) * U[0.5, 1.0]``) before spawning,
+        and once ``respawn_limit`` attempts land inside the window the
+        shard is quarantined and a :class:`~repro.errors.ReproError`
+        raised instead — a crash-looping worker degrades to its sound
+        ceiling rather than respawn-storming the host.
+        """
         slot = self._slot(name)
+        now = time.monotonic()
+        slot.respawn_times = [
+            t for t in slot.respawn_times if now - t < self._respawn_window
+        ]
+        if len(slot.respawn_times) >= self._respawn_limit:
+            self.quarantine_shard(
+                name,
+                f"respawn budget exhausted ({self._respawn_limit} respawns "
+                f"within {self._respawn_window:.0f}s)",
+            )
+            raise ReproError(
+                f"shard {name!r} exhausted its respawn budget "
+                f"({self._respawn_limit} within {self._respawn_window:.0f}s); "
+                "it stays quarantined (degraded upper-bound answers)"
+            )
+        attempt = len(slot.respawn_times)
+        delay = min(self._respawn_cap, self._respawn_base * (2 ** attempt))
+        delay *= 0.5 + 0.5 * self._respawn_rng.random()
+        if delay > 0:
+            time.sleep(delay)
+        slot.respawn_times.append(time.monotonic())
+        slot.respawns += 1
         self._kill(slot)
         self._spawn(slot)
+
+    def respawn_telemetry(self) -> Dict[str, Dict[str, float]]:
+        """Per-shard respawn accounting: lifetime attempts, attempts in
+        the current window, and the budget remaining before quarantine."""
+        now = time.monotonic()
+        out: Dict[str, Dict[str, float]] = {}
+        for slot in self._slots:
+            windowed = [
+                t for t in slot.respawn_times
+                if now - t < self._respawn_window
+            ]
+            out[slot.name] = {
+                "respawns": slot.respawns,
+                "window_respawns": len(windowed),
+                "budget_remaining": max(
+                    0, self._respawn_limit - len(windowed)
+                ),
+            }
+        return out
 
     def worker_pid(self, name: str) -> Optional[int]:
         """The shard worker's OS pid (fault-injection tests kill it)."""

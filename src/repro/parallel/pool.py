@@ -19,12 +19,37 @@ single owner responsible for ``unlink``).
 
 from __future__ import annotations
 
+import atexit
 import sys
+import weakref
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Dict, List, Tuple
 
 from ..errors import InvalidParameterError
 from .segment import Segment
+
+#: Every live pool, so interpreter exit unlinks what a forgotten (or
+#: exception-interrupted) owner left mapped. Weak references only: a
+#: pool that was garbage collected already ran ``close`` via __del__.
+_LIVE_POOLS: "weakref.WeakSet[SegmentPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_pools() -> None:  # pragma: no cover - exercised in a subprocess
+    """Unlink every still-open pool's blocks at interpreter exit.
+
+    Normal exits (including ``sys.exit`` from a failing test run) reach
+    this even when the owner never called ``close``; the shared blocks
+    must not outlive the process that published them. SIGKILL bypasses
+    atexit, but then the multiprocessing resource tracker — a separate
+    process — reclaims the (tracked, pool-created) blocks instead, so
+    either way ``/dev/shm`` ends clean.
+    """
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
 
 
 def _open_untracked(shm_name: str) -> shared_memory.SharedMemory:
@@ -95,6 +120,7 @@ class SegmentPool:
         self._prefix = name_prefix
         self._segments: Dict[str, PublishedSegment] = {}
         self._closed = False
+        _LIVE_POOLS.add(self)
 
     def publish(self, key: str, blob: bytes) -> PublishedSegment:
         """Copy one serialised segment into a fresh shared block."""
@@ -133,6 +159,7 @@ class SegmentPool:
         if self._closed:
             return
         self._closed = True
+        _LIVE_POOLS.discard(self)
         for seg in self._segments.values():
             try:
                 seg._shm.close()

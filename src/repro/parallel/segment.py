@@ -35,7 +35,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..errors import IndexCorruptedError, InvalidParameterError, ReproError
+from ..errors import IndexCorruptedError, InvalidParameterError
 from ..io import atomic_write_bytes
 from ..bits.storage import StorageBundle, attach_structure
 
@@ -171,15 +171,19 @@ class Segment:
         if len(view) < _FIXED_HEADER:
             raise IndexCorruptedError("segment shorter than its fixed header")
         if bytes(view[: len(SEGMENT_MAGIC)]) != SEGMENT_MAGIC:
-            raise ReproError(
+            raise IndexCorruptedError(
                 f"not a repro segment (bad magic "
                 f"{bytes(view[:len(SEGMENT_MAGIC)])!r})"
             )
         version = int.from_bytes(view[8:10], "big")
         if version != SEGMENT_VERSION:
-            raise ReproError(f"unsupported segment version {version}")
+            raise IndexCorruptedError(f"unsupported segment version {version}")
         header_len = int.from_bytes(view[10:18], "big")
         digest = bytes(view[18:50])
+        if bytes(view[50:_FIXED_HEADER]) != bytes(_FIXED_HEADER - 50):
+            raise IndexCorruptedError(
+                "segment fixed-header padding is not zero"
+            )
         header_start = _FIXED_HEADER
         header_end = header_start + header_len
         if header_end > len(view):
@@ -187,9 +191,26 @@ class Segment:
         header_bytes = bytes(view[header_start:header_end])
         if verify and hashlib.sha256(header_bytes).digest() != digest:
             raise IndexCorruptedError("segment header failed its digest check")
-        header = json.loads(header_bytes.decode("utf-8"))
-        payload_start = _align(header_end)
-        payload_size = int(header["payload_size"])
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise IndexCorruptedError(
+                f"segment header is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(header, dict):
+            raise IndexCorruptedError("segment header is not a JSON object")
+        try:
+            payload_start = _align(header_end)
+            payload_size = int(header["payload_size"])
+            _ = header["relocation"]
+            _ = header["bundles"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexCorruptedError(
+                f"segment header is missing or mistypes a required field: "
+                f"{exc}"
+            ) from None
+        if payload_size < 0:
+            raise IndexCorruptedError("negative segment payload size")
         if payload_start + payload_size > len(view):
             raise IndexCorruptedError("truncated segment payload")
         if verify:

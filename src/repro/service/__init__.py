@@ -31,6 +31,8 @@ from .faults import (
     CORRUPT_MODES,
     DISK_SITES,
     SITES,
+    DaemonFaultInjector,
+    DaemonFaultSpec,
     DiskFaultInjector,
     DiskFaultSpec,
     FaultSpec,
@@ -70,6 +72,8 @@ __all__ = [
     "CorruptionWatchdog",
     "DISK_SITES",
     "Deadline",
+    "DaemonFaultInjector",
+    "DaemonFaultSpec",
     "DiskFaultInjector",
     "DiskFaultSpec",
     "FaultSpec",

@@ -201,6 +201,122 @@ class DiskFaultInjector:
             )
 
 
+#: Control-plane boundaries a :class:`DaemonFaultSpec` can fire at.
+#: Each maps to one step of the serving daemon's publish/flip protocol
+#: (:mod:`repro.daemon`):
+#:
+#: ==================== ====================================================
+#: site                 simulated failure
+#: ==================== ====================================================
+#: ``publish_export``   publisher dies while exporting estimator segments
+#:                      (no shared memory touched yet)
+#: ``publish_segments`` publisher dies between exporting the segment blobs
+#:                      and publishing them into shared memory
+#: ``flip_attach``      supervisor dies mid-flip, after some (not all)
+#:                      workers attached the new generation
+#: ``flip_activate``    supervisor dies after every worker attached but
+#:                      before the new generation became current
+#: ``flip_release``     supervisor dies after activation, before the old
+#:                      generation's segments were released and unlinked
+#: ``heartbeat``        a heartbeat probe is *lost* (``mode="drop"``): the
+#:                      supervisor sees a missed heartbeat from a healthy
+#:                      worker and must take the restart path
+#: ==================== ====================================================
+DAEMON_SITES = (
+    "publish_export",
+    "publish_segments",
+    "flip_attach",
+    "flip_activate",
+    "flip_release",
+    "heartbeat",
+)
+
+#: Recognised :attr:`DaemonFaultSpec.mode` values.
+DAEMON_FAULT_MODES = ("crash", "drop")
+
+
+@dataclass(frozen=True)
+class DaemonFaultSpec:
+    """One scheduled control-plane fault.
+
+    ``site`` names the boundary (see :data:`DAEMON_SITES`); ``at`` is the
+    1-based occurrence of that site at which the fault fires. ``mode``
+    selects the failure: ``"crash"`` raises
+    :class:`SimulatedCrashError` at the boundary (the supervisor or
+    publisher "dies" there), ``"drop"`` silently swallows the protected
+    operation — only meaningful for ``heartbeat``, where it simulates a
+    lost probe rather than a dead process.
+    """
+
+    site: str
+    at: int = 1
+    mode: str = "crash"
+
+    def __post_init__(self):
+        if self.site not in DAEMON_SITES:
+            raise InvalidParameterError(
+                f"unknown daemon fault site {self.site!r}; valid: {DAEMON_SITES}"
+            )
+        if self.at < 1:
+            raise InvalidParameterError(f"at must be >= 1, got {self.at}")
+        if self.mode not in DAEMON_FAULT_MODES:
+            raise InvalidParameterError(
+                f"mode must be one of {DAEMON_FAULT_MODES}, got {self.mode!r}"
+            )
+
+
+class DaemonFaultInjector:
+    """Deterministic fault scheduler for the daemon control plane.
+
+    The same shape as :class:`DiskFaultInjector`, pointed at the process
+    control plane instead of the durability layer: every pass through a
+    :data:`DAEMON_SITES` boundary is counted, and a matching spec either
+    crashes the caller (:meth:`crash_point`) or reports a dropped
+    heartbeat (:meth:`dropping`). Crash specs are one-shot per injector
+    ("one injector simulates one process lifetime"); drop specs each fire
+    once but do not spend the injector, so a schedule can lose several
+    heartbeats in a row.
+    """
+
+    def __init__(self, specs: "Sequence[DaemonFaultSpec] | DaemonFaultSpec"):
+        if isinstance(specs, DaemonFaultSpec):
+            specs = [specs]
+        self._specs = list(specs)
+        self.counts: Counter = Counter()
+        self.fired: Optional[DaemonFaultSpec] = None
+
+    def _match(self, site: str, mode: str) -> Optional[DaemonFaultSpec]:
+        if site not in DAEMON_SITES:
+            raise InvalidParameterError(
+                f"unknown daemon fault site {site!r}; valid: {DAEMON_SITES}"
+            )
+        self.counts[site] += 1
+        if self.fired is not None and mode == "crash":
+            return None
+        for spec in self._specs:
+            if (
+                spec.site == site
+                and spec.mode == mode
+                and spec.at == self.counts[site]
+            ):
+                return spec
+        return None
+
+    def crash_point(self, site: str) -> None:
+        """Raise :class:`SimulatedCrashError` when a crash is scheduled
+        at this pass of ``site``; otherwise pass through."""
+        spec = self._match(site, "crash")
+        if spec is not None:
+            self.fired = spec
+            raise SimulatedCrashError(
+                f"simulated daemon crash at {site!r} (occurrence {spec.at})"
+            )
+
+    def dropping(self, site: str) -> bool:
+        """Whether the operation at this pass of ``site`` is lost."""
+        return self._match(site, "drop") is not None
+
+
 #: Recognised :attr:`FaultSpec.corrupt_mode` values.
 CORRUPT_MODES = ("out_of_range", "bitflip")
 

@@ -254,3 +254,104 @@ class TestLifecycle:
         blob = write_estimator_segment(fm, "s0")
         with pytest.raises(InvalidParameterError):
             ProcessShardedEstimator([("s0", blob), ("s0", blob)])
+
+
+class TestRespawnBudget:
+    """Respawns are budgeted: capped jittered backoff, then quarantine."""
+
+    def test_budget_exhaustion_quarantines_with_sound_answers(self):
+        fm = FMIndex("abracadabra banana" * 3)
+        estimator = ProcessShardedEstimator.from_estimators(
+            [("s0", fm)],
+            respawn_limit=2,
+            respawn_window=60.0,
+            respawn_base=0.0,  # no sleeps: the budget is what's under test
+        )
+        with estimator:
+            estimator.respawn_shard("s0")
+            estimator.respawn_shard("s0")
+            telemetry = estimator.respawn_telemetry()["s0"]
+            assert telemetry["respawns"] == 2
+            assert telemetry["window_respawns"] == 2
+            assert telemetry["budget_remaining"] == 0
+
+            with pytest.raises(ReproError, match="respawn budget"):
+                estimator.respawn_shard("s0")
+            assert estimator.degraded_shards == ("s0",)
+            # Exhaustion degrades, it does not blind: the shard answers
+            # from its sound ceiling while quarantined.
+            merged = estimator.merged_count("ab")
+            assert merged.error_model is ErrorModel.UPPER_BOUND
+            assert merged.hi >= fm.count("ab")
+
+    def test_budget_refills_when_the_window_slides(self):
+        fm = FMIndex("abracadabra" * 2)
+        estimator = ProcessShardedEstimator.from_estimators(
+            [("s0", fm)],
+            respawn_limit=1,
+            respawn_window=6.0,  # > the ~1s a spawn handshake takes
+            respawn_base=0.0,
+        )
+        with estimator:
+            start = time.monotonic()
+            estimator.respawn_shard("s0")
+            assert (
+                estimator.respawn_telemetry()["s0"]["budget_remaining"] == 0
+            )
+            # Sleep the attempt out of the window, then the budget refills.
+            time.sleep(max(0.0, 6.1 - (time.monotonic() - start)))
+            assert (
+                estimator.respawn_telemetry()["s0"]["budget_remaining"] == 1
+            )
+            estimator.respawn_shard("s0")
+            assert estimator.count("ab") == fm.count("ab")
+
+    def test_respawn_parameter_validation(self):
+        fm = FMIndex("abracadabra")
+        for kwargs in (
+            {"respawn_limit": 0},
+            {"respawn_window": 0.0},
+            {"respawn_base": -0.1},
+            {"respawn_cap": -1.0},
+        ):
+            with pytest.raises(InvalidParameterError):
+                ProcessShardedEstimator.from_estimators(
+                    [("s0", fm)], **kwargs
+                )
+
+
+class TestPoolAtexitCleanup:
+    """A forgotten pool's blocks must not outlive the interpreter."""
+
+    def test_forgotten_pool_is_unlinked_at_exit(self, tmp_path):
+        import subprocess
+        import sys
+        from multiprocessing import shared_memory
+
+        script = tmp_path / "leaky.py"
+        script.write_text(
+            "import sys\n"
+            "from repro.baselines.fm import FMIndex\n"
+            "from repro.parallel import write_estimator_segment\n"
+            "from repro.parallel.pool import SegmentPool\n"
+            "pool = SegmentPool()  # global: still referenced at exit\n"
+            "seg = pool.publish(\n"
+            "    's0', write_estimator_segment(FMIndex('abracadabra'), 's0')\n"
+            ")\n"
+            "print(seg.shm_name, flush=True)\n"
+            "sys.exit(0)  # never calls pool.close(): atexit must\n"
+        )
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert result.returncode == 0, result.stderr
+        shm_name = result.stdout.strip().split()[-1]
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shm_name)
+        # Clean unlink, not a resource-tracker salvage at exit.
+        assert "leaked shared_memory" not in result.stderr

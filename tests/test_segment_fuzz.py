@@ -1,0 +1,94 @@
+"""Segment header fuzzing: every corrupted byte fails *cleanly*.
+
+The daemon's "no torn generation ever serves" invariant bottoms out in
+:meth:`repro.parallel.segment.Segment.parse`: a worker attaches a shared
+block only after a verifying parse, so a flipped bit anywhere in the
+blob must surface as :class:`~repro.errors.IndexCorruptedError` — never
+a crash, never a silently misparsed structure. This suite bit-flips
+every byte of the fixed and JSON headers (and samples the payload) and
+asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fm import FMIndex
+from repro.errors import IndexCorruptedError
+from repro.parallel.segment import (
+    _FIXED_HEADER,
+    Segment,
+    write_estimator_segment,
+)
+
+pytestmark = pytest.mark.timeout(120)
+
+
+@pytest.fixture(scope="module")
+def blob():
+    return write_estimator_segment(FMIndex("abracadabra banana" * 4), "s0")
+
+
+@pytest.fixture(scope="module")
+def header_end(blob):
+    header_len = int.from_bytes(blob[10:18], "big")
+    return _FIXED_HEADER + header_len
+
+
+def _flipped(blob, offset, mask):
+    corrupt = bytearray(blob)
+    corrupt[offset] ^= mask
+    return bytes(corrupt)
+
+
+class TestHeaderBitFlips:
+    def test_clean_blob_parses(self, blob):
+        segment = Segment.parse(blob, verify=True)
+        assert segment.name == "s0"
+        assert segment.nbytes == len(blob)
+
+    @pytest.mark.parametrize("mask", [0x01, 0x80])
+    def test_every_header_byte_is_load_bearing(
+        self, blob, header_end, mask
+    ):
+        # The fixed header (magic, version, length, digest, pad) and the
+        # JSON header it authenticates: one flipped bit anywhere must be
+        # a clean rejection before any view is dereferenced.
+        for offset in range(header_end):
+            with pytest.raises(IndexCorruptedError):
+                Segment.parse(_flipped(blob, offset, mask), verify=True)
+
+    def test_payload_flips_fail_the_payload_digest(self, blob, header_end):
+        # The digest-covered payload region starts at the 8-aligned
+        # boundary; the 0-7 alignment bytes before it are structural
+        # padding outside every digest (flipping them is harmless).
+        payload_start = (header_end + 7) & ~7
+        span = len(blob) - payload_start
+        for offset in range(payload_start, len(blob), max(1, span // 64)):
+            with pytest.raises(IndexCorruptedError):
+                Segment.parse(_flipped(blob, offset, 0x01), verify=True)
+
+    def test_every_truncation_is_rejected(self, blob):
+        for length in range(0, len(blob), max(1, len(blob) // 128)):
+            with pytest.raises(IndexCorruptedError):
+                Segment.parse(blob[:length], verify=True)
+
+    def test_structural_checks_hold_even_unverified(self, blob):
+        # verify=False skips the digests but never the structure: bad
+        # magic, bad version, non-zero pad and truncations still reject.
+        assert Segment.parse(blob, verify=False).name == "s0"
+        for offset in (0, 7, 8, 9, 50, 55):
+            with pytest.raises(IndexCorruptedError):
+                Segment.parse(
+                    _flipped(blob, offset, 0x01), verify=False
+                )
+        with pytest.raises(IndexCorruptedError):
+            Segment.parse(blob[:40], verify=False)
+
+    def test_garbage_and_empty_buffers(self):
+        with pytest.raises(IndexCorruptedError):
+            Segment.parse(b"", verify=True)
+        with pytest.raises(IndexCorruptedError):
+            Segment.parse(b"\x00" * 200, verify=True)
+        with pytest.raises(IndexCorruptedError):
+            Segment.parse(b"REPROSEG" + b"\xff" * 192, verify=True)
