@@ -3,14 +3,13 @@
 The MOL-style workload (all substrings of a handful of patterns) shares
 suffixes heavily; the engine's trie planner (and its facade, the
 SuffixSharingCounter) should clearly beat naive per-pattern counting
-there. The engine-stats bench additionally persists the step/rank-op
-comparison on the Figure 9 workload as ``results/engine_stats.json`` —
-the artifact CI uploads.
+there. The ``results/engine_stats.json`` artifact (step/rank-op and
+scalar-vs-vectorized throughput comparison) is produced by
+``test_engine_bench.py``.
 """
 
 from __future__ import annotations
 
-import json
 import time
 
 import pytest
@@ -78,43 +77,24 @@ def test_planner_fm(benchmark, workload):
     assert results == [index.count(p) for p in patterns]
 
 
-def test_engine_stats_artifact(contexts, save_report):
+def test_engine_stats_comparison(contexts):
     """Figure 9 workload, naive vs trie-planned: the planner must need
-    measurably fewer automaton extensions. Persists the EngineStats
-    comparison as ``results/engine_stats.json`` for CI to upload."""
+    measurably fewer automaton extensions. (The persisted
+    ``engine_stats.json`` artifact now lives in test_engine_bench.py,
+    which adds the scalar-vs-vectorized throughput columns.)"""
     from repro.experiments.engine import measure
 
-    payload = []
-    # Two corpora keep the smoke job fast; `repro experiment engine`
+    # One corpus keeps the smoke job fast; `repro experiment engine`
     # covers the full corpus/index grid.
-    for name in ("english", "dna"):
-        ctx = contexts[name]
-        workload = [
-            p for length in (6, 8, 10, 12)
-            for p in ctx.sample_patterns(length, 50)
-        ]
-        for label, index in (
-            ("FM", ctx.build_fm()),
-            ("CPST-16", ctx.build_cpst(16)),
-        ):
-            row = measure(index, workload, name, label)
-            assert row.results_identical
-            assert row.planned_steps < row.naive_steps, (name, label)
-            payload.append(
-                {
-                    "dataset": row.dataset,
-                    "index": row.index,
-                    "patterns": row.patterns,
-                    "naive_steps": row.naive_steps,
-                    "planned_steps": row.planned_steps,
-                    "step_saving": round(row.step_saving, 4),
-                    "naive_rank_ops": row.naive_rank_ops,
-                    "planned_rank_ops": row.planned_rank_ops,
-                    "state_cache_hits": row.state_cache_hits,
-                }
-            )
-    path = save_report("engine_stats", json.dumps(payload, indent=2))
-    # save_report appends .txt; mirror to the canonical .json name too.
-    json_path = path.with_suffix(".json")
-    json_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    assert json_path.exists()
+    ctx = contexts["english"]
+    workload = [
+        p for length in (6, 8, 10, 12)
+        for p in ctx.sample_patterns(length, 50)
+    ]
+    for label, index in (
+        ("FM", ctx.build_fm()),
+        ("CPST-16", ctx.build_cpst(16)),
+    ):
+        row = measure(index, workload, "english", label)
+        assert row.results_identical
+        assert row.planned_steps < row.naive_steps, label

@@ -27,7 +27,12 @@ from ..bits import (
     register_structure,
 )
 from ..core.interface import ErrorModel, OccurrenceEstimator
-from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
+from ..engine import (
+    AutomatonCapabilities,
+    BackwardSearchAutomaton,
+    pack_interval_states,
+    unpack_interval_states,
+)
 from ..errors import InvalidParameterError
 from ..sa import counts_array
 from ..space import SpaceReport
@@ -172,10 +177,24 @@ class FMIndex(OccurrenceEstimator, BackwardSearchAutomaton):
     def count_state(self, state: Tuple[int, int] | None) -> int:
         return 0 if state is None else state[1] - state[0]
 
+    def step_many(self, states, ch):
+        """One bulk LF-mapping pass: both interval endpoints of the whole
+        batch ride a single wavelet-tree walk (``rank_pairs``)."""
+        encoded = self._alphabet.encode_pattern(ch)
+        if encoded is None:
+            return [None] * len(states)
+        c = int(encoded[0])
+        arr = pack_interval_states(states)
+        base = int(self._c[c])
+        firsts, lasts = self._occ.rank_pairs(c, arr[:, 0], arr[:, 1])
+        firsts = base + firsts
+        lasts = base + lasts
+        return unpack_interval_states(firsts, lasts, firsts < lasts)
+
     def capabilities(self) -> AutomatonCapabilities:
         # One backward-search step = two rank queries on the BWT wavelet
         # tree (Figure 2).
-        return AutomatonCapabilities(exact=True, rank_ops_per_step=2)
+        return AutomatonCapabilities(exact=True, rank_ops_per_step=2, vectorized=True)
 
     # -- locate / extract (SA sampling) ---------------------------------------
 

@@ -24,7 +24,12 @@ import numpy as np
 
 from ..bits import bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
-from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
+from ..engine import (
+    AutomatonCapabilities,
+    BackwardSearchAutomaton,
+    pack_interval_states,
+    unpack_interval_states,
+)
 from ..space import SpaceReport
 from ..suffixtree.pruned import PrunedSuffixTreeStructure
 from ..textutil import Alphabet, Text
@@ -81,6 +86,10 @@ class PrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
         for node in structure.nodes:
             for c in node.isl_symbols:
                 self._isl_ids[c].append(node.preorder_id)
+        # Numpy mirrors of the per-symbol id lists for bulk searchsorted.
+        self._isl_arrays = [
+            np.asarray(ids, dtype=np.int64) for ids in self._isl_ids
+        ]
         self._g_prefix = np.cumsum(structure.correction_factors())
 
     # -- interface ----------------------------------------------------------
@@ -177,9 +186,24 @@ class PrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
     def count_state(self, state: Optional[Tuple[int, int]]) -> int:
         return 0 if state is None else self._cnt(state[0], state[1])
 
+    def step_many(self, states, ch):
+        """Bulk ISL step: both preorder-range boundaries of every interval
+        resolve through one ``np.searchsorted`` over the symbol's id list."""
+        encoded = self._alphabet.encode_pattern(ch)
+        if encoded is None:
+            return [None] * len(states)
+        c = int(encoded[0])
+        arr = pack_interval_states(states)
+        ids = self._isl_arrays[c]
+        c_u = np.searchsorted(ids, arr[:, 0], side="left")
+        c_z = np.searchsorted(ids, arr[:, 1] + 1, side="left")
+        base = int(self._symbol_counts[c])
+        return unpack_interval_states(base + c_u + 1, base + c_z, c_u != c_z)
+
     def capabilities(self) -> AutomatonCapabilities:
-        # Pointer/bisect navigation: no succinct rank structures touched.
-        return AutomatonCapabilities(lower_sided=True, threshold=self._l)
+        # Pointer/bisect navigation: no succinct rank structures touched
+        # (bulk stepping is a single searchsorted over the id lists).
+        return AutomatonCapabilities(lower_sided=True, threshold=self._l, vectorized=True)
 
     # -- frequent-substring mining -------------------------------------------
 

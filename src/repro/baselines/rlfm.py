@@ -27,7 +27,12 @@ import numpy as np
 
 from ..bits import EliasFano, HuffmanWaveletTree, bits_needed
 from ..core.interface import ErrorModel, OccurrenceEstimator
-from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
+from ..engine import (
+    AutomatonCapabilities,
+    BackwardSearchAutomaton,
+    pack_interval_states,
+    unpack_interval_states,
+)
 from ..sa import counts_array
 from ..space import SpaceReport
 from ..textutil import Alphabet, Text
@@ -100,6 +105,33 @@ class RLFMIndex(OccurrenceEstimator, BackwardSearchAutomaton):
             total += i - int(self._run_starts[run])
         return total
 
+    def _rank_many(self, c: int, positions: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_rank`: one Elias–Fano predecessor sweep for
+        the run lookup, one wavelet walk over the stacked (run, run+1)
+        boundaries (the head of run ``r`` is ``c`` iff the pair differs),
+        and bulk prefix-sum gathers."""
+        pos = np.asarray(positions, dtype=np.int64)
+        out = np.zeros(pos.shape, dtype=np.int64)
+        nonzero = pos > 0
+        if not nonzero.any():
+            return out
+        p = pos[nonzero]
+        run = self._run_starts.num_less_or_equal_many(p - 1) - 1
+        before, after = self._heads.rank_pairs(c, run, run + 1)
+        total = np.zeros(p.shape, dtype=np.int64)
+        cum = self._cumulative.get(c)
+        if cum is not None:
+            has_runs = before > 0
+            if has_runs.any():
+                total[has_runs] = cum.get_many(before[has_runs] - 1)
+        head_is_c = (after - before) == 1
+        if head_is_c.any():
+            total[head_is_c] += p[head_is_c] - self._run_starts.get_many(
+                run[head_is_c]
+            )
+        out[nonzero] = total
+        return out
+
     # -- interface ----------------------------------------------------------
 
     @property
@@ -163,10 +195,25 @@ class RLFMIndex(OccurrenceEstimator, BackwardSearchAutomaton):
     def count_state(self, state: Optional[Tuple[int, int]]) -> int:
         return 0 if state is None else state[1] - state[0]
 
+    def step_many(self, states, ch):
+        """Bulk LF-mapping over the run-length structures: both endpoints
+        of every interval share one `_rank_many` pass."""
+        encoded = self._alphabet.encode_pattern(ch)
+        if encoded is None:
+            return [None] * len(states)
+        c = int(encoded[0])
+        arr = pack_interval_states(states)
+        k = arr.shape[0]
+        base = int(self._c[c])
+        ranks = self._rank_many(c, np.concatenate([arr[:, 0], arr[:, 1]]))
+        firsts = base + ranks[:k]
+        lasts = base + ranks[k:]
+        return unpack_interval_states(firsts, lasts, firsts < lasts)
+
     def capabilities(self) -> AutomatonCapabilities:
         # One step = two rank evaluations over the virtual L (each a run
         # lookup + wavelet rank + prefix-sum access).
-        return AutomatonCapabilities(exact=True, rank_ops_per_step=2)
+        return AutomatonCapabilities(exact=True, rank_ops_per_step=2, vectorized=True)
 
     # -- space ---------------------------------------------------------------
 

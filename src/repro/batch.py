@@ -62,7 +62,13 @@ class SuffixSharingCounter:
     :meth:`clear` drops both caches.
     """
 
-    def __init__(self, index: OccurrenceEstimator, max_states: int | None = None):
+    def __init__(
+        self,
+        index: OccurrenceEstimator,
+        max_states: int | None = None,
+        *,
+        vectorize: Optional[bool] = None,
+    ):
         if max_states is not None and max_states < 1:
             raise InvalidParameterError("max_states must be positive")
         self._index = index
@@ -70,7 +76,9 @@ class SuffixSharingCounter:
         self._planner: Optional[TrieBatchPlanner] = (
             None
             if automaton is None
-            else TrieBatchPlanner(automaton, max_states=max_states)
+            else TrieBatchPlanner(
+                automaton, max_states=max_states, vectorize=vectorize
+            )
         )
         self._fallback_stats = EngineStats()
         self._fallback_results: Dict[str, int] = {}
@@ -157,6 +165,16 @@ class SuffixSharingCounter:
                 deadline.check()
             self._fallback_stats.patterns += 1
             return self._index.count_or_none(pattern)  # type: ignore[attr-defined]
+
+    def count_or_none_many(
+        self, patterns: Sequence[str], deadline: "Deadline | None" = None
+    ) -> List[Optional[int]]:
+        """Batch variant of :meth:`count_or_none`: one certified count (or
+        ``None``) per pattern, in order, sharing suffix work across the
+        batch on the planner path."""
+        if self._planner is not None and self._planner.capabilities.lower_sided:
+            return self._planner.count_or_none_many(patterns, deadline)
+        return [self.count_or_none(pattern, deadline) for pattern in patterns]
 
     def _fallback_count(self, pattern: str, deadline: "Deadline | None") -> int:
         """Whole-pattern memoisation for indexes without an automaton."""

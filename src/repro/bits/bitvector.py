@@ -25,11 +25,58 @@ _U64 = np.uint64
 # 16-bit popcount lookup table used for vectorised directory construction.
 _POP16 = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.uint16)
 
+# In-byte select table: _SELECT8[v, t] is the position (0-based) of the
+# (t+1)-th set bit of byte value ``v``. Unset entries stay 0 and are never
+# consulted (callers guarantee the byte holds enough set bits).
+_SELECT8 = np.zeros((256, 8), dtype=np.int64)
+for _v in range(256):
+    _t = 0
+    for _b in range(8):
+        if (_v >> _b) & 1:
+            _SELECT8[_v, _t] = _b
+            _t += 1
+del _v, _t, _b
+
 
 def _popcount_words(words: np.ndarray) -> np.ndarray:
     """Per-word popcounts of a uint64 array, vectorised via a 16-bit LUT."""
     as16 = words.view(np.uint16)
     return _POP16[as16].reshape(-1, 4).sum(axis=1, dtype=np.int64)
+
+
+def _popcount_u64(words: np.ndarray) -> np.ndarray:
+    """Elementwise popcount of an arbitrary uint64 array (no view tricks,
+    so it works on non-contiguous gather results)."""
+    w = words.astype(_U64, copy=False)
+    mask = _U64(0xFFFF)
+    counts = (
+        _POP16[(w & mask).astype(np.int64)]
+        + _POP16[((w >> _U64(16)) & mask).astype(np.int64)]
+        + _POP16[((w >> _U64(32)) & mask).astype(np.int64)]
+        + _POP16[(w >> _U64(48)).astype(np.int64)]
+    )
+    return counts.astype(np.int64)
+
+
+def _select_in_words_many(words: np.ndarray, ks: np.ndarray) -> np.ndarray:
+    """In-word positions of the k-th (1-based) set bits, one per word.
+
+    Every word must contain at least ``ks[i]`` set bits. Vectorised over a
+    byte decomposition: cumulative byte popcounts locate the byte, a
+    256x8 table finishes inside it.
+    """
+    w = words.astype(_U64, copy=False)
+    shifts = np.arange(8, dtype=_U64) * _U64(8)
+    bytes_ = ((w[:, None] >> shifts[None, :]) & _U64(0xFF)).astype(np.int64)
+    cum = np.cumsum(_POP16[bytes_].astype(np.int64), axis=1)
+    byte_idx = (cum < ks[:, None]).sum(axis=1)
+    prev = np.where(
+        byte_idx > 0,
+        np.take_along_axis(cum, np.maximum(byte_idx - 1, 0)[:, None], axis=1)[:, 0],
+        0,
+    )
+    byte_val = np.take_along_axis(bytes_, byte_idx[:, None], axis=1)[:, 0]
+    return byte_idx * 8 + _SELECT8[byte_val, ks - prev - 1]
 
 
 class BitVector:
@@ -125,6 +172,90 @@ class BitVector:
     def rank(self, bit: int, i: int) -> int:
         """Dispatching rank: ``rank(b, i)`` counts bit ``b`` in ``[0, i)``."""
         return self.rank1(i) if bit else self.rank0(i)
+
+    # -- bulk kernels --------------------------------------------------------
+
+    def rank1_many(self, positions) -> np.ndarray:
+        """Vectorised :meth:`rank1` over an int array of positions.
+
+        One directory gather plus one masked in-word popcount for the whole
+        batch; never allocates anything proportional to ``n`` and never
+        writes to the word arrays, so it is safe on ``writeable=False``
+        shared-memory views.
+        """
+        idx = np.asarray(positions, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(idx.shape, dtype=np.int64)
+        if int(idx.min()) < 0 or int(idx.max()) > self._n:
+            raise IndexError(f"rank position out of range (n={self._n})")
+        widx = idx >> 6
+        off = idx & 63
+        out = self._rank_dir[widx].astype(np.int64, copy=True)
+        partial = off > 0  # widx < words.size exactly where a partial word exists
+        if partial.any():
+            words = self._words[widx[partial]]
+            mask = (_U64(1) << off[partial].astype(_U64)) - _U64(1)
+            out[partial] += _popcount_u64(words & mask)
+        return out
+
+    def rank0_many(self, positions) -> np.ndarray:
+        """Vectorised :meth:`rank0`."""
+        idx = np.asarray(positions, dtype=np.int64)
+        return idx - self.rank1_many(idx)
+
+    def rank_many(self, bit: int, positions) -> np.ndarray:
+        """Dispatching bulk rank for bit ``b``."""
+        return self.rank1_many(positions) if bit else self.rank0_many(positions)
+
+    def select1_many(self, ks) -> np.ndarray:
+        """Vectorised :meth:`select1`; out-of-range ranks yield ``-1``."""
+        k = np.asarray(ks, dtype=np.int64)
+        out = np.full(k.shape, -1, dtype=np.int64)
+        valid = (k >= 1) & (k <= self._ones)
+        if not valid.any():
+            return out
+        kv = k[valid]
+        widx = np.searchsorted(self._rank_dir, kv, side="left") - 1
+        remaining = kv - self._rank_dir[widx]
+        pos = _select_in_words_many(self._words[widx], remaining)
+        out[valid] = (widx << 6) + pos
+        return out
+
+    def select0_many(self, ks) -> np.ndarray:
+        """Vectorised :meth:`select0`; out-of-range ranks yield ``-1``.
+
+        Batched binary search over the rank directory (zeros before word
+        ``i`` = ``64*i - rank_dir[i]``), mirroring the scalar code path.
+        """
+        k = np.asarray(ks, dtype=np.int64)
+        out = np.full(k.shape, -1, dtype=np.int64)
+        valid = (k >= 1) & (k <= self._n - self._ones)
+        if not valid.any():
+            return out
+        kv = k[valid]
+        lo = np.zeros(kv.shape, dtype=np.int64)
+        hi = np.full(kv.shape, len(self._rank_dir) - 1, dtype=np.int64)
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo[active] + hi[active] + 1) >> 1
+            below = ((mid << 6) - self._rank_dir[mid]) < kv[active]
+            nlo = lo[active]
+            nhi = hi[active]
+            nlo[below] = mid[below]
+            nhi[~below] = mid[~below] - 1
+            lo[active] = nlo
+            hi[active] = nhi
+        widx = lo
+        remaining = kv - ((widx << 6) - self._rank_dir[widx])
+        pos = _select_in_words_many(~self._words[widx], remaining)
+        out[valid] = (widx << 6) + pos
+        return out
+
+    def select_many(self, bit: int, ks) -> np.ndarray:
+        """Dispatching bulk select for bit ``b``."""
+        return self.select1_many(ks) if bit else self.select0_many(ks)
 
     # -- select --------------------------------------------------------------
 

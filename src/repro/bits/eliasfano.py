@@ -123,6 +123,61 @@ class EliasFano(Sequence[int]):
         """Number of stored values <= ``x``."""
         return self.num_less(x + 1)
 
+    # -- bulk kernels --------------------------------------------------------
+
+    def get_many(self, indices) -> np.ndarray:
+        """Vectorised :meth:`__getitem__` (no negative indexing)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(idx.shape, dtype=np.int64)
+        if int(idx.min()) < 0 or int(idx.max()) >= self._m:
+            raise IndexError(f"index out of range for EliasFano of length {self._m}")
+        high = self._high.select1_many(idx + 1) - idx
+        low = self._low.get_many(idx) if self._low is not None else 0
+        return (high << self._low_width) | low
+
+    def num_less_many(self, xs) -> np.ndarray:
+        """Vectorised :meth:`num_less`: bulk bucket bounds on the high
+        bitvector, then a batched binary search through :meth:`get_many`."""
+        x = np.asarray(xs, dtype=np.int64)
+        out = np.zeros(x.shape, dtype=np.int64)
+        if self._m == 0 or x.size == 0:
+            return out
+        above = x > self[self._m - 1]
+        out[above] = self._m
+        mid_band = (x > self[0]) & ~above
+        if not mid_band.any():
+            return out
+        xm = x[mid_band]
+        h = xm >> self._low_width
+        lo = np.zeros(xm.shape, dtype=np.int64)
+        hz = h > 0
+        if hz.any():
+            z = self._high.select0_many(h[hz])
+            lo[hz] = np.where(z < 0, self._m, z - h[hz] + 1)
+        z2 = self._high.select0_many(h + 1)
+        hi = np.where(z2 < 0, self._m, z2 - h)
+        lo = np.clip(lo, 0, self._m)
+        hi = np.clip(hi, 0, self._m)
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo[active] + hi[active]) >> 1
+            below = self.get_many(mid) < xm[active]
+            nlo = lo[active]
+            nhi = hi[active]
+            nlo[below] = mid[below] + 1
+            nhi[~below] = mid[~below]
+            lo[active] = nlo
+            hi[active] = nhi
+        out[mid_band] = lo
+        return out
+
+    def num_less_or_equal_many(self, xs) -> np.ndarray:
+        """Vectorised :meth:`num_less_or_equal`."""
+        return self.num_less_many(np.asarray(xs, dtype=np.int64) + 1)
+
     def predecessor(self, x: int) -> Optional[Tuple[int, int]]:
         """Largest value <= ``x`` as ``(index, value)``, or ``None``.
 
@@ -278,6 +333,62 @@ class SparseBitVector:
             else:
                 hi = mid
         return lo
+
+    # -- bulk kernels --------------------------------------------------------
+
+    def rank1_many(self, positions) -> np.ndarray:
+        """Vectorised :meth:`rank1`."""
+        idx = np.asarray(positions, dtype=np.int64)
+        if idx.size and (int(idx.min()) < 0 or int(idx.max()) > self._n):
+            raise IndexError(f"rank position out of range (n={self._n})")
+        return self._ef.num_less_many(idx)
+
+    def rank0_many(self, positions) -> np.ndarray:
+        """Vectorised :meth:`rank0`."""
+        idx = np.asarray(positions, dtype=np.int64)
+        return idx - self.rank1_many(idx)
+
+    def rank_many(self, bit: int, positions) -> np.ndarray:
+        """Dispatching bulk rank for bit ``b``."""
+        return self.rank1_many(positions) if bit else self.rank0_many(positions)
+
+    def select1_many(self, ks) -> np.ndarray:
+        """Vectorised :meth:`select1`; out-of-range ranks yield ``-1``."""
+        k = np.asarray(ks, dtype=np.int64)
+        out = np.full(k.shape, -1, dtype=np.int64)
+        valid = (k >= 1) & (k <= len(self._ef))
+        if valid.any():
+            out[valid] = self._ef.get_many(k[valid] - 1)
+        return out
+
+    def select0_many(self, ks) -> np.ndarray:
+        """Vectorised :meth:`select0` (batched binary search)."""
+        k = np.asarray(ks, dtype=np.int64)
+        out = np.full(k.shape, -1, dtype=np.int64)
+        valid = (k >= 1) & (k <= self._n - len(self._ef))
+        if not valid.any():
+            return out
+        kv = k[valid]
+        lo = np.zeros(kv.shape, dtype=np.int64)
+        hi = np.full(kv.shape, self._n - 1, dtype=np.int64)
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo[active] + hi[active]) >> 1
+            below = ((mid + 1) - self._ef.num_less_many(mid + 1)) < kv[active]
+            nlo = lo[active]
+            nhi = hi[active]
+            nlo[below] = mid[below] + 1
+            nhi[~below] = mid[~below]
+            lo[active] = nlo
+            hi[active] = nhi
+        out[valid] = lo
+        return out
+
+    def select_many(self, bit: int, ks) -> np.ndarray:
+        """Dispatching bulk select for bit ``b``."""
+        return self.select1_many(ks) if bit else self.select0_many(ks)
 
     def size_in_bits(self) -> int:
         """Elias–Fano payload bits."""

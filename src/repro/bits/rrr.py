@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from .bitvector import _POP16
 from .intvector import IntVector, bits_needed
 from .storage import StorageBundle, attach_structure, expected_array, register_structure
 
@@ -31,8 +32,26 @@ SUPERBLOCK = 32  # blocks per superblock
 
 # Enumerative coding tables for 15-bit blocks.
 _OFFSET_WIDTH = [max(0, (comb(BLOCK, k) - 1).bit_length()) for k in range(BLOCK + 1)]
+_OFFSET_WIDTH_ARR = np.asarray(_OFFSET_WIDTH, dtype=np.int64)
 # _NCK[n][k] = binomial(n, k) for n <= 15.
 _NCK = [[comb(n, k) for k in range(BLOCK + 1)] for n in range(BLOCK + 1)]
+
+# Lazily-built inverse table for bulk rank: _DECODE15[(k << 13) | offset]
+# is the 15-bit block with popcount ``k`` and enumerative offset
+# ``offset`` (max offset binomial(15,7)=6435 < 2**13). 512 KiB of int32,
+# built once per process on the first bulk call.
+_DECODE15: np.ndarray | None = None
+
+
+def _decode_table() -> np.ndarray:
+    global _DECODE15
+    if _DECODE15 is None:
+        table = np.zeros(1 << 17, dtype=np.int32)
+        for value in range(1 << BLOCK):
+            k, offset = _encode_block(value)
+            table[(k << 13) | offset] = value
+        _DECODE15 = table
+    return _DECODE15
 
 
 def _encode_block(bits: int) -> tuple[int, int]:
@@ -195,6 +214,107 @@ class RRRBitVector:
 
     def rank(self, bit: int, i: int) -> int:
         return self.rank1(i) if bit else self.rank0(i)
+
+    # -- bulk kernels --------------------------------------------------------
+
+    def _read_offset_many(self, positions: np.ndarray, widths: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_read_offset` (straddle-aware, width <= 13)."""
+        widx = positions >> 6
+        off = (positions & 63).astype(np.uint64)
+        lo = self._offset_words[widx] >> off
+        shift = (np.uint64(64) - off) & np.uint64(63)
+        hi = self._offset_words[widx + 1] << shift
+        hi[off == 0] = 0
+        mask = ((np.int64(1) << widths) - 1).astype(np.uint64)
+        return ((lo | hi) & mask).astype(np.int64)
+
+    def rank1_many(self, positions) -> np.ndarray:
+        """Vectorised :meth:`rank1` over an int array of positions.
+
+        The per-superblock nibble scan becomes a masked (q, 31) gather via
+        the class :class:`IntVector`; the touched blocks decode through the
+        shared inverse table. Read-only against all backing arrays.
+        """
+        idx = np.asarray(positions, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(idx.shape, dtype=np.int64)
+        if int(idx.min()) < 0 or int(idx.max()) > self._n:
+            raise IndexError(f"rank position out of range (n={self._n})")
+        out = np.zeros(idx.shape, dtype=np.int64)
+        nonzero = idx > 0
+        if not nonzero.any():
+            return out
+        ii = idx[nonzero]
+        block, within = np.divmod(ii, BLOCK)
+        sb, first = np.divmod(block, SUPERBLOCK)
+        rank = self._sb_rank[sb].astype(np.int64, copy=True)
+        position = self._sb_offset_pos[sb].astype(np.int64, copy=True)
+        if int(first.max()) > 0:
+            # Classes of the blocks preceding `block` inside its superblock.
+            cols = np.arange(SUPERBLOCK - 1, dtype=np.int64)
+            bidx = (sb * SUPERBLOCK)[:, None] + cols[None, :]
+            live = cols[None, :] < first[:, None]
+            ks = self._classes.get_many(np.where(live, bidx, 0).ravel())
+            ks = np.where(live, ks.reshape(bidx.shape), 0)  # class 0 has width 0
+            rank += ks.sum(axis=1)
+            position += _OFFSET_WIDTH_ARR[ks].sum(axis=1)
+        partial = within > 0
+        if partial.any():
+            k = self._classes.get_many(block[partial])
+            offs = self._read_offset_many(position[partial], _OFFSET_WIDTH_ARR[k])
+            bits = _decode_table()[(k << 13) | offs].astype(np.int64)
+            rank[partial] += _POP16[bits & ((1 << within[partial]) - 1)]
+        out[nonzero] = rank
+        return out
+
+    def rank0_many(self, positions) -> np.ndarray:
+        """Vectorised :meth:`rank0`."""
+        idx = np.asarray(positions, dtype=np.int64)
+        return idx - self.rank1_many(idx)
+
+    def rank_many(self, bit: int, positions) -> np.ndarray:
+        """Dispatching bulk rank for bit ``b``."""
+        return self.rank1_many(positions) if bit else self.rank0_many(positions)
+
+    def select1_many(self, ks) -> np.ndarray:
+        """Vectorised :meth:`select1`; out-of-range ranks yield ``-1``."""
+        return self._select_many(ks, ones=True)
+
+    def select0_many(self, ks) -> np.ndarray:
+        """Vectorised :meth:`select0`; out-of-range ranks yield ``-1``."""
+        return self._select_many(ks, ones=False)
+
+    def select_many(self, bit: int, ks) -> np.ndarray:
+        """Dispatching bulk select for bit ``b``."""
+        return self.select1_many(ks) if bit else self.select0_many(ks)
+
+    def _select_many(self, ks, ones: bool) -> np.ndarray:
+        k = np.asarray(ks, dtype=np.int64)
+        out = np.full(k.shape, -1, dtype=np.int64)
+        total = self._ones if ones else self.num_zeros
+        valid = (k >= 1) & (k <= total)
+        if not valid.any():
+            return out
+        kv = k[valid]
+        lo = np.zeros(kv.shape, dtype=np.int64)
+        hi = np.full(kv.shape, self._n - 1, dtype=np.int64)
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo[active] + hi[active]) >> 1
+            r = self.rank1_many(mid + 1)
+            if not ones:
+                r = (mid + 1) - r
+            below = r < kv[active]
+            nlo = lo[active]
+            nhi = hi[active]
+            nlo[below] = mid[below] + 1
+            nhi[~below] = mid[~below]
+            lo[active] = nlo
+            hi[active] = nhi
+        out[valid] = lo
+        return out
 
     def select1(self, k: int) -> int:
         if k < 1 or k > self._ones:

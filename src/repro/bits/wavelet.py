@@ -118,6 +118,70 @@ class WaveletMatrix:
                 s = bv.rank0(s)
         return p - s
 
+    # -- bulk kernels --------------------------------------------------------
+
+    def rank_many(self, c: int, positions) -> np.ndarray:
+        """Vectorised :meth:`rank`: one walk down the bit-planes advances
+        the whole position array (the bucket offset ``s`` depends only on
+        ``c`` and stays scalar)."""
+        p = np.asarray(positions, dtype=np.int64)
+        if p.size == 0:
+            return np.zeros(p.shape, dtype=np.int64)
+        if int(p.min()) < 0 or int(p.max()) > self._n:
+            raise IndexError(f"rank position out of range (n={self._n})")
+        if c < 0 or c >= (1 << self._nbits):
+            return np.zeros(p.shape, dtype=np.int64)
+        s = 0
+        for lvl, bv in enumerate(self._levels):
+            bit = (c >> (self._nbits - 1 - lvl)) & 1
+            if bit:
+                z = self._zeros[lvl]
+                p = z + bv.rank1_many(p)
+                s = z + bv.rank1(s)
+            else:
+                p = bv.rank0_many(p)
+                s = bv.rank0(s)
+        return p - s
+
+    def rank_pairs(self, c: int, los, his) -> tuple:
+        """Bulk rank at both endpoints of (lo, hi) interval arrays; each
+        bit-plane is walked exactly once for the stacked endpoints."""
+        lo = np.asarray(los, dtype=np.int64)
+        hi = np.asarray(his, dtype=np.int64)
+        ranks = self.rank_many(c, np.concatenate([lo, hi]))
+        return ranks[: lo.size], ranks[lo.size :]
+
+    def ranks_matrix(self, c: int, matrix) -> np.ndarray:
+        """Bulk rank over an arbitrary-shape position matrix (one plane
+        walk for every entry); returns the same shape."""
+        m = np.asarray(matrix, dtype=np.int64)
+        return self.rank_many(c, m.ravel()).reshape(m.shape)
+
+    def select_many(self, c: int, ks) -> np.ndarray:
+        """Vectorised :meth:`select`; invalid ranks yield ``-1``."""
+        k = np.asarray(ks, dtype=np.int64)
+        out = np.full(k.shape, -1, dtype=np.int64)
+        if c < 0 or c >= (1 << self._nbits) or k.size == 0:
+            return out
+        valid = (k >= 1) & (k <= self.rank(c, self._n))
+        if not valid.any():
+            return out
+        # Scalar descent to c's bucket start, vectorised ascent by selects.
+        s = 0
+        for lvl, bv in enumerate(self._levels):
+            bit = (c >> (self._nbits - 1 - lvl)) & 1
+            s = self._zeros[lvl] + bv.rank1(s) if bit else bv.rank0(s)
+        pos = s + k[valid] - 1
+        for lvl in range(self._nbits - 1, -1, -1):
+            bv = self._levels[lvl]
+            bit = (c >> (self._nbits - 1 - lvl)) & 1
+            if bit:
+                pos = bv.select1_many(pos - self._zeros[lvl] + 1)
+            else:
+                pos = bv.select0_many(pos + 1)
+        out[valid] = pos
+        return out
+
     def select(self, c: int, k: int) -> int:
         """Position of the k-th (1-based) ``c``, or ``-1`` if absent."""
         if k < 1 or c < 0 or c >= (1 << self._nbits):
@@ -329,6 +393,79 @@ class HuffmanWaveletTree:
                 node = node.left
             assert node is not None
         return p
+
+    # -- bulk kernels --------------------------------------------------------
+
+    def rank_many(self, c: int, positions) -> np.ndarray:
+        """Vectorised :meth:`rank`: one walk down ``c``'s code path advances
+        the whole position array."""
+        p = np.asarray(positions, dtype=np.int64)
+        if p.size == 0:
+            return np.zeros(p.shape, dtype=np.int64)
+        if int(p.min()) < 0 or int(p.max()) > self._n:
+            raise IndexError(f"rank position out of range (n={self._n})")
+        if c not in self._code.codes:
+            return np.zeros(p.shape, dtype=np.int64)
+        code = self._code.codes[c]
+        length = self._code.lengths[c]
+        node = self._root
+        for d in range(length):
+            if node.symbol is not None:
+                break
+            assert node.bv is not None
+            bit = (code >> (length - d - 1)) & 1
+            if bit:
+                p = node.bv.rank1_many(p)
+                node = node.right
+            else:
+                p = node.bv.rank0_many(p)
+                node = node.left
+            assert node is not None
+        return p
+
+    def rank_pairs(self, c: int, los, his) -> tuple:
+        """Bulk rank at both endpoints of (lo, hi) interval arrays via one
+        code-path walk over the stacked endpoints."""
+        lo = np.asarray(los, dtype=np.int64)
+        hi = np.asarray(his, dtype=np.int64)
+        ranks = self.rank_many(c, np.concatenate([lo, hi]))
+        return ranks[: lo.size], ranks[lo.size :]
+
+    def ranks_matrix(self, c: int, matrix) -> np.ndarray:
+        """Bulk rank over an arbitrary-shape position matrix."""
+        m = np.asarray(matrix, dtype=np.int64)
+        return self.rank_many(c, m.ravel()).reshape(m.shape)
+
+    def select_many(self, c: int, ks) -> np.ndarray:
+        """Vectorised :meth:`select`; invalid ranks yield ``-1``."""
+        k = np.asarray(ks, dtype=np.int64)
+        out = np.full(k.shape, -1, dtype=np.int64)
+        if c not in self._code.codes or k.size == 0:
+            return out
+        valid = (k >= 1) & (k <= int(self._freqs[c]))
+        if not valid.any():
+            return out
+        code = self._code.codes[c]
+        length = self._code.lengths[c]
+        path: List[tuple[_HWTNode, int]] = []
+        node = self._root
+        for d in range(length):
+            if node.symbol is not None:
+                break
+            bit = (code >> (length - d - 1)) & 1
+            path.append((node, bit))
+            node = node.right if bit else node.left
+            assert node is not None
+        idx = k[valid] - 1
+        for parent, bit in reversed(path):
+            assert parent.bv is not None
+            idx = (
+                parent.bv.select1_many(idx + 1)
+                if bit
+                else parent.bv.select0_many(idx + 1)
+            )
+        out[valid] = idx
+        return out
 
     def select(self, c: int, k: int) -> int:
         """Position of the k-th (1-based) ``c``, or ``-1``."""

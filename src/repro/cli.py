@@ -49,7 +49,7 @@ from .baselines import (
 )
 from .core import ApproxIndex, CompactPrunedSuffixTree
 from .datasets import GENERATORS, generate
-from .errors import ReproError
+from .errors import InvalidParameterError, ReproError
 from .experiments.runner import EXPERIMENTS, run as run_experiment
 from .space import text_bits
 from .suffixtree import PrunedSuffixTreeStructure
@@ -107,7 +107,12 @@ def cmd_count(args: argparse.Namespace) -> int:
     from .engine import planner_for
 
     _, index = _build_index(args)
-    planner = planner_for(index)
+    planner = planner_for(index, vectorize=not args.no_vectorize)
+    if planner is None and args.no_vectorize:
+        raise InvalidParameterError(
+            f"--no-vectorize is meaningless for --index {args.index}: it has "
+            "no backward-search automaton (per-pattern counting only)"
+        )
     if planner is not None:
         counts = dict(zip(args.patterns, planner.count_many(args.patterns)))
         stats = planner.stats
@@ -317,6 +322,17 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
 
     from .build import BuildContext
 
+    if args.no_vectorize:
+        if args.processes > 1 or args.daemon_smoke:
+            # The vectorize default is process-global; worker processes are
+            # spawned fresh and would silently ignore the flag.
+            raise InvalidParameterError(
+                "--no-vectorize only governs in-process planners; it does "
+                "not combine with --processes > 1 or --daemon-smoke"
+            )
+        from .engine import set_default_vectorize
+
+        set_default_vectorize(False)
     text = None
     if args.text is not None:
         text = _load_text(args.text, args.size, args.seed)
@@ -790,7 +806,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine-stats",
         action="store_true",
         help="report the engine work counters (automaton steps, rank ops, "
-        "cache traffic) for the batch",
+        "cache traffic, bulk waves) for the batch",
+    )
+    p.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="force the scalar one-step-at-a-time engine path (vectorized "
+        "step_many waves are the default where the index supports them)",
     )
     p.add_argument("patterns", nargs="+")
     p.set_defaults(func=cmd_count)
@@ -907,6 +929,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --live DIR: rehearse the serving daemon "
                         "(worker fleet, control socket, one "
                         "ingest -> hot reload -> query cycle) and exit")
+    p.add_argument("--no-vectorize", action="store_true",
+                   help="serve through the scalar engine path (in-process "
+                        "planners only; rejected with --processes > 1 or "
+                        "--daemon-smoke)")
     p.set_defaults(func=cmd_serve_check)
 
     p = sub.add_parser(

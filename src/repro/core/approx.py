@@ -47,7 +47,12 @@ from ..bits import (
     register_structure,
 )
 from ..core.interface import ErrorModel, OccurrenceEstimator
-from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
+from ..engine import (
+    AutomatonCapabilities,
+    BackwardSearchAutomaton,
+    pack_interval_states,
+    unpack_interval_states,
+)
 from ..errors import InvalidParameterError
 from ..sa import counts_array
 from ..space import SpaceReport
@@ -245,10 +250,46 @@ class ApproxIndex(OccurrenceEstimator, BackwardSearchAutomaton):
     def count_state(self, state: Optional[Tuple[int, int]]) -> int:
         return 0 if state is None else state[1] - state[0] + 1
 
+    def step_many(self, states, ch):
+        """Bulk step: successor/predecessor refinement loops run as masked
+        array sweeps over B's bulk rank/select kernels. Each sweep settles
+        in <= 2 extra iterations (at most two discriminants of one symbol
+        share a block), so the whole batch costs O(1) vectorized passes."""
+        encoded = self._alphabet.encode_pattern(ch)
+        if encoded is None:
+            return [None] * len(states)
+        c = int(encoded[0])
+        arr = pack_interval_states(states)
+        k = arr.shape[0]
+        h = self._h
+        lo, hi = int(self._c[c]), int(self._c[c + 1]) - 1
+        dead = (np.zeros(k, dtype=np.int64), np.zeros(k, dtype=np.int64),
+                np.zeros(k, dtype=bool))
+        if hi < lo:
+            return unpack_interval_states(*dead)  # symbol absent
+        total = self._b.rank(c, len(self._b))
+        if total == 0:
+            return unpack_interval_states(*dead)
+        p1, d1, ok1 = self._successor_many(c, arr[:, 0], total)
+        p2, d2, ok2 = self._predecessor_many(c, arr[:, 1])
+        ok = ok1 & ok2
+        firsts = np.zeros(k, dtype=np.int64)
+        lasts = np.zeros(k, dtype=np.int64)
+        if ok.any():
+            lf1 = self._lf_discriminant_many(c, p1[ok])
+            lf2 = self._lf_discriminant_many(c, p2[ok])
+            rl = np.minimum(d1[ok] - arr[ok, 0], h - 1)
+            rr = np.minimum(arr[ok, 1] - d2[ok], h - 1)
+            firsts[ok] = np.maximum(lf1 - rl, lo)
+            lasts[ok] = np.minimum(lf2 + rr, hi)
+        return unpack_interval_states(firsts, lasts, ok & (firsts <= lasts))
+
     def capabilities(self) -> AutomatonCapabilities:
         # One step = predecessor + successor over D_c: nominally 8
         # rank/select operations on B (see Lemma 2 machinery below).
-        return AutomatonCapabilities(threshold=self._l, rank_ops_per_step=8)
+        return AutomatonCapabilities(
+            threshold=self._l, rank_ops_per_step=8, vectorized=True
+        )
 
     # -- D_c machinery (paper Lemma 2 / Fact 1) ------------------------------
 
@@ -296,6 +337,61 @@ class ApproxIndex(OccurrenceEstimator, BackwardSearchAutomaton):
         """Fact 1: LF of the p-th discriminant of ``c`` (0-based rows)."""
         n_c = int(self._c[c + 1] - self._c[c])
         return int(self._c[c]) + min((p - 1) * self._h, n_c - 1)
+
+    # -- bulk D_c machinery ---------------------------------------------------
+
+    def _lf_discriminant_many(self, c: int, ps: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_lf_discriminant`."""
+        n_c = int(self._c[c + 1] - self._c[c])
+        return int(self._c[c]) + np.minimum((ps - 1) * self._h, n_c - 1)
+
+    def _hash_position_many(self, ks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_hash_position` (``k == 0`` maps to 0)."""
+        out = np.zeros(ks.shape, dtype=np.int64)
+        nonzero = ks > 0
+        if nonzero.any():
+            out[nonzero] = self._b.select_many(self._hash_sym, ks[nonzero])
+        return out
+
+    def _discriminant_position_many(self, c: int, ps: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_discriminant_position` (all ``ps`` valid)."""
+        j = self._b.select_many(c, ps)
+        block = self._b.rank_many(self._hash_sym, j)
+        return block * self._h + self._v.get_many(j - block)
+
+    def _successor_many(self, c: int, xs: np.ndarray, total: int):
+        """Vectorised :meth:`_successor`: ``(p, d, found)`` arrays."""
+        p = self._b.rank_many(c, self._hash_position_many(xs // self._h)) + 1
+        d = np.full(xs.shape, -1, dtype=np.int64)
+        ok = p <= total
+        if ok.any():
+            d[ok] = self._discriminant_position_many(c, p[ok])
+        pending = ok & (d < xs)
+        while pending.any():
+            p[pending] += 1
+            ok &= p <= total
+            retry = pending & ok
+            if retry.any():
+                d[retry] = self._discriminant_position_many(c, p[retry])
+            pending = retry & (d < xs)
+        return p, d, ok & (d >= xs)
+
+    def _predecessor_many(self, c: int, xs: np.ndarray):
+        """Vectorised :meth:`_predecessor`: ``(p, d, found)`` arrays."""
+        p = self._b.rank_many(c, self._hash_position_many(xs // self._h + 1))
+        d = np.full(xs.shape, -1, dtype=np.int64)
+        ok = p >= 1
+        if ok.any():
+            d[ok] = self._discriminant_position_many(c, p[ok])
+        pending = ok & (d > xs)
+        while pending.any():
+            p[pending] -= 1
+            ok &= p >= 1
+            retry = pending & ok
+            if retry.any():
+                d[retry] = self._discriminant_position_many(c, p[retry])
+            pending = retry & (d > xs)
+        return p, d, ok & (d <= xs) & (d >= 0)
 
     # -- space ---------------------------------------------------------------
 

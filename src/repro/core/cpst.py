@@ -42,7 +42,12 @@ from ..bits import (
     register_structure,
 )
 from ..core.interface import ErrorModel, OccurrenceEstimator
-from ..engine import AutomatonCapabilities, BackwardSearchAutomaton
+from ..engine import (
+    AutomatonCapabilities,
+    BackwardSearchAutomaton,
+    pack_interval_states,
+    unpack_interval_states,
+)
 from ..errors import InvalidParameterError
 from ..space import SpaceReport
 from ..suffixtree.pruned import PrunedSuffixTreeStructure
@@ -184,11 +189,27 @@ class CompactPrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
     def count_state(self, state: Optional[Tuple[int, int]]) -> int:
         return 0 if state is None else self._cnt(state[0], state[1])
 
+    def step_many(self, states, ch):
+        """Bulk virtual-ISL step: both `_links_before` boundaries of every
+        interval ride one stacked select+rank pass over S."""
+        encoded = self._alphabet.encode_pattern(ch)
+        if encoded is None:
+            return [None] * len(states)
+        c = int(encoded[0])
+        arr = pack_interval_states(states)
+        k = arr.shape[0]
+        links = self._links_before_many(
+            c, np.concatenate([arr[:, 0], arr[:, 1] + 1])
+        )
+        c_u, c_z = links[:k], links[k:]
+        base = int(self._c[c])
+        return unpack_interval_states(base + c_u + 1, base + c_z, c_u != c_z)
+
     def capabilities(self) -> AutomatonCapabilities:
         # One virtual-ISL step = two _links_before evaluations, each one
         # select plus one rank on S (Theorem 9): 4 operations.
         return AutomatonCapabilities(
-            lower_sided=True, threshold=self._l, rank_ops_per_step=4
+            lower_sided=True, threshold=self._l, rank_ops_per_step=4, vectorized=True
         )
 
     def _links_before(self, c: int, k: int) -> int:
@@ -198,6 +219,15 @@ class CompactPrunedSuffixTree(OccurrenceEstimator, BackwardSearchAutomaton):
             return 0
         end = self._s.select(self._hash_sym, k)
         return self._s.rank(c, end)
+
+    def _links_before_many(self, c: int, ks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_links_before`."""
+        out = np.zeros(ks.shape, dtype=np.int64)
+        nonzero = ks > 0
+        if nonzero.any():
+            ends = self._s.select_many(self._hash_sym, ks[nonzero])
+            out[nonzero] = self._s.rank_many(c, ends)
+        return out
 
     def _cnt(self, u: int, z: int) -> int:
         """Paper Lemma 3: total correction factors over node ids [u, z]."""

@@ -90,6 +90,15 @@ def daemon_worker_main(conn: Connection, max_states: int) -> None:
             return attachment.counter.count_or_none(pattern, sub)
         return attachment.counter.count(pattern, sub)
 
+    def answer_many(attachment, patterns, remaining):
+        # One shared sub-deadline for the whole batch; the counter's
+        # planner shares suffix work (vectorized waves where the index
+        # supports them) across the batch.
+        sub = None if remaining is None else Deadline(remaining)
+        if attachment.lower_sided:
+            return attachment.counter.count_or_none_many(patterns, sub)
+        return list(attachment.counter.count_many(patterns, sub))
+
     try:
         while True:
             msg = conn.recv()
@@ -143,11 +152,7 @@ def daemon_worker_main(conn: Connection, max_states: int) -> None:
                     )
                 elif op == "count_many":
                     _, _, gen, patterns, remaining = msg
-                    attachment = attachments[gen]
-                    result = [
-                        answer_one(attachment, p, remaining)
-                        for p in patterns
-                    ]
+                    result = answer_many(attachments[gen], patterns, remaining)
                 elif op == "ping":
                     result = "pong"
                 else:

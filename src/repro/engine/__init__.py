@@ -22,8 +22,15 @@ from .automaton import (
     BackwardSearchAutomaton,
     LegacyProtocolAutomaton,
     automaton_of,
+    pack_interval_states,
+    unpack_interval_states,
 )
-from .planner import TrieBatchPlanner, planner_for
+from .planner import (
+    TrieBatchPlanner,
+    default_vectorize,
+    planner_for,
+    set_default_vectorize,
+)
 from .stats import EngineStats
 
 __all__ = [
@@ -33,5 +40,9 @@ __all__ = [
     "LegacyProtocolAutomaton",
     "TrieBatchPlanner",
     "automaton_of",
+    "default_vectorize",
+    "pack_interval_states",
     "planner_for",
+    "set_default_vectorize",
+    "unpack_interval_states",
 ]

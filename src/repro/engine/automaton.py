@@ -35,7 +35,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 #: Attribute names of the deprecated duck-typed protocol.
 _LEGACY_NAMES = ("_automaton_start", "_automaton_step", "_automaton_count")
@@ -63,12 +65,18 @@ class AutomatonCapabilities:
         :class:`~repro.engine.stats.EngineStats` uses to derive
         ``rank_calls`` from executed steps (0 for automata that navigate
         without rank structures, e.g. the pointer-based PST).
+    ``vectorized``
+        :meth:`~BackwardSearchAutomaton.step_many` advances a whole batch
+        of live states through bulk rank/select kernels instead of the
+        default scalar loop; the planner fires one wave per
+        (symbol, depth) frontier group when this is set.
     """
 
     exact: bool = False
     lower_sided: bool = False
     threshold: int = 1
     rank_ops_per_step: int = 0
+    vectorized: bool = False
 
 
 class BackwardSearchAutomaton(abc.ABC):
@@ -99,6 +107,20 @@ class BackwardSearchAutomaton(abc.ABC):
     def capabilities(self) -> AutomatonCapabilities:
         """Semantics descriptor; override to declare exactness and cost."""
         return AutomatonCapabilities()
+
+    def step_many(
+        self, states: Sequence[Hashable], ch: str
+    ) -> List[Optional[Hashable]]:
+        """Extend a batch of *live* states one character leftwards.
+
+        Position ``j`` of the result is ``step(states[j], ch)``; callers
+        never pass the dead state in. The default is the scalar loop, so
+        every automaton accepts bulk calls; implementations declaring
+        ``capabilities().vectorized`` override this with one pass of bulk
+        rank/select kernels (interval automata pack the batch into a
+        ``(k, 2)`` int64 matrix via :func:`pack_interval_states`).
+        """
+        return [self.step(state, ch) for state in states]
 
     # -- deprecated underscore aliases --------------------------------------
     # Kept so callers of the pre-engine duck-typed protocol keep working
@@ -174,3 +196,26 @@ def automaton_of(index) -> Optional[BackwardSearchAutomaton]:
     if all(hasattr(index, name) for name in _LEGACY_NAMES):
         return LegacyProtocolAutomaton(index)
     return None
+
+
+def pack_interval_states(states: Sequence[Hashable]) -> np.ndarray:
+    """Pack live 2-int interval states into a ``(k, 2)`` int64 matrix.
+
+    The shared dtype convention for vectorized interval automata (FM,
+    RLFM, APX, CPST, PST): column 0 holds the interval's first endpoint,
+    column 1 its last. Dead states never appear here — they are encoded
+    as ``None`` at the :meth:`BackwardSearchAutomaton.step_many` boundary,
+    not as a sentinel row.
+    """
+    return np.asarray(states, dtype=np.int64).reshape(len(states), 2)
+
+
+def unpack_interval_states(
+    firsts: np.ndarray, lasts: np.ndarray, live: np.ndarray
+) -> List[Optional[Tuple[int, int]]]:
+    """Inverse of :func:`pack_interval_states`: ``(first, last)`` tuples
+    where ``live`` is set, ``None`` (the dead state) elsewhere."""
+    return [
+        (f, l) if ok else None
+        for f, l, ok in zip(firsts.tolist(), lasts.tolist(), live.tolist())
+    ]

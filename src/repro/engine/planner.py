@@ -40,8 +40,8 @@ own.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
-from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
+from collections import Counter, OrderedDict
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Set
 
 from ..errors import DeadlineExceededError, InvalidParameterError, PatternError
 from .automaton import BackwardSearchAutomaton
@@ -50,13 +50,39 @@ from .stats import EngineStats
 if TYPE_CHECKING:  # pragma: no cover - typing only (service imports engine)
     from ..service.deadline import Deadline
 
+#: Process-wide default for the ``vectorize`` planner knob. Flipped by the
+#: CLI's ``--no-vectorize`` so every planner built downstream (tiers,
+#: ladders, shard slots) inherits the scalar path without re-plumbing.
+_DEFAULT_VECTORIZE = True
+
+
+def set_default_vectorize(enabled: bool) -> None:
+    """Set the process-wide default for planner vectorization."""
+    global _DEFAULT_VECTORIZE
+    _DEFAULT_VECTORIZE = bool(enabled)
+
+
+def default_vectorize() -> bool:
+    """Current process-wide default for planner vectorization."""
+    return _DEFAULT_VECTORIZE
+
+
+#: Below this wave width the fixed per-call overhead of a ``step_many``
+#: kernel (array packing, masked gathers) outweighs the per-state saving,
+#: so narrow waves are stepped scalarly even on the vectorized path. The
+#: crossover sits in the mid-teens for every index family (see
+#: benchmarks/test_engine_bench.py); answers are identical either way.
+DEFAULT_WAVE_WIDTH_MIN = 16
+
 
 class TrieBatchPlanner:
     """Shared-work executor for one :class:`BackwardSearchAutomaton`.
 
     ``max_states`` bounds the state cache (LRU); ``None`` means unbounded.
     ``stats`` lets callers share one counter across planners; by default
-    each planner owns a fresh :class:`EngineStats`.
+    each planner owns a fresh :class:`EngineStats`. ``wave_width_min``
+    tunes the vectorized path's scalar fallback for narrow waves
+    (``1`` forces every wave through ``step_many``).
     """
 
     def __init__(
@@ -65,6 +91,8 @@ class TrieBatchPlanner:
         *,
         max_states: Optional[int] = 4096,
         stats: Optional[EngineStats] = None,
+        vectorize: Optional[bool] = None,
+        wave_width_min: int = DEFAULT_WAVE_WIDTH_MIN,
     ):
         if not isinstance(automaton, BackwardSearchAutomaton):
             raise InvalidParameterError(
@@ -73,15 +101,21 @@ class TrieBatchPlanner:
             )
         if max_states is not None and max_states < 1:
             raise InvalidParameterError("max_states must be positive")
+        if wave_width_min < 1:
+            raise InvalidParameterError("wave_width_min must be positive")
         self._automaton = automaton
         self._caps = automaton.capabilities()
         self._max_states = max_states
+        self._vectorize = _DEFAULT_VECTORIZE if vectorize is None else bool(vectorize)
+        self._wave_width_min = wave_width_min
         self._lock = threading.RLock()
         #: suffix string -> automaton state (None = dead), LRU order.
         self._states: "OrderedDict[str, Optional[Hashable]]" = OrderedDict()
         #: pattern -> finalised value (None = dead state); never evicted.
         self._results: Dict[str, Optional[int]] = {}
         self.stats = stats if stats is not None else EngineStats()
+        #: wave width -> number of step_many waves of that width.
+        self.bulk_widths: Counter = Counter()
 
     @property
     def automaton(self) -> BackwardSearchAutomaton:
@@ -92,6 +126,12 @@ class TrieBatchPlanner:
     def capabilities(self):
         """The automaton's :class:`AutomatonCapabilities` descriptor."""
         return self._caps
+
+    @property
+    def vectorized(self) -> bool:
+        """True when batches run through ``step_many`` waves (requires the
+        knob *and* the automaton's ``vectorized`` capability)."""
+        return self._vectorize and self._caps.vectorized
 
     def clear(self) -> None:
         """Drop both caches (states *and* memoised results)."""
@@ -149,6 +189,15 @@ class TrieBatchPlanner:
         for pattern in patterns:
             if not isinstance(pattern, str) or not pattern:
                 raise PatternError("pattern must be a non-empty string")
+        if self.vectorized:
+            self._execute_waves(patterns, deadline)
+        else:
+            self._execute_scalar(patterns, deadline)
+        return [self._results[pattern] for pattern in patterns]
+
+    def _execute_scalar(
+        self, patterns: Sequence[str], deadline: "Deadline | None"
+    ) -> None:
         # Reverse-lexicographic order puts shared suffixes on adjacent
         # patterns, so the virtual trie is walked in one depth-first pass.
         distinct = sorted(set(patterns), key=lambda p: p[::-1])
@@ -193,7 +242,107 @@ class TrieBatchPlanner:
             self._results[pattern] = (
                 None if state is None else self._automaton.count_state(state)
             )
-        return [self._results[pattern] for pattern in patterns]
+
+    def _execute_waves(
+        self, patterns: Sequence[str], deadline: "Deadline | None"
+    ) -> None:
+        """Breadth-first variant of the trie walk for vectorized automata.
+
+        Instead of stepping one path at a time, the frontier of *distinct*
+        pending suffixes is advanced one depth per iteration, grouped by
+        the symbol each suffix consumes, and every (symbol, depth) group
+        with live parents fires exactly one ``step_many`` wave. Answers,
+        LRU accounting (one probe / one insert per distinct suffix) and
+        the per-wave deadline check all mirror the scalar walk.
+        """
+        pending: Dict[str, Optional[Hashable]] = {}  # batch-local suffix states
+        frontier: Dict[int, Set[str]] = {}  # depth -> suffixes to compute
+        targets: List[str] = []
+        for pattern in sorted(set(patterns), key=lambda p: p[::-1]):
+            self.stats.patterns += 1
+            if pattern in self._results:
+                self.stats.result_cache_hits += 1
+                continue
+            targets.append(pattern)
+            n = len(pattern)
+            depth = 0
+            while depth < n:
+                suffix = pattern[n - depth - 1 :]
+                if suffix in pending:
+                    depth += 1
+                    continue
+                cached = self._lookup_state(suffix)
+                if cached is _MISS:
+                    break
+                pending[suffix] = cached
+                depth += 1
+            for d in range(depth, n):
+                frontier.setdefault(d + 1, set()).add(pattern[n - d - 1 :])
+        for d in sorted(frontier):
+            waves: Dict[str, List[str]] = {}
+            for suffix in frontier[d]:
+                if suffix in pending:
+                    continue  # resolved through another pattern's cache probe
+                waves.setdefault(suffix[0], []).append(suffix)
+            for ch in sorted(waves):
+                self._run_wave(ch, waves[ch], d, pending, deadline)
+        for pattern in targets:
+            state = pending[pattern]
+            self._results[pattern] = (
+                None if state is None else self._automaton.count_state(state)
+            )
+
+    def _run_wave(
+        self,
+        ch: str,
+        members: List[str],
+        depth: int,
+        pending: Dict[str, Optional[Hashable]],
+        deadline: "Deadline | None",
+    ) -> None:
+        if deadline is not None:
+            self.stats.deadline_checks += 1
+            try:
+                deadline.check()
+            except DeadlineExceededError:
+                self.stats.deadline_aborts += 1
+                raise
+        if depth == 1:
+            # The depth-1 frontier for symbol `ch` is the single suffix `ch`.
+            state = self._automaton.start(ch)
+            self.stats.automaton_starts += 1
+            self.stats.rank_calls += self._caps.rank_ops_per_step
+            for suffix in members:
+                pending[suffix] = state
+                self._remember_state(suffix, state)
+            return
+        members = sorted(members)
+        parents = [pending[suffix[1:]] for suffix in members]
+        advanced: List[Optional[Hashable]] = [None] * len(members)
+        live = [j for j, parent in enumerate(parents) if parent is not None]
+        if live:
+            width = len(live)
+            if width < self._wave_width_min:
+                # Too narrow to amortise the bulk kernel's fixed cost:
+                # step scalarly (identical answers, plain step stats).
+                stepped = [
+                    self._automaton.step(parents[j], ch) for j in live
+                ]
+            else:
+                stepped = self._automaton.step_many(
+                    [parents[j] for j in live], ch
+                )
+                self.stats.bulk_calls += 1
+                self.stats.bulk_states += width
+                self.bulk_widths[width] += 1
+            self.stats.automaton_steps += width
+            self.stats.rank_calls += self._caps.rank_ops_per_step * width
+            for j, state in zip(live, stepped):
+                advanced[j] = state
+        # Dead parents propagate dead children for free, as in the scalar walk.
+        for suffix, state in zip(members, advanced):
+            pending[suffix] = state
+            self._remember_state(suffix, state)
 
     def _lookup_state(self, suffix: str):
         states = self._states

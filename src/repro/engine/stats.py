@@ -48,6 +48,13 @@ class EngineStats:
         Cooperative deadline checks performed inside the step loop.
     deadline_aborts:
         Searches abandoned because the deadline expired mid-walk.
+    bulk_calls:
+        ``step_many`` waves fired by the vectorized planner (one per
+        (symbol, depth) frontier group with at least one live state).
+    bulk_states:
+        Live states advanced across all ``step_many`` waves;
+        ``bulk_states / bulk_calls`` is the mean wave width, the lever
+        the vectorized engine's throughput comes from.
     """
 
     patterns: int = 0
@@ -60,6 +67,8 @@ class EngineStats:
     result_cache_hits: int = 0
     deadline_checks: int = 0
     deadline_aborts: int = 0
+    bulk_calls: int = 0
+    bulk_states: int = 0
 
     def copy(self) -> "EngineStats":
         """An independent snapshot of the current counters."""
@@ -89,10 +98,15 @@ class EngineStats:
 
     def summary(self) -> str:
         """One-line operator-facing description."""
+        bulk = (
+            f", {self.bulk_states} states in {self.bulk_calls} waves"
+            if self.bulk_calls
+            else ""
+        )
         return (
             f"{self.patterns} patterns: {self.automaton_steps} steps "
             f"(+{self.automaton_starts} starts), {self.rank_calls} rank ops, "
             f"cache {self.state_cache_hits}h/{self.state_cache_misses}m/"
             f"{self.state_cache_evictions}e, "
-            f"{self.deadline_checks} deadline checks"
+            f"{self.deadline_checks} deadline checks{bulk}"
         )

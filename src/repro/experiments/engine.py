@@ -11,15 +11,18 @@ engine-capable index (FM, APX, CPST), using
 * **naive** — a fresh planner per pattern (no state reuse across
   patterns): exactly the work ``index.count`` performs per query;
 * **planned** — one planner over the whole workload, shared-suffix trie
-  walk plus the LRU state cache.
+  walk plus the LRU state cache, measured twice: on the **scalar** path
+  (one ``step`` per extension) and on the **vectorized** path (one
+  ``step_many`` wave per (symbol, depth) frontier group).
 
-Both paths must produce identical counts — the planner is an execution
+All paths must produce identical counts — the planner is an execution
 strategy, not an approximation — which the ``results_identical`` headline
 check enforces.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -42,6 +45,13 @@ class EngineRow:
     planned_rank_ops: int
     state_cache_hits: int
     results_identical: bool
+    #: Wall-clock seconds (0.0 on rows from older callers that skip timing).
+    naive_seconds: float = 0.0
+    scalar_seconds: float = 0.0
+    vectorized_seconds: float = 0.0
+    #: Wave telemetry from the vectorized run.
+    bulk_waves: int = 0
+    bulk_states: int = 0
 
     @property
     def step_saving(self) -> float:
@@ -49,6 +59,20 @@ class EngineRow:
         if self.naive_steps == 0:
             return 0.0
         return 1.0 - self.planned_steps / self.naive_steps
+
+    @property
+    def vectorized_speedup(self) -> float:
+        """Scalar-planned over vectorized wall clock (1.0 when untimed)."""
+        if self.scalar_seconds <= 0 or self.vectorized_seconds <= 0:
+            return 1.0
+        return self.scalar_seconds / self.vectorized_seconds
+
+    @property
+    def batch_speedup(self) -> float:
+        """Naive per-pattern over vectorized batch wall clock."""
+        if self.naive_seconds <= 0 or self.vectorized_seconds <= 0:
+            return 1.0
+        return self.naive_seconds / self.vectorized_seconds
 
 
 def _extensions(stats: EngineStats) -> int:
@@ -64,14 +88,22 @@ def measure(
     assert automaton is not None, f"{label} has no automaton view"
     naive_stats = EngineStats()
     naive_results = []
+    started = time.perf_counter()
     for pattern in patterns:
         # A fresh planner per pattern = no cross-pattern reuse: the same
         # extension sequence a plain index.count(pattern) executes.
         naive_results.append(
             TrieBatchPlanner(automaton, stats=naive_stats).count(pattern)
         )
-    planner = TrieBatchPlanner(automaton)
+    naive_seconds = time.perf_counter() - started
+    scalar = TrieBatchPlanner(automaton, vectorize=False)
+    started = time.perf_counter()
+    scalar_results = scalar.count_many(list(patterns))
+    scalar_seconds = time.perf_counter() - started
+    planner = TrieBatchPlanner(automaton, vectorize=True)
+    started = time.perf_counter()
     planned_results = planner.count_many(list(patterns))
+    vectorized_seconds = time.perf_counter() - started
     return EngineRow(
         dataset=dataset,
         index=label,
@@ -81,7 +113,14 @@ def measure(
         naive_rank_ops=naive_stats.rank_calls,
         planned_rank_ops=planner.stats.rank_calls,
         state_cache_hits=planner.stats.state_cache_hits,
-        results_identical=naive_results == planned_results,
+        results_identical=(
+            naive_results == planned_results == scalar_results
+        ),
+        naive_seconds=naive_seconds,
+        scalar_seconds=scalar_seconds,
+        vectorized_seconds=vectorized_seconds,
+        bulk_waves=planner.stats.bulk_calls,
+        bulk_states=planner.stats.bulk_states,
     )
 
 

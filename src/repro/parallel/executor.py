@@ -123,6 +123,17 @@ def _worker_main(shm_name: str, conn: Connection, max_states: int) -> None:
             return counter.count_or_none(pattern, sub)
         return counter.count(pattern, sub)
 
+    def answer_many(
+        patterns: Sequence[str], remaining: Optional[float]
+    ) -> List[Optional[int]]:
+        # One shared sub-deadline for the whole batch: the counter's
+        # planner shares suffix work (and fires vectorized step_many
+        # waves) across the batch instead of query-at-a-time.
+        sub = None if remaining is None else Deadline(remaining)
+        if lower_sided:
+            return counter.count_or_none_many(patterns, sub)
+        return list(counter.count_many(patterns, sub))
+
     try:
         while True:
             msg = conn.recv()
@@ -136,7 +147,7 @@ def _worker_main(shm_name: str, conn: Connection, max_states: int) -> None:
                     result: Any = answer_one(pattern, remaining)
                 elif op == "count_many":
                     _, _, patterns, remaining = msg
-                    result = [answer_one(p, remaining) for p in patterns]
+                    result = answer_many(patterns, remaining)
                 elif op == "ping":
                     result = "pong"
                 else:

@@ -26,6 +26,10 @@ site                 instrumented operation
                      then per-pattern via ``count``)
 ``automaton_start``  ``BackwardSearchAutomaton.start(ch)``
 ``automaton_step``   ``BackwardSearchAutomaton.step(state, ch)``
+``automaton_step_many`` ``BackwardSearchAutomaton.step_many(states, ch)``
+                     (fires per bulk wave, then per-state via the
+                     ``automaton_step`` rate, so scalar and vectorized
+                     planner paths face the same chaos)
 ``automaton_count``  ``BackwardSearchAutomaton.count_state(state)``
                      (corruptible: the one automaton site returning a
                      count)
@@ -58,6 +62,7 @@ SITES = (
     "count_many",
     "automaton_start",
     "automaton_step",
+    "automaton_step_many",
     "automaton_count",
 )
 
@@ -489,6 +494,15 @@ class _FaultyAutomaton(BackwardSearchAutomaton):
     def step(self, state: Hashable, ch: str) -> Optional[Hashable]:
         self._owner._roll("automaton_step")
         return self._inner.step(state, ch)
+
+    def step_many(self, states, ch):
+        # One roll for the bulk wave, then one per state at the scalar
+        # step rate: a vectorized search faces the same expected fault
+        # pressure per state as the scalar walk it replaces.
+        self._owner._roll("automaton_step_many")
+        for _ in states:
+            self._owner._roll("automaton_step")
+        return self._inner.step_many(states, ch)
 
     def count_state(self, state: Optional[Hashable]) -> int:
         self._owner._roll("automaton_count")

@@ -541,6 +541,38 @@ class ShardedAutomaton(BackwardSearchAutomaton):
                 advanced.append(automaton.step(component, ch))
         return self._pack(depth + 1, advanced)
 
+    def step_many(self, states, ch):
+        """Bulk product step: decompose the batch into per-shard state
+        columns, advance each column's live states through the inner
+        automaton's ``step_many`` (vectorized where the shard supports it,
+        the scalar default loop otherwise), and reassemble."""
+        k = len(states)
+        depths = [state[0] for state in states]
+        columns: List[List[object]] = []
+        for si, (slot, automaton) in enumerate(zip(self._slots, self._automata)):
+            col = [state[1][si] for state in states]
+            if automaton is None or slot.quarantined:
+                columns.append([_UNAVAILABLE] * k)
+                continue
+            out_col: List[object] = [
+                _UNAVAILABLE if component is _UNAVAILABLE else None
+                for component in col
+            ]
+            live = [
+                j
+                for j, component in enumerate(col)
+                if component is not None and component is not _UNAVAILABLE
+            ]
+            if live:
+                stepped = automaton.step_many([col[j] for j in live], ch)
+                for j, component in zip(live, stepped):
+                    out_col[j] = component
+            columns.append(out_col)
+        return [
+            self._pack(depths[j] + 1, [column[j] for column in columns])
+            for j in range(k)
+        ]
+
     def _pack(self, depth: int, components: List[object]):
         collapsible = all(
             component is None and dead_zero
@@ -595,6 +627,13 @@ class ShardedAutomaton(BackwardSearchAutomaton):
             for automaton in self._automata
             if automaton is not None
         )
+        # The product is worth bulk-stepping as soon as one live shard
+        # vectorizes; non-vectorized components fall back to the ABC's
+        # scalar loop inside their column.
+        vectorized = any(
+            automaton is not None and automaton.capabilities().vectorized
+            for automaton in self._automata
+        )
         return AutomatonCapabilities(
             exact=exact,
             lower_sided=False,
@@ -602,4 +641,5 @@ class ShardedAutomaton(BackwardSearchAutomaton):
                 [slot.estimator.threshold for slot in self._slots]
             ),
             rank_ops_per_step=rank_ops,
+            vectorized=vectorized,
         )

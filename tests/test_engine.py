@@ -223,11 +223,15 @@ def test_capabilities_descriptors(corpus):
         kind: automaton_of(BUILDERS[kind](text)).capabilities()
         for kind in BUILDERS
     }
-    assert caps["fm"] == AutomatonCapabilities(exact=True, rank_ops_per_step=2)
+    assert caps["fm"] == AutomatonCapabilities(
+        exact=True, rank_ops_per_step=2, vectorized=True
+    )
     assert caps["rlfm"].exact and caps["rlfm"].rank_ops_per_step == 2
     assert not caps["apx"].exact and caps["apx"].threshold == THRESHOLD
     assert caps["cpst"].lower_sided and caps["cpst"].threshold == THRESHOLD
     assert caps["pst"].lower_sided and caps["pst"].rank_ops_per_step == 0
+    # Every index family ships a bulk step (PR: vectorized batch engine).
+    assert all(c.vectorized for c in caps.values())
 
 
 def test_rank_calls_follow_capabilities(corpus):
@@ -240,3 +244,168 @@ def test_rank_calls_follow_capabilities(corpus):
         per_step = planner.capabilities.rank_ops_per_step
         extensions = stats.automaton_starts + stats.automaton_steps
         assert stats.rank_calls == extensions * per_step, kind
+
+
+# --- vectorized wave execution ----------------------------------------------
+
+
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+def test_vectorized_equals_scalar_equals_sequential(corpus, kind):
+    """The PR's differential core: wave-planned batches == scalar-planned
+    batches == per-pattern counts, for every index family."""
+    name, text, workload = corpus
+    index = BUILDERS[kind](text)
+    sequential = [index.count(p) for p in workload]
+    # wave_width_min=1 forces every wave through step_many so the bulk
+    # differential covers all widths (production keeps the scalar
+    # fallback for narrow waves — same answers either way).
+    vectorized = planner_for(index, vectorize=True, wave_width_min=1)
+    scalar = planner_for(index, vectorize=False)
+    assert vectorized.vectorized and not scalar.vectorized, (name, kind)
+    assert vectorized.count_many(workload) == sequential, (name, kind)
+    assert scalar.count_many(workload) == sequential, (name, kind)
+    assert vectorized.stats.bulk_calls > 0, (name, kind)
+    assert scalar.stats.bulk_calls == 0, (name, kind)
+    # The wave path really batches: total bulk width == bulk-stepped states.
+    widths = vectorized.bulk_widths
+    assert sum(w * c for w, c in widths.items()) == vectorized.stats.bulk_states
+
+
+@pytest.mark.parametrize("kind", ["cpst", "pst"])
+def test_vectorized_count_or_none_matches(corpus, kind):
+    name, text, workload = corpus
+    index = BUILDERS[kind](text)
+    expected = [index.count_or_none(p) for p in workload]
+    planner = planner_for(index, vectorize=True)
+    assert planner.count_or_none_many(workload) == expected, (name, kind)
+
+
+def test_step_many_default_is_scalar_loop(corpus):
+    """The ABC default makes every automaton bulk-callable."""
+    _, text, _ = corpus
+    index = FMIndex(text)
+
+    class Plain(BackwardSearchAutomaton):
+        def start(self, ch):
+            return index.start(ch)
+
+        def step(self, state, ch):
+            return index.step(state, ch)
+
+        def count_state(self, state):
+            return index.count_state(state)
+
+    plain = Plain()
+    states = [index.start(c) for c in "athe"]
+    assert plain.step_many(states, "t") == [index.step(s, "t") for s in states]
+    assert not plain.capabilities().vectorized
+    # And the planner ignores the vectorize knob without the capability.
+    assert not TrieBatchPlanner(plain, vectorize=True).vectorized
+
+
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+def test_step_many_matches_step(corpus, kind):
+    """Direct bulk-vs-scalar automaton differential, dead states included."""
+    name, text, workload = corpus
+    automaton = automaton_of(BUILDERS[kind](text))
+    symbols = sorted(set(text.raw[:200]))[:4] + ["☃"]  # incl. absent
+    states = [automaton.start(p[-1]) for p in workload]
+    states = [s for s in states if s is not None]
+    assert states, (name, kind)
+    for ch in symbols:
+        bulk = automaton.step_many(states, ch)
+        assert bulk == [automaton.step(s, ch) for s in states], (name, kind, ch)
+
+
+def test_eviction_parity_scalar_vs_vectorized(corpus):
+    """Satellite: the LRU budget is accounted identically on both paths —
+    one cache probe and one insert per distinct suffix — so a tiny budget
+    evicts the same amount and never changes answers."""
+    _, text, workload = corpus
+    index = FMIndex(text)
+    expected = [index.count(p) for p in workload]
+    planners = {
+        mode: TrieBatchPlanner(
+            automaton_of(index), max_states=4,
+            vectorize=(mode == "waves"), wave_width_min=1,
+        )
+        for mode in ("scalar", "waves")
+    }
+    for planner in planners.values():
+        assert planner.count_many(workload) == expected
+    scalar, waves = planners["scalar"].stats, planners["waves"].stats
+    assert scalar.state_cache_evictions == waves.state_cache_evictions > 0
+    assert scalar.state_cache_misses == waves.state_cache_misses
+    assert len(planners["scalar"]._states) == len(planners["waves"]._states)
+
+
+def test_wave_probe_accounting_deduplicates(corpus):
+    """Satellite: duplicated patterns add zero LRU traffic and zero
+    automaton work on the wave path — probes, steps and waves are all
+    per *distinct* suffix per batch."""
+    _, text, _ = corpus
+    index = FMIndex(text)
+    base = text.raw[50:58]
+    unique = [base, base[1:], base[2:]]
+    duplicated = [base, base, base[1:], base[2:], base]
+    stats = {}
+    for label, patterns in [("unique", unique), ("duplicated", duplicated)]:
+        planner = planner_for(index, vectorize=True, wave_width_min=1)
+        planner.count_many(patterns)
+        stats[label] = planner.stats
+    dup, uniq = stats["duplicated"], stats["unique"]
+    assert dup.state_cache_misses == uniq.state_cache_misses
+    assert dup.state_cache_hits == uniq.state_cache_hits
+    assert dup.automaton_steps == uniq.automaton_steps
+    assert dup.bulk_calls == uniq.bulk_calls
+    # Shared suffixes are stepped once each: every distinct suffix is one
+    # extension (start or step), never more.
+    distinct_suffixes = {p[i:] for p in unique for i in range(len(p))}
+    assert (
+        uniq.automaton_starts + uniq.automaton_steps <= len(distinct_suffixes)
+    )
+
+
+def test_default_vectorize_toggle(corpus):
+    from repro.engine import default_vectorize, set_default_vectorize
+
+    _, text, workload = corpus
+    index = FMIndex(text)
+    assert default_vectorize()
+    try:
+        set_default_vectorize(False)
+        assert not planner_for(index).vectorized
+        # An explicit knob still wins over the process default.
+        assert planner_for(index, vectorize=True).vectorized
+    finally:
+        set_default_vectorize(True)
+    planner = planner_for(index)
+    assert planner.vectorized
+    assert planner.count_many(workload) == [index.count(p) for p in workload]
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_automaton_vectorizes(corpus, shards):
+    """The sharded product automaton bulk-steps its component columns:
+    same merged scalars as the scalar walk, with bulk waves recorded."""
+    from repro.shard import ShardPlan, build_sharded
+    from repro.textutil import ROW_SEPARATOR
+
+    _, text, _ = corpus
+    rows = [text.raw[i : i + 400] for i in range(0, 1600, 400)]
+    plan = ShardPlan.for_rows(rows, shards)
+    estimator, _ = build_sharded(plan, "cpst", 8)
+    probe = Text.from_rows(rows)
+    patterns = [
+        p
+        for p in mixed_workload(probe, lengths=(1, 2, 3), per_length=6, seed=9)
+        if ROW_SEPARATOR not in p
+    ]
+    automaton = automaton_of(estimator)
+    assert automaton.capabilities().vectorized
+    vectorized = TrieBatchPlanner(automaton, vectorize=True, wave_width_min=1)
+    scalar = TrieBatchPlanner(automaton, vectorize=False)
+    results = vectorized.count_many(patterns)
+    assert results == scalar.count_many(patterns)
+    assert results == [estimator.count(p) for p in patterns]
+    assert vectorized.stats.bulk_calls > 0

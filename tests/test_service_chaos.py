@@ -112,6 +112,63 @@ class TestCorruptedAnswers:
         assert flagged, "feasibility check never fired"
 
 
+class TestBulkStepChaos:
+    """Chaos parity for the vectorized engine path (automaton_step_many)."""
+
+    def test_bulk_site_fires_only_on_vectorized_waves(self):
+        from repro.engine import planner_for
+        from repro.service.faults import InjectedFault
+
+        spec = FaultSpec(error_rate=1.0)
+        faulty = FaultyIndex(
+            CompactPrunedSuffixTree(TEXT, L),
+            {"automaton_step_many": spec},
+            seed=SEED,
+        )
+        # The faulty automaton keeps the inner's vectorized capability, so
+        # the planner takes the wave path — straight into the bulk site.
+        multi = [p for p in WORKLOAD if len(p) >= 2]
+        vectorized = planner_for(faulty, vectorize=True, wave_width_min=1)
+        assert vectorized.capabilities.vectorized
+        with pytest.raises(InjectedFault, match="automaton_step_many"):
+            vectorized.count_many(multi)
+        assert faulty.injections[("automaton_step_many", "error")] > 0
+        # The scalar path never touches step_many: same faults, no trips.
+        scalar = planner_for(faulty, vectorize=False)
+        truth = CompactPrunedSuffixTree(TEXT, L)
+        assert scalar.count_many(multi) == [truth.count(p) for p in multi]
+
+    def test_bulk_waves_face_scalar_step_rates(self):
+        """Each bulk-stepped state rolls the automaton_step rate, so the
+        vectorized path cannot dodge chaos by batching."""
+        from repro.engine import planner_for
+
+        spec = FaultSpec(latency_rate=1.0, latency=0.01)
+        clock = ManualClock()
+        faulty = FaultyIndex(
+            CompactPrunedSuffixTree(TEXT, L),
+            {"automaton_step": spec},
+            seed=SEED,
+            sleep=clock.sleep,
+        )
+        planner = planner_for(faulty, vectorize=True, wave_width_min=1)
+        planner.count_many([p for p in WORKLOAD if len(p) >= 2])
+        spikes = faulty.injections[("automaton_step", "latency")]
+        assert spikes == planner.stats.automaton_steps > 0
+
+    def test_ladder_survives_bulk_blackout(self):
+        spec = FaultSpec(error_rate=1.0)
+        faulty = FaultyIndex(
+            CompactPrunedSuffixTree(TEXT, L),
+            {"automaton_step_many": spec},
+            seed=SEED,
+        )
+        service, _ = _ladder(primary=faulty)
+        outcomes = [service.query(pattern) for pattern in WORKLOAD]
+        assert len(outcomes) == len(WORKLOAD)
+        _assert_outcomes_truthful(outcomes)
+
+
 class TestLatencyChaos:
     def test_latency_spikes_deadline_out_to_stats_tier(self):
         clock = ManualClock()
