@@ -338,6 +338,11 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
         text = _load_text(args.text, args.size, args.seed)
     patterns = None
     process_estimator = None
+    if args.hot and (args.processes > 1 or args.daemon_smoke):
+        raise ReproError(
+            "--hot keeps the hot store in the serving process; it does "
+            "not combine with --processes or --daemon-smoke"
+        )
     if args.daemon_smoke:
         if not args.live:
             raise ReproError("--daemon-smoke rehearses a live corpus "
@@ -501,6 +506,36 @@ def cmd_serve_check(args: argparse.Namespace) -> int:
             context=ctx,
             max_workers=args.workers,
         )
+    if args.hot:
+        from .hot import HotPatternTier, with_hot_tier
+        from .textutil import ROW_SEPARATOR, mixed_workload, zipf_workload
+
+        store = HotPatternTier.from_text(text.raw, capacity=args.hot_k)
+        service, hot_rung = with_hot_tier(service, store)
+        if args.live:
+            # Appends/deletes/commits on the corpus demote hot answers.
+            corpus.attach_hot(store)
+        print(
+            f"hot tier '{hot_rung.name}': top-{args.hot_k} verified "
+            f"answers + count-min warm tail in front of the ladder"
+        )
+        # A hot tier only shows itself under repetition: extend the
+        # probe with a Zipf-distributed query log over in-text patterns.
+        base = list(patterns) if patterns is not None else list(
+            mixed_workload(text, per_length=10, seed=args.seed)
+        )
+        separator = (
+            corpus.config.separator if args.live else ROW_SEPARATOR
+        )
+        zipf = [
+            q
+            for q in zipf_workload(
+                text, num_queries=800,
+                distinct=max(8, args.hot_k // 2), seed=args.seed,
+            )
+            if separator not in q
+        ]
+        patterns = base + zipf
     try:
         if args.concurrency > 1 and process_estimator is not None:
             from .parallel import AsyncQueryServer
@@ -654,25 +689,55 @@ def cmd_space(args: argparse.Namespace) -> int:
             report = corpus.space_report()
             durable = corpus.durable_bytes()
             status = corpus.status()
+            hot_report = None
+            if args.hot:
+                # Size the hot tier this corpus would get: the answer
+                # sketch is built over the live documents, the top-k
+                # table and frequency sketch are empty until queries
+                # arrive, so this is the steady floor, not a peak.
+                from .hot import HotPatternTier
+
+                store = HotPatternTier.from_documents(
+                    corpus.documents().items()
+                )
+                hot_report = store.space_report()
         finally:
             corpus.close()
         if args.json:
             import json
 
-            print(json.dumps({
+            payload = {
                 "components": report.components,
                 "overhead": report.overhead,
                 "total_bits": report.total_bits,
                 "durable_bytes": durable,
                 "status": status,
-            }, ensure_ascii=False))
+            }
+            if hot_report is not None:
+                payload["hot"] = {
+                    "components": hot_report.components,
+                    "overhead": hot_report.overhead,
+                    "total_bits": hot_report.total_bits,
+                }
+            print(json.dumps(payload, ensure_ascii=False))
             return 0
         print(report.format())
         rows = ", ".join(
             f"{role}={size}" for role, size in sorted(durable.items())
         )
         print(f"durable bytes: {rows} (total {sum(durable.values())})")
+        if hot_report is not None:
+            print(hot_report.format())
+            print(
+                f"hot tier floor: {hot_report.total_bits / 8:.0f} bytes "
+                f"({hot_report.total_bits / 8 / 1024:.1f} KiB)"
+            )
         return 0
+    if args.hot:
+        raise ReproError(
+            "--hot sizes a hot tier over a live corpus directory's "
+            "documents; pass a corpus DIR, not a saved index file"
+        )
     from .io import load_index
 
     index = load_index(target)
@@ -933,6 +998,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve through the scalar engine path (in-process "
                         "planners only; rejected with --processes > 1 or "
                         "--daemon-smoke)")
+    p.add_argument("--hot", action="store_true",
+                   help="front the ladder with the frequency-aware hot "
+                        "tier (top-k verified answers + count-min warm "
+                        "tail); the probe gains a Zipf query log so "
+                        "repetition shows up (rejected with "
+                        "--processes > 1 or --daemon-smoke)")
+    p.add_argument("--hot-k", type=int, default=64,
+                   help="hot tier capacity: number of exactly-verified "
+                        "top-k entries")
     p.set_defaults(func=cmd_serve_check)
 
     p = sub.add_parser(
@@ -972,6 +1046,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("target",
                    help="live corpus directory, or a saved index file")
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("--hot", action="store_true",
+                   help="also size the frequency-aware hot tier this "
+                        "corpus would serve through (answer sketch over "
+                        "the live documents; dir targets only)")
     p.set_defaults(func=cmd_space)
 
     p = sub.add_parser(

@@ -229,6 +229,7 @@ class Supervisor(OccurrenceEstimator):
         self._closed = False
         self._monitor: Optional[threading.Thread] = None
         self._monitor_stop = threading.Event()
+        self._hot = None
         self.stats: Dict[str, int] = {
             "publishes": 0,
             "flips": 0,
@@ -236,6 +237,7 @@ class Supervisor(OccurrenceEstimator):
             "condemned": 0,
             "heartbeat_failures": 0,
             "queries": 0,
+            "hot_hits": 0,
         }
 
     # -- construction ---------------------------------------------------------
@@ -741,6 +743,11 @@ class Supervisor(OccurrenceEstimator):
             self._generations[generation.number] = generation
             self._pools[generation.number] = pool
             self._current = generation.number
+        # The generation carries the corpus epoch forward: any hot count
+        # verified against the old generation is demoted (never served
+        # EXACT again) before the new one answers its first query.
+        if self._hot is not None:
+            self._hot.bump_epoch()
         self._crash_point("flip_release")
         if old is not None and old != generation.number:
             self._retire(old)
@@ -909,6 +916,55 @@ class Supervisor(OccurrenceEstimator):
             degraded=degraded,
         )
 
+    # -- hot-pattern routing --------------------------------------------------
+
+    def attach_hot(self, hot) -> None:
+        """Route through a :class:`~repro.hot.HotPatternTier`.
+
+        Epoch-current verified counts answer without any worker round
+        trip; exact merged answers verify back into the store. The live
+        corpus is wired too, so every append/delete/compaction bumps the
+        hot epoch — and every generation flip bumps it again in
+        :meth:`_flip` — demoting stale exact counts before the new
+        generation serves a single query.
+        """
+        self._hot = hot
+        self._corpus.attach_hot(hot)
+
+    def _hot_short_circuit(
+        self, generation: Generation, pattern: str
+    ) -> Optional[DaemonAnswer]:
+        hot = self._hot
+        if hot is None:
+            return None
+        exact = hot.lookup_exact(pattern)
+        if exact is None:
+            return None
+        c = int(exact)
+        with self._lock:
+            self.stats["hot_hits"] += 1
+        return DaemonAnswer(
+            generation=generation.number,
+            lo=c,
+            hi=c,
+            error_model=ErrorModel.EXACT,
+            threshold=1,
+            widening=0,
+            degraded=(),
+        )
+
+    def _hot_feedback(self, pattern: str, answer: DaemonAnswer) -> None:
+        hot = self._hot
+        if hot is None:
+            return
+        try:
+            model = (
+                ErrorModel.EXACT if answer.exact else answer.error_model
+            )
+            hot.observe(pattern, answer.count, model)
+        except Exception:  # noqa: BLE001 - feedback must never break serving
+            pass
+
     def merged_count(
         self, pattern: str, deadline: Optional[Deadline] = None
     ) -> DaemonAnswer:
@@ -917,10 +973,15 @@ class Supervisor(OccurrenceEstimator):
             raise PatternError("pattern must be a non-empty string")
         generation = self._admit()
         try:
+            hot_hit = self._hot_short_circuit(generation, pattern)
+            if hot_hit is not None:
+                return hot_hit
             triples = self._segment_answers(
                 generation, "count", pattern, deadline
             )
-            return self._merge(generation, triples, len(pattern))
+            answer = self._merge(generation, triples, len(pattern))
+            self._hot_feedback(pattern, answer)
+            return answer
         finally:
             self._finish(generation)
 
@@ -938,23 +999,34 @@ class Supervisor(OccurrenceEstimator):
             return []
         generation = self._admit()
         try:
-            triples = self._segment_answers(
-                generation, "count_many", patterns, deadline
-            )
-            out: List[DaemonAnswer] = []
+            results: List[Optional[DaemonAnswer]] = [None] * len(patterns)
+            cold: List[int] = []
             for qi, pattern in enumerate(patterns):
-                per_query = [
-                    (
-                        ref,
-                        None if values is None else values[qi],
-                        reason or ("" if values is not None else "no batch answer"),
-                    )
-                    for ref, values, reason in triples
-                ]
-                out.append(
-                    self._merge(generation, per_query, len(pattern))
+                hit = self._hot_short_circuit(generation, pattern)
+                if hit is not None:
+                    results[qi] = hit
+                else:
+                    cold.append(qi)
+            if cold:
+                shipped = [patterns[qi] for qi in cold]
+                triples = self._segment_answers(
+                    generation, "count_many", shipped, deadline
                 )
-            return out
+                for ci, qi in enumerate(cold):
+                    pattern = patterns[qi]
+                    per_query = [
+                        (
+                            ref,
+                            None if values is None else values[ci],
+                            reason
+                            or ("" if values is not None else "no batch answer"),
+                        )
+                        for ref, values, reason in triples
+                    ]
+                    answer = self._merge(generation, per_query, len(pattern))
+                    self._hot_feedback(pattern, answer)
+                    results[qi] = answer
+            return [r for r in results if r is not None]
         finally:
             self._finish(generation)
 

@@ -1,0 +1,29 @@
+"""Frequency-aware hot-pattern tier: top-k + count–min over query traffic.
+
+Real query streams are Zipfian; this package gives the heavy patterns
+exact answers from a tiny structure and the warm tail a sound
+``UPPER_BOUND`` sketch estimate, falling through to the full ladder for
+the cold tail. See :mod:`repro.hot.tier` for the store and its epoch
+soundness discipline, :mod:`repro.hot.rung` for the ladder integration.
+"""
+
+from .fingerprint import BASE, MOD, RollingKarpRabin
+from .rung import HotTierRung, hot_rebuilder, with_hot_tier
+from .sketch import CountMinSketch
+from .tier import HotAnswer, HotPatternTier, HotTierStats
+from .topk import HotEntry, SpaceSavingTable
+
+__all__ = [
+    "BASE",
+    "MOD",
+    "CountMinSketch",
+    "HotAnswer",
+    "HotEntry",
+    "HotPatternTier",
+    "HotTierRung",
+    "HotTierStats",
+    "RollingKarpRabin",
+    "SpaceSavingTable",
+    "hot_rebuilder",
+    "with_hot_tier",
+]

@@ -1,0 +1,84 @@
+"""Rolling Karp–Rabin fingerprints for the hot-pattern tier.
+
+The hot tier keys its sketches by fingerprint, not by string: admission
+probes and sketch increments must be O(1) per window, and the corpus
+sketch is filled by extending every window of length ``l`` to length
+``l + 1`` in one vectorized step (the same rolling scheme
+``top-k-compress`` uses for its trie filter, restated over a Mersenne
+modulus so every intermediate product fits in uint64).
+
+With ``MOD = 2**31 - 1`` and ``BASE < 2**20`` the extension
+``fp * BASE + code`` stays below ``2**51``, so the numpy kernel never
+leaves uint64 and never needs Python-int fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Mersenne prime 2^31 - 1: fingerprints fit in 31 bits, products in 51.
+MOD = (1 << 31) - 1
+
+#: Default polynomial base (prime, well below 2^20).
+BASE = 1_000_003
+
+
+class RollingKarpRabin:
+    """Polynomial fingerprints over ``MOD`` with vectorized extension."""
+
+    __slots__ = ("base", "mod")
+
+    def __init__(self, base: int = BASE, mod: int = MOD) -> None:
+        if not (1 < base < (1 << 20)):
+            raise ValueError("base must be in (1, 2^20) to keep uint64 math")
+        self.base = int(base)
+        self.mod = int(mod)
+
+    def fingerprint(self, pattern: str) -> int:
+        """Fingerprint of one string (codes are ``ord + 1``, never 0)."""
+        h = 0
+        for ch in pattern:
+            h = (h * self.base + ord(ch) + 1) % self.mod
+        return h
+
+    def encode(self, text: str) -> np.ndarray:
+        """uint64 code array for ``text`` (``ord + 1`` per character)."""
+        codes = np.frombuffer(text.encode("utf-32-le"), dtype=np.uint32)
+        return codes.astype(np.uint64) + 1
+
+    def window_fingerprints(self, codes: np.ndarray, length: int) -> np.ndarray:
+        """Fingerprints of every window of ``length`` in one pass.
+
+        Iterates length times over the (shrinking) window array; each
+        step is one vectorized multiply-add-mod, so sketching all
+        windows of lengths ``1..L`` costs ``O(L * n)`` numpy ops total
+        via :meth:`extend`.
+        """
+        fps = self.extend(None, codes, 0)
+        for l in range(1, length):
+            fps = self.extend(fps, codes, l)
+        return fps
+
+    def extend(
+        self, fps: Optional[np.ndarray], codes: np.ndarray, length: int
+    ) -> np.ndarray:
+        """Extend length-``length`` window fingerprints by one character.
+
+        ``fps[i]`` fingerprints ``codes[i : i + length]``; the result's
+        entry ``i`` fingerprints ``codes[i : i + length + 1]`` and the
+        array is one element shorter (when ``length > 0``).
+        """
+        n = codes.shape[0]
+        if length == 0:
+            return codes % np.uint64(self.mod)
+        if fps is None:
+            raise ValueError("extend needs the previous window fingerprints")
+        keep = n - length
+        if keep <= 0:
+            return np.empty(0, dtype=np.uint64)
+        head = fps[:keep]
+        tail = codes[length:]
+        out = (head * np.uint64(self.base) + tail) % np.uint64(self.mod)
+        return out

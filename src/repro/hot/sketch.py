@@ -1,0 +1,95 @@
+"""Count–min sketch over Karp–Rabin fingerprints.
+
+Two instances back the hot tier:
+
+- the **answer sketch** counts corpus substring *occurrences*: every
+  window of every document, lengths ``1..max_len``, is added once.
+  Because increments are purely additive, ``estimate`` is a sound upper
+  bound on the true occurrence count of *any* pattern of length
+  ``<= max_len`` — including patterns never queried — and it stays a
+  sound upper bound when documents are deleted without decrementing.
+- the **frequency sketch** counts *query* arrivals and only gates
+  admission; it carries no soundness obligation.
+
+Rows hash independently: ``col = ((a * fp + b) mod MOD) mod width``
+with per-row odd multipliers. ``a * fp`` is at most ``2^62`` so the
+whole kernel stays in uint64.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from .fingerprint import MOD
+
+
+class CountMinSketch:
+    """Fixed-size ``depth x width`` counter plane with uint64 cells."""
+
+    __slots__ = ("_width", "_depth", "_a", "_b", "_cells", "_total", "_seed")
+
+    def __init__(self, width: int = 2048, depth: int = 4, *, seed: int = 0) -> None:
+        if width < 8 or depth < 1:
+            raise ValueError("count-min needs width >= 8 and depth >= 1")
+        rng = random.Random(seed)
+        self._width = int(width)
+        self._depth = int(depth)
+        self._seed = int(seed)
+        self._a = np.array(
+            [rng.randrange(1, MOD) | 1 for _ in range(depth)], dtype=np.uint64
+        )
+        self._b = np.array(
+            [rng.randrange(0, MOD) for _ in range(depth)], dtype=np.uint64
+        )
+        self._cells = np.zeros((depth, width), dtype=np.uint64)
+        self._total = 0
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def total(self) -> int:
+        """Total weight added (one per window for the answer sketch)."""
+        return self._total
+
+    def _columns(self, fp: int) -> np.ndarray:
+        fps = np.uint64(fp % MOD)
+        return ((self._a * fps + self._b) % np.uint64(MOD)) % np.uint64(self._width)
+
+    def add(self, fp: int, amount: int = 1) -> None:
+        cols = self._columns(fp)
+        rows = np.arange(self._depth)
+        self._cells[rows, cols] += np.uint64(amount)
+        self._total += int(amount)
+
+    def add_many(self, fps: np.ndarray, amount: int = 1) -> None:
+        """Add ``amount`` for every fingerprint in ``fps`` (vectorized)."""
+        if fps.size == 0:
+            return
+        fps = fps.astype(np.uint64, copy=False) % np.uint64(MOD)
+        for row in range(self._depth):
+            cols = ((self._a[row] * fps + self._b[row]) % np.uint64(MOD)) % np.uint64(
+                self._width
+            )
+            np.add.at(self._cells[row], cols, np.uint64(amount))
+        self._total += int(amount) * int(fps.size)
+
+    def estimate(self, fp: int) -> int:
+        """Min over rows: >= the true added weight for ``fp``, always."""
+        cols = self._columns(fp)
+        rows = np.arange(self._depth)
+        return int(self._cells[rows, cols].min())
+
+    def space_bits(self) -> int:
+        return int(self._cells.size * 64 + self._a.size * 64 + self._b.size * 64)
+
+    def clone_empty(self) -> "CountMinSketch":
+        """Fresh sketch with identical geometry and hash rows."""
+        return CountMinSketch(self._width, self._depth, seed=self._seed)

@@ -1,0 +1,111 @@
+"""Space-Saving top-k table for the hot-pattern tier.
+
+Metwally et al.'s Space-Saving summary over the *query* stream: at most
+``capacity`` monitored patterns; an arriving heavy pattern replaces the
+current minimum, inheriting its hit count as the classic overestimate
+bound. Each monitored entry additionally carries the serving state the
+tier layers on top — the ladder-verified exact count and the epoch it
+was verified in, plus the append/delete slack accumulated since.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class HotEntry:
+    """One monitored pattern: frequency estimate + verified answer."""
+
+    pattern: str
+    #: Space-Saving frequency estimate (>= true arrivals since admission).
+    hits: int
+    #: Overestimate bound inherited from the evicted minimum.
+    overestimate: int = 0
+    #: Ladder-verified exact occurrence count (None until verified).
+    verified_count: Optional[int] = None
+    #: Epoch the count was verified in; stale when < the tier's epoch.
+    verified_epoch: int = -1
+    #: Appended document lengths since verification (widen ``hi``).
+    stale_appends: List[int] = field(default_factory=list)
+    #: Deleted document lengths since verification (widen ``lo``).
+    stale_deletes: List[int] = field(default_factory=list)
+
+    def drop_verification(self) -> None:
+        self.verified_count = None
+        self.verified_epoch = -1
+        self.stale_appends.clear()
+        self.stale_deletes.clear()
+
+
+class SpaceSavingTable:
+    """Bounded heavy-hitter table with O(1) hit and O(k) replace."""
+
+    __slots__ = ("_capacity", "_entries", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("space-saving capacity must be >= 1")
+        self._capacity = int(capacity)
+        self._entries: Dict[str, HotEntry] = {}
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pattern: str) -> bool:
+        return pattern in self._entries
+
+    def entries(self) -> Iterator[HotEntry]:
+        return iter(self._entries.values())
+
+    def get(self, pattern: str) -> Optional[HotEntry]:
+        return self._entries.get(pattern)
+
+    def min_hits(self) -> int:
+        """Smallest monitored frequency (0 while the table has room)."""
+        if len(self._entries) < self._capacity:
+            return 0
+        return min(e.hits for e in self._entries.values())
+
+    def hit(self, pattern: str) -> Optional[HotEntry]:
+        """Bump a monitored pattern; None when it is not monitored."""
+        entry = self._entries.get(pattern)
+        if entry is not None:
+            entry.hits += 1
+        return entry
+
+    def would_admit(self, freq: int) -> bool:
+        return len(self._entries) < self._capacity or freq > self.min_hits()
+
+    def admit(self, pattern: str, freq: int) -> Optional[HotEntry]:
+        """Insert ``pattern``, evicting the minimum if it must and may.
+
+        Returns the (possibly pre-existing) entry, or None when the
+        table is full and ``freq`` does not beat the current minimum.
+        """
+        entry = self._entries.get(pattern)
+        if entry is not None:
+            return entry
+        if len(self._entries) < self._capacity:
+            entry = HotEntry(pattern, hits=max(1, int(freq)))
+            self._entries[pattern] = entry
+            return entry
+        victim = min(self._entries.values(), key=lambda e: e.hits)
+        if freq <= victim.hits:
+            return None
+        del self._entries[victim.pattern]
+        self.evictions += 1
+        entry = HotEntry(
+            pattern, hits=victim.hits + 1, overestimate=victim.hits
+        )
+        self._entries[pattern] = entry
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()

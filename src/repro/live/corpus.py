@@ -214,6 +214,7 @@ class LiveCorpus(OccurrenceEstimator):
         self._injector = injector
         self._lock = threading.RLock()
         self._commit_listeners: List[Callable[[Manifest], None]] = []
+        self._hot = None
         #: Recovery telemetry: how much the last open had to repair.
         self.indexes_rebuilt = indexes_rebuilt
         self.manifests_rejected = manifests_rejected
@@ -438,6 +439,10 @@ class LiveCorpus(OccurrenceEstimator):
             self._next_seq += 1
             self._tail.append(record)
             self._delta.add(name, body)
+            if self._hot is not None:
+                # Epoch bump + sketch ingest: stale exact counts demote,
+                # the answer sketch keeps covering the new text.
+                self._hot.note_append(body)
             return record.seq
 
     def delete(self, name: str) -> int:
@@ -456,9 +461,13 @@ class LiveCorpus(OccurrenceEstimator):
             self._next_seq += 1
             self._tail.append(record)
             if name in self._delta:
+                length = len(self._delta.documents[name])
                 self._delta.remove(name)
             else:
-                self._delta.tombstone(name, len(self._base_documents[name]))
+                length = len(self._base_documents[name])
+                self._delta.tombstone(name, length)
+            if self._hot is not None:
+                self._hot.note_delete(length)
             return record.seq
 
     def compact(self) -> "CompactionReport":
@@ -467,6 +476,17 @@ class LiveCorpus(OccurrenceEstimator):
         from .compactor import Compactor
 
         return Compactor(self).run()
+
+    # -- hot-pattern tier -----------------------------------------------------
+
+    def attach_hot(self, hot) -> None:
+        """Wire a :class:`~repro.hot.HotPatternTier` into the mutation
+        plane: every append/delete widens its stale intervals and every
+        compaction commit bumps its epoch, so a hot count verified
+        against one corpus state is never served as exact against
+        another."""
+        with self._lock:
+            self._hot = hot
 
     # -- commit hook ----------------------------------------------------------
 
@@ -761,6 +781,12 @@ class LiveCorpus(OccurrenceEstimator):
             self._delta = _materialize(base_documents, self._tail)
             self._wal.rewrite(self._tail)
             listeners = list(self._commit_listeners)
+            hot = self._hot
+        # The committed generation is a different corpus *state* even
+        # when its content is unchanged: demote hot exact counts until
+        # they re-verify against it.
+        if hot is not None:
+            hot.bump_epoch()
         # Outside the lock: listeners may query the corpus or take their
         # own locks (the daemon's publisher flips a generation here).
         for listener in listeners:

@@ -44,7 +44,7 @@ from ..service.admission import AdmissionStats, TokenBucket
 from ..service.deadline import CancellableDeadline, Deadline
 from ..service.outcome import QueryOutcome, ShedOutcome
 from ..service.resilient import ResilientEstimator
-from ..service.server import LatencyTracker, ServerStats
+from ..service.server import LatencyTracker, ServerStats, upgrade_shed_answer
 from ..service.tiers import Tier, TierDeclined
 
 
@@ -159,6 +159,9 @@ class AsyncQueryServer:
                 "AsyncQueryServer needs a ladder with an always-available "
                 "tier to shed load onto"
             )
+        self._hot_rungs = [
+            tier for tier in service.tiers if hasattr(tier, "shed_lookup")
+        ]
         self._bucket = (
             TokenBucket(rate, burst if burst is not None else max(1.0, rate))
             if rate is not None
@@ -326,15 +329,23 @@ class AsyncQueryServer:
         count, model, threshold, _reliable = await asyncio.to_thread(
             tier.answer, pattern, None
         )
+        name = tier.name
+        upgraded = False
+        if self._hot_rungs:
+            count, model, threshold, name, upgraded = await asyncio.to_thread(
+                upgrade_shed_answer,
+                self._hot_rungs, pattern, count, model, threshold, name,
+            )
         self._shed += 1
         return ShedOutcome(
             pattern=pattern,
             count=count,
-            tier=tier.name,
+            tier=name,
             error_model=model,
             threshold=threshold,
             reason=reason,
             elapsed=time.monotonic() - started,
+            upgraded=upgraded,
         )
 
     # -- hedged ladder walk ---------------------------------------------------

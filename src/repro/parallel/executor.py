@@ -61,7 +61,14 @@ from ..errors import (
 )
 from ..service.deadline import Deadline
 from ..space import SpaceReport
-from ..shard.merge import MergedCount, ShardAnswer, merge_answers, merged_threshold
+from ..shard.merge import (
+    MergedCount,
+    ShardAnswer,
+    hot_feedback,
+    hot_short_circuit,
+    merge_answers,
+    merged_threshold,
+)
 from ..textutil import Alphabet
 from .pool import SegmentPool, attach_shared_segment
 from .segment import write_estimator_segment
@@ -275,6 +282,7 @@ class ProcessShardedEstimator(OccurrenceEstimator):
         self._alphabet: Optional[Alphabet] = None
         self._closed = False
         self._req_counter = 0
+        self._hot = None
         try:
             for name, blob in items:
                 published = self._pool.publish(name, blob)
@@ -640,6 +648,13 @@ class ProcessShardedEstimator(OccurrenceEstimator):
             for slot in self._slots
         ]
 
+    def attach_hot(self, hot) -> None:
+        """Route through a :class:`~repro.hot.HotPatternTier`: verified
+        epoch-current counts skip the worker round trip entirely; exact
+        merges feed back to keep the store verified (the hot store lives
+        in the coordinating process — workers never see it)."""
+        self._hot = hot
+
     def merged_count(
         self, pattern: str, deadline: Optional[Deadline] = None
     ) -> MergedCount:
@@ -648,6 +663,9 @@ class ProcessShardedEstimator(OccurrenceEstimator):
             raise PatternError("pattern must be a non-empty string")
         if self._closed:
             raise ReproError("ProcessShardedEstimator is closed")
+        hot_hit = hot_short_circuit(self._hot, pattern)
+        if hot_hit is not None:
+            return hot_hit
         p = len(pattern)
         answers = []
         for slot, value, reason in self._fan_out("count", pattern, deadline):
@@ -663,7 +681,9 @@ class ProcessShardedEstimator(OccurrenceEstimator):
                         ceiling=slot.ceiling(p),
                     )
                 )
-        return merge_answers(answers)
+        merged = merge_answers(answers)
+        hot_feedback(self._hot, pattern, merged)
+        return merged
 
     def merged_count_many(
         self, patterns: Sequence[str], deadline: Optional[Deadline] = None
@@ -683,9 +703,22 @@ class ProcessShardedEstimator(OccurrenceEstimator):
             raise ReproError("ProcessShardedEstimator is closed")
         if not patterns:
             return []
-        per_slot = self._fan_out("count_many", patterns, deadline)
-        merged: List[MergedCount] = []
+        # Hot-pattern routing: verified epoch-current patterns never
+        # reach the pipe at all — only the cold remainder is shipped.
+        results: List[Optional[MergedCount]] = [None] * len(patterns)
+        cold: List[int] = []
         for qi, pattern in enumerate(patterns):
+            hit = hot_short_circuit(self._hot, pattern)
+            if hit is not None:
+                results[qi] = hit
+            else:
+                cold.append(qi)
+        if not cold:
+            return [r for r in results if r is not None]
+        shipped = [patterns[qi] for qi in cold]
+        per_slot = self._fan_out("count_many", shipped, deadline)
+        for ci, qi in enumerate(cold):
+            pattern = patterns[qi]
             p = len(pattern)
             answers = []
             for slot, values, reason in per_slot:
@@ -699,12 +732,14 @@ class ProcessShardedEstimator(OccurrenceEstimator):
                             shard=slot.name,
                             model=slot.model,
                             threshold=slot.threshold,
-                            value=values[qi],
+                            value=values[ci],
                             ceiling=slot.ceiling(p),
                         )
                     )
-            merged.append(merge_answers(answers))
-        return merged
+            merged = merge_answers(answers)
+            hot_feedback(self._hot, pattern, merged)
+            results[qi] = merged
+        return [r for r in results if r is not None]
 
     def count(self, pattern: str) -> int:
         """The merged scalar (sound upper end of the merged interval)."""

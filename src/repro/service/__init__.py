@@ -37,6 +37,7 @@ from .faults import (
     DiskFaultSpec,
     FaultSpec,
     FaultyIndex,
+    HotFaultInjector,
     InjectedFault,
     SimulatedCrashError,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "DiskFaultSpec",
     "FaultSpec",
     "FaultyIndex",
+    "HotFaultInjector",
     "HealthReport",
     "InjectedFault",
     "LatencyTracker",

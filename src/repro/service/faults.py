@@ -55,7 +55,9 @@ from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
 from ..engine import AutomatonCapabilities, BackwardSearchAutomaton, automaton_of
 from ..errors import InvalidParameterError, ReproError
 
-#: All call sites :class:`FaultyIndex` can instrument.
+#: All call sites :class:`FaultyIndex` can instrument. ``hot_lookup``
+#: is served by :class:`HotFaultInjector` (the hot-pattern tier has one
+#: call site and no estimator to proxy), not by :class:`FaultyIndex`.
 SITES = (
     "count",
     "count_or_none",
@@ -64,6 +66,7 @@ SITES = (
     "automaton_step",
     "automaton_step_many",
     "automaton_count",
+    "hot_lookup",
 )
 
 
@@ -323,7 +326,7 @@ class DaemonFaultInjector:
 
 
 #: Recognised :attr:`FaultSpec.corrupt_mode` values.
-CORRUPT_MODES = ("out_of_range", "bitflip")
+CORRUPT_MODES = ("out_of_range", "bitflip", "poison")
 
 
 @dataclass(frozen=True)
@@ -340,6 +343,11 @@ class FaultSpec:
       feasibility check — exactly the silent in-memory corruption the
       :class:`~repro.service.watchdog.CorruptionWatchdog`'s differential
       probes exist to catch.
+    * ``"poison"`` — the count is silently *decreased* (clamped at 0),
+      the poisoned-sketch failure: an upper-bound structure whose cells
+      were damaged low violates its one-sided contract while staying
+      perfectly feasible. Like ``bitflip``, only a differential probe
+      against a known truth can expose it.
     """
 
     error_rate: float = 0.0
@@ -462,6 +470,9 @@ class FaultyIndex:
         if self._rng.random() >= spec.corrupt_rate:
             return value
         self.injections[site, "corrupt"] += 1
+        if spec.corrupt_mode == "poison":
+            # Silent undercount: feasible, but breaks one-sided soundness.
+            return max(0, int(value) - 1 - self._rng.randrange(7))
         if spec.corrupt_mode == "bitflip":
             # Silent corruption: flip a low bit of the true count. The
             # result stays feasible (clamped at 0), so only a differential
@@ -474,6 +485,53 @@ class FaultyIndex:
         n = self._inner.text_length + getattr(self._inner, "threshold", 1)
         if self._rng.random() < 0.5:
             return n + 1 + self._rng.randrange(1000)
+        return -1 - self._rng.randrange(1000)
+
+
+class HotFaultInjector:
+    """Fault injection for the hot-pattern tier's single ``hot_lookup`` site.
+
+    The hot tier is not an estimator proxy — its one call site is the
+    store lookup inside :class:`repro.hot.rung.HotTierRung` — so it gets
+    a dedicated injector instead of a :class:`FaultyIndex` wrapper.
+    :meth:`roll` fires latency/error faults before the lookup;
+    :meth:`corrupt` damages a returned count after it (``"poison"``
+    silently undercounts, the corruption mode that breaks the tier's
+    ``UPPER_BOUND`` soundness without ever looking infeasible).
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        *,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self._spec = spec
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self.injections: Counter = Counter()
+
+    def roll(self) -> None:
+        spec = self._spec
+        if spec.latency_rate and self._rng.random() < spec.latency_rate:
+            self.injections["hot_lookup", "latency"] += 1
+            self._sleep(spec.latency)
+        if spec.error_rate and self._rng.random() < spec.error_rate:
+            self.injections["hot_lookup", "error"] += 1
+            raise InjectedFault("injected fault at call site 'hot_lookup'")
+
+    def corrupt(self, value: int, ceiling: int) -> int:
+        spec = self._spec
+        if not spec.corrupt_rate or self._rng.random() >= spec.corrupt_rate:
+            return int(value)
+        self.injections["hot_lookup", "corrupt"] += 1
+        if spec.corrupt_mode == "poison":
+            return max(0, int(value) - 1 - self._rng.randrange(7))
+        if spec.corrupt_mode == "bitflip":
+            return max(0, int(value) ^ (1 << self._rng.randrange(3)))
+        if self._rng.random() < 0.5:
+            return int(ceiling) + 1 + self._rng.randrange(1000)
         return -1 - self._rng.randrange(1000)
 
 

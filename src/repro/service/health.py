@@ -44,6 +44,9 @@ class TierHealth:
     automaton_steps: int = 0
     rank_calls: int = 0
     deadline_aborts: int = 0
+    #: Hot-pattern tiers only: the store's counter snapshot (hit rate,
+    #: exact vs sketch answers, epoch demotions, shed upgrades).
+    hot: Optional[Dict[str, float]] = None
 
     @property
     def mean_elapsed(self) -> float:
@@ -90,6 +93,20 @@ class HealthReport:
                 f"{tier.automaton_steps:>8} {tier.rank_calls:>8} "
                 f"{tier.deadline_aborts:>7}  {tier.breaker_state}"
             )
+        for tier in self.tiers:
+            if tier.hot is None:
+                continue
+            hot = tier.hot
+            lines.append(
+                f"hot tier {tier.name!r}: hit rate "
+                f"{hot.get('hit_rate', 0.0) * 100:.1f}% "
+                f"(exact {hot.get('exact_hits', 0):.0f}, "
+                f"sketch {hot.get('sketch_hits', 0):.0f}, "
+                f"stale {hot.get('stale_hits', 0):.0f}), "
+                f"demotions {hot.get('demotions', 0):.0f}, "
+                f"shed upgrades {hot.get('shed_upgrades', 0):.0f}, "
+                f"verifications {hot.get('verifications', 0):.0f}"
+            )
         for pattern, reason in self.unanswered[:10]:
             lines.append(f"UNANSWERED {pattern!r}: {reason}")
         lines.append("serve-check PASS" if self.ok else "serve-check FAIL")
@@ -113,6 +130,9 @@ def _finalize(
         health.automaton_steps = delta.automaton_steps
         health.rank_calls = delta.rank_calls
         health.deadline_aborts = delta.deadline_aborts
+        hot_stats = getattr(tier, "hot_stats", None)
+        if hot_stats is not None:
+            health.hot = hot_stats.as_dict()
 
 
 def _record(

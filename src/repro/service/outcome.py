@@ -162,7 +162,11 @@ class ShedOutcome:
     The count is still *sound*: it comes from the always-available
     statistics tier (:data:`~repro.core.interface.ErrorModel.UPPER_BOUND`),
     so a shed reply never lies — it is merely the least accurate answer
-    the service can give without queueing past the deadline.
+    the service can give without queueing past the deadline. When the
+    ladder carries a hot-pattern tier and the pattern is hot, the shed
+    answer is *upgraded*: an exact cached count, or the tighter of the
+    sketch and statistics upper bounds — never wider than the plain
+    stats answer, at identical availability.
     """
 
     pattern: str
@@ -177,6 +181,9 @@ class ShedOutcome:
     reason: str
     #: Wall-clock seconds from arrival to the shed answer.
     elapsed: float
+    #: True when a hot-pattern tier tightened (or exactly answered) the
+    #: shed reply instead of the bare statistics bound.
+    upgraded: bool = False
 
     @property
     def shed(self) -> bool:

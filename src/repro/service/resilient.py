@@ -229,7 +229,7 @@ class ResilientEstimator:
                                 interval = (int(lo), int(hi))
                             except Exception:  # noqa: BLE001 - telemetry only
                                 interval = None
-                        return QueryOutcome(
+                        outcome = QueryOutcome(
                             pattern=pattern,
                             count=count,
                             tier=tier.name,
@@ -245,10 +245,47 @@ class ResilientEstimator:
                             count_interval=interval,
                             delta_pending=delta_pending,
                         )
+                        self._notify(pattern, outcome)
+                        return outcome
             finally:
                 if guarded:
                     tier_guard.release(tier)
         raise AllTiersFailedError(pattern, failures)
+
+    def _notify(self, pattern: str, outcome: QueryOutcome) -> None:
+        """Report a served outcome to every feedback-wanting tier.
+
+        The answering tier is skipped (a stateful tier must not digest
+        its own answers as fresh evidence), a quarantined tier hears
+        nothing, and feedback can never break serving — any exception is
+        swallowed; the watchdog's differential probes are the mechanism
+        that catches a tier whose feedback path corrupted it.
+        """
+        for tier in self._tiers:
+            if not getattr(tier, "wants_feedback", False):
+                continue
+            if tier.name == outcome.tier or tier.quarantined:
+                continue
+            try:
+                tier.observe(pattern, outcome)
+            except Exception:  # noqa: BLE001 - feedback is best-effort
+                pass
+
+    def prepend_tier(self, tier: Tier) -> "ResilientEstimator":
+        """A new ladder with ``tier`` grafted on top of this one's rungs.
+
+        Tiers (and their breakers, caches, quarantine state) are shared
+        with the original ladder, as are the deadline/retry/clock knobs —
+        this is how a frequency-aware tier is layered onto an
+        already-built ladder (see :func:`repro.hot.with_hot_tier`).
+        """
+        return ResilientEstimator(
+            [tier] + self._tiers,
+            deadline_seconds=self._deadline_seconds,
+            retry=self._retry,
+            clock=self._clock,
+            sleep=self._sleep,
+        )
 
     def query_many(self, patterns: Sequence[str]) -> List[QueryOutcome]:
         """One outcome per pattern, each under its own fresh deadline."""
@@ -275,6 +312,7 @@ def build_default_ladder(
     primary: Optional[OccurrenceEstimator] = None,
     context: Optional["BuildContext"] = None,
     max_workers: Optional[int] = None,
+    hot: "bool | object" = False,
 ) -> ResilientEstimator:
     """The paper's accuracy hierarchy as a four-tier availability ladder.
 
@@ -285,6 +323,12 @@ def build_default_ladder(
     what. ``primary`` substitutes the first tier's estimator — the hook
     chaos tests and ``repro serve-check --fault-rate`` use to inject
     faults without touching the rest of the ladder.
+
+    ``hot`` layers the frequency-aware hot-pattern tier on top: pass
+    ``True`` for a default-sized :class:`~repro.hot.HotPatternTier`
+    built over ``text``, or a pre-built instance to control its sizing.
+    The hot rung sits above CPST, declines cold patterns, and learns
+    from the ladder's own answers through the feedback channel.
 
     All tiers are built from **one** shared
     :class:`~repro.build.BuildContext` (pass ``context`` to share it
@@ -301,12 +345,22 @@ def build_default_ladder(
         specs = [spec for spec in specs if spec.kind != "cpst"]
     built = build_all(ctx, specs, max_workers=max_workers)
     cpst = primary if primary is not None else built["cpst"]
-    tiers = [
+    tiers: List[Tier] = [
         Tier(cpst, "cpst", certified_only=True),
         Tier(built["apx"], "apx"),
         Tier(built["qgram"], "qgram", certified_only=True),
         Tier(built["stats"], "stats", always_available=True),
     ]
+    if hot:
+        from ..hot import HotPatternTier
+        from ..hot.rung import HotTierRung
+
+        store = (
+            hot
+            if isinstance(hot, HotPatternTier)
+            else HotPatternTier.from_text(ctx.text.raw)
+        )
+        tiers.insert(0, HotTierRung(store))
     return ResilientEstimator(
         tiers,
         deadline_seconds=deadline_seconds,

@@ -60,12 +60,52 @@ from ..errors import (
     PatternError,
     ServerClosedError,
 )
+from ..core.interface import ErrorModel
 from .admission import AdmissionController, AdmissionStats, TokenBucket
 from .deadline import CancellableDeadline, Clock, Deadline
 from .outcome import QueryOutcome, ShedOutcome
 from .resilient import ResilientEstimator
 from .tiers import Tier, TierDeclined
 from .watchdog import CorruptionWatchdog
+
+
+def upgrade_shed_answer(
+    hot_rungs: "List[Tier]",
+    pattern: str,
+    count: int,
+    model: "ErrorModel",
+    threshold: int,
+    tier_name: str,
+) -> "Tuple[int, ErrorModel, int, str, bool]":
+    """Tighten a shed answer with the first hot rung that can.
+
+    The hot tier's answer replaces the statistics bound only when it is
+    an exact cached count or a *strictly tighter* upper bound — the shed
+    interval is therefore never wider than the weakest-tier answer it
+    upgrades. Misses still warm the hot tier's frequency sketch, so
+    sustained overload traffic becomes servable from the sketch even
+    though the ladder never sees it.
+    """
+    for rung in hot_rungs:
+        try:
+            hit = rung.shed_lookup(pattern)
+        except Exception:  # noqa: BLE001 - shed path is best-effort
+            continue
+        if hit is None:
+            try:
+                rung.hot.note_warm(pattern)
+            except Exception:  # noqa: BLE001
+                pass
+            continue
+        hot_count, hot_model = hit
+        if hot_model is ErrorModel.EXACT:
+            rung.hot.note_shed_upgrade()
+            return int(hot_count), hot_model, 1, rung.name, True
+        if hot_count < count:
+            rung.hot.note_shed_upgrade()
+            return int(hot_count), ErrorModel.UPPER_BOUND, 1, rung.name, True
+        break
+    return count, model, threshold, tier_name, False
 
 
 class Bulkhead:
@@ -247,6 +287,11 @@ class QueryServer:
                 "QueryServer needs a ladder with an always-available tier "
                 "to shed load onto"
             )
+        # Hot-pattern rungs (duck-typed on shed_lookup) upgrade shed
+        # answers: exact cached counts or tighter sketch bounds.
+        self._hot_rungs = [
+            tier for tier in service.tiers if hasattr(tier, "shed_lookup")
+        ]
         bucket = None
         if rate is not None:
             bucket = TokenBucket(rate, burst if burst is not None else
@@ -400,19 +445,31 @@ class QueryServer:
     def _shed_answer(
         self, pattern: str, reason: str, started: float
     ) -> ShedOutcome:
-        """Answer from the always-available tier without running the ladder."""
+        """Answer from the always-available tier without running the ladder.
+
+        A hot-pattern rung, when present and serving, upgrades the reply
+        (see :func:`upgrade_shed_answer`) — same availability, tighter
+        or exact answer.
+        """
         _, tier = self._shed_tiers[0]
         count, model, threshold, _reliable = tier.answer(pattern, None)
+        name = tier.name
+        upgraded = False
+        if self._hot_rungs:
+            count, model, threshold, name, upgraded = upgrade_shed_answer(
+                self._hot_rungs, pattern, count, model, threshold, name
+            )
         with self._counter_lock:
             self._shed += 1
         return ShedOutcome(
             pattern=pattern,
             count=count,
-            tier=tier.name,
+            tier=name,
             error_model=model,
             threshold=threshold,
             reason=reason,
             elapsed=self._clock() - started,
+            upgraded=upgraded,
         )
 
     # -- hedged execution -----------------------------------------------------

@@ -111,7 +111,16 @@ class Tier:
     a clean memo cache. Quarantine flags and estimator swaps are guarded
     by an internal lock so the watchdog thread and serving threads can
     race safely.
+
+    Stateful tiers (the hot-pattern tier) set :attr:`wants_feedback` and
+    override :meth:`observe`: after every served query the ladder reports
+    the winning outcome back, which is how a frequency-aware tier learns
+    the traffic and caches ladder-verified answers without a second
+    query path.
     """
+
+    #: Stateful tiers set this to receive :meth:`observe` callbacks.
+    wants_feedback = False
 
     def __init__(
         self,
@@ -206,6 +215,12 @@ class Tier:
         else:
             reliable = threshold == 1
         return int(value), model, threshold, reliable
+
+    def observe(self, pattern: str, outcome) -> None:
+        """Feedback hook: the ladder reports each served
+        :class:`~repro.service.outcome.QueryOutcome` to every tier whose
+        :attr:`wants_feedback` is set (skipping the tier that answered).
+        The base tier is stateless and ignores it."""
 
     def _check_feasible(self, pattern: str, value: object, slack: int) -> None:
         ceiling = max(0, self.estimator.text_length - len(pattern) + 1) + slack

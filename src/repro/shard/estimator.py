@@ -52,7 +52,14 @@ from ..errors import InvalidParameterError, PatternError
 from ..service.deadline import Deadline
 from ..space import SpaceReport
 from ..textutil import Alphabet, Text
-from .merge import MergedCount, ShardAnswer, merge_answers, merged_threshold
+from .merge import (
+    MergedCount,
+    ShardAnswer,
+    hot_feedback,
+    hot_short_circuit,
+    merge_answers,
+    merged_threshold,
+)
 
 
 @dataclass(frozen=True)
@@ -153,6 +160,7 @@ class ShardedEstimator(OccurrenceEstimator):
         self._lock = threading.RLock()
         self._max_states = max_states
         self._alphabet: Optional[Alphabet] = None
+        self._hot = None
         workers = max_workers if max_workers is not None else min(len(items), 8)
         if workers < 1:
             raise InvalidParameterError(f"max_workers must be >= 1, got {workers}")
@@ -218,6 +226,17 @@ class ShardedEstimator(OccurrenceEstimator):
         """The live per-shard index (for tests and operators)."""
         return self._slot(name).estimator
 
+    # -- hot-pattern routing --------------------------------------------------
+
+    def attach_hot(self, hot) -> None:
+        """Route through a :class:`~repro.hot.HotPatternTier`.
+
+        An epoch-current verified count answers without touching any
+        shard; every merged *exact* answer is fed back so hot patterns
+        verify themselves against the merge the fan-out would produce.
+        """
+        self._hot = hot
+
     # -- counting -------------------------------------------------------------
 
     def merged_count(
@@ -233,6 +252,9 @@ class ShardedEstimator(OccurrenceEstimator):
         """
         if not isinstance(pattern, str) or not pattern:
             raise PatternError("pattern must be a non-empty string")
+        hot_hit = hot_short_circuit(self._hot, pattern)
+        if hot_hit is not None:
+            return hot_hit
         p = len(pattern)
         slots = list(self._slots)
 
@@ -265,7 +287,9 @@ class ShardedEstimator(OccurrenceEstimator):
             answers = [ask(slot) for slot in slots]
         else:
             answers = list(self._pool.map(ask, slots))
-        return merge_answers(answers)
+        merged = merge_answers(answers)
+        hot_feedback(self._hot, pattern, merged)
+        return merged
 
     def count(self, pattern: str) -> int:
         """The merged scalar (the sound upper end of the merged interval)."""

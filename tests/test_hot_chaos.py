@@ -1,0 +1,167 @@
+"""Chaos tests for the hot tier: the poisoned-sketch failure mode.
+
+A hot tier that rots in memory is the nastiest corruption in the ladder:
+its answers are cached, *feasible* (a silently decreased count never
+trips the range check) and served on the fastest path, so a single bad
+cell would repeat a wrong answer at cache speed. The ``hot_lookup``
+fault site (:class:`~repro.service.faults.HotFaultInjector`) simulates
+exactly that, and these tests prove the containment story end to end:
+only a differential probe against recorded truth convicts the tier, the
+:class:`~repro.service.watchdog.CorruptionWatchdog` quarantines it, a
+registered rebuilder swaps in a cold store, and the feedback loop
+re-verifies it back to exact service — while the ladder never stops
+answering truthfully.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interface import ErrorModel
+from repro.hot import HotPatternTier, HotTierRung, hot_rebuilder
+from repro.service import (
+    CORRUPT_MODES,
+    FaultSpec,
+    FaultyIndex,
+    HotFaultInjector,
+    build_default_ladder,
+)
+from repro.service.watchdog import CorruptionWatchdog, probes_from_text
+from repro.textutil import Text
+
+pytestmark = pytest.mark.chaos
+
+SEED = 4321
+TEXT = Text("abracadabra_the_quick_brown_fox_" * 30)
+L = 4
+HOT_PATTERNS = ["abra", "the_", "quick", "brown"]
+TRUTH = {pattern: TEXT.count_naive(pattern) for pattern in HOT_PATTERNS}
+
+
+def _poisoned_service(spec: FaultSpec):
+    """A default ladder fronted by a hot rung with a fault injector."""
+    store = HotPatternTier.from_text(TEXT.raw)
+    injector = HotFaultInjector(spec, seed=SEED)
+    rung = HotTierRung(store, injector=injector)
+    service = build_default_ladder(TEXT, L).prepend_tier(rung)
+    for pattern, truth in TRUTH.items():
+        store.observe_exact(pattern, truth)
+    return service, store, rung, injector
+
+
+class TestHotChaos:
+    def test_poison_slips_past_the_feasibility_check(self):
+        # The motivating failure: a poisoned count is in range, so the
+        # serving path happily returns it — wrong, EXACT-labelled, fast.
+        service, _, _, injector = _poisoned_service(
+            FaultSpec(corrupt_rate=1.0, corrupt_mode="poison")
+        )
+        outcome = service.query("abra")
+        assert outcome.tier == "hot"
+        assert outcome.error_model is ErrorModel.EXACT
+        assert 0 <= outcome.count < TRUTH["abra"]
+        assert injector.injections["hot_lookup", "corrupt"] >= 1
+
+    def test_watchdog_quarantines_rebuilds_and_readmits(self):
+        service, store, rung, _ = _poisoned_service(
+            FaultSpec(corrupt_rate=1.0, corrupt_mode="poison")
+        )
+        watchdog = CorruptionWatchdog(
+            service,
+            probes_from_text(TEXT, patterns=HOT_PATTERNS),
+            rebuilders={"hot": hot_rebuilder(TEXT.raw)},
+            probes_per_round=len(HOT_PATTERNS),
+            seed=SEED,
+        )
+        findings = watchdog.run_probe_round()
+        hot_violations = [
+            f for f in findings if f.tier == "hot" and not f.ok
+        ]
+        assert hot_violations, "the differential probe must convict"
+        events = watchdog.events
+        assert len(events) == 1
+        event = events[0]
+        assert event.tier == "hot"
+        assert event.rebuilt and event.readmitted
+        assert not rung.quarantined
+        # The swapped-in store is cold and injector-free: re-verify via
+        # the feedback loop, then exact service resumes — truthfully.
+        assert rung.hot is not store
+        for _ in range(5):
+            outcome = service.query("abra")
+        assert outcome.tier == "hot"
+        assert outcome.error_model is ErrorModel.EXACT
+        assert outcome.count == TRUTH["abra"]
+
+    def test_quarantine_without_rebuilder_keeps_the_ladder_sound(self):
+        service, _, rung, _ = _poisoned_service(
+            FaultSpec(corrupt_rate=1.0, corrupt_mode="poison")
+        )
+        watchdog = CorruptionWatchdog(
+            service,
+            probes_from_text(TEXT, patterns=HOT_PATTERNS),
+            probes_per_round=len(HOT_PATTERNS),
+            seed=SEED,
+        )
+        watchdog.run_probe_round()
+        assert rung.quarantined
+        # The poisoned rung is out of the ladder: answers come from the
+        # lower tiers and are truthful again.
+        for pattern, truth in TRUTH.items():
+            outcome = service.query(pattern)
+            assert outcome.tier != "hot"
+            assert outcome.contract_holds(truth, len(TEXT))
+
+    def test_bitflip_on_the_hot_site_is_also_convicted(self):
+        service, _, rung, _ = _poisoned_service(
+            FaultSpec(corrupt_rate=1.0, corrupt_mode="bitflip")
+        )
+        watchdog = CorruptionWatchdog(
+            service,
+            probes_from_text(TEXT, patterns=HOT_PATTERNS),
+            probes_per_round=len(HOT_PATTERNS),
+            seed=SEED,
+        )
+        findings = watchdog.run_probe_round()
+        assert any(f.tier == "hot" and not f.ok for f in findings)
+        assert rung.quarantined
+
+    def test_hot_error_faults_fall_through_to_the_ladder(self):
+        service, _, _, injector = _poisoned_service(
+            FaultSpec(error_rate=1.0)
+        )
+        for pattern, truth in TRUTH.items():
+            outcome = service.query(pattern)
+            assert outcome.tier != "hot"
+            assert outcome.contract_holds(truth, len(TEXT))
+        assert injector.injections["hot_lookup", "error"] >= len(TRUTH)
+
+    def test_out_of_range_corruption_is_caught_inline(self):
+        # Sanity for the detectable mode: the rung's feasibility check
+        # rejects out-of-range counts before they are ever served, so
+        # the ladder degrades to the next tier instead of lying.
+        service, _, _, _ = _poisoned_service(
+            FaultSpec(corrupt_rate=1.0, corrupt_mode="out_of_range")
+        )
+        for pattern, truth in TRUTH.items():
+            outcome = service.query(pattern)
+            assert outcome.contract_holds(truth, len(TEXT))
+
+
+class TestPoisonCorruptMode:
+    def test_poison_is_a_registered_mode(self):
+        assert "poison" in CORRUPT_MODES
+
+    def test_faulty_index_poison_undercounts_but_stays_feasible(self):
+        from repro import CompactPrunedSuffixTree
+
+        spec = FaultSpec(corrupt_rate=1.0, corrupt_mode="poison")
+        index = FaultyIndex(
+            CompactPrunedSuffixTree(TEXT, L),
+            {"count_or_none": spec},
+            seed=SEED,
+        )
+        truth = TRUTH["abra"]
+        observed = index.count_or_none("abra")
+        assert observed is not None
+        assert 0 <= observed < truth
